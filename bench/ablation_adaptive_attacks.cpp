@@ -1,0 +1,47 @@
+// Ablation (Discussion §VI-B): the defense against adaptive attackers.
+//
+//  - Attack 1 (rank manipulation): attacker reports its backdoor neurons as
+//    highly active so aggregated rankings protect them.
+//  - Attack 2 (pruning-aware): attacker trains against the anticipated
+//    pruning mask so the backdoor lives in essential neurons.
+//  - Self-adjust: attacker clips its own extreme weights before submitting
+//    so AW has nothing to cull.
+//
+// Paper claim: with a minority attacker these adaptations "nearly do not
+// influence the defense results".
+#include "bench_common.h"
+#include "fl/adaptive_attack.h"
+
+using namespace fedcleanse;
+
+int main() {
+  common::init_log_level_from_env();
+  std::printf("Ablation — adaptive attacks vs the full pipeline (scale=%.2f)\n\n",
+              bench::scale());
+  std::printf("attacker mode      | train TA  AA | FP TA    AA | full TA  AA\n");
+  bench::print_rule(62);
+
+  const fl::AdaptiveMode modes[] = {
+      fl::AdaptiveMode::kNone,
+      fl::AdaptiveMode::kRankManipulation,
+      fl::AdaptiveMode::kPruneAware,
+      fl::AdaptiveMode::kSelfAdjust,
+  };
+  for (auto mode : modes) {
+    auto cfg = bench::mnist_config(1700 + static_cast<std::uint64_t>(mode));
+    cfg.attack.adaptive = mode;
+    fl::Simulation sim(cfg);
+    if (mode == fl::AdaptiveMode::kPruneAware) {
+      // Attack 2 assumes the attacker somehow obtained the pruning mask.
+      fl::arm_prune_aware_attackers(sim, 0.5);
+    }
+    sim.run(false);
+    auto r = bench::run_all_modes(sim, bench::default_defense());
+    std::printf("%-18s | %5.1f %5.1f | %5.1f %5.1f | %5.1f %5.1f\n",
+                fl::adaptive_mode_name(mode), 100 * r.train.test_acc,
+                100 * r.train.attack_acc, 100 * r.fp.test_acc, 100 * r.fp.attack_acc,
+                100 * r.all.test_acc, 100 * r.all.attack_acc);
+  }
+  std::printf("\npaper: minority adaptive attackers barely change the outcome\n");
+  return 0;
+}

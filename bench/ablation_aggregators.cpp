@@ -1,0 +1,52 @@
+// Ablation (paper §I / related work): Byzantine-robust aggregation rules —
+// Krum, coordinate median, trimmed mean, Bulyan — fail to stop the model
+// replacement backdoor under non-IID data, while the reputation scheme
+// (cosine-similarity credibility) mutes the attacker at a cost. This is the
+// motivating claim for a post-training defense.
+#include "bench_common.h"
+#include "fl/reputation.h"
+
+using namespace fedcleanse;
+
+int main() {
+  common::init_log_level_from_env();
+  std::printf("Ablation — robust aggregation vs the model-replacement backdoor (scale=%.2f)\n\n",
+              bench::scale());
+  std::printf("aggregator     |  TA     AA\n");
+  bench::print_rule(32);
+
+  for (auto kind : {fl::AggregatorKind::kFedAvg, fl::AggregatorKind::kMedian,
+                    fl::AggregatorKind::kTrimmedMean, fl::AggregatorKind::kKrum,
+                    fl::AggregatorKind::kBulyan}) {
+    auto cfg = bench::mnist_config(1800);
+    cfg.server.aggregator = kind;
+    cfg.server.byzantine_hint = 2;
+    fl::Simulation sim(cfg);
+    sim.run(false);
+    std::printf("%-14s | %5.1f  %5.1f\n", fl::aggregator_name(kind),
+                100 * sim.test_accuracy(), 100 * sim.attack_success());
+  }
+
+  // Reputation-weighted aggregation, run through the raw round protocol.
+  {
+    auto cfg = bench::mnist_config(1800);
+    fl::Simulation sim(cfg);
+    fl::ReputationAggregator reputation(cfg.n_clients);
+    const auto clients = sim.all_client_ids();
+    for (int r = 0; r < cfg.rounds; ++r) {
+      sim.server().broadcast_model(clients, static_cast<std::uint32_t>(r));
+      for (int c : clients) sim.clients()[static_cast<std::size_t>(c)].handle_pending(sim.network());
+      auto updates = sim.server().collect_updates(clients);
+      auto agg = reputation.aggregate(clients, updates);
+      auto params = sim.server().params();
+      for (std::size_t i = 0; i < params.size(); ++i) params[i] += agg[i];
+      sim.server().set_params(params);
+    }
+    std::printf("%-14s | %5.1f  %5.1f   (attacker reputation: %.2f)\n", "reputation",
+                100 * sim.test_accuracy(), 100 * sim.attack_success(),
+                reputation.reputation(0));
+  }
+
+  std::printf("\npaper claim: byzantine-robust rules fail against backdoors under non-IID data\n");
+  return 0;
+}

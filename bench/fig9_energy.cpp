@@ -1,0 +1,43 @@
+// Figure 9: wall-clock time per defense phase across the three tasks.
+//
+// Paper shape: training dominates and grows steeply with model/task size;
+// pruning cost is flat (one communication round); fine-tuning grows mildly;
+// adjusting weights depends only on model size. Communication volume is
+// also reported (the paper argues the defense adds little energy cost).
+#include "bench_common.h"
+
+using namespace fedcleanse;
+
+namespace {
+
+void run(const char* name, fl::SimulationConfig cfg) {
+  fl::Simulation sim(cfg);
+  sim.run(false);
+  const std::size_t train_bytes = sim.network().total_bytes();
+
+  auto report = defense::run_defense(sim, bench::default_defense());
+  std::printf("%-14s %9.2f %9.2f %9.2f %9.2f   %8.1f / %8.1f\n", name,
+              sim.training_seconds(), report.phase_seconds.at("pruning"),
+              report.phase_seconds.count("fine-tuning")
+                  ? report.phase_seconds.at("fine-tuning")
+                  : 0.0,
+              report.phase_seconds.at("adjust-weights"),
+              static_cast<double>(train_bytes) / (1024.0 * 1024.0),
+              static_cast<double>(sim.network().total_bytes() - train_bytes) /
+                  (1024.0 * 1024.0));
+}
+
+}  // namespace
+
+int main() {
+  common::init_log_level_from_env();
+  std::printf("Figure 9 — time per defense phase (seconds) and traffic (MiB) (scale=%.2f)\n\n",
+              bench::scale());
+  std::printf("task             train   pruning  finetune  adjustW    traffic train/defense\n");
+  bench::print_rule(78);
+  run("mnist", bench::mnist_config(1500));
+  run("fashion-mnist", bench::fashion_config(1501));
+  run("cifar-10(dba)", bench::cifar_dba_config(1502));
+  std::printf("\npaper: training dominates; pruning flat; FT mild; AW model-bound\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Microbenchmarks (google-benchmark): the numeric kernels and aggregation
+// rules that dominate simulation time.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fl/aggregation.h"
+#include "tensor/ops.h"
+
+using namespace fedcleanse;
+
+namespace {
+
+void BM_Conv2dForward(benchmark::State& state) {
+  common::Rng rng(1);
+  const int channels = static_cast<int>(state.range(0));
+  auto x = tensor::Tensor::randn({32, 16, 10, 10}, rng);
+  auto w = tensor::Tensor::randn({channels, 16, 3, 3}, rng, 0.0f, 0.1f);
+  auto b = tensor::Tensor::zeros({channels});
+  tensor::Conv2dSpec spec{1, 1};
+  std::vector<float> cache;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::conv2d_forward_cached(x, w, b, spec, cache));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  common::Rng rng(1);
+  const int channels = static_cast<int>(state.range(0));
+  auto x = tensor::Tensor::randn({32, 16, 10, 10}, rng);
+  auto w = tensor::Tensor::randn({channels, 16, 3, 3}, rng, 0.0f, 0.1f);
+  auto b = tensor::Tensor::zeros({channels});
+  tensor::Conv2dSpec spec{1, 1};
+  std::vector<float> cache;
+  auto y = tensor::conv2d_forward_cached(x, w, b, spec, cache);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::conv2d_backward_cached(x, w, y, spec, cache));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(16)->Arg(32);
+
+void BM_Matmul(benchmark::State& state) {
+  common::Rng rng(1);
+  const int n = static_cast<int>(state.range(0));
+  auto a = tensor::Tensor::randn({n, n}, rng);
+  auto b = tensor::Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(256);
+
+std::vector<std::vector<float>> make_updates(int n, int dim) {
+  common::Rng rng(7);
+  std::vector<std::vector<float>> updates(static_cast<std::size_t>(n));
+  for (auto& u : updates) {
+    u.resize(static_cast<std::size_t>(dim));
+    for (auto& v : u) v = static_cast<float>(rng.normal());
+  }
+  return updates;
+}
+
+void BM_FedAvg(benchmark::State& state) {
+  auto updates = make_updates(10, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl::mean_update(updates));
+  }
+}
+BENCHMARK(BM_FedAvg)->Arg(10000)->Arg(100000);
+
+void BM_Krum(benchmark::State& state) {
+  auto updates = make_updates(static_cast<int>(state.range(0)), 10000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl::krum(updates, 2));
+  }
+}
+BENCHMARK(BM_Krum)->Arg(10)->Arg(30);
+
+void BM_Median(benchmark::State& state) {
+  auto updates = make_updates(10, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl::coordinate_median(updates));
+  }
+}
+BENCHMARK(BM_Median)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

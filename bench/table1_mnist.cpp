@@ -1,0 +1,89 @@
+// Table I: MNIST stand-in, three modes (Training / FP+AW / All), with the
+// attack sweeping VL=9→AL∈{0..8} and VL∈{0..8}→AL=9.
+//
+// Paper shape: Training TA≈98, AA≈99.7; FP+AW drops AA to ~8 with ~4 TA
+// loss; All (FP+FT+AW) keeps TA within ~1.5 and AA lowest on average.
+#include "bench_common.h"
+
+using namespace fedcleanse;
+
+namespace {
+
+struct Row {
+  int vl, al;
+  double ta_train, aa_train, ta_fpaw, aa_fpaw, ta_all, aa_all;
+};
+
+Row run_row(int vl, int al, std::uint64_t seed) {
+  auto cfg = bench::mnist_config(seed);
+  cfg.attack.victim_label = vl;
+  cfg.attack.attack_label = al;
+  fl::Simulation sim(cfg);
+  sim.run(false);
+  auto results = bench::run_all_modes(sim, bench::default_defense());
+  return Row{vl,
+             al,
+             results.train.test_acc,
+             results.train.attack_acc,
+             results.fpaw.test_acc,
+             results.fpaw.attack_acc,
+             results.all.test_acc,
+             results.all.attack_acc};
+}
+
+void print_rows(const std::vector<Row>& rows) {
+  std::printf("VL  AL |  TA-tr  AA-tr |  TA-fpaw AA-fpaw |  TA-all  AA-all\n");
+  bench::print_rule(64);
+  Row avg{0, 0, 0, 0, 0, 0, 0, 0};
+  for (const auto& r : rows) {
+    std::printf("%2d  %2d |  %5.1f  %5.1f |  %5.1f   %5.1f  |  %5.1f   %5.1f\n", r.vl, r.al,
+                100 * r.ta_train, 100 * r.aa_train, 100 * r.ta_fpaw, 100 * r.aa_fpaw,
+                100 * r.ta_all, 100 * r.aa_all);
+    avg.ta_train += r.ta_train;
+    avg.aa_train += r.aa_train;
+    avg.ta_fpaw += r.ta_fpaw;
+    avg.aa_fpaw += r.aa_fpaw;
+    avg.ta_all += r.ta_all;
+    avg.aa_all += r.aa_all;
+  }
+  const double n = static_cast<double>(rows.size());
+  bench::print_rule(64);
+  std::printf("  Avg  |  %5.1f  %5.1f |  %5.1f   %5.1f  |  %5.1f   %5.1f\n",
+              100 * avg.ta_train / n, 100 * avg.aa_train / n, 100 * avg.ta_fpaw / n,
+              100 * avg.aa_fpaw / n, 100 * avg.ta_all / n, 100 * avg.aa_all / n);
+}
+
+}  // namespace
+
+int main() {
+  common::init_log_level_from_env();
+  std::printf("Table I — MNIST stand-in, modes Training / FP+AW / All (scale=%.2f)\n\n",
+              bench::scale());
+
+  std::vector<Row> left, right;
+  for (int al = 0; al <= 8; ++al) {
+    left.push_back(run_row(9, al, 100 + static_cast<std::uint64_t>(al)));
+  }
+  for (int vl = 0; vl <= 8; ++vl) {
+    right.push_back(run_row(vl, 9, 200 + static_cast<std::uint64_t>(vl)));
+  }
+
+  std::printf("victim label 9:\n");
+  print_rows(left);
+  std::printf("\nattack label 9:\n");
+  print_rows(right);
+
+  std::vector<Row> all = left;
+  all.insert(all.end(), right.begin(), right.end());
+  double aa_tr = 0, aa_all = 0, ta_tr = 0, ta_all = 0;
+  for (const auto& r : all) {
+    aa_tr += r.aa_train;
+    aa_all += r.aa_all;
+    ta_tr += r.ta_train;
+    ta_all += r.ta_all;
+  }
+  const double n = static_cast<double>(all.size());
+  std::printf("\noverall: AA %.1f -> %.1f (paper: 99.7 -> 4.7), TA %.1f -> %.1f (paper: 98.3 -> 96.9)\n",
+              100 * aa_tr / n, 100 * aa_all / n, 100 * ta_tr / n, 100 * ta_all / n);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table IV: comparison with Neural Cleanse on all three datasets.
+//
+// NC reverse-engineers a trigger per label from the test set, flags MAD
+// outliers, and mitigates by pruning trigger-activated neurons. Our method
+// is the full FP+FT+AW pipeline.
+//
+// Paper shape: NC is competitive on MNIST but sacrifices TA; on the harder
+// datasets it fails to cut ASR (94.7 on Fashion) while our method does.
+#include "baselines/neural_cleanse.h"
+#include "bench_common.h"
+
+using namespace fedcleanse;
+
+namespace {
+
+void run_dataset(const char* name, fl::SimulationConfig cfg) {
+  fl::Simulation sim(cfg);
+  sim.run(false);
+  const double ta0 = sim.test_accuracy();
+  const double aa0 = sim.attack_success();
+
+  // Neural Cleanse on a clone of the trained model (test set as input).
+  auto nc_model = sim.server().model().clone();
+  baselines::NeuralCleanseConfig ncfg;
+  ncfg.optimization_steps = bench::scaled(120);
+  auto nc = baselines::run_neural_cleanse(nc_model, sim.test_set(), ncfg);
+  const double nc_ta = fl::evaluate_accuracy(nc_model.net, sim.test_set());
+  const double nc_aa = fl::attack_success_rate(nc_model.net, sim.backdoor_testset());
+
+  // Our full pipeline on the live federation.
+  auto report = defense::run_defense(sim, bench::default_defense());
+
+  std::printf("%-14s | %5.1f %5.1f | %5.1f %5.1f (flagged:", name, 100 * ta0, 100 * aa0,
+              100 * nc_ta, 100 * nc_aa);
+  for (int l : nc.flagged_labels) std::printf(" %d", l);
+  std::printf(") | %5.1f %5.1f\n", 100 * report.after_aw.test_acc,
+              100 * report.after_aw.attack_acc);
+}
+
+}  // namespace
+
+int main() {
+  common::init_log_level_from_env();
+  std::printf("Table IV — defense comparison with Neural Cleanse (scale=%.2f)\n\n",
+              bench::scale());
+  std::printf("dataset        | train TA  AA | Neural Cleanse TA AA | ours TA  AA\n");
+  bench::print_rule(70);
+  run_dataset("mnist", bench::mnist_config(500));
+  run_dataset("fashion-mnist", bench::fashion_config(501));
+  run_dataset("cifar-10(dba)", bench::cifar_dba_config(502));
+  std::printf("\npaper: MNIST 93/3.8 vs 96.9/4.7; Fashion 86.8/94.7 vs 86.4/6.4; CIFAR 67.7/47.9 vs 71.5/32.7\n");
+  return 0;
+}

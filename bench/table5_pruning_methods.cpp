@@ -1,0 +1,60 @@
+// Table V: federated pruning alone (no FT, no AW) under RAP vs MVP, across
+// 18 attack targets.
+//
+// Paper shape: pruning alone succeeds only in a minority of cases (RAP 5/18,
+// MVP 7/18 below 10% ASR) — the motivation for the AW stage.
+#include "bench_common.h"
+
+using namespace fedcleanse;
+
+namespace {
+
+defense::StageMetrics prune_only(fl::Simulation& sim, defense::PruneMethod method) {
+  auto dcfg = bench::default_defense();
+  dcfg.method = method;
+  auto& server = sim.server();
+  auto& model = server.model();
+  const double baseline = server.validation_accuracy();
+  auto order = defense::federated_pruning_order(sim, dcfg);
+  // Prune a clone so both methods start from the same trained model.
+  auto branch = model.clone();
+  defense::prune_until(
+      branch.net, branch.last_conv_index, order,
+      [&] { return fl::evaluate_accuracy(branch.net, server.validation_set()); },
+      baseline - dcfg.prune_acc_drop);
+  return {fl::evaluate_accuracy(branch.net, sim.test_set()),
+          fl::attack_success_rate(branch.net, sim.backdoor_testset())};
+}
+
+}  // namespace
+
+int main() {
+  common::init_log_level_from_env();
+  std::printf("Table V — pruning-only defense: RAP vs MVP (scale=%.2f)\n\n", bench::scale());
+  std::printf("VL  AL | train TA  AA | RAP TA   AA | MVP TA   AA\n");
+  bench::print_rule(56);
+
+  int rap_wins = 0, mvp_wins = 0, rows = 0;
+  auto run_row = [&](int vl, int al, std::uint64_t seed) {
+    auto cfg = bench::mnist_config(seed);
+    cfg.attack.victim_label = vl;
+    cfg.attack.attack_label = al;
+    fl::Simulation sim(cfg);
+    sim.run(false);
+    auto rap = prune_only(sim, defense::PruneMethod::kRAP);
+    auto mvp = prune_only(sim, defense::PruneMethod::kMVP);
+    std::printf("%2d  %2d | %5.1f %5.1f | %5.1f %5.1f | %5.1f %5.1f\n", vl, al,
+                100 * sim.test_accuracy(), 100 * sim.attack_success(), 100 * rap.test_acc,
+                100 * rap.attack_acc, 100 * mvp.test_acc, 100 * mvp.attack_acc);
+    if (rap.attack_acc < 0.10) ++rap_wins;
+    if (mvp.attack_acc < 0.10) ++mvp_wins;
+    ++rows;
+  };
+  for (int al = 0; al <= 8; ++al) run_row(9, al, 600 + static_cast<std::uint64_t>(al));
+  for (int vl = 0; vl <= 8; ++vl) run_row(vl, 9, 700 + static_cast<std::uint64_t>(vl));
+
+  bench::print_rule(56);
+  std::printf("defended (<10%% ASR): RAP %d/%d, MVP %d/%d  (paper: 5/18, 7/18)\n", rap_wins,
+              rows, mvp_wins, rows);
+  return 0;
+}

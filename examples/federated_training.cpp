@@ -1,0 +1,45 @@
+// Federated training dynamics demo (the Fig 3 style view).
+//
+// Trains a federated model and prints per-round test accuracy and attack
+// success rate. Useful for eyeballing convergence under different non-IID
+// distributions and attack settings.
+//
+// Usage: federated_training [rounds] [labels_per_client] [gamma] [n_attackers] [seed] [lr] [epochs] [spc]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "fl/simulation.h"
+
+using namespace fedcleanse;
+
+int main(int argc, char** argv) {
+  common::init_log_level_from_env();
+  auto arg = [&](int i, double dflt) {
+    return argc > i ? std::strtod(argv[i], nullptr) : dflt;
+  };
+
+  fl::SimulationConfig cfg;
+  cfg.arch = nn::Architecture::kMnistCnn;
+  cfg.dataset = data::SynthKind::kDigits;
+  cfg.rounds = static_cast<int>(arg(1, 20));
+  cfg.labels_per_client = static_cast<int>(arg(2, 3));
+  cfg.attack.gamma = arg(3, 5.0);
+  cfg.n_attackers = static_cast<int>(arg(4, 1));
+  cfg.seed = static_cast<std::uint64_t>(arg(5, 42));
+  cfg.train.lr = arg(6, 0.1);
+  cfg.train.local_epochs = static_cast<int>(arg(7, 2));
+  cfg.samples_per_class_train = static_cast<int>(arg(8, 100));
+  cfg.attack.pattern = data::make_pixel_pattern(5);
+  cfg.attack.victim_label = 9;
+  cfg.attack.attack_label = 1;
+  cfg.attack.poison_copies = 2;
+
+  fl::Simulation sim(cfg);
+  std::printf("round   TA      AA\n");
+  for (int r = 0; r < cfg.rounds; ++r) {
+    sim.run_round(static_cast<std::uint32_t>(r));
+    std::printf("%4d  %.3f  %.3f\n", r, sim.test_accuracy(), sim.attack_success());
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: train a backdoored federated model, then cleanse it.
+//
+// 10 clients (1 malicious) train a small CNN on the synthetic digit task
+// with a 3-label non-IID distribution. The attacker poisons digit 9 with a
+// 5-pixel trigger (target label 1) and uses model replacement. We then run
+// the full defense pipeline — federated pruning (majority vote), federated
+// fine-tuning, and adjusting extreme weights — and print the test accuracy
+// (TA) and attack success rate (AA) after every stage.
+//
+// Usage: quickstart [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "defense/pipeline.h"
+#include "fl/simulation.h"
+
+using namespace fedcleanse;
+
+int main(int argc, char** argv) {
+  common::init_log_level_from_env();
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  fl::SimulationConfig cfg;
+  cfg.arch = nn::Architecture::kMnistCnn;
+  cfg.dataset = data::SynthKind::kDigits;
+  cfg.n_clients = 10;
+  cfg.n_attackers = 1;
+  cfg.rounds = 25;
+  cfg.labels_per_client = 3;
+  cfg.attack.pattern = data::make_pixel_pattern(5);
+  cfg.attack.victim_label = 9;
+  cfg.attack.attack_label = 1;
+  cfg.attack.gamma = 5.0;
+  cfg.attack.poison_copies = 2;
+  cfg.seed = seed;
+
+  std::printf("Training 10-client federated model (1 attacker, trigger: %s)...\n",
+              cfg.attack.pattern.name.c_str());
+  fl::Simulation sim(cfg);
+  sim.run();
+  std::printf("  after training: TA=%.3f  AA=%.3f\n", sim.test_accuracy(),
+              sim.attack_success());
+
+  defense::DefenseConfig dcfg;
+  dcfg.method = defense::PruneMethod::kMVP;
+  dcfg.vote_prune_rate = 0.5;
+
+  std::printf("Running defense pipeline (FP -> FT -> AW)...\n");
+  auto report = defense::run_defense(sim, dcfg);
+
+  std::printf("  stage          TA      AA\n");
+  std::printf("  training     %.3f   %.3f\n", report.training.test_acc,
+              report.training.attack_acc);
+  std::printf("  after FP     %.3f   %.3f   (%d neurons pruned)\n",
+              report.after_fp.test_acc, report.after_fp.attack_acc, report.neurons_pruned);
+  std::printf("  after FT     %.3f   %.3f   (%d rounds)\n", report.after_ft.test_acc,
+              report.after_ft.attack_acc, report.finetune.rounds_run);
+  std::printf("  after AW     %.3f   %.3f   (%d weights zeroed, delta=%.2f)\n",
+              report.after_aw.test_acc, report.after_aw.attack_acc, report.weights_zeroed,
+              report.adjust.final_delta);
+  std::printf("Network traffic: %.2f MiB\n",
+              static_cast<double>(sim.network().total_bytes()) / (1024.0 * 1024.0));
+  return 0;
+}

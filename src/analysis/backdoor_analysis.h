@@ -1,0 +1,52 @@
+// Backdoor anatomy analysis: the measurements a defender-researcher uses to
+// verify the paper's two core assumptions on a trained model —
+//   (a) backdoors recruit channels that are dormant on clean data, and
+//   (b) backdoors concentrate in extreme weights.
+//
+// All functions are read-only on the model (per-channel ablation snapshots
+// and restores parameters around each measurement).
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/model_zoo.h"
+
+namespace fedcleanse::analysis {
+
+// Mean post-activation per channel of the model's tap layer over a dataset.
+std::vector<double> channel_means(nn::ModelSpec& model, const data::Dataset& dataset,
+                                  int batch_size = 64);
+
+struct ChannelProfile {
+  int channel = -1;
+  double clean_activation = 0.0;     // mean activation on clean data
+  double backdoor_activation = 0.0;  // mean activation on triggered data
+  double trigger_gap = 0.0;          // backdoor − clean
+  float max_abs_weight = 0.0f;       // largest |w| in the channel's kernel
+  // Metrics with ONLY this channel pruned (ablation).
+  double test_acc_without = 0.0;
+  double attack_acc_without = 0.0;
+};
+
+// Per-channel profile of the pruning layer: activations on clean vs
+// backdoored data, weight extremity, and single-channel ablation impact.
+std::vector<ChannelProfile> profile_channels(nn::ModelSpec& model,
+                                             const data::Dataset& clean_test,
+                                             const data::Dataset& backdoor_test);
+
+struct OracleStep {
+  int channel = -1;
+  double test_acc = 0.0;
+  double attack_acc = 0.0;
+};
+
+// Cumulatively prune channels in descending trigger-gap order — the oracle
+// upper bound on what activation-gap-based pruning could achieve. The model
+// is restored afterwards.
+std::vector<OracleStep> oracle_prune_curve(nn::ModelSpec& model,
+                                           const data::Dataset& clean_test,
+                                           const data::Dataset& backdoor_test,
+                                           int max_steps = 10);
+
+}  // namespace fedcleanse::analysis

@@ -1,0 +1,71 @@
+// Neural Cleanse (Wang et al., S&P 2019) — the paper's baseline defense
+// (Table IV).
+//
+// For every candidate target label, optimize a trigger (per-pixel mask m and
+// pattern p, both sigmoid-parameterized) that flips clean inputs to that
+// label under the blend x' = (1−m)·x + m·p, with an L1 (Lasso) penalty on
+// the mask. Labels whose reversed trigger is anomalously small (MAD outlier
+// on the mask L1 norm) are flagged as backdoored, and the model is mitigated
+// by pruning the neurons most activated by the reconstructed trigger.
+//
+// Per the paper's comparison protocol the optimization runs on the *test*
+// dataset (client training data is private), and the best result over a
+// sweep of learning rates is kept.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/model_zoo.h"
+
+namespace fedcleanse::baselines {
+
+struct NeuralCleanseConfig {
+  int optimization_steps = 200;
+  int batch_size = 32;
+  // Learning rates to sweep; the run with the lowest final loss per label
+  // wins (the paper sweeps 0.1..0.5).
+  std::vector<double> learning_rates = {0.1, 0.3, 0.5};
+  // Lasso coefficient on the mask L1 norm.
+  double lambda_l1 = 0.01;
+  // MAD anomaly index above which a label is flagged (standard NC uses 2).
+  double anomaly_threshold = 2.0;
+  // Mitigation pruning stops when clean accuracy drops more than this below
+  // the pre-mitigation level.
+  double mitigation_acc_drop = 0.04;
+  std::uint64_t seed = 1234;
+};
+
+struct TriggerResult {
+  int label = -1;
+  double mask_l1 = 0.0;
+  double final_loss = 0.0;
+  double flip_rate = 0.0;  // fraction of clean inputs flipped to `label`
+  tensor::Tensor mask;     // [1,H,W] in (0,1)
+  tensor::Tensor pattern;  // [C,H,W] in (0,1)
+};
+
+struct NeuralCleanseReport {
+  std::vector<TriggerResult> triggers;       // one per label
+  std::vector<double> anomaly_index;         // per label
+  std::vector<int> flagged_labels;
+  int neurons_pruned = 0;
+  double accuracy_before = 0.0;
+  double accuracy_after = 0.0;
+};
+
+// Reverse-engineer a trigger for one target label (best over the LR sweep).
+TriggerResult reverse_trigger(nn::ModelSpec& model, const data::Dataset& clean_data,
+                              int target_label, const NeuralCleanseConfig& config);
+
+// Full pipeline: reverse triggers for all labels, flag outliers via MAD,
+// and mitigate by pruning trigger-activated neurons. Mutates `model`.
+NeuralCleanseReport run_neural_cleanse(nn::ModelSpec& model, const data::Dataset& clean_data,
+                                       const NeuralCleanseConfig& config);
+
+// Median-absolute-deviation anomaly index of each value (consistency
+// constant 1.4826); only values *below* the median count as backdoor
+// candidates, matching NC's "small trigger" reasoning.
+std::vector<double> mad_anomaly_index(const std::vector<double>& values);
+
+}  // namespace fedcleanse::baselines

@@ -1,0 +1,42 @@
+#include "comm/channel.h"
+
+namespace fedcleanse::comm {
+
+std::size_t Channel::send(Message message) {
+  const std::size_t size = message.wire_size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_sent_ += size;
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_one();
+  return size;
+}
+
+std::optional<Message> Channel::try_recv() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+Message Channel::recv() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !queue_.empty(); });
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+std::size_t Channel::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t Channel::bytes_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_sent_;
+}
+
+}  // namespace fedcleanse::comm

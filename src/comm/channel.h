@@ -1,0 +1,34 @@
+// Thread-safe FIFO message channel — the in-memory "wire" between the
+// server and one client.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "comm/message.h"
+
+namespace fedcleanse::comm {
+
+class Channel {
+ public:
+  // Enqueue a message; returns its wire size in bytes.
+  std::size_t send(Message message);
+
+  // Non-blocking receive.
+  std::optional<Message> try_recv();
+  // Blocking receive (used when clients run on worker threads).
+  Message recv();
+
+  std::size_t pending() const;
+  std::size_t bytes_sent() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  std::size_t bytes_sent_ = 0;
+};
+
+}  // namespace fedcleanse::comm

@@ -1,0 +1,90 @@
+#include "comm/message.h"
+
+namespace fedcleanse::comm {
+
+const char* message_type_name(MessageType t) {
+  switch (t) {
+    case MessageType::kModelBroadcast: return "ModelBroadcast";
+    case MessageType::kModelUpdate: return "ModelUpdate";
+    case MessageType::kRankRequest: return "RankRequest";
+    case MessageType::kRankReport: return "RankReport";
+    case MessageType::kVoteRequest: return "VoteRequest";
+    case MessageType::kVoteReport: return "VoteReport";
+    case MessageType::kMaskBroadcast: return "MaskBroadcast";
+    case MessageType::kAccuracyRequest: return "AccuracyRequest";
+    case MessageType::kAccuracyReport: return "AccuracyReport";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_flat_params(const std::vector<float>& params) {
+  common::ByteWriter w;
+  w.write_f32_vector(params);
+  return w.take();
+}
+
+std::vector<float> decode_flat_params(const std::vector<std::uint8_t>& payload) {
+  common::ByteReader r(payload);
+  return r.read_f32_vector();
+}
+
+std::vector<std::uint8_t> encode_ranks(const std::vector<std::uint32_t>& ranks) {
+  common::ByteWriter w;
+  w.write_u32_vector(ranks);
+  return w.take();
+}
+
+std::vector<std::uint32_t> decode_ranks(const std::vector<std::uint8_t>& payload) {
+  common::ByteReader r(payload);
+  return r.read_u32_vector();
+}
+
+std::vector<std::uint8_t> encode_votes(const std::vector<std::uint8_t>& votes) {
+  common::ByteWriter w;
+  w.write_u8_vector(votes);
+  return w.take();
+}
+
+std::vector<std::uint8_t> decode_votes(const std::vector<std::uint8_t>& payload) {
+  common::ByteReader r(payload);
+  return r.read_u8_vector();
+}
+
+std::vector<std::uint8_t> encode_vote_request(double prune_rate) {
+  common::ByteWriter w;
+  w.write_f64(prune_rate);
+  return w.take();
+}
+
+double decode_vote_request(const std::vector<std::uint8_t>& payload) {
+  common::ByteReader r(payload);
+  return r.read_f64();
+}
+
+std::vector<std::uint8_t> encode_masks(const std::vector<std::vector<std::uint8_t>>& masks) {
+  common::ByteWriter w;
+  w.write_u32(static_cast<std::uint32_t>(masks.size()));
+  for (const auto& m : masks) w.write_u8_vector(m);
+  return w.take();
+}
+
+std::vector<std::vector<std::uint8_t>> decode_masks(const std::vector<std::uint8_t>& payload) {
+  common::ByteReader r(payload);
+  const std::uint32_t n = r.read_u32();
+  std::vector<std::vector<std::uint8_t>> masks(n);
+  for (auto& m : masks) m = r.read_u8_vector();
+  return masks;
+}
+
+std::vector<std::uint8_t> encode_accuracy(double accuracy) {
+  common::ByteWriter w;
+  w.write_f64(accuracy);
+  return w.take();
+}
+
+double decode_accuracy(const std::vector<std::uint8_t>& payload) {
+  common::ByteReader r(payload);
+  return r.read_f64();
+}
+
+}  // namespace fedcleanse::comm

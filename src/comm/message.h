@@ -1,0 +1,62 @@
+// Typed messages exchanged between the FL server and clients.
+//
+// Everything that crosses the server↔client boundary is serialized to bytes
+// (common::ByteWriter) so the simulator measures real payload sizes and the
+// server can never trust client memory directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+
+namespace fedcleanse::comm {
+
+enum class MessageType : std::uint8_t {
+  // Training protocol.
+  kModelBroadcast = 1,  // server → client: flat global parameters
+  kModelUpdate = 2,     // client → server: flat parameter delta
+  // Federated pruning protocol.
+  kRankRequest = 3,     // server → client: request activation ranking
+  kRankReport = 4,      // client → server: neuron ranks (RAP)
+  kVoteRequest = 5,     // server → client: request prune votes at rate p
+  kVoteReport = 6,      // client → server: 0/1 prune votes (MVP)
+  // Fine-tuning / evaluation protocol.
+  kMaskBroadcast = 7,   // server → client: prune masks per layer
+  kAccuracyRequest = 8, // server → client: request local accuracy
+  kAccuracyReport = 9,  // client → server: local accuracy value
+};
+
+const char* message_type_name(MessageType t);
+
+struct Message {
+  MessageType type{};
+  std::uint32_t round = 0;
+  std::int32_t sender = -1;  // client id, or -1 for the server
+  std::vector<std::uint8_t> payload;
+
+  std::size_t wire_size() const { return payload.size() + 10; }
+};
+
+// --- payload codecs ---------------------------------------------------------
+
+std::vector<std::uint8_t> encode_flat_params(const std::vector<float>& params);
+std::vector<float> decode_flat_params(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_ranks(const std::vector<std::uint32_t>& ranks);
+std::vector<std::uint32_t> decode_ranks(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_votes(const std::vector<std::uint8_t>& votes);
+std::vector<std::uint8_t> decode_votes(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_vote_request(double prune_rate);
+double decode_vote_request(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_masks(const std::vector<std::vector<std::uint8_t>>& masks);
+std::vector<std::vector<std::uint8_t>> decode_masks(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_accuracy(double accuracy);
+double decode_accuracy(const std::vector<std::uint8_t>& payload);
+
+}  // namespace fedcleanse::comm

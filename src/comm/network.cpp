@@ -1,0 +1,55 @@
+#include "comm/network.h"
+
+namespace fedcleanse::comm {
+
+Network::Network(int n_clients) {
+  FC_REQUIRE(n_clients > 0, "network needs at least one client");
+  links_.reserve(static_cast<std::size_t>(n_clients));
+  for (int i = 0; i < n_clients; ++i) links_.push_back(std::make_unique<Link>());
+}
+
+Network::Link& Network::link(int client) {
+  FC_REQUIRE(client >= 0 && client < n_clients(), "client id out of range");
+  return *links_[static_cast<std::size_t>(client)];
+}
+
+const Network::Link& Network::link(int client) const {
+  FC_REQUIRE(client >= 0 && client < n_clients(), "client id out of range");
+  return *links_[static_cast<std::size_t>(client)];
+}
+
+void Network::send_to_client(int client, Message message) {
+  link(client).to_client.send(std::move(message));
+}
+
+std::optional<Message> Network::try_recv_from_client(int client) {
+  return link(client).to_server.try_recv();
+}
+
+Message Network::recv_from_client(int client) { return link(client).to_server.recv(); }
+
+void Network::send_to_server(int client, Message message) {
+  link(client).to_server.send(std::move(message));
+}
+
+std::optional<Message> Network::client_try_recv(int client) {
+  return link(client).to_client.try_recv();
+}
+
+Message Network::client_recv(int client) { return link(client).to_client.recv(); }
+
+std::size_t Network::downlink_bytes() const {
+  std::size_t total = 0;
+  for (const auto& l : links_) total += l->to_client.bytes_sent();
+  return total;
+}
+
+std::size_t Network::uplink_bytes() const {
+  std::size_t total = 0;
+  for (const auto& l : links_) total += l->to_server.bytes_sent();
+  return total;
+}
+
+std::size_t Network::total_bytes() const { return downlink_bytes() + uplink_bytes(); }
+
+}  // namespace fedcleanse::comm

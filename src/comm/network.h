@@ -1,0 +1,47 @@
+// In-memory network wiring one server to N clients with per-direction
+// channels and aggregate traffic accounting.
+#pragma once
+
+#include <vector>
+
+#include <memory>
+
+#include "comm/channel.h"
+#include "common/error.h"
+
+namespace fedcleanse::comm {
+
+class Network {
+ public:
+  explicit Network(int n_clients);
+
+  int n_clients() const { return static_cast<int>(links_.size()); }
+
+  // Server side.
+  void send_to_client(int client, Message message);
+  std::optional<Message> try_recv_from_client(int client);
+  Message recv_from_client(int client);
+
+  // Client side.
+  void send_to_server(int client, Message message);
+  std::optional<Message> client_try_recv(int client);
+  Message client_recv(int client);
+
+  // Total bytes that have crossed the network in either direction.
+  std::size_t total_bytes() const;
+  std::size_t downlink_bytes() const;  // server → clients
+  std::size_t uplink_bytes() const;    // clients → server
+
+ private:
+  struct Link {
+    Channel to_client;
+    Channel to_server;
+  };
+  Link& link(int client);
+  const Link& link(int client) const;
+  // deque-free storage: Channel is not movable (mutex member), so links are
+  // held by unique_ptr.
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace fedcleanse::comm

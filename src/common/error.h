@@ -1,0 +1,63 @@
+// Error types and contract-check helpers shared across fedcleanse.
+//
+// Philosophy (CppCoreGuidelines E.*): programming errors (violated
+// preconditions) abort via FC_REQUIRE with a readable message; recoverable
+// runtime conditions throw typed exceptions derived from fedcleanse::Error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fedcleanse {
+
+// Base class for all recoverable fedcleanse errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Shape or dimensionality mismatch in tensor/NN code.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error("shape error: " + what) {}
+};
+
+// Malformed or truncated serialized payload.
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what)
+      : Error("serialization error: " + what) {}
+};
+
+// Misuse of the comm layer (closed channel, unknown peer, ...).
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error("comm error: " + what) {}
+};
+
+// Invalid experiment / algorithm configuration.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  std::ostringstream os;
+  os << "FC_REQUIRE failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+// Precondition check. Throws fedcleanse::Error with location info on failure.
+// Used at public API boundaries; hot inner loops rely on the callers having
+// validated shapes once.
+#define FC_REQUIRE(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) ::fedcleanse::detail::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+}  // namespace fedcleanse

@@ -1,0 +1,55 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+
+namespace fedcleanse::common {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel global_log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_global_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& s) {
+  std::string lower;
+  lower.reserve(s.size());
+  for (char c : s) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+void init_log_level_from_env() {
+  if (const char* env = std::getenv("FEDCLEANSE_LOG")) {
+    set_global_log_level(parse_log_level(env));
+  }
+}
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::ostream& out = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  out << "[" << level_name(level) << "] " << message << "\n";
+}
+}  // namespace detail
+
+}  // namespace fedcleanse::common

@@ -1,0 +1,51 @@
+// Minimal leveled logger for experiment binaries.
+//
+// Defaults to Info. Benches set the level from FEDCLEANSE_LOG
+// (debug|info|warn|error|off). Not a general-purpose logging framework —
+// just enough structure that library code never writes raw to stdout.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fedcleanse::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel global_log_level();
+void set_global_log_level(LogLevel level);
+// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive); unknown → Info.
+LogLevel parse_log_level(const std::string& s);
+// Read FEDCLEANSE_LOG from the environment and apply it.
+void init_log_level_from_env();
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+// Stream-style log statement: FC_LOG(Info) << "round " << r;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= global_log_level()) detail::emit(level_, os_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace fedcleanse::common
+
+#define FC_LOG(level) \
+  ::fedcleanse::common::LogLine(::fedcleanse::common::LogLevel::k##level)

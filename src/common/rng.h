@@ -1,0 +1,64 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in fedcleanse (weight init, data synthesis,
+// non-IID partitioning, client selection, attack noise) flows through
+// common::Rng so experiments are exactly reproducible from a single seed.
+// The generator is xoshiro256**, seeded via splitmix64; `split()` derives
+// statistically independent child streams, which lets every client own its
+// own generator without coordination.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace fedcleanse::common {
+
+// splitmix64 step — used for seeding and stream splitting.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Raw 64 random bits (xoshiro256**).
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Standard normal via Box-Muller (cached second value).
+  double normal();
+  // Normal with given mean and stddev.
+  double normal(double mean, double stddev);
+  // Uniform integer in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+  // Uniform integer in [lo, hi] inclusive.
+  int int_range(int lo, int hi);
+  // Bernoulli trial.
+  bool bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Sample k distinct indices from [0, n) without replacement.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  // Derive an independent child generator (for per-client streams).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace fedcleanse::common

@@ -1,0 +1,153 @@
+#include "common/serialize.h"
+
+namespace fedcleanse::common {
+
+void ByteWriter::append(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+void ByteWriter::write_u8(std::uint8_t v) { append(&v, 1); }
+
+void ByteWriter::write_u32(std::uint32_t v) {
+  std::uint8_t b[4] = {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+                       static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
+  append(b, 4);
+}
+
+void ByteWriter::write_u64(std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  append(b, 8);
+}
+
+void ByteWriter::write_i32(std::int32_t v) { write_u32(static_cast<std::uint32_t>(v)); }
+
+void ByteWriter::write_f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u32(bits);
+}
+
+void ByteWriter::write_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u64(bits);
+}
+
+void ByteWriter::write_bool(bool v) { write_u8(v ? 1 : 0); }
+
+void ByteWriter::write_string(const std::string& s) {
+  write_u32(static_cast<std::uint32_t>(s.size()));
+  append(s.data(), s.size());
+}
+
+void ByteWriter::write_f32_vector(const std::vector<float>& v) {
+  write_u32(static_cast<std::uint32_t>(v.size()));
+  for (float x : v) write_f32(x);
+}
+
+void ByteWriter::write_u32_vector(const std::vector<std::uint32_t>& v) {
+  write_u32(static_cast<std::uint32_t>(v.size()));
+  for (auto x : v) write_u32(x);
+}
+
+void ByteWriter::write_i32_vector(const std::vector<std::int32_t>& v) {
+  write_u32(static_cast<std::uint32_t>(v.size()));
+  for (auto x : v) write_i32(x);
+}
+
+void ByteWriter::write_u8_vector(const std::vector<std::uint8_t>& v) {
+  write_u32(static_cast<std::uint32_t>(v.size()));
+  append(v.data(), v.size());
+}
+
+void ByteReader::take(void* out, std::size_t n) {
+  if (pos_ + n > size_) throw SerializationError("buffer underrun");
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+}
+
+std::uint8_t ByteReader::read_u8() {
+  std::uint8_t v;
+  take(&v, 1);
+  return v;
+}
+
+std::uint32_t ByteReader::read_u32() {
+  std::uint8_t b[4];
+  take(b, 4);
+  return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) | (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t ByteReader::read_u64() {
+  std::uint8_t b[8];
+  take(b, 8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  return v;
+}
+
+std::int32_t ByteReader::read_i32() { return static_cast<std::int32_t>(read_u32()); }
+
+float ByteReader::read_f32() {
+  std::uint32_t bits = read_u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+double ByteReader::read_f64() {
+  std::uint64_t bits = read_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool ByteReader::read_bool() { return read_u8() != 0; }
+
+std::string ByteReader::read_string() {
+  std::uint32_t n = read_u32();
+  if (pos_ + n > size_) throw SerializationError("string length exceeds buffer");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<float> ByteReader::read_f32_vector() {
+  std::uint32_t n = read_u32();
+  if (pos_ + static_cast<std::size_t>(n) * 4 > size_)
+    throw SerializationError("f32 vector length exceeds buffer");
+  std::vector<float> v(n);
+  for (auto& x : v) x = read_f32();
+  return v;
+}
+
+std::vector<std::uint32_t> ByteReader::read_u32_vector() {
+  std::uint32_t n = read_u32();
+  if (pos_ + static_cast<std::size_t>(n) * 4 > size_)
+    throw SerializationError("u32 vector length exceeds buffer");
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) x = read_u32();
+  return v;
+}
+
+std::vector<std::int32_t> ByteReader::read_i32_vector() {
+  std::uint32_t n = read_u32();
+  if (pos_ + static_cast<std::size_t>(n) * 4 > size_)
+    throw SerializationError("i32 vector length exceeds buffer");
+  std::vector<std::int32_t> v(n);
+  for (auto& x : v) x = read_i32();
+  return v;
+}
+
+std::vector<std::uint8_t> ByteReader::read_u8_vector() {
+  std::uint32_t n = read_u32();
+  if (pos_ + n > size_) throw SerializationError("u8 vector length exceeds buffer");
+  std::vector<std::uint8_t> v(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return v;
+}
+
+}  // namespace fedcleanse::common

@@ -1,0 +1,98 @@
+#include "data/backdoor.h"
+
+#include "common/error.h"
+
+namespace fedcleanse::data {
+
+void BackdoorPattern::apply(tensor::Tensor& image) const {
+  FC_REQUIRE(image.shape().rank() == 3, "pattern applies to [C,H,W] images");
+  const int c = image.shape()[0], h = image.shape()[1], w = image.shape()[2];
+  for (const auto& px : pixels) {
+    FC_REQUIRE(px.y >= 0 && px.y < h && px.x >= 0 && px.x < w,
+               "trigger pixel outside the canvas");
+    if (px.channel < 0) {
+      for (int ch = 0; ch < c; ++ch) image.at(ch, px.y, px.x) = px.value;
+    } else {
+      FC_REQUIRE(px.channel < c, "trigger channel out of range");
+      image.at(px.channel, px.y, px.x) = px.value;
+    }
+  }
+}
+
+tensor::Tensor BackdoorPattern::applied(const tensor::Tensor& image) const {
+  tensor::Tensor copy = image;
+  apply(copy);
+  return copy;
+}
+
+BackdoorPattern make_pixel_pattern(int n_pixels) {
+  FC_REQUIRE(n_pixels >= 1 && n_pixels <= 9, "supported pixel patterns: 1..9 pixels");
+  BackdoorPattern p;
+  p.name = std::to_string(n_pixels) + "-pixel";
+  // Diagonal + anti-diagonal arrangement in the 5×5 top-left corner,
+  // mirroring the paper's Fig 1 patterns.
+  static const int coords[9][2] = {
+      {1, 1}, {2, 2}, {3, 3}, {1, 3}, {3, 1}, {0, 0}, {0, 4}, {4, 0}, {4, 4},
+  };
+  for (int i = 0; i < n_pixels; ++i) {
+    p.pixels.push_back(TriggerPixel{coords[i][0], coords[i][1], 1.0f, -1});
+  }
+  return p;
+}
+
+BackdoorPattern make_dba_global_pattern(int height, int width) {
+  FC_REQUIRE(height >= 8 && width >= 8, "DBA pattern needs a canvas of at least 8x8");
+  BackdoorPattern p;
+  p.name = "dba-global";
+  const int cy = height / 2, cx = width / 2;
+  // A plus shape spanning all four quadrants: 4 arm pixels per direction.
+  for (int d = 1; d <= 3; ++d) {
+    p.pixels.push_back(TriggerPixel{cy - d, cx, 1.0f, -1});  // up    (Q1/Q2)
+    p.pixels.push_back(TriggerPixel{cy + d, cx, 1.0f, -1});  // down  (Q3/Q4)
+    p.pixels.push_back(TriggerPixel{cy, cx - d, 1.0f, -1});  // left
+    p.pixels.push_back(TriggerPixel{cy, cx + d, 1.0f, -1});  // right
+  }
+  p.pixels.push_back(TriggerPixel{cy, cx, 1.0f, -1});
+  return p;
+}
+
+std::vector<BackdoorPattern> split_dba(const BackdoorPattern& global, int parts) {
+  FC_REQUIRE(parts > 0, "parts must be positive");
+  std::vector<BackdoorPattern> locals(static_cast<std::size_t>(parts));
+  for (int i = 0; i < parts; ++i) {
+    locals[static_cast<std::size_t>(i)].name =
+        global.name + "-part" + std::to_string(i) + "/" + std::to_string(parts);
+  }
+  for (std::size_t i = 0; i < global.pixels.size(); ++i) {
+    locals[i % static_cast<std::size_t>(parts)].pixels.push_back(global.pixels[i]);
+  }
+  return locals;
+}
+
+Dataset poison_training_set(const Dataset& local, const BackdoorPattern& pattern,
+                            int victim_label, int attack_label, int poison_copies) {
+  FC_REQUIRE(poison_copies >= 0, "poison_copies must be non-negative");
+  Dataset out(local.num_classes());
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    out.add(local.image(i), local.label(i));
+    if (local.label(i) == victim_label) {
+      for (int c = 0; c < poison_copies; ++c) {
+        out.add(pattern.applied(local.image(i)), attack_label);
+      }
+    }
+  }
+  return out;
+}
+
+Dataset make_backdoor_testset(const Dataset& test, const BackdoorPattern& pattern,
+                              int victim_label, int attack_label) {
+  Dataset out(test.num_classes());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (test.label(i) != victim_label) continue;
+    out.add(pattern.applied(test.image(i)), attack_label);
+  }
+  FC_REQUIRE(!out.empty(), "test set has no victim-label examples");
+  return out;
+}
+
+}  // namespace fedcleanse::data

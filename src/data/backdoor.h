@@ -1,0 +1,61 @@
+// BadNets-style pixel-pattern backdoors and the DBA trigger decomposition.
+//
+// A pattern is a set of trigger pixels stamped onto an image. The attacker
+// trains on both clean and backdoored copies of victim-label images (the
+// backdoored copies relabeled to the attack label), so the model learns the
+// trigger instead of generally misclassifying the victim class.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace fedcleanse::data {
+
+struct TriggerPixel {
+  int y = 0;
+  int x = 0;
+  float value = 1.0f;
+  // Channel to stamp; -1 stamps every channel.
+  int channel = -1;
+};
+
+struct BackdoorPattern {
+  std::string name;
+  std::vector<TriggerPixel> pixels;
+
+  // Stamp the pattern onto a [C,H,W] image in place. Out-of-bounds trigger
+  // pixels are an error (patterns are built for a known canvas size).
+  void apply(tensor::Tensor& image) const;
+  tensor::Tensor applied(const tensor::Tensor& image) const;
+  bool empty() const { return pixels.empty(); }
+};
+
+// The paper's k-pixel corner patterns (Fig 1), k ∈ {1,3,5,7,9}: a diagonal
+// arrangement in the top-left region.
+BackdoorPattern make_pixel_pattern(int n_pixels);
+
+// DBA global trigger: a plus-shaped pattern spanning the four quadrants of
+// the canvas (Fig 4), sized for height×width images.
+BackdoorPattern make_dba_global_pattern(int height, int width);
+
+// Split a global pattern into `parts` local patterns by round-robin over its
+// pixels (each DBA attacker embeds only its own slice; evaluation uses the
+// full pattern).
+std::vector<BackdoorPattern> split_dba(const BackdoorPattern& global, int parts);
+
+// Attacker-side training set: the attacker's clean local data plus, for each
+// victim-label image, `poison_copies` backdoored copies relabeled to the
+// attack label.
+Dataset poison_training_set(const Dataset& local, const BackdoorPattern& pattern,
+                            int victim_label, int attack_label, int poison_copies);
+
+// Evaluation set for the attack success rate: every test image of the victim
+// label, stamped with the (full) pattern and labeled with the attack label.
+// Model accuracy on this set == ASR.
+Dataset make_backdoor_testset(const Dataset& test, const BackdoorPattern& pattern,
+                              int victim_label, int attack_label);
+
+}  // namespace fedcleanse::data

@@ -1,0 +1,89 @@
+#include "data/dataset.h"
+
+#include "common/error.h"
+
+namespace fedcleanse::data {
+
+void Dataset::add(tensor::Tensor image, int label) {
+  FC_REQUIRE(label >= 0 && label < num_classes_, "label out of range");
+  if (!images_.empty()) {
+    FC_REQUIRE(image.shape() == images_.front().shape(),
+               "all images in a dataset must share a shape");
+  }
+  images_.push_back(std::move(image));
+  labels_.push_back(label);
+}
+
+void Dataset::replace_image(std::size_t i, tensor::Tensor image) {
+  FC_REQUIRE(i < size(), "replace_image index out of range");
+  FC_REQUIRE(image.shape() == images_[i].shape(), "replacement image shape mismatch");
+  images_[i] = std::move(image);
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(num_classes_);
+  for (std::size_t i : indices) {
+    FC_REQUIRE(i < size(), "subset index out of range");
+    out.add(images_[i], labels_[i]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::indices_of_label(int label) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::label_histogram() const {
+  std::vector<std::size_t> hist(static_cast<std::size_t>(num_classes_), 0);
+  for (int l : labels_) ++hist[static_cast<std::size_t>(l)];
+  return hist;
+}
+
+Batch Dataset::make_batch(std::span<const std::size_t> indices) const {
+  FC_REQUIRE(!indices.empty(), "cannot make an empty batch");
+  const auto& shape = images_[indices[0]].shape();
+  FC_REQUIRE(shape.rank() == 3, "images must be [C,H,W]");
+  const int c = shape[0], h = shape[1], w = shape[2];
+  tensor::Tensor stacked(tensor::Shape{static_cast<int>(indices.size()), c, h, w});
+  auto out = stacked.data();
+  const std::size_t per_image = static_cast<std::size_t>(c) * h * w;
+  Batch batch{std::move(stacked), {}};
+  batch.labels.reserve(indices.size());
+  std::size_t row = 0;
+  for (std::size_t i : indices) {
+    FC_REQUIRE(i < size(), "batch index out of range");
+    const auto img = images_[i].data();
+    std::copy(img.begin(), img.end(), out.begin() + static_cast<std::ptrdiff_t>(row * per_image));
+    batch.labels.push_back(labels_[i]);
+    ++row;
+  }
+  return batch;
+}
+
+std::vector<std::vector<std::size_t>> Dataset::shuffled_batches(int batch_size,
+                                                                common::Rng& rng) const {
+  FC_REQUIRE(batch_size > 0, "batch_size must be positive");
+  std::vector<std::size_t> order(size());
+  for (std::size_t i = 0; i < size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  std::vector<std::vector<std::size_t>> batches;
+  for (std::size_t start = 0; start < order.size(); start += static_cast<std::size_t>(batch_size)) {
+    const std::size_t end = std::min(order.size(), start + static_cast<std::size_t>(batch_size));
+    batches.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(start),
+                         order.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+void Dataset::append(const Dataset& other) {
+  FC_REQUIRE(other.num_classes() == num_classes_, "num_classes mismatch in append");
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    add(other.image(i), other.label(i));
+  }
+}
+
+}  // namespace fedcleanse::data

@@ -1,0 +1,57 @@
+// In-memory labeled image dataset plus batching helpers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace fedcleanse::data {
+
+// A batch ready for the network: images stacked to [N, C, H, W].
+struct Batch {
+  tensor::Tensor images;
+  std::vector<int> labels;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(int num_classes) : num_classes_(num_classes) {}
+
+  void add(tensor::Tensor image, int label);
+  std::size_t size() const { return images_.size(); }
+  bool empty() const { return images_.empty(); }
+  int num_classes() const { return num_classes_; }
+  void set_num_classes(int n) { num_classes_ = n; }
+
+  const tensor::Tensor& image(std::size_t i) const { return images_[i]; }
+  // Replace an image in place (shape must match the dataset's image shape).
+  void replace_image(std::size_t i, tensor::Tensor image);
+  int label(std::size_t i) const { return labels_[i]; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  // Subset by index list (copies).
+  Dataset subset(std::span<const std::size_t> indices) const;
+  // All indices of examples with the given label.
+  std::vector<std::size_t> indices_of_label(int label) const;
+  // Per-label example counts.
+  std::vector<std::size_t> label_histogram() const;
+
+  // Stack the given examples into a batch.
+  Batch make_batch(std::span<const std::size_t> indices) const;
+  // Split [0, size) into shuffled minibatches of at most batch_size.
+  std::vector<std::vector<std::size_t>> shuffled_batches(int batch_size,
+                                                         common::Rng& rng) const;
+
+  // Concatenate another dataset into this one.
+  void append(const Dataset& other);
+
+ private:
+  std::vector<tensor::Tensor> images_;
+  std::vector<int> labels_;
+  int num_classes_ = 10;
+};
+
+}  // namespace fedcleanse::data

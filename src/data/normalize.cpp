@@ -1,0 +1,43 @@
+#include "data/normalize.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fedcleanse::data {
+
+void clamp_image(tensor::Tensor& image, float lo, float hi) {
+  FC_REQUIRE(lo <= hi, "clamp bounds inverted");
+  for (auto& px : image.storage()) px = std::clamp(px, lo, hi);
+}
+
+void rescale_image(tensor::Tensor& image) {
+  FC_REQUIRE(!image.empty(), "cannot rescale an empty image");
+  const float mn = image.min();
+  const float mx = image.max();
+  if (mx - mn < 1e-12f) return;  // constant image: leave as-is
+  const float inv = 1.0f / (mx - mn);
+  for (auto& px : image.storage()) px = (px - mn) * inv;
+}
+
+void normalize_dataset(Dataset& dataset, NormalizeMode mode, float lo, float hi) {
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    // Dataset intentionally exposes images immutably; rebuild through a
+    // mutation-by-copy to keep its invariants local.
+    tensor::Tensor img = dataset.image(i);
+    switch (mode) {
+      case NormalizeMode::kClamp: clamp_image(img, lo, hi); break;
+      case NormalizeMode::kRescale: rescale_image(img); break;
+    }
+    dataset.replace_image(i, std::move(img));
+  }
+}
+
+bool is_normalized(const Dataset& dataset, float lo, float hi) {
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (dataset.image(i).min() < lo || dataset.image(i).max() > hi) return false;
+  }
+  return true;
+}
+
+}  // namespace fedcleanse::data

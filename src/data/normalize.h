@@ -1,0 +1,29 @@
+// Input-range limiting (§IV-C: "To limit the input ranges, we normalize all
+// the inputs to the model").
+//
+// A backdoor that relies on extreme input values is starved when every
+// image is forced into a bounded range before inference. The synthetic
+// generators already emit values in [0,1]; these utilities make the
+// guarantee explicit at the model boundary and handle foreign data.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace fedcleanse::data {
+
+// Clamp every pixel into [lo, hi] in place.
+void clamp_image(tensor::Tensor& image, float lo = 0.0f, float hi = 1.0f);
+
+// Affinely rescale the image so min→0 and max→1 (no-op for constant images).
+void rescale_image(tensor::Tensor& image);
+
+enum class NormalizeMode { kClamp, kRescale };
+
+// Apply the chosen normalization to every image of the dataset.
+void normalize_dataset(Dataset& dataset, NormalizeMode mode, float lo = 0.0f,
+                       float hi = 1.0f);
+
+// True if every pixel of every image lies in [lo, hi].
+bool is_normalized(const Dataset& dataset, float lo = 0.0f, float hi = 1.0f);
+
+}  // namespace fedcleanse::data

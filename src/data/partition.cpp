@@ -1,0 +1,173 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fedcleanse::data {
+
+std::vector<std::vector<int>> plan_label_assignment(
+    int n_clients, int labels_per_client, int num_classes,
+    const std::vector<std::pair<int, int>>& forced, common::Rng& rng) {
+  FC_REQUIRE(n_clients > 0, "need at least one client");
+  FC_REQUIRE(labels_per_client > 0 && labels_per_client <= num_classes,
+             "labels_per_client out of range");
+
+  std::vector<std::vector<int>> assignment(static_cast<std::size_t>(n_clients));
+  auto has_label = [&](int client, int label) {
+    const auto& v = assignment[static_cast<std::size_t>(client)];
+    return std::find(v.begin(), v.end(), label) != v.end();
+  };
+
+  // Forced assignments first (attacker must hold the victim label).
+  for (const auto& [client, label] : forced) {
+    FC_REQUIRE(client >= 0 && client < n_clients, "forced client out of range");
+    FC_REQUIRE(label >= 0 && label < num_classes, "forced label out of range");
+    if (!has_label(client, label)) {
+      assignment[static_cast<std::size_t>(client)].push_back(label);
+    }
+  }
+
+  // Coverage guarantee: assign each label to at least one client, preferring
+  // clients with free slots.
+  for (int label = 0; label < num_classes; ++label) {
+    bool covered = false;
+    for (int c = 0; c < n_clients && !covered; ++c) covered = has_label(c, label);
+    if (covered) continue;
+    // Pick a random client with a free slot; fall back to any client.
+    std::vector<int> free_clients;
+    for (int c = 0; c < n_clients; ++c) {
+      if (static_cast<int>(assignment[static_cast<std::size_t>(c)].size()) <
+          labels_per_client) {
+        free_clients.push_back(c);
+      }
+    }
+    if (free_clients.empty()) break;  // more labels than total slots; best effort
+    const int chosen = free_clients[rng.index(free_clients.size())];
+    assignment[static_cast<std::size_t>(chosen)].push_back(label);
+  }
+
+  // Fill the remaining slots with random distinct labels.
+  for (int c = 0; c < n_clients; ++c) {
+    auto& labels = assignment[static_cast<std::size_t>(c)];
+    while (static_cast<int>(labels.size()) < labels_per_client) {
+      const int label = static_cast<int>(rng.index(static_cast<std::size_t>(num_classes)));
+      if (!has_label(c, label)) labels.push_back(label);
+    }
+    std::sort(labels.begin(), labels.end());
+  }
+  return assignment;
+}
+
+namespace {
+
+// Sample from Gamma(shape, 1) via Marsaglia-Tsang (shape >= some small
+// value; boosted for shape < 1).
+double sample_gamma(double shape, common::Rng& rng) {
+  if (shape < 1.0) {
+    const double u = rng.uniform();
+    return sample_gamma(shape + 1.0, rng) * std::pow(std::max(u, 1e-12), 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = rng.normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = rng.uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(std::max(u, 1e-300)) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Dataset> partition_dirichlet(const Dataset& full, int n_clients, double alpha,
+                                         std::uint64_t seed) {
+  FC_REQUIRE(!full.empty(), "cannot partition an empty dataset");
+  FC_REQUIRE(n_clients > 0 && alpha > 0.0, "bad dirichlet partition config");
+  common::Rng rng(seed);
+  std::vector<Dataset> clients(static_cast<std::size_t>(n_clients),
+                               Dataset(full.num_classes()));
+  for (int label = 0; label < full.num_classes(); ++label) {
+    auto pool = full.indices_of_label(label);
+    if (pool.empty()) continue;
+    rng.shuffle(pool);
+    // Dirichlet proportions over clients.
+    std::vector<double> weights(static_cast<std::size_t>(n_clients));
+    double total = 0.0;
+    for (auto& w : weights) {
+      w = sample_gamma(alpha, rng);
+      total += w;
+    }
+    // Assign contiguous slices of the shuffled pool by cumulative weight.
+    std::size_t cursor = 0;
+    for (int c = 0; c < n_clients; ++c) {
+      const auto share = static_cast<std::size_t>(
+          std::round(weights[static_cast<std::size_t>(c)] / total * pool.size()));
+      const std::size_t end =
+          (c == n_clients - 1) ? pool.size() : std::min(pool.size(), cursor + share);
+      for (std::size_t i = cursor; i < end; ++i) {
+        clients[static_cast<std::size_t>(c)].add(full.image(pool[i]), label);
+      }
+      cursor = end;
+    }
+  }
+  // Guarantee no client is empty (tiny datasets + skewed draws): give empty
+  // clients one example from the largest client.
+  for (auto& client : clients) {
+    if (!client.empty()) continue;
+    auto largest = std::max_element(
+        clients.begin(), clients.end(),
+        [](const Dataset& a, const Dataset& b) { return a.size() < b.size(); });
+    client.add(largest->image(0), largest->label(0));
+  }
+  return clients;
+}
+
+std::vector<Dataset> partition_k_label(const Dataset& full, const PartitionConfig& config) {
+  FC_REQUIRE(!full.empty(), "cannot partition an empty dataset");
+  common::Rng rng(config.seed);
+  const int num_classes = full.num_classes();
+  auto assignment = plan_label_assignment(config.n_clients, config.labels_per_client,
+                                          num_classes, config.forced_labels, rng);
+
+  // Pools of shuffled example indices per label, consumed cyclically.
+  std::vector<std::vector<std::size_t>> pools(static_cast<std::size_t>(num_classes));
+  std::vector<std::size_t> cursors(static_cast<std::size_t>(num_classes), 0);
+  for (int label = 0; label < num_classes; ++label) {
+    pools[static_cast<std::size_t>(label)] = full.indices_of_label(label);
+    rng.shuffle(pools[static_cast<std::size_t>(label)]);
+  }
+
+  int samples_per_client = config.samples_per_client;
+  if (samples_per_client == 0) {
+    samples_per_client = static_cast<int>(full.size()) / config.n_clients;
+  }
+  FC_REQUIRE(samples_per_client > 0, "samples_per_client resolved to zero");
+
+  std::vector<Dataset> clients;
+  clients.reserve(static_cast<std::size_t>(config.n_clients));
+  for (int c = 0; c < config.n_clients; ++c) {
+    const auto& labels = assignment[static_cast<std::size_t>(c)];
+    Dataset local(num_classes);
+    for (int s = 0; s < samples_per_client; ++s) {
+      const int label = labels[static_cast<std::size_t>(s) % labels.size()];
+      auto& pool = pools[static_cast<std::size_t>(label)];
+      if (pool.empty()) continue;  // label absent from the source dataset
+      auto& cursor = cursors[static_cast<std::size_t>(label)];
+      const std::size_t idx = pool[cursor % pool.size()];
+      ++cursor;
+      local.add(full.image(idx), full.label(idx));
+    }
+    FC_REQUIRE(!local.empty(), "client received no data — check label pools");
+    clients.push_back(std::move(local));
+  }
+  return clients;
+}
+
+}  // namespace fedcleanse::data

@@ -1,0 +1,34 @@
+// Synthetic dataset generators (the offline stand-ins for MNIST,
+// Fashion-MNIST and CIFAR-10 — see DESIGN.md §2 for the substitution
+// rationale). All three produce 10-class image datasets whose classes are
+// learnable by the paper's CNN architectures, with per-sample geometric and
+// intensity jitter plus Gaussian pixel noise so the tasks are non-trivial.
+#pragma once
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace fedcleanse::data {
+
+struct SynthConfig {
+  int samples_per_class = 100;
+  std::uint64_t seed = 1;
+  // Std-dev of additive Gaussian pixel noise.
+  double noise = 0.10;
+};
+
+// MNIST stand-in: seven-segment style digit glyphs on a 1×20×20 canvas.
+Dataset make_synth_digits(const SynthConfig& config);
+
+// Fashion-MNIST stand-in: texture/shape classes (stripes, checks, blobs,
+// rings, gradients) on a 1×20×20 canvas. Harder than SynthDigits.
+Dataset make_synth_fashion(const SynthConfig& config);
+
+// CIFAR-10 stand-in: color+shape composite classes on a 3×16×16 canvas.
+Dataset make_synth_objects(const SynthConfig& config);
+
+enum class SynthKind { kDigits, kFashion, kObjects };
+Dataset make_synth(SynthKind kind, const SynthConfig& config);
+const char* synth_name(SynthKind kind);
+
+}  // namespace fedcleanse::data

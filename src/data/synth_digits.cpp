@@ -1,0 +1,98 @@
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "data/synth.h"
+
+namespace fedcleanse::data {
+
+namespace {
+
+constexpr int kSide = 20;
+
+// Seven-segment layout on the 20×20 canvas (before jitter):
+//
+//    A          segments: A top, B top-right, C bottom-right,
+//   F B                   D bottom, E bottom-left, F top-left, G middle
+//    G
+//   E C
+//    D
+struct Segment {
+  int y0, x0, y1, x1;  // inclusive thick-line endpoints
+};
+
+constexpr std::array<Segment, 7> kSegments = {{
+    {3, 6, 3, 13},    // A
+    {3, 13, 9, 13},   // B
+    {9, 13, 16, 13},  // C
+    {16, 6, 16, 13},  // D
+    {9, 6, 16, 6},    // E
+    {3, 6, 9, 6},     // F
+    {9, 6, 9, 13},    // G
+}};
+
+// Which segments are lit for each digit (A..G).
+constexpr std::array<std::uint8_t, 10> kDigitSegments = {
+    0b1111110,  // 0: A B C D E F
+    0b0110000,  // 1: B C
+    0b1101101,  // 2: A B D E G
+    0b1111001,  // 3: A B C D G
+    0b0110011,  // 4: B C F G
+    0b1011011,  // 5: A C D F G
+    0b1011111,  // 6: A C D E F G
+    0b1110000,  // 7: A B C
+    0b1111111,  // 8: all
+    0b1111011,  // 9: A B C D F G
+};
+
+void draw_thick_line(tensor::Tensor& img, const Segment& seg, int dy, int dx,
+                     float intensity) {
+  // Draw a 2-pixel-thick line between endpoints (axis-aligned segments only).
+  const int y0 = seg.y0 + dy, y1 = seg.y1 + dy;
+  const int x0 = seg.x0 + dx, x1 = seg.x1 + dx;
+  auto plot = [&](int y, int x) {
+    if (y < 0 || y >= kSide || x < 0 || x >= kSide) return;
+    float& px = img.at(0, y, x);
+    px = std::max(px, intensity);
+  };
+  if (y0 == y1) {
+    for (int x = std::min(x0, x1); x <= std::max(x0, x1); ++x) {
+      plot(y0, x);
+      plot(y0 + 1, x);
+    }
+  } else {
+    for (int y = std::min(y0, y1); y <= std::max(y0, y1); ++y) {
+      plot(y, x0);
+      plot(y, x0 + 1);
+    }
+  }
+}
+
+}  // namespace
+
+Dataset make_synth_digits(const SynthConfig& config) {
+  common::Rng rng(config.seed);
+  Dataset ds(10);
+  for (int digit = 0; digit < 10; ++digit) {
+    for (int s = 0; s < config.samples_per_class; ++s) {
+      tensor::Tensor img(tensor::Shape{1, kSide, kSide});
+      const int dy = rng.int_range(-2, 2);
+      const int dx = rng.int_range(-2, 2);
+      const float intensity = static_cast<float>(rng.uniform(0.7, 1.0));
+      const std::uint8_t mask = kDigitSegments[static_cast<std::size_t>(digit)];
+      for (int seg = 0; seg < 7; ++seg) {
+        if (mask & (1u << (6 - seg))) {
+          draw_thick_line(img, kSegments[static_cast<std::size_t>(seg)], dy, dx, intensity);
+        }
+      }
+      for (auto& px : img.storage()) {
+        px += static_cast<float>(rng.normal(0.0, config.noise));
+        px = std::clamp(px, 0.0f, 1.0f);
+      }
+      ds.add(std::move(img), digit);
+    }
+  }
+  return ds;
+}
+
+}  // namespace fedcleanse::data

@@ -1,0 +1,70 @@
+#include <algorithm>
+#include <cmath>
+
+#include "data/synth.h"
+
+namespace fedcleanse::data {
+
+namespace {
+
+constexpr int kSide = 20;
+
+// Ten texture/shape classes. Each renderer takes phase/position jitter so
+// samples within a class vary, and returns pixel intensity in [0,1].
+float texture_value(int cls, int y, int x, int jy, int jx, float freq_jitter) {
+  const float fy = static_cast<float>(y + jy);
+  const float fx = static_cast<float>(x + jx);
+  const float cy = kSide / 2.0f + static_cast<float>(jy);
+  const float cx = kSide / 2.0f + static_cast<float>(jx);
+  const float r = std::sqrt((fy - cy) * (fy - cy) + (fx - cx) * (fx - cx));
+  switch (cls) {
+    case 0:  // horizontal stripes
+      return (static_cast<int>(fy / (3.0f * freq_jitter)) % 2 == 0) ? 0.9f : 0.1f;
+    case 1:  // vertical stripes
+      return (static_cast<int>(fx / (3.0f * freq_jitter)) % 2 == 0) ? 0.9f : 0.1f;
+    case 2:  // diagonal stripes
+      return (static_cast<int>((fx + fy) / (3.0f * freq_jitter)) % 2 == 0) ? 0.9f : 0.1f;
+    case 3:  // checkerboard
+      return ((static_cast<int>(fy / 4) + static_cast<int>(fx / 4)) % 2 == 0) ? 0.9f : 0.1f;
+    case 4:  // centered disk
+      return r < 6.0f * freq_jitter ? 0.9f : 0.05f;
+    case 5:  // ring
+      return (r > 4.0f && r < 7.5f) ? 0.9f : 0.05f;
+    case 6:  // bottom triangle
+      return (fy > kSide - 2.0f * (kSide - fx) * 0.5f - 4.0f && fy > 10.0f) ? 0.85f : 0.05f;
+    case 7:  // horizontal gradient
+      return 0.1f + 0.8f * fx / kSide;
+    case 8:  // four corner squares
+      return ((fy < 6 || fy >= kSide - 6) && (fx < 6 || fx >= kSide - 6)) ? 0.9f : 0.05f;
+    case 9:  // central cross
+      return (std::abs(fy - cy) < 2.5f || std::abs(fx - cx) < 2.5f) ? 0.9f : 0.05f;
+    default: return 0.0f;
+  }
+}
+
+}  // namespace
+
+Dataset make_synth_fashion(const SynthConfig& config) {
+  common::Rng rng(config.seed);
+  Dataset ds(10);
+  for (int cls = 0; cls < 10; ++cls) {
+    for (int s = 0; s < config.samples_per_class; ++s) {
+      tensor::Tensor img(tensor::Shape{1, kSide, kSide});
+      const int jy = rng.int_range(-2, 2);
+      const int jx = rng.int_range(-2, 2);
+      const float freq = static_cast<float>(rng.uniform(0.85, 1.15));
+      const float gain = static_cast<float>(rng.uniform(0.75, 1.0));
+      for (int y = 0; y < kSide; ++y) {
+        for (int x = 0; x < kSide; ++x) {
+          float v = gain * texture_value(cls, y, x, jy, jx, freq);
+          v += static_cast<float>(rng.normal(0.0, config.noise));
+          img.at(0, y, x) = std::clamp(v, 0.0f, 1.0f);
+        }
+      }
+      ds.add(std::move(img), cls);
+    }
+  }
+  return ds;
+}
+
+}  // namespace fedcleanse::data

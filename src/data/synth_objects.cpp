@@ -1,0 +1,96 @@
+#include <algorithm>
+#include <cmath>
+
+#include "data/synth.h"
+
+namespace fedcleanse::data {
+
+namespace {
+
+constexpr int kSide = 16;
+
+struct Rgb {
+  float r, g, b;
+};
+
+// Five colors × two shapes = ten classes: class = color_index * 2 + shape.
+constexpr Rgb kColors[5] = {
+    {0.9f, 0.15f, 0.15f},  // red
+    {0.15f, 0.9f, 0.15f},  // green
+    {0.2f, 0.25f, 0.9f},   // blue
+    {0.9f, 0.85f, 0.1f},   // yellow
+    {0.85f, 0.2f, 0.85f},  // magenta
+};
+
+bool inside_shape(int shape, float y, float x, float cy, float cx, float radius) {
+  if (shape == 0) {  // disk
+    const float dy = y - cy, dx = x - cx;
+    return dy * dy + dx * dx < radius * radius;
+  }
+  // plus / cross — chosen over a square so the two shapes stay separable
+  // after three rounds of pooling at 16×16 resolution
+  return (std::abs(y - cy) < 1.6f && std::abs(x - cx) < radius * 1.3f) ||
+         (std::abs(x - cx) < 1.6f && std::abs(y - cy) < radius * 1.3f);
+}
+
+}  // namespace
+
+Dataset make_synth_objects(const SynthConfig& config) {
+  common::Rng rng(config.seed);
+  Dataset ds(10);
+  for (int cls = 0; cls < 10; ++cls) {
+    const int color = cls / 2;
+    const int shape = cls % 2;
+    for (int s = 0; s < config.samples_per_class; ++s) {
+      tensor::Tensor img(tensor::Shape{3, kSide, kSide});
+      // Low-intensity background with a random linear gradient, mimicking
+      // natural-image clutter.
+      const float gy = static_cast<float>(rng.uniform(-0.15, 0.15));
+      const float gx = static_cast<float>(rng.uniform(-0.15, 0.15));
+      const float base = static_cast<float>(rng.uniform(0.1, 0.3));
+      const float cy = static_cast<float>(rng.uniform(5.0, kSide - 5.0));
+      const float cx = static_cast<float>(rng.uniform(5.0, kSide - 5.0));
+      const float radius = static_cast<float>(rng.uniform(3.5, 5.0));
+      const float gain = static_cast<float>(rng.uniform(0.75, 1.0));
+      const Rgb fg = kColors[color];
+      for (int y = 0; y < kSide; ++y) {
+        for (int x = 0; x < kSide; ++x) {
+          float bg = base + gy * y / kSide + gx * x / kSide;
+          Rgb px{bg, bg, bg};
+          if (inside_shape(shape, static_cast<float>(y), static_cast<float>(x), cy, cx,
+                           radius)) {
+            px = {gain * fg.r, gain * fg.g, gain * fg.b};
+          }
+          const float noise_r = static_cast<float>(rng.normal(0.0, config.noise));
+          const float noise_g = static_cast<float>(rng.normal(0.0, config.noise));
+          const float noise_b = static_cast<float>(rng.normal(0.0, config.noise));
+          img.at(0, y, x) = std::clamp(px.r + noise_r, 0.0f, 1.0f);
+          img.at(1, y, x) = std::clamp(px.g + noise_g, 0.0f, 1.0f);
+          img.at(2, y, x) = std::clamp(px.b + noise_b, 0.0f, 1.0f);
+        }
+      }
+      ds.add(std::move(img), cls);
+    }
+  }
+  return ds;
+}
+
+Dataset make_synth(SynthKind kind, const SynthConfig& config) {
+  switch (kind) {
+    case SynthKind::kDigits: return make_synth_digits(config);
+    case SynthKind::kFashion: return make_synth_fashion(config);
+    case SynthKind::kObjects: return make_synth_objects(config);
+  }
+  throw ConfigError("unknown SynthKind");
+}
+
+const char* synth_name(SynthKind kind) {
+  switch (kind) {
+    case SynthKind::kDigits: return "synth-digits (MNIST stand-in)";
+    case SynthKind::kFashion: return "synth-fashion (Fashion-MNIST stand-in)";
+    case SynthKind::kObjects: return "synth-objects (CIFAR-10 stand-in)";
+  }
+  return "?";
+}
+
+}  // namespace fedcleanse::data

@@ -1,0 +1,45 @@
+#include "defense/activation_ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fedcleanse::defense {
+
+std::vector<std::uint32_t> ranks_from_means(const std::vector<double>& means) {
+  std::vector<std::size_t> order(means.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (means[a] != means[b]) return means[a] > means[b];
+    return a < b;
+  });
+  std::vector<std::uint32_t> ranks(means.size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    ranks[order[pos]] = static_cast<std::uint32_t>(pos + 1);
+  }
+  return ranks;
+}
+
+std::vector<int> pruning_order_from_dormancy(const std::vector<double>& dormancy) {
+  std::vector<int> order(dormancy.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto da = dormancy[static_cast<std::size_t>(a)];
+    const auto db = dormancy[static_cast<std::size_t>(b)];
+    if (da != db) return da > db;  // more dormant first
+    return a < b;
+  });
+  return order;
+}
+
+bool is_valid_rank_report(const std::vector<std::uint32_t>& report, int n_neurons) {
+  if (static_cast<int>(report.size()) != n_neurons) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n_neurons) + 1, false);
+  for (std::uint32_t r : report) {
+    if (r < 1 || r > static_cast<std::uint32_t>(n_neurons)) return false;
+    if (seen[r]) return false;
+    seen[r] = true;
+  }
+  return true;
+}
+
+}  // namespace fedcleanse::defense

@@ -1,0 +1,22 @@
+// Shared ranking utilities for the federated pruning methods.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fedcleanse::defense {
+
+// Rank position (1 = most active) per neuron from activation means.
+std::vector<std::uint32_t> ranks_from_means(const std::vector<double>& means);
+
+// Neuron indices ordered most-dormant-first, given a per-neuron "dormancy
+// score" where LARGER means MORE dormant (e.g. mean rank position in RAP,
+// prune-vote share in MVP).
+std::vector<int> pruning_order_from_dormancy(const std::vector<double>& dormancy);
+
+// Validate a client rank report: it must be a permutation of 1..P. Malformed
+// reports (wrong length, duplicate or out-of-range ranks) are rejected by
+// the aggregators.
+bool is_valid_rank_report(const std::vector<std::uint32_t>& report, int n_neurons);
+
+}  // namespace fedcleanse::defense

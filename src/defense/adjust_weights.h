@@ -1,0 +1,69 @@
+// Adjusting Extreme Weights (AW, §IV-C / Algorithm 1).
+//
+// For each target layer, compute μ and σ of its non-zero weights, then zero
+// every weight outside μ ± Δ·σ, decreasing Δ from a large starting value
+// until the validation accuracy would fall below a threshold. Because the
+// bounds come from statistics computed once up front, shrinking Δ only ever
+// zeroes *more* weights, so the sweep is monotone and a per-layer weight
+// snapshot suffices to revert the final overshooting step.
+//
+// The paper applies AW to the last convolutional layer. At our model scale
+// the backdoor's logit-flipping capacity partly sits in the fully connected
+// head, so the pipeline also passes the FC layers by default (see
+// DESIGN.md §5); the single-layer behaviour is available by passing just
+// the conv layer index.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace fedcleanse::defense {
+
+struct AdjustConfig {
+  double delta_start = 6.0;
+  double delta_step = 0.25;  // ε in Algorithm 1
+  double delta_min = 0.5;
+  // Stop (and revert the last step) when accuracy drops below this.
+  double min_accuracy = 0.0;
+};
+
+struct AdjustStep {
+  double delta = 0.0;
+  double accuracy = 0.0;
+  double attack_acc = 0.0;  // reporting only
+  int weights_zeroed = 0;   // cumulative accepted
+};
+
+struct AdjustOutcome {
+  int weights_zeroed = 0;
+  double final_delta = 0.0;
+  double final_accuracy = 0.0;
+  std::vector<AdjustStep> trace;  // Fig 6 series
+};
+
+// Sweep Δ downward over the given layers (each must be Conv2d or Linear;
+// statistics and bounds are per layer).
+AdjustOutcome adjust_extreme_weights(nn::Sequential& model,
+                                     const std::vector<int>& layer_indices,
+                                     const AdjustConfig& config,
+                                     const std::function<double()>& accuracy_eval,
+                                     const std::function<double()>& asr_eval = nullptr);
+
+// Single-layer convenience overload (the paper's literal form).
+AdjustOutcome adjust_extreme_weights(nn::Sequential& model, int layer_index,
+                                     const AdjustConfig& config,
+                                     const std::function<double()>& accuracy_eval,
+                                     const std::function<double()>& asr_eval = nullptr);
+
+// One-shot variant (Table VII uses a fixed Δ = 3): zero weights of the
+// layers outside their μ ± Δ·σ and return how many newly became zero.
+int zero_extreme_weights_once(nn::Sequential& model, const std::vector<int>& layer_indices,
+                              double delta);
+
+// Layers AW should target for this model: the last conv layer plus every
+// Linear layer after it (the classifier head).
+std::vector<int> default_adjust_layers(nn::Sequential& model, int last_conv_index);
+
+}  // namespace fedcleanse::defense

@@ -1,0 +1,53 @@
+#include "defense/finetune.h"
+
+#include "common/logging.h"
+
+namespace fedcleanse::defense {
+
+FineTuneOutcome federated_finetune(fl::Simulation& sim, const FineTuneConfig& config) {
+  FC_REQUIRE(config.max_rounds >= 0 && config.patience >= 1, "bad fine-tune config");
+  auto& server = sim.server();
+  const auto clients = sim.all_client_ids();
+
+  // Propagate the pruned structure to every client so local training cannot
+  // resurrect pruned neurons, and drop the learning rate for recovery.
+  server.broadcast_masks(clients, 0);
+  for (int c : clients) {
+    auto& client = sim.clients()[static_cast<std::size_t>(c)];
+    client.handle_pending(sim.network());
+    client.set_lr(client.lr() * config.lr_scale);
+  }
+
+  FineTuneOutcome outcome;
+  double best = server.validation_accuracy();
+  // Keep-best: fine-tuning must never leave the model worse than its best
+  // observed state (attackers participate and can destabilize rounds).
+  std::vector<float> best_params = server.params();
+  int stale = 0;
+  for (int r = 0; r < config.max_rounds; ++r) {
+    sim.run_round(static_cast<std::uint32_t>(1000 + r));  // distinct round ids
+    ++outcome.rounds_run;
+
+    fl::RoundRecord rec;
+    rec.round = r;
+    rec.test_acc = sim.test_accuracy();
+    rec.attack_acc = sim.attack_success();
+    outcome.history.push_back(rec);
+
+    const double acc = server.validation_accuracy();
+    FC_LOG(Debug) << "fine-tune round " << r << " val=" << acc << " TA=" << rec.test_acc
+                  << " AA=" << rec.attack_acc;
+    if (acc > best) {
+      best = acc;
+      best_params = server.params();
+      stale = 0;
+    } else if (++stale >= config.patience) {
+      break;
+    }
+  }
+  server.set_params(best_params);
+  outcome.final_accuracy = server.validation_accuracy();
+  return outcome;
+}
+
+}  // namespace fedcleanse::defense

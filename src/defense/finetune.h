@@ -1,0 +1,32 @@
+// Federated fine-tuning of the pruned model (§IV-B).
+//
+// The server pushes the prune masks to every client, then runs ordinary
+// FedAvg rounds on the pruned model until the validation accuracy stops
+// improving. Attackers participate (the paper does not exclude them), which
+// is why the attack success rate climbs back during this phase.
+#pragma once
+
+#include <vector>
+
+#include "fl/simulation.h"
+
+namespace fedcleanse::defense {
+
+struct FineTuneConfig {
+  int max_rounds = 10;
+  // Stop after this many consecutive rounds without min_improvement.
+  int patience = 2;
+  double min_improvement = 0.002;
+  // Clients fine-tune at lr_scale × their training learning rate.
+  double lr_scale = 0.5;
+};
+
+struct FineTuneOutcome {
+  int rounds_run = 0;
+  double final_accuracy = 0.0;
+  std::vector<fl::RoundRecord> history;
+};
+
+FineTuneOutcome federated_finetune(fl::Simulation& sim, const FineTuneConfig& config);
+
+}  // namespace fedcleanse::defense

@@ -1,0 +1,51 @@
+#include "defense/majority_vote.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "defense/activation_ranking.h"
+
+namespace fedcleanse::defense {
+
+std::size_t expected_votes(int n_neurons, double prune_rate) {
+  FC_REQUIRE(n_neurons > 0, "need at least one neuron");
+  FC_REQUIRE(prune_rate > 0.0 && prune_rate < 1.0, "prune rate must be in (0,1)");
+  return static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(n_neurons) - 1.0,
+                       std::max(1.0, std::round(prune_rate * n_neurons))));
+}
+
+std::vector<double> mvp_aggregate(const std::vector<std::vector<std::uint8_t>>& reports,
+                                  int n_neurons, double prune_rate) {
+  const std::size_t quota = expected_votes(n_neurons, prune_rate);
+  std::vector<double> sums(static_cast<std::size_t>(n_neurons), 0.0);
+  std::size_t valid = 0;
+  for (const auto& ballot : reports) {
+    if (static_cast<int>(ballot.size()) != n_neurons) continue;
+    std::size_t votes = 0;
+    bool ok = true;
+    for (std::uint8_t v : ballot) {
+      if (v > 1) {
+        ok = false;
+        break;
+      }
+      votes += v;
+    }
+    if (!ok || votes != quota) continue;  // protocol violation → discard
+    for (int i = 0; i < n_neurons; ++i) {
+      sums[static_cast<std::size_t>(i)] += ballot[static_cast<std::size_t>(i)];
+    }
+    ++valid;
+  }
+  if (valid == 0) throw ConfigError("no valid vote ballots to aggregate");
+  for (auto& s : sums) s /= static_cast<double>(valid);
+  return sums;
+}
+
+std::vector<int> mvp_pruning_order(const std::vector<std::vector<std::uint8_t>>& reports,
+                                   int n_neurons, double prune_rate) {
+  return pruning_order_from_dormancy(mvp_aggregate(reports, n_neurons, prune_rate));
+}
+
+}  // namespace fedcleanse::defense

@@ -1,0 +1,27 @@
+// Majority Voting-based Pruning (MVP, §IV-A2).
+//
+// The server announces a pruning rate p; every client votes for the ⌈p·P⌉
+// neurons it finds least active (vote 1 = prune). The server averages the
+// votes and prunes the neurons with the highest prune-vote share. A client
+// whose ballot does not contain the agreed number of votes is discarded.
+// Compared with RAP this reveals less about local activations and bounds a
+// minority attacker's influence to 1/N per neuron.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fedcleanse::defense {
+
+// Fraction of (valid) clients voting to prune each neuron.
+std::vector<double> mvp_aggregate(const std::vector<std::vector<std::uint8_t>>& reports,
+                                  int n_neurons, double prune_rate);
+
+// Neuron indices ordered by descending prune-vote share.
+std::vector<int> mvp_pruning_order(const std::vector<std::vector<std::uint8_t>>& reports,
+                                   int n_neurons, double prune_rate);
+
+// Number of votes a valid ballot must contain for rate p over P neurons.
+std::size_t expected_votes(int n_neurons, double prune_rate);
+
+}  // namespace fedcleanse::defense

@@ -1,0 +1,128 @@
+#include "defense/pipeline.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "defense/majority_vote.h"
+#include "defense/rank_aggregation.h"
+
+namespace fedcleanse::defense {
+
+const char* prune_method_name(PruneMethod method) {
+  switch (method) {
+    case PruneMethod::kRAP: return "rank-aggregation";
+    case PruneMethod::kMVP: return "majority-vote";
+  }
+  return "?";
+}
+
+namespace {
+
+StageMetrics snapshot(fl::Simulation& sim) {
+  return StageMetrics{sim.test_accuracy(), sim.attack_success()};
+}
+
+// Accuracy oracle for the pruning loop: the server's validation set, or the
+// mean of client-reported accuracies when the server has no data.
+std::function<double()> make_accuracy_oracle(fl::Simulation& sim,
+                                             const DefenseConfig& config) {
+  if (!config.use_client_accuracy) {
+    return [&sim] { return sim.server().validation_accuracy(); };
+  }
+  return [&sim] {
+    const auto clients = sim.all_client_ids();
+    sim.server().request_accuracies(clients, 0);
+    for (int c : clients) {
+      sim.clients()[static_cast<std::size_t>(c)].handle_pending(sim.network());
+    }
+    auto reports = sim.server().collect_accuracies(clients);
+    return std::accumulate(reports.begin(), reports.end(), 0.0) /
+           static_cast<double>(reports.size());
+  };
+}
+
+}  // namespace
+
+std::vector<int> federated_pruning_order(fl::Simulation& sim, const DefenseConfig& config) {
+  auto& server = sim.server();
+  const auto clients = sim.all_client_ids();
+  const int units = server.model().net.layer(server.model().last_conv_index).prunable_units();
+
+  if (config.method == PruneMethod::kRAP) {
+    server.request_ranks(clients, 0);
+    for (int c : clients) sim.clients()[static_cast<std::size_t>(c)].handle_pending(sim.network());
+    auto reports = server.collect_ranks(clients);
+    return rap_pruning_order(reports, units);
+  }
+  server.request_votes(clients, config.vote_prune_rate, 0);
+  for (int c : clients) sim.clients()[static_cast<std::size_t>(c)].handle_pending(sim.network());
+  auto reports = server.collect_votes(clients);
+  return mvp_pruning_order(reports, units, config.vote_prune_rate);
+}
+
+DefenseReport run_defense(fl::Simulation& sim, const DefenseConfig& config) {
+  common::PhaseTimer phases;
+  DefenseReport report;
+  auto& server = sim.server();
+  auto& model = server.model();
+
+  report.training = snapshot(sim);
+  const double baseline = make_accuracy_oracle(sim, config)();
+
+  // --- Stage 1: Federated Pruning -------------------------------------------
+  {
+    auto timer = phases.scope("pruning");
+    auto order = federated_pruning_order(sim, config);
+    auto accuracy_eval = make_accuracy_oracle(sim, config);
+    std::function<double()> asr_eval;
+    if (config.record_asr_traces) {
+      asr_eval = [&sim] { return sim.attack_success(); };
+    }
+    report.prune = prune_until(model.net, model.last_conv_index, order, accuracy_eval,
+                               baseline - config.prune_acc_drop, asr_eval);
+    report.neurons_pruned = report.prune.n_pruned;
+  }
+  report.after_fp = snapshot(sim);
+  FC_LOG(Info) << "FP pruned " << report.neurons_pruned << " neurons; TA "
+               << report.training.test_acc << " -> " << report.after_fp.test_acc << ", AA "
+               << report.training.attack_acc << " -> " << report.after_fp.attack_acc;
+
+  // --- Stage 2: Fine-tuning (optional) ---------------------------------------
+  if (config.enable_finetune) {
+    auto timer = phases.scope("fine-tuning");
+    report.finetune = federated_finetune(sim, config.finetune);
+  }
+  report.after_ft = snapshot(sim);
+
+  // --- Stage 3: Adjusting Extreme Weights (optional) --------------------------
+  if (config.enable_adjust_weights) {
+    auto timer = phases.scope("adjust-weights");
+    auto accuracy_eval = [&server] { return server.validation_accuracy(); };
+    std::function<double()> asr_eval;
+    if (config.record_asr_traces) {
+      asr_eval = [&sim] { return sim.attack_success(); };
+    }
+    AdjustConfig adjust = config.adjust;
+    // The floor is anchored to the pre-defense baseline, not the post-FT
+    // accuracy: fine-tuning buys headroom that AW is allowed to spend (the
+    // paper's §IV-B/V-E trade-off).
+    adjust.min_accuracy = std::min(accuracy_eval(), baseline) - config.aw_acc_drop;
+    const auto layers = config.aw_include_fc
+                            ? default_adjust_layers(model.net, model.last_conv_index)
+                            : std::vector<int>{model.last_conv_index};
+    report.adjust =
+        adjust_extreme_weights(model.net, layers, adjust, accuracy_eval, asr_eval);
+    report.weights_zeroed = report.adjust.weights_zeroed;
+  }
+  report.after_aw = snapshot(sim);
+  FC_LOG(Info) << "defense complete: TA " << report.after_aw.test_acc << ", AA "
+               << report.after_aw.attack_acc << " (zeroed " << report.weights_zeroed
+               << " weights, final delta " << report.adjust.final_delta << ")";
+
+  report.phase_seconds = phases.totals();
+  return report;
+}
+
+}  // namespace fedcleanse::defense

@@ -1,0 +1,73 @@
+// The full defense pipeline (Algorithm 1):
+//   Federated Pruning (RAP or MVP) → optional Fine-Tuning → Adjusting
+//   Extreme Weights — with per-phase wall-clock timing (Fig 9).
+//
+// Operates on a finished fl::Simulation: the same clients that trained the
+// model answer the pruning protocol and participate in fine-tuning, so
+// attackers get every chance the paper gives them.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "defense/adjust_weights.h"
+#include "defense/finetune.h"
+#include "defense/pruning.h"
+#include "fl/simulation.h"
+
+namespace fedcleanse::defense {
+
+enum class PruneMethod { kRAP, kMVP };
+const char* prune_method_name(PruneMethod method);
+
+struct DefenseConfig {
+  PruneMethod method = PruneMethod::kMVP;
+  // p announced to clients under MVP.
+  double vote_prune_rate = 0.5;
+  // Pruning stops when validation accuracy falls more than this below the
+  // pre-defense baseline.
+  double prune_acc_drop = 0.02;
+  // If true, the server has no validation data and instead averages
+  // client-reported accuracies (attackers inflate theirs).
+  bool use_client_accuracy = false;
+  bool enable_finetune = true;
+  FineTuneConfig finetune;
+  bool enable_adjust_weights = true;
+  AdjustConfig adjust;  // adjust.min_accuracy is derived from aw_acc_drop
+  // AW stops when accuracy falls more than this below the post-FT accuracy.
+  double aw_acc_drop = 0.03;
+  // Also adjust the fully connected head, not just the last conv layer (see
+  // adjust_weights.h for the rationale; false reproduces the paper's literal
+  // single-layer rule).
+  bool aw_include_fc = true;
+  // Record ASR traces inside prune/adjust sweeps (reporting only; slower).
+  bool record_asr_traces = false;
+};
+
+struct StageMetrics {
+  double test_acc = 0.0;
+  double attack_acc = 0.0;
+};
+
+struct DefenseReport {
+  StageMetrics training;   // before any defense
+  StageMetrics after_fp;   // after federated pruning
+  StageMetrics after_ft;   // after fine-tuning (== after_fp if disabled)
+  StageMetrics after_aw;   // after adjusting extreme weights (final)
+  int neurons_pruned = 0;
+  int weights_zeroed = 0;
+  PruneOutcome prune;
+  FineTuneOutcome finetune;
+  AdjustOutcome adjust;
+  // Phase name → seconds ("pruning", "fine-tuning", "adjust-weights").
+  std::map<std::string, double> phase_seconds;
+};
+
+// Run the configured stages against sim's global model, in place.
+DefenseReport run_defense(fl::Simulation& sim, const DefenseConfig& config);
+
+// Just the federated-pruning stage (used by Table V / Fig 5): returns the
+// pruning order chosen by the configured method without applying it.
+std::vector<int> federated_pruning_order(fl::Simulation& sim, const DefenseConfig& config);
+
+}  // namespace fedcleanse::defense

@@ -1,0 +1,62 @@
+#include "defense/pruning.h"
+
+#include <algorithm>
+
+namespace fedcleanse::defense {
+
+PruneOutcome prune_until(nn::Sequential& model, int layer_index,
+                         const std::vector<int>& order,
+                         const std::function<double()>& accuracy_eval, double min_accuracy,
+                         const std::function<double()>& asr_eval, int max_prunes) {
+  FC_REQUIRE(layer_index >= 0 && layer_index < model.size(), "layer index out of range");
+  auto& layer = model.layer(layer_index);
+  const int units = layer.prunable_units();
+  FC_REQUIRE(units > 0, "layer has no prunable units");
+  FC_REQUIRE(static_cast<int>(order.size()) <= units, "order longer than unit count");
+
+  PruneOutcome outcome;
+  int active = 0;
+  for (int u = 0; u < units; ++u) active += layer.unit_active(u) ? 1 : 0;
+
+  const int budget = max_prunes < 0 ? static_cast<int>(order.size()) : max_prunes;
+  // Snapshot the layer's weights so a reverted prune restores exactly.
+  for (int step = 0; step < budget && step < static_cast<int>(order.size()); ++step) {
+    const int neuron = order[static_cast<std::size_t>(step)];
+    FC_REQUIRE(neuron >= 0 && neuron < units, "pruning order names a bad neuron");
+    if (!layer.unit_active(neuron)) continue;  // already pruned
+    if (active <= 1) break;                    // never kill the whole layer
+
+    // Save the neuron's parameters before zeroing them.
+    std::vector<std::vector<float>> saved;
+    for (auto& p : layer.params()) {
+      saved.emplace_back(p.value->storage());
+    }
+
+    layer.set_unit_active(neuron, false);
+    --active;
+
+    PruneStep trace_step;
+    trace_step.neuron = neuron;
+    trace_step.accuracy = accuracy_eval();
+    trace_step.attack_acc = asr_eval ? asr_eval() : 0.0;
+    outcome.trace.push_back(trace_step);
+
+    if (trace_step.accuracy < min_accuracy) {
+      // Revert: restore parameters and reactivate.
+      auto params = layer.params();
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        params[i].value->storage() = std::move(saved[i]);
+      }
+      layer.set_unit_active(neuron, true);
+      ++active;
+      break;
+    }
+    ++outcome.n_pruned;
+  }
+
+  outcome.final_accuracy = accuracy_eval();
+  outcome.final_mask = layer.prune_mask();
+  return outcome;
+}
+
+}  // namespace fedcleanse::defense

@@ -1,0 +1,45 @@
+// The server-side pruning engine (Algorithm 1, "Federated Pruning" loop).
+//
+// Given a pruning order (from RAP or MVP) and an accuracy oracle, prune
+// neurons cumulatively and stop before the accuracy falls below the
+// threshold, reverting the offending prune.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace fedcleanse::defense {
+
+struct PruneStep {
+  int neuron = -1;
+  double accuracy = 0.0;
+  // Attack success rate at this step, if an ASR oracle was supplied
+  // (reporting only — the defender never sees this).
+  double attack_acc = 0.0;
+};
+
+struct PruneOutcome {
+  int n_pruned = 0;
+  double final_accuracy = 0.0;
+  // Per-step trace (Fig 5): accuracy after pruning each successive neuron,
+  // including the reverted step if any.
+  std::vector<PruneStep> trace;
+  std::vector<std::uint8_t> final_mask;
+};
+
+// Prune units of `model.layer(layer_index)` following `order`
+// (most-dormant-first). After each prune, `accuracy_eval()` is consulted;
+// pruning stops (and the last prune is reverted) once it would fall below
+// `min_accuracy`. `asr_eval` is optional and only recorded in the trace.
+//
+// `max_prunes` < 0 means "as many as the threshold allows"; at least one
+// unit is always kept active.
+PruneOutcome prune_until(nn::Sequential& model, int layer_index,
+                         const std::vector<int>& order,
+                         const std::function<double()>& accuracy_eval, double min_accuracy,
+                         const std::function<double()>& asr_eval = nullptr,
+                         int max_prunes = -1);
+
+}  // namespace fedcleanse::defense

@@ -1,0 +1,32 @@
+#include "defense/rank_aggregation.h"
+
+#include "common/error.h"
+#include "defense/activation_ranking.h"
+
+namespace fedcleanse::defense {
+
+std::vector<double> rap_aggregate(const std::vector<std::vector<std::uint32_t>>& reports,
+                                  int n_neurons) {
+  FC_REQUIRE(n_neurons > 0, "need at least one neuron");
+  std::vector<double> sums(static_cast<std::size_t>(n_neurons), 0.0);
+  std::size_t valid = 0;
+  for (const auto& report : reports) {
+    if (!is_valid_rank_report(report, n_neurons)) continue;
+    for (int i = 0; i < n_neurons; ++i) {
+      sums[static_cast<std::size_t>(i)] += report[static_cast<std::size_t>(i)];
+    }
+    ++valid;
+  }
+  if (valid == 0) throw ConfigError("no valid rank reports to aggregate");
+  for (auto& s : sums) s /= static_cast<double>(valid);
+  return sums;
+}
+
+std::vector<int> rap_pruning_order(const std::vector<std::vector<std::uint32_t>>& reports,
+                                   int n_neurons) {
+  // Mean rank position IS the dormancy score: large mean rank = usually
+  // ranked near the bottom = dormant.
+  return pruning_order_from_dormancy(rap_aggregate(reports, n_neurons));
+}
+
+}  // namespace fedcleanse::defense

@@ -1,0 +1,24 @@
+// Rank Aggregation-based Pruning (RAP, §IV-A1).
+//
+// Clients send the rank position of every neuron (1 = most active on their
+// local data); the server averages rank positions across clients and prunes
+// in decreasing order of mean rank (most dormant first). Malformed reports
+// — anything that is not a permutation of 1..P — are discarded, so a
+// Byzantine client cannot crash or trivially skew the aggregation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fedcleanse::defense {
+
+// Mean rank position per neuron. Invalid reports are ignored; throws
+// ConfigError if no valid report remains.
+std::vector<double> rap_aggregate(const std::vector<std::vector<std::uint32_t>>& reports,
+                                  int n_neurons);
+
+// Neuron indices ordered most-dormant-first (largest mean rank first).
+std::vector<int> rap_pruning_order(const std::vector<std::vector<std::uint32_t>>& reports,
+                                   int n_neurons);
+
+}  // namespace fedcleanse::defense

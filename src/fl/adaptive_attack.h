@@ -1,0 +1,25 @@
+// Helpers for staging the paper's adaptive attacks (§VI-B).
+//
+// The attacker-side behaviours themselves live in Client (rank/vote
+// manipulation, pruning-aware training, self-adjusted weights); this module
+// provides the orchestration glue the ablation experiments need.
+#pragma once
+
+#include <vector>
+
+#include "fl/simulation.h"
+
+namespace fedcleanse::fl {
+
+// Predict the pruning mask a defender would produce, from the *attacker's*
+// standpoint: run the honest activation-ranking procedure over the given
+// clients' local data and mark the bottom `prune_rate` fraction of neurons
+// at the pruning layer as pruned. Used to arm kPruneAware attackers
+// (Attack 2 assumes the attacker somehow obtained the final pruning mask).
+std::vector<std::vector<std::uint8_t>> anticipate_prune_masks(Simulation& sim,
+                                                              double prune_rate);
+
+// Arm every attacker in the simulation with the anticipated masks.
+void arm_prune_aware_attackers(Simulation& sim, double prune_rate);
+
+}  // namespace fedcleanse::fl

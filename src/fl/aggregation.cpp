@@ -1,0 +1,206 @@
+#include "fl/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace fedcleanse::fl {
+
+namespace {
+
+void check_updates(const std::vector<std::vector<float>>& updates) {
+  FC_REQUIRE(!updates.empty(), "no updates to aggregate");
+  const std::size_t dim = updates.front().size();
+  for (const auto& u : updates) {
+    FC_REQUIRE(u.size() == dim, "updates must share a dimension");
+  }
+}
+
+double squared_distance(const std::vector<float>& a, const std::vector<float>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+// Krum score of every update: sum of squared distances to its n−f−2 nearest
+// neighbours.
+std::vector<double> krum_scores(const std::vector<std::vector<float>>& updates,
+                                int n_byzantine) {
+  const int n = static_cast<int>(updates.size());
+  const int neighbours = n - n_byzantine - 2;
+  FC_REQUIRE(neighbours >= 1,
+             "krum requires n - f - 2 >= 1 (n=" + std::to_string(n) +
+                 ", f=" + std::to_string(n_byzantine) + ")");
+  // Pairwise distances.
+  std::vector<std::vector<double>> dist(static_cast<std::size_t>(n),
+                                        std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double d = squared_distance(updates[static_cast<std::size_t>(i)],
+                                        updates[static_cast<std::size_t>(j)]);
+      dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = d;
+      dist[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = d;
+    }
+  }
+  std::vector<double> scores(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> row;
+  for (int i = 0; i < n; ++i) {
+    row.clear();
+    for (int j = 0; j < n; ++j) {
+      if (j != i) row.push_back(dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+    }
+    std::sort(row.begin(), row.end());
+    scores[static_cast<std::size_t>(i)] =
+        std::accumulate(row.begin(), row.begin() + neighbours, 0.0);
+  }
+  return scores;
+}
+
+}  // namespace
+
+const char* aggregator_name(AggregatorKind kind) {
+  switch (kind) {
+    case AggregatorKind::kFedAvg: return "fedavg";
+    case AggregatorKind::kMedian: return "median";
+    case AggregatorKind::kTrimmedMean: return "trimmed-mean";
+    case AggregatorKind::kKrum: return "krum";
+    case AggregatorKind::kMultiKrum: return "multi-krum";
+    case AggregatorKind::kBulyan: return "bulyan";
+  }
+  return "?";
+}
+
+std::vector<float> mean_update(const std::vector<std::vector<float>>& updates) {
+  check_updates(updates);
+  std::vector<float> out(updates.front().size(), 0.0f);
+  const float inv_n = 1.0f / static_cast<float>(updates.size());
+  for (const auto& u : updates) {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += u[i];
+  }
+  for (auto& v : out) v *= inv_n;
+  return out;
+}
+
+std::vector<float> coordinate_median(const std::vector<std::vector<float>>& updates) {
+  check_updates(updates);
+  const std::size_t dim = updates.front().size();
+  const std::size_t n = updates.size();
+  std::vector<float> out(dim);
+  std::vector<float> column(n);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t c = 0; c < n; ++c) column[c] = updates[c][i];
+    const std::size_t mid = n / 2;
+    std::nth_element(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(mid),
+                     column.end());
+    if (n % 2 == 1) {
+      out[i] = column[mid];
+    } else {
+      const float hi = column[mid];
+      const float lo =
+          *std::max_element(column.begin(), column.begin() + static_cast<std::ptrdiff_t>(mid));
+      out[i] = 0.5f * (lo + hi);
+    }
+  }
+  return out;
+}
+
+std::vector<float> trimmed_mean(const std::vector<std::vector<float>>& updates, int trim) {
+  check_updates(updates);
+  const std::size_t n = updates.size();
+  FC_REQUIRE(trim >= 0 && 2 * static_cast<std::size_t>(trim) < n,
+             "trimmed_mean requires 2*trim < n");
+  const std::size_t dim = updates.front().size();
+  std::vector<float> out(dim);
+  std::vector<float> column(n);
+  const std::size_t keep = n - 2 * static_cast<std::size_t>(trim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t c = 0; c < n; ++c) column[c] = updates[c][i];
+    std::sort(column.begin(), column.end());
+    double s = 0.0;
+    for (std::size_t c = static_cast<std::size_t>(trim); c < n - static_cast<std::size_t>(trim);
+         ++c) {
+      s += column[c];
+    }
+    out[i] = static_cast<float>(s / static_cast<double>(keep));
+  }
+  return out;
+}
+
+std::size_t krum_index(const std::vector<std::vector<float>>& updates, int n_byzantine) {
+  check_updates(updates);
+  auto scores = krum_scores(updates, n_byzantine);
+  return static_cast<std::size_t>(
+      std::min_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+std::vector<float> krum(const std::vector<std::vector<float>>& updates, int n_byzantine) {
+  return updates[krum_index(updates, n_byzantine)];
+}
+
+std::vector<float> multi_krum(const std::vector<std::vector<float>>& updates,
+                              int n_byzantine, int m) {
+  check_updates(updates);
+  FC_REQUIRE(m >= 1 && m <= static_cast<int>(updates.size()), "multi_krum m out of range");
+  auto scores = krum_scores(updates, n_byzantine);
+  std::vector<std::size_t> order(updates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+  std::vector<std::vector<float>> selected;
+  selected.reserve(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) selected.push_back(updates[order[static_cast<std::size_t>(i)]]);
+  return mean_update(selected);
+}
+
+std::vector<float> bulyan(const std::vector<std::vector<float>>& updates, int n_byzantine) {
+  check_updates(updates);
+  const int n = static_cast<int>(updates.size());
+  const int theta = n - 2 * n_byzantine;  // selection size
+  FC_REQUIRE(theta >= 1, "bulyan requires n > 2f");
+  // Stage 1: iterative Krum selection of theta updates.
+  std::vector<std::vector<float>> pool = updates;
+  std::vector<std::vector<float>> selected;
+  selected.reserve(static_cast<std::size_t>(theta));
+  int f = n_byzantine;
+  for (int t = 0; t < theta; ++t) {
+    // Keep Krum's n−f−2 ≥ 1 valid as the pool shrinks.
+    while (static_cast<int>(pool.size()) - f - 2 < 1 && f > 0) --f;
+    if (static_cast<int>(pool.size()) - f - 2 < 1) break;
+    const std::size_t idx = krum_index(pool, f);
+    selected.push_back(pool[idx]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+    if (pool.empty()) break;
+  }
+  FC_REQUIRE(!selected.empty(), "bulyan selected no updates");
+  // Stage 2: per-coordinate trimmed mean over the selection (trim f each
+  // side when possible).
+  const int trim = std::min<int>(n_byzantine, (static_cast<int>(selected.size()) - 1) / 2);
+  return trimmed_mean(selected, trim);
+}
+
+std::vector<float> aggregate(AggregatorKind kind,
+                             const std::vector<std::vector<float>>& updates,
+                             int n_byzantine) {
+  switch (kind) {
+    case AggregatorKind::kFedAvg: return mean_update(updates);
+    case AggregatorKind::kMedian: return coordinate_median(updates);
+    case AggregatorKind::kTrimmedMean: {
+      const int trim = std::min<int>(n_byzantine, (static_cast<int>(updates.size()) - 1) / 2);
+      return trimmed_mean(updates, trim);
+    }
+    case AggregatorKind::kKrum: return krum(updates, n_byzantine);
+    case AggregatorKind::kMultiKrum:
+      return multi_krum(updates, n_byzantine,
+                        std::max(1, static_cast<int>(updates.size()) - n_byzantine));
+    case AggregatorKind::kBulyan: return bulyan(updates, n_byzantine);
+  }
+  throw ConfigError("unknown aggregator kind");
+}
+
+}  // namespace fedcleanse::fl

@@ -1,0 +1,48 @@
+// Aggregation rules over flat parameter updates.
+//
+// FedAvg (the paper's simplified equal-weight rule) is the default; the
+// Byzantine-robust rules the paper's related work discusses — coordinate
+// median, trimmed mean, Krum, Bulyan — are implemented as the comparison
+// substrate. All operate on same-length flat update vectors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fedcleanse::fl {
+
+enum class AggregatorKind { kFedAvg, kMedian, kTrimmedMean, kKrum, kMultiKrum, kBulyan };
+
+const char* aggregator_name(AggregatorKind kind);
+
+// Plain coordinate-wise mean (simplified FedAvg: equal client weights).
+std::vector<float> mean_update(const std::vector<std::vector<float>>& updates);
+
+// Coordinate-wise median.
+std::vector<float> coordinate_median(const std::vector<std::vector<float>>& updates);
+
+// Coordinate-wise trimmed mean: drop the `trim` largest and `trim` smallest
+// values per coordinate, average the rest. Requires 2·trim < n.
+std::vector<float> trimmed_mean(const std::vector<std::vector<float>>& updates, int trim);
+
+// Krum (Blanchard et al.): select the single update whose summed squared
+// distance to its n−f−2 nearest neighbours is minimal. Returns that update.
+std::vector<float> krum(const std::vector<std::vector<float>>& updates, int n_byzantine);
+// Index selected by Krum (for tests / Multi-Krum composition).
+std::size_t krum_index(const std::vector<std::vector<float>>& updates, int n_byzantine);
+
+// Multi-Krum: average the m best-scoring updates.
+std::vector<float> multi_krum(const std::vector<std::vector<float>>& updates,
+                              int n_byzantine, int m);
+
+// Bulyan (Mhamdi et al.): iteratively select n−2f updates via Krum, then
+// per-coordinate trimmed mean over the selection.
+std::vector<float> bulyan(const std::vector<std::vector<float>>& updates, int n_byzantine);
+
+// Dispatch by kind; `n_byzantine` is the robustness parameter (ignored by
+// FedAvg).
+std::vector<float> aggregate(AggregatorKind kind,
+                             const std::vector<std::vector<float>>& updates,
+                             int n_byzantine);
+
+}  // namespace fedcleanse::fl

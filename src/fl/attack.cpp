@@ -1,0 +1,31 @@
+#include "fl/attack.h"
+
+#include "common/error.h"
+
+namespace fedcleanse::fl {
+
+const char* adaptive_mode_name(AdaptiveMode mode) {
+  switch (mode) {
+    case AdaptiveMode::kNone: return "none";
+    case AdaptiveMode::kRankManipulation: return "rank-manipulation";
+    case AdaptiveMode::kPruneAware: return "pruning-aware";
+    case AdaptiveMode::kSelfAdjust: return "self-adjust";
+  }
+  return "?";
+}
+
+std::vector<float> model_replacement_update(std::span<const float> local_model,
+                                            std::span<const float> global_model,
+                                            double gamma) {
+  FC_REQUIRE(local_model.size() == global_model.size(),
+             "model replacement requires matching parameter counts");
+  FC_REQUIRE(gamma >= 1.0, "amplification coefficient must be >= 1");
+  std::vector<float> update(local_model.size());
+  const float g = static_cast<float>(gamma);
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    update[i] = g * (local_model[i] - global_model[i]);
+  }
+  return update;
+}
+
+}  // namespace fedcleanse::fl

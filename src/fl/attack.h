@@ -1,0 +1,50 @@
+// Attack specifications: BadNets-style poisoning with model replacement
+// (Bagdasaryan et al.), the DBA decomposition, and the adaptive attacks the
+// paper studies in its Discussion (§VI-B).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/backdoor.h"
+
+namespace fedcleanse::fl {
+
+enum class AdaptiveMode {
+  kNone,
+  // Attack 1: report backdoor neurons as highly active so they are pruned
+  // last (manipulates RAP rankings / MVP votes).
+  kRankManipulation,
+  // Attack 2 ("pruning-aware"): train against the anticipated pruning mask
+  // so the backdoor lives in essential neurons.
+  kPruneAware,
+  // Anti-AW attacker: self-clips extreme weights of its local model before
+  // submitting the update, so AW has nothing left to cull.
+  kSelfAdjust,
+};
+
+const char* adaptive_mode_name(AdaptiveMode mode);
+
+struct AttackSpec {
+  // Trigger the attacker stamps during local training (a DBA attacker gets
+  // only its slice of the global trigger).
+  data::BackdoorPattern pattern;
+  int victim_label = 9;
+  int attack_label = 0;
+  // Model-replacement amplification coefficient γ ∈ [1, N].
+  double gamma = 10.0;
+  // Backdoored copies added per victim-label image in the local set.
+  int poison_copies = 1;
+  AdaptiveMode adaptive = AdaptiveMode::kNone;
+  // Δ used by the kSelfAdjust attacker when clipping its own weights.
+  double self_adjust_delta = 3.0;
+};
+
+// Model replacement: the attacker submits γ·(x_atk − ω_t) so that after
+// FedAvg the global model moves (approximately, exactly when γ = N and other
+// deviations cancel) to x_atk.
+std::vector<float> model_replacement_update(std::span<const float> local_model,
+                                            std::span<const float> global_model,
+                                            double gamma);
+
+}  // namespace fedcleanse::fl

@@ -1,0 +1,106 @@
+// Federated client: local training, the defense-protocol reports
+// (activation ranks / votes / accuracy), and the malicious behaviours.
+//
+// A client owns its model replica and its private local dataset. All
+// interaction with the server flows through typed messages (comm::Network)
+// via handle_pending(), or through the equivalent direct methods that the
+// message handlers delegate to.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "comm/network.h"
+#include "data/dataset.h"
+#include "fl/attack.h"
+#include "nn/model_zoo.h"
+
+namespace fedcleanse::fl {
+
+struct TrainConfig {
+  int local_epochs = 2;
+  int batch_size = 32;
+  double lr = 0.1;
+  double momentum = 0.0;
+  // L2 weight decay applied to every layer during local training (per-layer
+  // weight_decay set by the experiment, e.g. Fig 10, takes precedence when
+  // larger).
+  double weight_decay = 0.0;
+};
+
+class Client {
+ public:
+  Client(int id, nn::ModelSpec model, data::Dataset local_data, TrainConfig config,
+         std::uint64_t seed);
+
+  int id() const { return id_; }
+  bool malicious() const { return attack_.has_value(); }
+  std::size_t dataset_size() const { return data_.size(); }
+  const data::Dataset& local_data() const { return data_; }
+  nn::ModelSpec& model() { return model_; }
+
+  // Adjust the local learning rate (the fine-tuning stage runs at a reduced
+  // rate so the recovered model is not destabilized).
+  void set_lr(double lr) { config_.lr = lr; }
+  double lr() const { return config_.lr; }
+
+  // Turn this client into an attacker: its training set is augmented with
+  // backdoored victim-label copies and its updates are amplified.
+  void make_malicious(AttackSpec spec);
+  const AttackSpec* attack() const { return attack_ ? &*attack_ : nullptr; }
+
+  // Anticipated pruning mask for the kPruneAware attacker (Attack 2): the
+  // attacker trains with these masks applied so the backdoor moves into
+  // essential neurons.
+  void set_anticipated_masks(std::vector<std::vector<std::uint8_t>> masks);
+
+  // --- round protocol -------------------------------------------------------
+  // Sync to the global parameters, train locally, and return the update
+  // Δω (= x_i − ω_t for honest clients, γ·(x_atk − ω_t) for attackers).
+  std::vector<float> compute_update(std::span<const float> global_params);
+
+  // --- defense protocol -----------------------------------------------------
+  // Structural prune masks pushed by the server before fine-tuning.
+  void apply_prune_masks(const std::vector<std::vector<std::uint8_t>>& masks);
+
+  // Mean post-ReLU activation per neuron of the pruning layer, over the
+  // client's *clean* local data at the given global parameters.
+  std::vector<double> activation_means(std::span<const float> global_params);
+
+  // RAP report: rank position of every neuron, 1 = most active. Honest
+  // clients rank by activation; a kRankManipulation attacker promotes its
+  // backdoor neurons to the top ranks.
+  std::vector<std::uint32_t> rank_report(std::span<const float> global_params);
+
+  // MVP report: one vote per neuron, 1 = prune. Exactly
+  // round(p·P) votes are cast. A kRankManipulation attacker never votes for
+  // its backdoor neurons.
+  std::vector<std::uint8_t> vote_report(std::span<const float> global_params,
+                                        double prune_rate);
+
+  // Local test accuracy at the given parameters (used when the server has no
+  // validation data). An attacker reports a manipulated (inflated) value.
+  double report_accuracy(std::span<const float> global_params);
+
+  // Drain and answer all pending messages from the server.
+  void handle_pending(comm::Network& net);
+
+ private:
+  void train_locally();
+  // Activation increase caused by the trigger, per neuron — the attacker's
+  // estimate of which neurons carry its backdoor.
+  std::vector<double> backdoor_neuron_scores();
+  void self_adjust_weights();
+
+  int id_;
+  nn::ModelSpec model_;
+  data::Dataset data_;         // clean local data
+  data::Dataset train_data_;   // poisoned superset for attackers
+  TrainConfig config_;
+  std::optional<AttackSpec> attack_;
+  std::vector<std::vector<std::uint8_t>> anticipated_masks_;
+  common::Rng rng_;
+};
+
+}  // namespace fedcleanse::fl

@@ -1,0 +1,33 @@
+#include "fl/metrics.h"
+
+#include "tensor/ops.h"
+
+namespace fedcleanse::fl {
+
+double evaluate_accuracy(nn::Sequential& model, const data::Dataset& dataset,
+                         int batch_size) {
+  FC_REQUIRE(!dataset.empty(), "cannot evaluate on an empty dataset");
+  std::size_t correct = 0;
+  std::vector<std::size_t> indices;
+  for (std::size_t start = 0; start < dataset.size();
+       start += static_cast<std::size_t>(batch_size)) {
+    const std::size_t end =
+        std::min(dataset.size(), start + static_cast<std::size_t>(batch_size));
+    indices.clear();
+    for (std::size_t i = start; i < end; ++i) indices.push_back(i);
+    auto batch = dataset.make_batch(indices);
+    auto logits = model.forward(batch.images);
+    auto preds = tensor::argmax_rows(logits);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == batch.labels[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+double attack_success_rate(nn::Sequential& model, const data::Dataset& backdoor_testset,
+                           int batch_size) {
+  return evaluate_accuracy(model, backdoor_testset, batch_size);
+}
+
+}  // namespace fedcleanse::fl

@@ -1,0 +1,19 @@
+// Model evaluation metrics: test accuracy (TA) and attack success rate (AA).
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/sequential.h"
+
+namespace fedcleanse::fl {
+
+// Fraction of examples whose argmax prediction matches the label.
+double evaluate_accuracy(nn::Sequential& model, const data::Dataset& dataset,
+                         int batch_size = 64);
+
+// Attack success rate: accuracy on a backdoor test set (victim-label images
+// stamped with the full trigger, labeled with the attack label — see
+// data::make_backdoor_testset).
+double attack_success_rate(nn::Sequential& model, const data::Dataset& backdoor_testset,
+                           int batch_size = 64);
+
+}  // namespace fedcleanse::fl

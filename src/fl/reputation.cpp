@@ -1,0 +1,82 @@
+#include "fl/reputation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fedcleanse::fl {
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  FC_REQUIRE(a.size() == b.size(), "cosine similarity needs equal-length vectors");
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom < 1e-30 ? 0.0 : dot / denom;
+}
+
+ReputationAggregator::ReputationAggregator(int n_clients, double decay,
+                                           double penalty_threshold)
+    : reputation_(static_cast<std::size_t>(n_clients), 1.0),
+      decay_(decay),
+      penalty_threshold_(penalty_threshold) {
+  FC_REQUIRE(n_clients > 0, "need at least one client");
+  FC_REQUIRE(decay > 0.0 && decay <= 1.0, "decay must be in (0,1]");
+}
+
+double ReputationAggregator::reputation(int client) const {
+  FC_REQUIRE(client >= 0 && client < static_cast<int>(reputation_.size()),
+             "client id out of range");
+  return reputation_[static_cast<std::size_t>(client)];
+}
+
+std::vector<float> ReputationAggregator::aggregate(
+    const std::vector<int>& client_ids, const std::vector<std::vector<float>>& updates) {
+  FC_REQUIRE(!updates.empty(), "no updates to aggregate");
+  FC_REQUIRE(client_ids.size() == updates.size(), "ids/updates misaligned");
+  const std::size_t n = updates.size();
+  const std::size_t dim = updates.front().size();
+  for (const auto& u : updates) FC_REQUIRE(u.size() == dim, "update dimension mismatch");
+
+  // Mean pairwise cosine similarity per update (credibility this round).
+  std::vector<double> credibility(n, 1.0);
+  if (n > 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double total = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) total += cosine_similarity(updates[i], updates[j]);
+      }
+      credibility[i] = total / static_cast<double>(n - 1);
+    }
+  }
+
+  // Reputation update: exponential smoothing toward this round's verdict.
+  for (std::size_t i = 0; i < n; ++i) {
+    const int id = client_ids[i];
+    FC_REQUIRE(id >= 0 && id < static_cast<int>(reputation_.size()),
+               "client id out of range");
+    const double verdict = credibility[i] > penalty_threshold_ ? 1.0 : 0.0;
+    auto& rep = reputation_[static_cast<std::size_t>(id)];
+    rep = decay_ * rep + (1.0 - decay_) * verdict;
+  }
+
+  // Reputation-weighted mean.
+  double weight_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    weight_total += reputation_[static_cast<std::size_t>(client_ids[i])];
+  }
+  std::vector<float> out(dim, 0.0f);
+  if (weight_total < 1e-12) return out;  // everyone muted: no movement
+  for (std::size_t i = 0; i < n; ++i) {
+    const float w = static_cast<float>(
+        reputation_[static_cast<std::size_t>(client_ids[i])] / weight_total);
+    for (std::size_t d = 0; d < dim; ++d) out[d] += w * updates[i][d];
+  }
+  return out;
+}
+
+}  // namespace fedcleanse::fl

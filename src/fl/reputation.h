@@ -1,0 +1,40 @@
+// Cosine-similarity credibility scoring with a reputation scheme — a
+// training-time defense from the paper's related work (Awan et al.,
+// CONTRA), implemented as a comparison substrate.
+//
+// Each round, every update is scored by its mean pairwise cosine similarity
+// to the other updates; clients whose updates look like outliers lose
+// reputation, and the aggregate is the reputation-weighted mean. A
+// model-replacement attacker with a large amplification factor produces
+// low-similarity updates and is progressively muted.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fedcleanse::fl {
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+class ReputationAggregator {
+ public:
+  // `decay` smooths reputation over rounds; `penalty_threshold` is the mean
+  // cosine similarity below which a client is penalized this round.
+  explicit ReputationAggregator(int n_clients, double decay = 0.8,
+                                double penalty_threshold = 0.0);
+
+  // Aggregate one round of updates from the given client ids. Updates and
+  // ids must align. Returns the reputation-weighted mean update.
+  std::vector<float> aggregate(const std::vector<int>& client_ids,
+                               const std::vector<std::vector<float>>& updates);
+
+  double reputation(int client) const;
+  const std::vector<double>& reputations() const { return reputation_; }
+
+ private:
+  std::vector<double> reputation_;
+  double decay_;
+  double penalty_threshold_;
+};
+
+}  // namespace fedcleanse::fl

@@ -1,0 +1,128 @@
+#include "fl/server.h"
+
+#include "fl/metrics.h"
+
+namespace fedcleanse::fl {
+
+namespace {
+comm::Message server_message(comm::MessageType type, std::uint32_t round,
+                             std::vector<std::uint8_t> payload) {
+  comm::Message m;
+  m.type = type;
+  m.round = round;
+  m.sender = -1;
+  m.payload = std::move(payload);
+  return m;
+}
+}  // namespace
+
+Server::Server(nn::ModelSpec model, data::Dataset validation, comm::Network& net,
+               ServerConfig config)
+    : model_(std::move(model)),
+      validation_(std::move(validation)),
+      net_(net),
+      config_(config) {}
+
+void Server::broadcast_model(const std::vector<int>& clients, std::uint32_t round) {
+  const auto payload = comm::encode_flat_params(params());
+  for (int c : clients) {
+    net_.send_to_client(c, server_message(comm::MessageType::kModelBroadcast, round, payload));
+  }
+}
+
+std::vector<std::vector<float>> Server::collect_updates(const std::vector<int>& clients) {
+  std::vector<std::vector<float>> updates;
+  updates.reserve(clients.size());
+  for (int c : clients) {
+    auto msg = net_.recv_from_client(c);
+    FC_REQUIRE(msg.type == comm::MessageType::kModelUpdate,
+               "expected ModelUpdate, got " + std::string(comm::message_type_name(msg.type)));
+    auto update = comm::decode_flat_params(msg.payload);
+    FC_REQUIRE(update.size() == model_.net.num_params(),
+               "client update has the wrong parameter count");
+    updates.push_back(std::move(update));
+  }
+  return updates;
+}
+
+void Server::apply_aggregate(const std::vector<std::vector<float>>& updates) {
+  auto agg = aggregate(config_.aggregator, updates, config_.byzantine_hint);
+  auto current = params();
+  const float lr = static_cast<float>(config_.global_lr);
+  for (std::size_t i = 0; i < current.size(); ++i) current[i] += lr * agg[i];
+  set_params(current);
+}
+
+void Server::request_ranks(const std::vector<int>& clients, std::uint32_t round) {
+  const auto payload = comm::encode_flat_params(params());
+  for (int c : clients) {
+    net_.send_to_client(c, server_message(comm::MessageType::kRankRequest, round, payload));
+  }
+}
+
+std::vector<std::vector<std::uint32_t>> Server::collect_ranks(
+    const std::vector<int>& clients) {
+  std::vector<std::vector<std::uint32_t>> reports;
+  reports.reserve(clients.size());
+  for (int c : clients) {
+    auto msg = net_.recv_from_client(c);
+    FC_REQUIRE(msg.type == comm::MessageType::kRankReport, "expected RankReport");
+    reports.push_back(comm::decode_ranks(msg.payload));
+  }
+  return reports;
+}
+
+void Server::request_votes(const std::vector<int>& clients, double prune_rate,
+                           std::uint32_t round) {
+  common::ByteWriter w;
+  w.write_f64(prune_rate);
+  w.write_f32_vector(params());
+  const auto payload = w.take();
+  for (int c : clients) {
+    net_.send_to_client(c, server_message(comm::MessageType::kVoteRequest, round, payload));
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> Server::collect_votes(
+    const std::vector<int>& clients) {
+  std::vector<std::vector<std::uint8_t>> reports;
+  reports.reserve(clients.size());
+  for (int c : clients) {
+    auto msg = net_.recv_from_client(c);
+    FC_REQUIRE(msg.type == comm::MessageType::kVoteReport, "expected VoteReport");
+    reports.push_back(comm::decode_votes(msg.payload));
+  }
+  return reports;
+}
+
+void Server::broadcast_masks(const std::vector<int>& clients, std::uint32_t round) {
+  const auto payload = comm::encode_masks(model_.net.prune_masks());
+  for (int c : clients) {
+    net_.send_to_client(c, server_message(comm::MessageType::kMaskBroadcast, round, payload));
+  }
+}
+
+void Server::request_accuracies(const std::vector<int>& clients, std::uint32_t round) {
+  const auto payload = comm::encode_flat_params(params());
+  for (int c : clients) {
+    net_.send_to_client(c,
+                        server_message(comm::MessageType::kAccuracyRequest, round, payload));
+  }
+}
+
+std::vector<double> Server::collect_accuracies(const std::vector<int>& clients) {
+  std::vector<double> out;
+  out.reserve(clients.size());
+  for (int c : clients) {
+    auto msg = net_.recv_from_client(c);
+    FC_REQUIRE(msg.type == comm::MessageType::kAccuracyReport, "expected AccuracyReport");
+    out.push_back(comm::decode_accuracy(msg.payload));
+  }
+  return out;
+}
+
+double Server::validation_accuracy() {
+  return evaluate_accuracy(model_.net, validation_);
+}
+
+}  // namespace fedcleanse::fl

@@ -1,0 +1,62 @@
+// Federated server: owns the global model, drives the round protocol over
+// the comm network, aggregates updates, and answers the defense pipeline's
+// needs (validation accuracy, rank/vote collection, mask broadcast).
+#pragma once
+
+#include <vector>
+
+#include "comm/network.h"
+#include "data/dataset.h"
+#include "fl/aggregation.h"
+#include "nn/model_zoo.h"
+
+namespace fedcleanse::fl {
+
+struct ServerConfig {
+  // Global learning rate η applied to the aggregated update (the paper's
+  // simplified rule uses 1).
+  double global_lr = 1.0;
+  AggregatorKind aggregator = AggregatorKind::kFedAvg;
+  // Robustness parameter f for the Byzantine-robust aggregators.
+  int byzantine_hint = 0;
+};
+
+class Server {
+ public:
+  Server(nn::ModelSpec model, data::Dataset validation, comm::Network& net,
+         ServerConfig config = {});
+
+  nn::ModelSpec& model() { return model_; }
+  const data::Dataset& validation_set() const { return validation_; }
+  std::vector<float> params() const { return model_.net.get_flat(); }
+  void set_params(std::span<const float> params) { model_.net.set_flat(params); }
+
+  // --- training round -------------------------------------------------------
+  // Send the current global model to the given clients.
+  void broadcast_model(const std::vector<int>& clients, std::uint32_t round);
+  // Collect one update message from each client (they must have replied).
+  std::vector<std::vector<float>> collect_updates(const std::vector<int>& clients);
+  // ω_{t+1} = ω_t + η·aggregate(Δω).
+  void apply_aggregate(const std::vector<std::vector<float>>& updates);
+
+  // --- defense protocol -----------------------------------------------------
+  void request_ranks(const std::vector<int>& clients, std::uint32_t round);
+  std::vector<std::vector<std::uint32_t>> collect_ranks(const std::vector<int>& clients);
+  void request_votes(const std::vector<int>& clients, double prune_rate,
+                     std::uint32_t round);
+  std::vector<std::vector<std::uint8_t>> collect_votes(const std::vector<int>& clients);
+  void broadcast_masks(const std::vector<int>& clients, std::uint32_t round);
+  void request_accuracies(const std::vector<int>& clients, std::uint32_t round);
+  std::vector<double> collect_accuracies(const std::vector<int>& clients);
+
+  // Accuracy of the current global model on the server's validation set.
+  double validation_accuracy();
+
+ private:
+  nn::ModelSpec model_;
+  data::Dataset validation_;
+  comm::Network& net_;
+  ServerConfig config_;
+};
+
+}  // namespace fedcleanse::fl

@@ -1,0 +1,134 @@
+#include "fl/simulation.h"
+
+#include "common/logging.h"
+#include "fl/metrics.h"
+
+namespace fedcleanse::fl {
+
+Simulation::Simulation(SimulationConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  FC_REQUIRE(config_.n_clients > 0, "need at least one client");
+  FC_REQUIRE(config_.n_attackers >= 0 && config_.n_attackers <= config_.n_clients,
+             "attacker count out of range");
+  FC_REQUIRE(!config_.attack.pattern.empty() || config_.n_attackers == 0,
+             "attackers configured without a trigger pattern");
+
+  // --- data ------------------------------------------------------------------
+  data::SynthConfig train_cfg{config_.samples_per_class_train, rng_.next_u64(),
+                              config_.data_noise};
+  data::SynthConfig test_cfg{config_.samples_per_class_test, rng_.next_u64(),
+                             config_.data_noise};
+  auto full_train = data::make_synth(config_.dataset, train_cfg);
+  test_ = data::make_synth(config_.dataset, test_cfg);
+  if (config_.n_attackers > 0) {
+    backdoor_test_ =
+        data::make_backdoor_testset(test_, config_.attack.pattern,
+                                    config_.attack.victim_label, config_.attack.attack_label);
+  }
+
+  data::PartitionConfig part;
+  part.n_clients = config_.n_clients;
+  part.labels_per_client = config_.labels_per_client;
+  part.samples_per_client = config_.samples_per_client;
+  part.seed = rng_.next_u64();
+  // Attackers must hold victim-label data to poison it.
+  for (int a = 0; a < config_.n_attackers; ++a) {
+    part.forced_labels.emplace_back(a, config_.attack.victim_label);
+  }
+  auto locals = data::partition_k_label(full_train, part);
+
+  // --- network, server, clients ----------------------------------------------
+  net_ = std::make_unique<comm::Network>(config_.n_clients);
+  auto server_model = nn::make_model(config_.arch, rng_);
+  if (config_.last_conv_weight_decay > 0.0) {
+    server_model.net.layer(server_model.last_conv_index).weight_decay =
+        config_.last_conv_weight_decay;
+  }
+  // Server validation set: an independent draw (the paper's "small
+  // validation set" assumption).
+  data::SynthConfig val_cfg{config_.samples_per_class_test, rng_.next_u64(),
+                            config_.data_noise};
+  auto validation = data::make_synth(config_.dataset, val_cfg);
+  server_ = std::make_unique<Server>(std::move(server_model), std::move(validation), *net_,
+                                     config_.server);
+
+  // DBA: split the global trigger across the attackers.
+  std::vector<data::BackdoorPattern> local_patterns;
+  if (config_.dba && config_.n_attackers > 1) {
+    local_patterns = data::split_dba(config_.attack.pattern, config_.n_attackers);
+  }
+
+  clients_.reserve(static_cast<std::size_t>(config_.n_clients));
+  for (int c = 0; c < config_.n_clients; ++c) {
+    auto spec = nn::make_model(config_.arch, rng_);
+    if (config_.last_conv_weight_decay > 0.0) {
+      spec.net.layer(spec.last_conv_index).weight_decay = config_.last_conv_weight_decay;
+    }
+    Client client(c, std::move(spec), std::move(locals[static_cast<std::size_t>(c)]),
+                  config_.train, rng_.next_u64());
+    if (c < config_.n_attackers) {
+      AttackSpec spec_c = config_.attack;
+      if (!local_patterns.empty()) {
+        spec_c.pattern = local_patterns[static_cast<std::size_t>(c)];
+      }
+      client.make_malicious(std::move(spec_c));
+    }
+    clients_.push_back(std::move(client));
+  }
+}
+
+std::vector<int> Simulation::all_client_ids() const {
+  std::vector<int> ids(static_cast<std::size_t>(config_.n_clients));
+  for (int i = 0; i < config_.n_clients; ++i) ids[static_cast<std::size_t>(i)] = i;
+  return ids;
+}
+
+std::vector<int> Simulation::attacker_ids() const {
+  std::vector<int> ids;
+  for (int i = 0; i < config_.n_attackers; ++i) ids.push_back(i);
+  return ids;
+}
+
+std::vector<int> Simulation::run_round(std::uint32_t round) {
+  std::vector<int> participants;
+  if (config_.clients_per_round <= 0 || config_.clients_per_round >= config_.n_clients) {
+    participants = all_client_ids();
+  } else {
+    auto sampled = rng_.sample_without_replacement(
+        static_cast<std::size_t>(config_.n_clients),
+        static_cast<std::size_t>(config_.clients_per_round));
+    participants.assign(sampled.begin(), sampled.end());
+  }
+  server_->broadcast_model(participants, round);
+  for (int c : participants) clients_[static_cast<std::size_t>(c)].handle_pending(*net_);
+  auto updates = server_->collect_updates(participants);
+  server_->apply_aggregate(updates);
+  return participants;
+}
+
+void Simulation::run(bool record_history) {
+  common::Timer timer;
+  for (int r = 0; r < config_.rounds; ++r) {
+    run_round(static_cast<std::uint32_t>(r));
+    if (record_history) {
+      RoundRecord rec;
+      rec.round = r;
+      rec.test_acc = test_accuracy();
+      rec.attack_acc = attack_success();
+      history_.push_back(rec);
+      FC_LOG(Debug) << "round " << r << " TA=" << rec.test_acc << " AA=" << rec.attack_acc;
+    }
+  }
+  training_seconds_ += timer.elapsed_seconds();
+}
+
+double Simulation::test_accuracy() {
+  return evaluate_accuracy(server_->model().net, test_);
+}
+
+double Simulation::attack_success() {
+  if (backdoor_test_.empty()) return 0.0;
+  return attack_success_rate(server_->model().net, backdoor_test_);
+}
+
+}  // namespace fedcleanse::fl

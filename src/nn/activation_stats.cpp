@@ -1,0 +1,39 @@
+#include "nn/activation_stats.h"
+
+#include "common/error.h"
+
+namespace fedcleanse::nn {
+
+void ChannelMeanAccumulator::add_batch(const tensor::Tensor& tapped) {
+  const int rank = tapped.shape().rank();
+  FC_REQUIRE(rank == 2 || rank == 4, "tapped activation must be [N,C] or [N,C,H,W]");
+  const int n = tapped.shape()[0];
+  const int c = tapped.shape()[1];
+  const std::size_t plane =
+      rank == 4 ? static_cast<std::size_t>(tapped.shape()[2]) * tapped.shape()[3] : 1;
+  if (sums_.empty()) sums_.assign(static_cast<std::size_t>(c), 0.0);
+  FC_REQUIRE(static_cast<int>(sums_.size()) == c, "channel count changed between batches");
+
+  const auto v = tapped.data();
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* p = &v[(static_cast<std::size_t>(b) * c + ch) * plane];
+      double s = 0.0;
+      for (std::size_t i = 0; i < plane; ++i) s += p[i];
+      // Spatial mean of the channel for this sample.
+      sums_[static_cast<std::size_t>(ch)] += s / static_cast<double>(plane);
+    }
+  }
+  count_ += static_cast<std::size_t>(n);
+}
+
+std::vector<double> ChannelMeanAccumulator::means() const {
+  FC_REQUIRE(count_ > 0, "no batches accumulated");
+  std::vector<double> out(sums_.size());
+  for (std::size_t i = 0; i < sums_.size(); ++i) {
+    out[i] = sums_[i] / static_cast<double>(count_);
+  }
+  return out;
+}
+
+}  // namespace fedcleanse::nn

@@ -1,0 +1,30 @@
+// Per-channel activation statistics.
+//
+// Clients accumulate the mean post-ReLU activation of every channel at the
+// pruning layer over their local samples; the resulting means drive the
+// RAP rankings and MVP votes.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedcleanse::nn {
+
+class ChannelMeanAccumulator {
+ public:
+  // Accepts a tapped batch: [N, C, H, W] (mean over N·H·W per channel) or
+  // [N, C] (mean over N per unit). All batches must agree on C.
+  void add_batch(const tensor::Tensor& tapped);
+
+  // Number of samples folded in so far.
+  std::size_t count() const { return count_; }
+  // Mean activation per channel. Requires at least one batch.
+  std::vector<double> means() const;
+
+ private:
+  std::vector<double> sums_;
+  std::size_t count_ = 0;  // sample count (batch dimension total)
+};
+
+}  // namespace fedcleanse::nn

@@ -1,0 +1,31 @@
+// Elementwise activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace fedcleanse::nn {
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<ReLU>(*this); }
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor input_cache_;
+};
+
+// Reshapes [N, C, H, W] (or any rank ≥ 2) to [N, features].
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override { return std::make_unique<Flatten>(*this); }
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape input_shape_;
+};
+
+}  // namespace fedcleanse::nn

@@ -1,0 +1,69 @@
+#include "nn/checkpoint.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace fedcleanse::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x46434B50;  // "FCKP"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> save_model(const ModelSpec& spec) {
+  common::ByteWriter w;
+  w.write_u32(kMagic);
+  w.write_u32(kVersion);
+  w.write_u8(static_cast<std::uint8_t>(spec.arch));
+  w.write_f32_vector(spec.net.get_flat());
+  const auto masks = spec.net.prune_masks();
+  w.write_u32(static_cast<std::uint32_t>(masks.size()));
+  for (const auto& m : masks) w.write_u8_vector(m);
+  return w.take();
+}
+
+ModelSpec load_model(const std::vector<std::uint8_t>& bytes) {
+  common::ByteReader r(bytes);
+  FC_REQUIRE(r.read_u32() == kMagic, "not a fedcleanse checkpoint");
+  FC_REQUIRE(r.read_u32() == kVersion, "unsupported checkpoint version");
+  const auto arch = static_cast<Architecture>(r.read_u8());
+  // Weights are overwritten immediately; the init seed is irrelevant.
+  common::Rng rng(0);
+  ModelSpec spec = make_model(arch, rng);
+  auto flat = r.read_f32_vector();
+  const std::uint32_t n_masks = r.read_u32();
+  FC_REQUIRE(static_cast<int>(n_masks) == spec.net.size(),
+             "checkpoint mask count does not match architecture");
+  std::vector<std::vector<std::uint8_t>> masks(n_masks);
+  for (auto& m : masks) m = r.read_u8_vector();
+  // Masks first, then parameters: set_flat re-zeroes pruned units, so the
+  // restored model is structurally identical to the saved one.
+  spec.net.set_prune_masks(masks);
+  spec.net.set_flat(flat);
+  return spec;
+}
+
+void save_model_file(const ModelSpec& spec, const std::string& path) {
+  const auto bytes = save_model(spec);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(std::fopen(path.c_str(), "wb"),
+                                                       &std::fclose);
+  FC_REQUIRE(file != nullptr, "cannot open checkpoint file for writing: " + path);
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file.get());
+  FC_REQUIRE(written == bytes.size(), "short write to checkpoint file: " + path);
+}
+
+ModelSpec load_model_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(std::fopen(path.c_str(), "rb"),
+                                                       &std::fclose);
+  FC_REQUIRE(file != nullptr, "cannot open checkpoint file for reading: " + path);
+  std::fseek(file.get(), 0, SEEK_END);
+  const long size = std::ftell(file.get());
+  FC_REQUIRE(size >= 0, "cannot stat checkpoint file: " + path);
+  std::fseek(file.get(), 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  const std::size_t read = std::fread(bytes.data(), 1, bytes.size(), file.get());
+  FC_REQUIRE(read == bytes.size(), "short read from checkpoint file: " + path);
+  return load_model(bytes);
+}
+
+}  // namespace fedcleanse::nn

@@ -1,0 +1,26 @@
+// Model checkpointing: serialize a ModelSpec (architecture tag, flat
+// parameters, prune masks) to bytes or to a file, and restore it.
+//
+// The architecture is stored as a tag and rebuilt through the model zoo, so
+// a checkpoint is a few bytes of header plus the parameter payload — the
+// same wire format the FL layer uses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "nn/model_zoo.h"
+
+namespace fedcleanse::nn {
+
+// Serialize the model (architecture, parameters, prune masks).
+std::vector<std::uint8_t> save_model(const ModelSpec& spec);
+// Rebuild a model from bytes produced by save_model.
+ModelSpec load_model(const std::vector<std::uint8_t>& bytes);
+
+// File variants. Throw fedcleanse::Error on I/O failure.
+void save_model_file(const ModelSpec& spec, const std::string& path);
+ModelSpec load_model_file(const std::string& path);
+
+}  // namespace fedcleanse::nn

@@ -1,0 +1,94 @@
+#include "nn/conv2d.h"
+
+#include "nn/init.h"
+
+namespace fedcleanse::nn {
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, common::Rng& rng, int stride,
+               int padding)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      spec_{stride, padding},
+      weight_(Shape{out_channels, in_channels, kernel, kernel}),
+      bias_(Shape{out_channels}),
+      grad_weight_(Shape{out_channels, in_channels, kernel, kernel}),
+      grad_bias_(Shape{out_channels}),
+      active_(static_cast<std::size_t>(out_channels), 1) {
+  FC_REQUIRE(in_channels > 0 && out_channels > 0 && kernel > 0,
+             "Conv2d dims must be positive");
+  kaiming_uniform(weight_, in_channels * kernel * kernel, rng);
+  bias_.fill(0.0f);
+}
+
+void Conv2d::zero_channel_in(Tensor& t, int n, int /*c*/, int h, int w, int channel) const {
+  auto v = t.data();
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  for (int b = 0; b < n; ++b) {
+    float* p = &v[((static_cast<std::size_t>(b) * out_channels_) + channel) * plane];
+    std::fill(p, p + plane, 0.0f);
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  input_cache_ = x;
+  Tensor y = tensor::conv2d_forward_cached(x, weight_, bias_, spec_, col_cache_);
+  for (int oc = 0; oc < out_channels_; ++oc) {
+    if (!active_[static_cast<std::size_t>(oc)]) {
+      zero_channel_in(y, y.shape()[0], out_channels_, y.shape()[2], y.shape()[3], oc);
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (int oc = 0; oc < out_channels_; ++oc) {
+    if (!active_[static_cast<std::size_t>(oc)]) {
+      zero_channel_in(g, g.shape()[0], out_channels_, g.shape()[2], g.shape()[3], oc);
+    }
+  }
+  auto grads = tensor::conv2d_backward_cached(input_cache_, weight_, g, spec_, col_cache_);
+  grad_weight_ += grads.grad_weight;
+  grad_bias_ += grads.grad_bias;
+  return std::move(grads.grad_input);
+}
+
+std::vector<ParamRef> Conv2d::params() {
+  return {{&weight_, &grad_weight_}, {&bias_, &grad_bias_}};
+}
+
+std::unique_ptr<Layer> Conv2d::clone() const { return std::make_unique<Conv2d>(*this); }
+
+void Conv2d::set_unit_active(int unit, bool active) {
+  FC_REQUIRE(unit >= 0 && unit < out_channels_, "Conv2d channel index out of range");
+  active_[static_cast<std::size_t>(unit)] = active ? 1 : 0;
+  if (!active) {
+    const std::size_t per_channel =
+        static_cast<std::size_t>(in_channels_) * kernel_ * kernel_;
+    auto wv = weight_.data();
+    std::fill(&wv[static_cast<std::size_t>(unit) * per_channel],
+              &wv[static_cast<std::size_t>(unit) * per_channel] + per_channel, 0.0f);
+    bias_.data()[static_cast<std::size_t>(unit)] = 0.0f;
+  }
+}
+
+bool Conv2d::unit_active(int unit) const {
+  FC_REQUIRE(unit >= 0 && unit < out_channels_, "Conv2d channel index out of range");
+  return active_[static_cast<std::size_t>(unit)] != 0;
+}
+
+std::vector<float> Conv2d::active_weights() const {
+  std::vector<float> out;
+  const std::size_t per_channel = static_cast<std::size_t>(in_channels_) * kernel_ * kernel_;
+  out.reserve(weight_.size());
+  const auto wv = weight_.data();
+  for (int oc = 0; oc < out_channels_; ++oc) {
+    if (!active_[static_cast<std::size_t>(oc)]) continue;
+    const float* p = &wv[static_cast<std::size_t>(oc) * per_channel];
+    out.insert(out.end(), p, p + per_channel);
+  }
+  return out;
+}
+
+}  // namespace fedcleanse::nn

@@ -1,0 +1,25 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fedcleanse::nn {
+
+void kaiming_uniform(tensor::Tensor& weight, int fan_in, common::Rng& rng) {
+  FC_REQUIRE(fan_in > 0, "fan_in must be positive");
+  const double bound = std::sqrt(6.0 / fan_in);
+  for (auto& w : weight.storage()) {
+    w = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+void xavier_uniform(tensor::Tensor& weight, int fan_in, int fan_out, common::Rng& rng) {
+  FC_REQUIRE(fan_in > 0 && fan_out > 0, "fans must be positive");
+  const double bound = std::sqrt(6.0 / (fan_in + fan_out));
+  for (auto& w : weight.storage()) {
+    w = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+}  // namespace fedcleanse::nn

@@ -1,0 +1,15 @@
+// Weight initialization helpers.
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace fedcleanse::nn {
+
+// He/Kaiming uniform: U(−√(6/fan_in), √(6/fan_in)). Suited to ReLU nets.
+void kaiming_uniform(tensor::Tensor& weight, int fan_in, common::Rng& rng);
+
+// Xavier/Glorot uniform: U(−√(6/(fan_in+fan_out)), +...).
+void xavier_uniform(tensor::Tensor& weight, int fan_in, int fan_out, common::Rng& rng);
+
+}  // namespace fedcleanse::nn

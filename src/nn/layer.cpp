@@ -1,0 +1,17 @@
+#include "nn/layer.h"
+
+namespace fedcleanse::nn {
+
+void Layer::zero_grad() {
+  for (auto& p : params()) p.grad->fill(0.0f);
+}
+
+void Layer::set_prune_mask(const std::vector<std::uint8_t>& mask) {
+  FC_REQUIRE(static_cast<int>(mask.size()) == prunable_units(),
+             "prune mask size does not match prunable units of " + name());
+  for (int i = 0; i < prunable_units(); ++i) {
+    set_unit_active(i, mask[static_cast<std::size_t>(i)] != 0);
+  }
+}
+
+}  // namespace fedcleanse::nn

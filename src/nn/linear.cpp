@@ -1,0 +1,89 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace fedcleanse::nn {
+
+Linear::Linear(int in_features, int out_features, common::Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Shape{out_features, in_features}),
+      bias_(Shape{out_features}),
+      grad_weight_(Shape{out_features, in_features}),
+      grad_bias_(Shape{out_features}),
+      active_(static_cast<std::size_t>(out_features), 1) {
+  FC_REQUIRE(in_features > 0 && out_features > 0, "Linear dims must be positive");
+  kaiming_uniform(weight_, in_features, rng);
+  bias_.fill(0.0f);
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  FC_REQUIRE(x.shape().rank() == 2 && x.shape()[1] == in_features_,
+             "Linear forward expects [N," + std::to_string(in_features_) + "], got " +
+                 x.shape().to_string());
+  input_cache_ = x;
+  Tensor y = tensor::matmul_t(x, false, weight_, true);  // [N, out]
+  const int n = y.shape()[0];
+  auto yv = y.data();
+  const auto bv = bias_.data();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < out_features_; ++j) {
+      auto& cell = yv[static_cast<std::size_t>(i) * out_features_ + j];
+      cell = active_[static_cast<std::size_t>(j)] ? cell + bv[j] : 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  FC_REQUIRE(grad_out.shape().rank() == 2 && grad_out.shape()[1] == out_features_,
+             "Linear backward grad shape mismatch");
+  // Pruned units contribute no gradient anywhere.
+  Tensor g = grad_out;
+  const int n = g.shape()[0];
+  auto gv = g.data();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < out_features_; ++j) {
+      if (!active_[static_cast<std::size_t>(j)]) {
+        gv[static_cast<std::size_t>(i) * out_features_ + j] = 0.0f;
+      }
+    }
+  }
+  grad_weight_ += tensor::matmul_t(g, true, input_cache_, false);  // [out, in]
+  auto gb = grad_bias_.data();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < out_features_; ++j) {
+      gb[j] += gv[static_cast<std::size_t>(i) * out_features_ + j];
+    }
+  }
+  return tensor::matmul_t(g, false, weight_, false);  // [N, in]
+}
+
+std::vector<ParamRef> Linear::params() {
+  return {{&weight_, &grad_weight_}, {&bias_, &grad_bias_}};
+}
+
+std::unique_ptr<Layer> Linear::clone() const {
+  auto copy = std::make_unique<Linear>(*this);
+  return copy;
+}
+
+void Linear::set_unit_active(int unit, bool active) {
+  FC_REQUIRE(unit >= 0 && unit < out_features_, "Linear unit index out of range");
+  active_[static_cast<std::size_t>(unit)] = active ? 1 : 0;
+  if (!active) {
+    auto wv = weight_.data();
+    for (int j = 0; j < in_features_; ++j) {
+      wv[static_cast<std::size_t>(unit) * in_features_ + j] = 0.0f;
+    }
+    bias_.data()[static_cast<std::size_t>(unit)] = 0.0f;
+  }
+}
+
+bool Linear::unit_active(int unit) const {
+  FC_REQUIRE(unit >= 0 && unit < out_features_, "Linear unit index out of range");
+  return active_[static_cast<std::size_t>(unit)] != 0;
+}
+
+}  // namespace fedcleanse::nn

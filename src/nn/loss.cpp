@@ -1,0 +1,41 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+
+namespace fedcleanse::nn {
+
+float SoftmaxCrossEntropy::forward(const tensor::Tensor& logits,
+                                   const std::vector<int>& labels) {
+  FC_REQUIRE(logits.shape().rank() == 2, "loss expects [N,K] logits");
+  const int n = logits.shape()[0], k = logits.shape()[1];
+  FC_REQUIRE(static_cast<int>(labels.size()) == n, "labels size must match batch");
+  probs_ = tensor::softmax_rows(logits);
+  labels_ = labels;
+  double loss = 0.0;
+  const auto pv = probs_.data();
+  for (int i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    FC_REQUIRE(y >= 0 && y < k, "label out of range");
+    const float p = pv[static_cast<std::size_t>(i) * k + y];
+    loss += -std::log(std::max(p, 1e-12f));
+  }
+  return static_cast<float>(loss / n);
+}
+
+tensor::Tensor SoftmaxCrossEntropy::backward() const {
+  FC_REQUIRE(!probs_.empty(), "backward called before forward");
+  const int n = probs_.shape()[0], k = probs_.shape()[1];
+  tensor::Tensor grad = probs_;
+  auto gv = grad.data();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int i = 0; i < n; ++i) {
+    gv[static_cast<std::size_t>(i) * k + labels_[static_cast<std::size_t>(i)]] -= 1.0f;
+    for (int j = 0; j < k; ++j) gv[static_cast<std::size_t>(i) * k + j] *= inv_n;
+  }
+  return grad;
+}
+
+}  // namespace fedcleanse::nn

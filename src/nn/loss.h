@@ -1,0 +1,24 @@
+// Softmax cross-entropy loss (mean-reduced over the batch).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedcleanse::nn {
+
+class SoftmaxCrossEntropy {
+ public:
+  // logits [N, K], labels of length N with values in [0, K).
+  // Returns the mean cross-entropy loss and caches softmax probabilities.
+  float forward(const tensor::Tensor& logits, const std::vector<int>& labels);
+
+  // dLoss/dLogits for the cached forward: (softmax − one_hot) / N.
+  tensor::Tensor backward() const;
+
+ private:
+  tensor::Tensor probs_;
+  std::vector<int> labels_;
+};
+
+}  // namespace fedcleanse::nn

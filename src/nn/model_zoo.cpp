@@ -1,0 +1,125 @@
+#include "nn/model_zoo.h"
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+
+namespace fedcleanse::nn {
+
+const char* arch_name(Architecture arch) {
+  switch (arch) {
+    case Architecture::kMnistCnn: return "mnist_cnn";
+    case Architecture::kFashionCnn: return "fashion_cnn";
+    case Architecture::kVggSmall: return "vgg_small";
+    case Architecture::kSmallNn: return "small_nn";
+    case Architecture::kLargeNn: return "large_nn";
+  }
+  return "?";
+}
+
+ModelSpec make_mnist_cnn(common::Rng& rng) {
+  // Input 1×20×20 (SynthDigits). 2 conv + 2 FC as in the paper's MNIST net.
+  ModelSpec spec;
+  spec.arch = Architecture::kMnistCnn;
+  spec.input_shape = Shape{1, 20, 20};
+  spec.net.add(std::make_unique<Conv2d>(1, 16, 3, rng, 1, 1));  // 16×20×20
+  spec.net.add(std::make_unique<ReLU>());
+  spec.net.add(std::make_unique<MaxPool2d>(2));                 // 16×10×10
+  spec.last_conv_index = spec.net.add(std::make_unique<Conv2d>(16, 32, 3, rng, 1, 1));
+  spec.tap_index = spec.net.add(std::make_unique<ReLU>());      // 32×10×10
+  spec.net.add(std::make_unique<MaxPool2d>(2));                 // 32×5×5
+  spec.net.add(std::make_unique<Flatten>());
+  spec.net.add(std::make_unique<Linear>(32 * 5 * 5, 64, rng));
+  spec.net.add(std::make_unique<ReLU>());
+  spec.net.add(std::make_unique<Linear>(64, 10, rng));
+  return spec;
+}
+
+ModelSpec make_fashion_cnn(common::Rng& rng) {
+  // Input 1×20×20 (SynthFashion). 3 conv + 2 FC as in the paper's
+  // Fashion-MNIST net.
+  ModelSpec spec;
+  spec.arch = Architecture::kFashionCnn;
+  spec.input_shape = Shape{1, 20, 20};
+  spec.net.add(std::make_unique<Conv2d>(1, 8, 3, rng, 1, 1));   // 8×20×20
+  spec.net.add(std::make_unique<ReLU>());
+  spec.net.add(std::make_unique<MaxPool2d>(2));                 // 8×10×10
+  spec.net.add(std::make_unique<Conv2d>(8, 16, 3, rng, 1, 1));  // 16×10×10
+  spec.net.add(std::make_unique<ReLU>());
+  spec.net.add(std::make_unique<MaxPool2d>(2));                 // 16×5×5
+  spec.last_conv_index = spec.net.add(std::make_unique<Conv2d>(16, 24, 3, rng, 1, 1));
+  spec.tap_index = spec.net.add(std::make_unique<ReLU>());      // 24×5×5
+  spec.net.add(std::make_unique<Flatten>());
+  spec.net.add(std::make_unique<Linear>(24 * 5 * 5, 48, rng));
+  spec.net.add(std::make_unique<ReLU>());
+  spec.net.add(std::make_unique<Linear>(48, 10, rng));
+  return spec;
+}
+
+ModelSpec make_vgg_small(common::Rng& rng) {
+  // Input 3×16×16 (SynthObjects). VGG-style conv/pool blocks standing in
+  // for VGG11 at laptop scale.
+  ModelSpec spec;
+  spec.arch = Architecture::kVggSmall;
+  spec.input_shape = Shape{3, 16, 16};
+  spec.net.add(std::make_unique<Conv2d>(3, 16, 3, rng, 1, 1));  // 16×16×16
+  spec.net.add(std::make_unique<ReLU>());
+  spec.net.add(std::make_unique<MaxPool2d>(2));                 // 16×8×8
+  spec.net.add(std::make_unique<Conv2d>(16, 32, 3, rng, 1, 1)); // 32×8×8
+  spec.net.add(std::make_unique<ReLU>());
+  spec.net.add(std::make_unique<MaxPool2d>(2));                 // 32×4×4
+  spec.last_conv_index = spec.net.add(std::make_unique<Conv2d>(32, 32, 3, rng, 1, 1));
+  spec.tap_index = spec.net.add(std::make_unique<ReLU>());      // 32×4×4
+  spec.net.add(std::make_unique<MaxPool2d>(2));                 // 32×2×2
+  spec.net.add(std::make_unique<Flatten>());
+  spec.net.add(std::make_unique<Linear>(32 * 2 * 2, 64, rng));
+  spec.net.add(std::make_unique<ReLU>());
+  spec.net.add(std::make_unique<Linear>(64, 10, rng));
+  return spec;
+}
+
+ModelSpec make_small_nn(common::Rng& rng) {
+  // Table VI "Small NN": two conv layers with 8 and 16 channels.
+  ModelSpec spec;
+  spec.arch = Architecture::kSmallNn;
+  spec.input_shape = Shape{1, 20, 20};
+  spec.net.add(std::make_unique<Conv2d>(1, 8, 5, rng));         // 8×16×16
+  spec.net.add(std::make_unique<ReLU>());
+  spec.net.add(std::make_unique<MaxPool2d>(2));                 // 8×8×8
+  spec.last_conv_index = spec.net.add(std::make_unique<Conv2d>(8, 16, 5, rng));
+  spec.tap_index = spec.net.add(std::make_unique<ReLU>());      // 16×4×4
+  spec.net.add(std::make_unique<MaxPool2d>(2));                 // 16×2×2
+  spec.net.add(std::make_unique<Flatten>());
+  spec.net.add(std::make_unique<Linear>(16 * 2 * 2, 10, rng));
+  return spec;
+}
+
+ModelSpec make_large_nn(common::Rng& rng) {
+  // Table VI "Large NN": two conv layers with 20 and 50 channels.
+  ModelSpec spec;
+  spec.arch = Architecture::kLargeNn;
+  spec.input_shape = Shape{1, 20, 20};
+  spec.net.add(std::make_unique<Conv2d>(1, 20, 5, rng));        // 20×16×16
+  spec.net.add(std::make_unique<ReLU>());
+  spec.net.add(std::make_unique<MaxPool2d>(2));                 // 20×8×8
+  spec.last_conv_index = spec.net.add(std::make_unique<Conv2d>(20, 50, 5, rng));
+  spec.tap_index = spec.net.add(std::make_unique<ReLU>());      // 50×4×4
+  spec.net.add(std::make_unique<MaxPool2d>(2));                 // 50×2×2
+  spec.net.add(std::make_unique<Flatten>());
+  spec.net.add(std::make_unique<Linear>(50 * 2 * 2, 10, rng));
+  return spec;
+}
+
+ModelSpec make_model(Architecture arch, common::Rng& rng) {
+  switch (arch) {
+    case Architecture::kMnistCnn: return make_mnist_cnn(rng);
+    case Architecture::kFashionCnn: return make_fashion_cnn(rng);
+    case Architecture::kVggSmall: return make_vgg_small(rng);
+    case Architecture::kSmallNn: return make_small_nn(rng);
+    case Architecture::kLargeNn: return make_large_nn(rng);
+  }
+  throw ConfigError("unknown architecture");
+}
+
+}  // namespace fedcleanse::nn

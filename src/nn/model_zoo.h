@@ -1,0 +1,53 @@
+// Model factories for the paper's experiments.
+//
+// Architectures mirror the paper at a single-CPU-core scale (see DESIGN.md):
+//  - MnistCnn:   2 conv + 2 FC       (paper's MNIST net)
+//  - FashionCnn: 3 conv + 2 FC       (paper's Fashion-MNIST net)
+//  - VggSmall:   VGG-style conv stack (paper's CIFAR-10 / VGG11 stand-in)
+//  - SmallNn:    8/16-channel 2-conv net   (Table VI "Small NN")
+//  - LargeNn:    20/50-channel 2-conv net  (Table VI "Large NN")
+#pragma once
+
+#include <string>
+
+#include "common/rng.h"
+#include "nn/sequential.h"
+
+namespace fedcleanse::nn {
+
+enum class Architecture { kMnistCnn, kFashionCnn, kVggSmall, kSmallNn, kLargeNn };
+
+const char* arch_name(Architecture arch);
+
+// A model plus the metadata the defense needs: which layer is "layer L"
+// (the last convolutional layer whose channels are pruned) and which layer's
+// output is the activation record (the ReLU right after it).
+struct ModelSpec {
+  Sequential net;
+  Architecture arch{};
+  int last_conv_index = -1;
+  int tap_index = -1;
+  Shape input_shape;  // [C, H, W]
+  int num_classes = 10;
+
+  ModelSpec clone() const {
+    ModelSpec copy;
+    copy.net = net.clone();
+    copy.arch = arch;
+    copy.last_conv_index = last_conv_index;
+    copy.tap_index = tap_index;
+    copy.input_shape = input_shape;
+    copy.num_classes = num_classes;
+    return copy;
+  }
+};
+
+ModelSpec make_model(Architecture arch, common::Rng& rng);
+
+ModelSpec make_mnist_cnn(common::Rng& rng);
+ModelSpec make_fashion_cnn(common::Rng& rng);
+ModelSpec make_vgg_small(common::Rng& rng);
+ModelSpec make_small_nn(common::Rng& rng);
+ModelSpec make_large_nn(common::Rng& rng);
+
+}  // namespace fedcleanse::nn

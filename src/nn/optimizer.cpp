@@ -1,0 +1,47 @@
+#include "nn/optimizer.h"
+
+namespace fedcleanse::nn {
+
+Sgd::Sgd(Sequential& model, SgdConfig config) : model_(model), config_(config) {
+  if (config_.momentum > 0.0) {
+    for (auto& p : model_.params()) {
+      velocity_.emplace_back(p.value->shape());
+    }
+  }
+}
+
+void Sgd::step() {
+  std::size_t param_index = 0;
+  for (int li = 0; li < model_.size(); ++li) {
+    Layer& layer = model_.layer(li);
+    const float wd = static_cast<float>(layer.weight_decay);
+    for (auto& p : layer.params()) {
+      auto value = p.value->data();
+      auto grad = p.grad->data();
+      const float lr = static_cast<float>(config_.lr);
+      if (velocity_.empty()) {
+        for (std::size_t i = 0; i < value.size(); ++i) {
+          const float g = grad[i] + wd * value[i];
+          value[i] -= lr * g;
+        }
+      } else {
+        auto vel = velocity_[param_index].data();
+        const float mu = static_cast<float>(config_.momentum);
+        for (std::size_t i = 0; i < value.size(); ++i) {
+          const float g = grad[i] + wd * value[i];
+          vel[i] = mu * vel[i] + g;
+          value[i] -= lr * vel[i];
+        }
+      }
+      ++param_index;
+    }
+    // A pruned unit must stay exactly zero; weight decay on an exact zero is
+    // zero, but momentum from pre-pruning steps could move it, so re-clamp.
+    const int units = layer.prunable_units();
+    for (int u = 0; u < units; ++u) {
+      if (!layer.unit_active(u)) layer.set_unit_active(u, false);
+    }
+  }
+}
+
+}  // namespace fedcleanse::nn

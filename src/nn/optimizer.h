@@ -1,0 +1,34 @@
+// SGD optimizer with optional momentum and per-layer L2 weight decay.
+#pragma once
+
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace fedcleanse::nn {
+
+struct SgdConfig {
+  double lr = 0.1;
+  double momentum = 0.0;
+};
+
+class Sgd {
+ public:
+  Sgd(Sequential& model, SgdConfig config);
+
+  // Apply one update from the accumulated gradients. Weight decay uses each
+  // layer's `weight_decay` member (the Fig 10 experiment sets it only on
+  // the last convolutional layer).
+  void step();
+  void set_lr(double lr) { config_.lr = lr; }
+  double lr() const { return config_.lr; }
+
+ private:
+  Sequential& model_;
+  SgdConfig config_;
+  // One velocity buffer per parameter, in model.params() order. Only
+  // allocated when momentum > 0.
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace fedcleanse::nn

@@ -1,0 +1,110 @@
+#include "nn/sequential.h"
+
+namespace fedcleanse::nn {
+
+int Sequential::add(std::unique_ptr<Layer> layer) {
+  FC_REQUIRE(layer != nullptr, "cannot add null layer");
+  layers_.push_back(std::move(layer));
+  return static_cast<int>(layers_.size()) - 1;
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->forward(cur);
+  return cur;
+}
+
+Tensor Sequential::forward_with_tap(const Tensor& x, int tap_index, Tensor& tap_out) {
+  FC_REQUIRE(tap_index >= 0 && tap_index < size(), "tap index out of range");
+  Tensor cur = x;
+  for (int i = 0; i < size(); ++i) {
+    cur = layers_[static_cast<std::size_t>(i)]->forward(cur);
+    if (i == tap_index) tap_out = cur;
+  }
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+  return cur;
+}
+
+void Sequential::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+std::vector<ParamRef> Sequential::params() {
+  std::vector<ParamRef> out;
+  for (auto& layer : layers_) {
+    auto ps = layer->params();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+std::size_t Sequential::num_params() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    auto ps = const_cast<Layer&>(*layer).params();
+    for (const auto& p : ps) n += p.value->size();
+  }
+  return n;
+}
+
+std::vector<float> Sequential::get_flat() const {
+  std::vector<float> flat;
+  flat.reserve(num_params());
+  for (const auto& layer : layers_) {
+    for (const auto& p : const_cast<Layer&>(*layer).params()) {
+      const auto v = p.value->data();
+      flat.insert(flat.end(), v.begin(), v.end());
+    }
+  }
+  return flat;
+}
+
+void Sequential::set_flat(std::span<const float> flat) {
+  FC_REQUIRE(flat.size() == num_params(),
+             "flat vector size " + std::to_string(flat.size()) + " != parameter count " +
+                 std::to_string(num_params()));
+  std::size_t offset = 0;
+  for (auto& layer : layers_) {
+    for (auto& p : layer->params()) {
+      auto v = p.value->data();
+      std::copy(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+                flat.begin() + static_cast<std::ptrdiff_t>(offset + v.size()), v.begin());
+      offset += v.size();
+    }
+    // Re-assert structural pruning: a pruned unit's weights stay zero even
+    // if the incoming flat vector carried non-zero values for them.
+    const int units = layer->prunable_units();
+    for (int u = 0; u < units; ++u) {
+      if (!layer->unit_active(u)) layer->set_unit_active(u, false);
+    }
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> Sequential::prune_masks() const {
+  std::vector<std::vector<std::uint8_t>> masks;
+  masks.reserve(layers_.size());
+  for (const auto& layer : layers_) masks.push_back(layer->prune_mask());
+  return masks;
+}
+
+void Sequential::set_prune_masks(const std::vector<std::vector<std::uint8_t>>& masks) {
+  FC_REQUIRE(masks.size() == layers_.size(), "mask count must match layer count");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (!masks[i].empty()) layers_[i]->set_prune_mask(masks[i]);
+  }
+}
+
+Sequential Sequential::clone() const {
+  Sequential copy;
+  for (const auto& layer : layers_) copy.add(layer->clone());
+  return copy;
+}
+
+}  // namespace fedcleanse::nn

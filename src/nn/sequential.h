@@ -1,0 +1,57 @@
+// Sequential container: the whole-model abstraction used by clients, the
+// server, the defense pipeline, and Neural Cleanse.
+//
+// Parameters can be flattened to a single float vector (the FedAvg wire
+// format) and restored; prune masks are carried separately because they are
+// structural state decided by the defense, not trained state.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedcleanse::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+  Sequential(const Sequential&) = delete;
+  Sequential& operator=(const Sequential&) = delete;
+
+  // Returns the index of the added layer.
+  int add(std::unique_ptr<Layer> layer);
+
+  int size() const { return static_cast<int>(layers_.size()); }
+  Layer& layer(int i) { return *layers_[static_cast<std::size_t>(i)]; }
+  const Layer& layer(int i) const { return *layers_[static_cast<std::size_t>(i)]; }
+
+  Tensor forward(const Tensor& x);
+  // Forward that additionally copies the output of layer `tap_index` into
+  // `tap_out` (used to record activations at the pruning layer).
+  Tensor forward_with_tap(const Tensor& x, int tap_index, Tensor& tap_out);
+  // Backpropagate from dLoss/dOutput; returns dLoss/dInput.
+  Tensor backward(const Tensor& grad_out);
+
+  void zero_grad();
+  std::vector<ParamRef> params();
+  std::size_t num_params() const;
+
+  // Flat parameter vector in layer order (the FedAvg wire format).
+  std::vector<float> get_flat() const;
+  void set_flat(std::span<const float> flat);
+
+  // Prune masks for every layer (empty vector for non-prunable layers).
+  std::vector<std::vector<std::uint8_t>> prune_masks() const;
+  void set_prune_masks(const std::vector<std::vector<std::uint8_t>>& masks);
+
+  Sequential clone() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace fedcleanse::nn

@@ -1,0 +1,333 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fedcleanse::tensor {
+
+Tensor matmul(const Tensor& a, const Tensor& b) { return matmul_t(a, false, b, false); }
+
+Tensor matmul_t(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b) {
+  FC_REQUIRE(a.shape().rank() == 2 && b.shape().rank() == 2, "matmul requires 2-D tensors");
+  const int m = transpose_a ? a.shape()[1] : a.shape()[0];
+  const int k = transpose_a ? a.shape()[0] : a.shape()[1];
+  const int k2 = transpose_b ? b.shape()[1] : b.shape()[0];
+  const int n = transpose_b ? b.shape()[0] : b.shape()[1];
+  FC_REQUIRE(k == k2, "matmul inner dimensions disagree: " + a.shape().to_string() + " x " +
+                          b.shape().to_string());
+
+  Tensor c(Shape{m, n});
+  const auto av = a.data();
+  const auto bv = b.data();
+  auto cv = c.data();
+  const int a_rows = a.shape()[0], a_cols = a.shape()[1];
+  const int b_cols = b.shape()[1];
+  // i-k-j loop order keeps the innermost access contiguous for the common
+  // (no-transpose) case.
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = transpose_a ? av[static_cast<std::size_t>(kk) * a_cols + i]
+                                    : av[static_cast<std::size_t>(i) * a_cols + kk];
+      if (aik == 0.0f) continue;
+      if (!transpose_b) {
+        const float* brow = &bv[static_cast<std::size_t>(kk) * b_cols];
+        float* crow = &cv[static_cast<std::size_t>(i) * n];
+        for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      } else {
+        float* crow = &cv[static_cast<std::size_t>(i) * n];
+        for (int j = 0; j < n; ++j) {
+          crow[j] += aik * bv[static_cast<std::size_t>(j) * b_cols + kk];
+        }
+      }
+    }
+  }
+  (void)a_rows;
+  return c;
+}
+
+namespace {
+inline int conv_out_dim(int in, int kernel, int stride, int padding) {
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+}  // namespace
+
+void im2col(const float* image, int cin, int h, int w, int kh, int kw,
+            const Conv2dSpec& spec, int ho, int wo, float* col) {
+  float* cp = col;
+  for (int ic = 0; ic < cin; ++ic) {
+    const float* plane = image + static_cast<std::size_t>(ic) * h * w;
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx) {
+        for (int oy = 0; oy < ho; ++oy) {
+          const int iy = oy * spec.stride - spec.padding + ky;
+          if (iy < 0 || iy >= h) {
+            for (int ox = 0; ox < wo; ++ox) *cp++ = 0.0f;
+            continue;
+          }
+          const float* row = &plane[static_cast<std::size_t>(iy) * w];
+          for (int ox = 0; ox < wo; ++ox) {
+            const int ix = ox * spec.stride - spec.padding + kx;
+            *cp++ = (ix < 0 || ix >= w) ? 0.0f : row[ix];
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+struct ConvDims {
+  int n, cin, h, w, cout, kh, kw, ho, wo, kdim, pdim;
+};
+
+ConvDims conv_dims(const Tensor& input, const Tensor& weight, const Conv2dSpec& spec) {
+  FC_REQUIRE(input.shape().rank() == 4, "conv2d input must be [N,C,H,W]");
+  FC_REQUIRE(weight.shape().rank() == 4, "conv2d weight must be [O,C,kh,kw]");
+  ConvDims d;
+  d.n = input.shape()[0];
+  d.cin = input.shape()[1];
+  d.h = input.shape()[2];
+  d.w = input.shape()[3];
+  d.cout = weight.shape()[0];
+  d.kh = weight.shape()[2];
+  d.kw = weight.shape()[3];
+  FC_REQUIRE(weight.shape()[1] == d.cin, "conv2d channel mismatch");
+  d.ho = conv_out_dim(d.h, d.kh, spec.stride, spec.padding);
+  d.wo = conv_out_dim(d.w, d.kw, spec.stride, spec.padding);
+  FC_REQUIRE(d.ho > 0 && d.wo > 0, "conv2d output would be empty");
+  d.kdim = d.cin * d.kh * d.kw;
+  d.pdim = d.ho * d.wo;
+  return d;
+}
+
+}  // namespace
+
+Tensor conv2d_forward_cached(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                             const Conv2dSpec& spec, std::vector<float>& col_cache) {
+  const ConvDims d = conv_dims(input, weight, spec);
+  FC_REQUIRE(bias.shape().rank() == 1 && bias.shape()[0] == d.cout, "conv2d bias mismatch");
+  col_cache.resize(static_cast<std::size_t>(d.n) * d.kdim * d.pdim);
+
+  Tensor out(Shape{d.n, d.cout, d.ho, d.wo});
+  const auto in = input.data();
+  const auto wt = weight.data();
+  const auto bs = bias.data();
+  auto ov = out.data();
+
+  for (int b = 0; b < d.n; ++b) {
+    float* col = &col_cache[static_cast<std::size_t>(b) * d.kdim * d.pdim];
+    im2col(&in[static_cast<std::size_t>(b) * d.cin * d.h * d.w], d.cin, d.h, d.w, d.kh, d.kw,
+           spec, d.ho, d.wo, col);
+    // GEMM: out[oc, :] = weight[oc, :] · col
+    for (int oc = 0; oc < d.cout; ++oc) {
+      float* orow = &ov[(static_cast<std::size_t>(b) * d.cout + oc) * d.pdim];
+      std::fill(orow, orow + d.pdim, bs[oc]);
+      const float* wrow = &wt[static_cast<std::size_t>(oc) * d.kdim];
+      for (int k = 0; k < d.kdim; ++k) {
+        const float wk = wrow[k];
+        if (wk == 0.0f) continue;
+        const float* crow = &col[static_cast<std::size_t>(k) * d.pdim];
+        for (int p = 0; p < d.pdim; ++p) orow[p] += wk * crow[p];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                      const Conv2dSpec& spec) {
+  std::vector<float> scratch;
+  return conv2d_forward_cached(input, weight, bias, spec, scratch);
+}
+
+Conv2dGrads conv2d_backward_cached(const Tensor& input, const Tensor& weight,
+                                   const Tensor& grad_output, const Conv2dSpec& spec,
+                                   const std::vector<float>& col_cache) {
+  const ConvDims d = conv_dims(input, weight, spec);
+  FC_REQUIRE(grad_output.shape()[0] == d.n && grad_output.shape()[1] == d.cout,
+             "conv2d_backward grad_output shape mismatch");
+  FC_REQUIRE(col_cache.size() == static_cast<std::size_t>(d.n) * d.kdim * d.pdim,
+             "conv2d_backward column cache has the wrong size");
+
+  Conv2dGrads g{Tensor(input.shape()), Tensor(weight.shape()), Tensor(Shape{d.cout})};
+  const auto wt = weight.data();
+  const auto go = grad_output.data();
+  auto gi = g.grad_input.data();
+  auto gw = g.grad_weight.data();
+  auto gb = g.grad_bias.data();
+
+  std::vector<float> gcol(static_cast<std::size_t>(d.kdim) * d.pdim);
+
+  for (int b = 0; b < d.n; ++b) {
+    const float* col = &col_cache[static_cast<std::size_t>(b) * d.kdim * d.pdim];
+    std::fill(gcol.begin(), gcol.end(), 0.0f);
+    for (int oc = 0; oc < d.cout; ++oc) {
+      const float* grow = &go[(static_cast<std::size_t>(b) * d.cout + oc) * d.pdim];
+      float* gwrow = &gw[static_cast<std::size_t>(oc) * d.kdim];
+      const float* wrow = &wt[static_cast<std::size_t>(oc) * d.kdim];
+      float gbacc = 0.0f;
+      for (int p = 0; p < d.pdim; ++p) gbacc += grow[p];
+      gb[oc] += gbacc;
+      // Two separate vectorizable passes: gw[k] += <grow, col_k> and
+      // gcol_k += w_k · grow.
+      for (int k = 0; k < d.kdim; ++k) {
+        const float* crow = &col[static_cast<std::size_t>(k) * d.pdim];
+        float acc = 0.0f;
+        for (int p = 0; p < d.pdim; ++p) acc += grow[p] * crow[p];
+        gwrow[k] += acc;
+      }
+      for (int k = 0; k < d.kdim; ++k) {
+        const float wk = wrow[k];
+        if (wk == 0.0f) continue;
+        float* gcrow = &gcol[static_cast<std::size_t>(k) * d.pdim];
+        for (int p = 0; p < d.pdim; ++p) gcrow[p] += wk * grow[p];
+      }
+    }
+
+    // col2im scatter of gcol into grad_input.
+    const float* gcp = gcol.data();
+    float* gimage = &gi[static_cast<std::size_t>(b) * d.cin * d.h * d.w];
+    for (int ic = 0; ic < d.cin; ++ic) {
+      float* plane = gimage + static_cast<std::size_t>(ic) * d.h * d.w;
+      for (int ky = 0; ky < d.kh; ++ky) {
+        for (int kx = 0; kx < d.kw; ++kx) {
+          for (int oy = 0; oy < d.ho; ++oy) {
+            const int iy = oy * spec.stride - spec.padding + ky;
+            if (iy < 0 || iy >= d.h) {
+              gcp += d.wo;
+              continue;
+            }
+            float* row = &plane[static_cast<std::size_t>(iy) * d.w];
+            for (int ox = 0; ox < d.wo; ++ox) {
+              const int ix = ox * spec.stride - spec.padding + kx;
+              if (ix >= 0 && ix < d.w) row[ix] += *gcp;
+              ++gcp;
+            }
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& grad_output, const Conv2dSpec& spec) {
+  const ConvDims d = conv_dims(input, weight, spec);
+  std::vector<float> col(static_cast<std::size_t>(d.n) * d.kdim * d.pdim);
+  const auto in = input.data();
+  for (int b = 0; b < d.n; ++b) {
+    im2col(&in[static_cast<std::size_t>(b) * d.cin * d.h * d.w], d.cin, d.h, d.w, d.kh, d.kw,
+           spec, d.ho, d.wo, &col[static_cast<std::size_t>(b) * d.kdim * d.pdim]);
+  }
+  return conv2d_backward_cached(input, weight, grad_output, spec, col);
+}
+
+MaxPoolResult maxpool2d_forward(const Tensor& input, int kernel, int stride) {
+  FC_REQUIRE(input.shape().rank() == 4, "maxpool input must be [N,C,H,W]");
+  FC_REQUIRE(kernel > 0 && stride > 0, "maxpool kernel/stride must be positive");
+  const int n = input.shape()[0], c = input.shape()[1], h = input.shape()[2],
+            w = input.shape()[3];
+  const int ho = (h - kernel) / stride + 1;
+  const int wo = (w - kernel) / stride + 1;
+  FC_REQUIRE(ho > 0 && wo > 0, "maxpool output would be empty");
+
+  MaxPoolResult result{Tensor(Shape{n, c, ho, wo}), {}};
+  result.argmax.resize(result.output.size());
+  const auto in = input.data();
+  auto out = result.output.data();
+
+  std::size_t oi = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int oy = 0; oy < ho; ++oy) {
+        for (int ox = 0; ox < wo; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = -1;
+          for (int ky = 0; ky < kernel; ++ky) {
+            const int iy = oy * stride + ky;
+            const std::size_t row = ((static_cast<std::size_t>(b) * c + ch) * h + iy) * w;
+            for (int kx = 0; kx < kernel; ++kx) {
+              const int ix = ox * stride + kx;
+              const float v = in[row + ix];
+              if (v > best) {
+                best = v;
+                best_idx = static_cast<std::int64_t>(row + ix);
+              }
+            }
+          }
+          out[oi] = best;
+          result.argmax[oi] = best_idx;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Tensor maxpool2d_backward(const Shape& input_shape, const std::vector<std::int64_t>& argmax,
+                          const Tensor& grad_output) {
+  FC_REQUIRE(argmax.size() == grad_output.size(), "maxpool argmax/grad size mismatch");
+  Tensor grad_in(input_shape);
+  auto gi = grad_in.data();
+  const auto go = grad_output.data();
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    gi[static_cast<std::size_t>(argmax[i])] += go[i];
+  }
+  return grad_in;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  FC_REQUIRE(logits.shape().rank() == 2, "softmax_rows requires [N,K]");
+  const int n = logits.shape()[0], k = logits.shape()[1];
+  Tensor out(logits.shape());
+  const auto in = logits.data();
+  auto ov = out.data();
+  for (int i = 0; i < n; ++i) {
+    const float* row = &in[static_cast<std::size_t>(i) * k];
+    float* orow = &ov[static_cast<std::size_t>(i) * k];
+    float mx = row[0];
+    for (int j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (int j = 0; j < k; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    for (int j = 0; j < k; ++j) orow[j] /= denom;
+  }
+  return out;
+}
+
+std::vector<int> argmax_rows(const Tensor& t) {
+  FC_REQUIRE(t.shape().rank() == 2, "argmax_rows requires [N,K]");
+  const int n = t.shape()[0], k = t.shape()[1];
+  std::vector<int> out(static_cast<std::size_t>(n));
+  const auto v = t.data();
+  for (int i = 0; i < n; ++i) {
+    const float* row = &v[static_cast<std::size_t>(i) * k];
+    int best = 0;
+    for (int j = 1; j < k; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+std::pair<double, double> mean_stddev(std::span<const float> values) {
+  FC_REQUIRE(!values.empty(), "mean_stddev of empty span");
+  double mean = 0.0;
+  for (float v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (float v : values) {
+    const double d = v - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(values.size());
+  return {mean, std::sqrt(var)};
+}
+
+}  // namespace fedcleanse::tensor

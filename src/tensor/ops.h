@@ -1,0 +1,72 @@
+// Numeric kernels on Tensor: matrix multiply, 2-D convolution and pooling
+// (forward + backward), row softmax, and weight statistics. These are the
+// testable primitives that the nn layers delegate to.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedcleanse::tensor {
+
+// C[m,n] = A[m,k] · B[k,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+// C[k_a?,..] with optional transposes: computes op(A) · op(B) where
+// op transposes the 2-D argument when the flag is set.
+Tensor matmul_t(const Tensor& a, bool transpose_a, const Tensor& b, bool transpose_b);
+
+struct Conv2dSpec {
+  int stride = 1;
+  int padding = 0;
+};
+
+// input [N, Cin, H, W], weight [Cout, Cin, kh, kw], bias [Cout]
+// → output [N, Cout, Ho, Wo] with Ho = (H + 2p − kh)/s + 1.
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                      const Conv2dSpec& spec);
+
+struct Conv2dGrads {
+  Tensor grad_input;
+  Tensor grad_weight;
+  Tensor grad_bias;
+};
+
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& grad_output, const Conv2dSpec& spec);
+
+// im2col: unfold one image's receptive fields into a [kdim, pdim] column
+// buffer (kdim = Cin·kh·kw, pdim = Ho·Wo). Shared by conv forward/backward;
+// the NN layer caches the result so backward skips the rebuild.
+void im2col(const float* image, int cin, int h, int w, int kh, int kw,
+            const Conv2dSpec& spec, int ho, int wo, float* col);
+
+// Variants that reuse a caller-provided column cache holding the unfolded
+// batch ([N][kdim·pdim], concatenated).
+Tensor conv2d_forward_cached(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                             const Conv2dSpec& spec, std::vector<float>& col_cache);
+Conv2dGrads conv2d_backward_cached(const Tensor& input, const Tensor& weight,
+                                   const Tensor& grad_output, const Conv2dSpec& spec,
+                                   const std::vector<float>& col_cache);
+
+struct MaxPoolResult {
+  Tensor output;
+  // Flat input index of the argmax for every output element, used by backward.
+  std::vector<std::int64_t> argmax;
+};
+
+// Non-overlapping (stride == kernel) and overlapping max pooling.
+MaxPoolResult maxpool2d_forward(const Tensor& input, int kernel, int stride);
+Tensor maxpool2d_backward(const Shape& input_shape, const std::vector<std::int64_t>& argmax,
+                          const Tensor& grad_output);
+
+// Row-wise softmax of logits [N, K].
+Tensor softmax_rows(const Tensor& logits);
+// Row-wise argmax of [N, K].
+std::vector<int> argmax_rows(const Tensor& t);
+
+// Mean and standard deviation (population) of a float span.
+std::pair<double, double> mean_stddev(std::span<const float> values);
+
+}  // namespace fedcleanse::tensor

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "fl/aggregation.h"
+#include "fl/attack.h"
+
+using namespace fedcleanse;
+using namespace fedcleanse::fl;
+
+namespace {
+
+std::vector<std::vector<float>> identical_updates(int n, std::vector<float> u) {
+  return std::vector<std::vector<float>>(static_cast<std::size_t>(n), std::move(u));
+}
+
+}  // namespace
+
+TEST(MeanUpdate, HandComputed) {
+  auto out = mean_update({{1, 2}, {3, 4}});
+  EXPECT_EQ(out, (std::vector<float>{2, 3}));
+}
+
+TEST(MeanUpdate, IdentityOnIdenticalUpdates) {
+  auto out = mean_update(identical_updates(5, {1.5f, -2.0f}));
+  EXPECT_EQ(out, (std::vector<float>{1.5f, -2.0f}));
+}
+
+TEST(MeanUpdate, EmptyThrows) { EXPECT_THROW(mean_update({}), Error); }
+
+TEST(MeanUpdate, DimensionMismatchThrows) {
+  EXPECT_THROW(mean_update({{1, 2}, {1}}), Error);
+}
+
+TEST(Median, OddCount) {
+  auto out = coordinate_median({{1, 10}, {2, 20}, {100, -5}});
+  EXPECT_EQ(out, (std::vector<float>{2, 10}));
+}
+
+TEST(Median, EvenCountAverages) {
+  auto out = coordinate_median({{1}, {3}, {5}, {7}});
+  EXPECT_EQ(out, (std::vector<float>{4}));
+}
+
+TEST(Median, RobustToSingleOutlier) {
+  // One byzantine update with a huge value barely moves the median.
+  auto honest = identical_updates(9, {1.0f});
+  honest.push_back({1e9f});
+  auto out = coordinate_median(honest);
+  EXPECT_NEAR(out[0], 1.0f, 1e-6f);
+}
+
+TEST(TrimmedMean, DropsExtremes) {
+  auto out = trimmed_mean({{0}, {1}, {2}, {3}, {1000}}, 1);
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+}
+
+TEST(TrimmedMean, RejectsOverTrim) {
+  EXPECT_THROW(trimmed_mean({{1}, {2}}, 1), Error);
+}
+
+TEST(Krum, SelectsClusterMember) {
+  // 6 honest updates near 1.0, 2 byzantine far away → Krum (f=2) must pick
+  // an honest one.
+  common::Rng rng(3);
+  std::vector<std::vector<float>> updates;
+  for (int i = 0; i < 6; ++i) {
+    std::vector<float> u(8);
+    for (auto& v : u) v = 1.0f + static_cast<float>(rng.normal(0.0, 0.01));
+    updates.push_back(std::move(u));
+  }
+  updates.push_back(std::vector<float>(8, 100.0f));
+  updates.push_back(std::vector<float>(8, -100.0f));
+  const auto idx = krum_index(updates, 2);
+  EXPECT_LT(idx, 6u);
+}
+
+TEST(Krum, RequiresEnoughClients) {
+  EXPECT_THROW(krum(identical_updates(3, {1.0f}), 2), Error);
+}
+
+TEST(MultiKrum, AveragesBestUpdates) {
+  std::vector<std::vector<float>> updates = identical_updates(5, {2.0f});
+  updates.push_back({1000.0f});
+  auto out = multi_krum(updates, 1, 3);
+  EXPECT_NEAR(out[0], 2.0f, 1e-6f);
+}
+
+TEST(Bulyan, RobustToByzantineMinority) {
+  common::Rng rng(4);
+  std::vector<std::vector<float>> updates;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<float> u(4);
+    for (auto& v : u) v = 1.0f + static_cast<float>(rng.normal(0.0, 0.05));
+    updates.push_back(std::move(u));
+  }
+  updates.push_back(std::vector<float>(4, 500.0f));
+  updates.push_back(std::vector<float>(4, -500.0f));
+  auto out = bulyan(updates, 2);
+  for (float v : out) EXPECT_NEAR(v, 1.0f, 0.2f);
+}
+
+TEST(Aggregate, DispatchesAllKinds) {
+  auto updates = identical_updates(6, {1.0f, 2.0f});
+  for (auto kind : {AggregatorKind::kFedAvg, AggregatorKind::kMedian,
+                    AggregatorKind::kTrimmedMean, AggregatorKind::kKrum,
+                    AggregatorKind::kMultiKrum, AggregatorKind::kBulyan}) {
+    auto out = aggregate(kind, updates, 1);
+    EXPECT_NEAR(out[0], 1.0f, 1e-6f) << aggregator_name(kind);
+    EXPECT_NEAR(out[1], 2.0f, 1e-6f) << aggregator_name(kind);
+  }
+}
+
+TEST(Aggregate, OrderInvariance) {
+  std::vector<std::vector<float>> updates{{1, 5}, {2, 4}, {3, 3}, {4, 2}, {5, 1}};
+  auto shuffled = updates;
+  std::reverse(shuffled.begin(), shuffled.end());
+  for (auto kind : {AggregatorKind::kFedAvg, AggregatorKind::kMedian,
+                    AggregatorKind::kTrimmedMean}) {
+    EXPECT_EQ(aggregate(kind, updates, 1), aggregate(kind, shuffled, 1))
+        << aggregator_name(kind);
+  }
+}
+
+// --- model replacement --------------------------------------------------------
+
+TEST(ModelReplacement, ExactFormula) {
+  std::vector<float> local{2.0f, 4.0f};
+  std::vector<float> global{1.0f, 1.0f};
+  auto update = model_replacement_update(local, global, 3.0);
+  EXPECT_EQ(update, (std::vector<float>{3.0f, 9.0f}));
+}
+
+TEST(ModelReplacement, GammaEqualsNReplacesGlobal) {
+  // With γ = N and all other deltas zero, FedAvg lands exactly on x_atk.
+  const int n = 10;
+  std::vector<float> global{0.5f};
+  std::vector<float> x_atk{3.5f};
+  std::vector<std::vector<float>> updates(n - 1, std::vector<float>{0.0f});
+  updates.push_back(model_replacement_update(x_atk, global, n));
+  auto agg = mean_update(updates);
+  EXPECT_NEAR(global[0] + agg[0], x_atk[0], 1e-5f);
+}
+
+TEST(ModelReplacement, RejectsBadGamma) {
+  std::vector<float> v{1.0f};
+  EXPECT_THROW(model_replacement_update(v, v, 0.5), Error);
+}
+
+TEST(ModelReplacement, RejectsSizeMismatch) {
+  std::vector<float> a{1.0f, 2.0f}, b{1.0f};
+  EXPECT_THROW(model_replacement_update(a, b, 2.0), Error);
+}

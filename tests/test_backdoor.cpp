@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/backdoor.h"
+#include "data/synth.h"
+
+using namespace fedcleanse;
+using namespace fedcleanse::data;
+
+TEST(BackdoorPattern, ApplySetsPixels) {
+  BackdoorPattern p;
+  p.pixels = {{1, 2, 1.0f, -1}, {3, 3, 0.5f, 0}};
+  tensor::Tensor img(tensor::Shape{2, 5, 5});
+  p.apply(img);
+  EXPECT_EQ(img.at(0, 1, 2), 1.0f);
+  EXPECT_EQ(img.at(1, 1, 2), 1.0f);  // channel -1 → all channels
+  EXPECT_EQ(img.at(0, 3, 3), 0.5f);
+  EXPECT_EQ(img.at(1, 3, 3), 0.0f);  // channel 0 only
+}
+
+TEST(BackdoorPattern, AppliedLeavesOriginalUntouched) {
+  BackdoorPattern p;
+  p.pixels = {{0, 0, 1.0f, -1}};
+  tensor::Tensor img(tensor::Shape{1, 3, 3});
+  auto stamped = p.applied(img);
+  EXPECT_EQ(img.at(0, 0, 0), 0.0f);
+  EXPECT_EQ(stamped.at(0, 0, 0), 1.0f);
+}
+
+TEST(BackdoorPattern, OutOfBoundsThrows) {
+  BackdoorPattern p;
+  p.pixels = {{10, 10, 1.0f, -1}};
+  tensor::Tensor img(tensor::Shape{1, 5, 5});
+  EXPECT_THROW(p.apply(img), Error);
+}
+
+class PixelPatternTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PixelPatternTest, HasRequestedPixelCount) {
+  auto p = make_pixel_pattern(GetParam());
+  EXPECT_EQ(p.pixels.size(), static_cast<std::size_t>(GetParam()));
+  // All pixels distinct.
+  std::set<std::pair<int, int>> coords;
+  for (const auto& px : p.pixels) coords.insert({px.y, px.x});
+  EXPECT_EQ(coords.size(), p.pixels.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperPatterns, PixelPatternTest, ::testing::Values(1, 3, 5, 7, 9));
+
+TEST(PixelPattern, RejectsUnsupportedSizes) {
+  EXPECT_THROW(make_pixel_pattern(0), Error);
+  EXPECT_THROW(make_pixel_pattern(10), Error);
+}
+
+TEST(DbaPattern, SplitPartitionsPixels) {
+  auto global = make_dba_global_pattern(16, 16);
+  auto parts = split_dba(global, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  std::size_t total = 0;
+  std::set<std::pair<int, int>> seen;
+  for (const auto& part : parts) {
+    EXPECT_FALSE(part.empty());
+    total += part.pixels.size();
+    for (const auto& px : part.pixels) {
+      EXPECT_TRUE(seen.insert({px.y, px.x}).second) << "pixel assigned to two attackers";
+    }
+  }
+  EXPECT_EQ(total, global.pixels.size());
+}
+
+TEST(DbaPattern, UnionOfPartsEqualsGlobalEffect) {
+  auto global = make_dba_global_pattern(16, 16);
+  auto parts = split_dba(global, 4);
+  tensor::Tensor via_parts(tensor::Shape{3, 16, 16});
+  for (const auto& part : parts) part.apply(via_parts);
+  tensor::Tensor via_global(tensor::Shape{3, 16, 16});
+  global.apply(via_global);
+  EXPECT_EQ(via_parts.storage(), via_global.storage());
+}
+
+TEST(DbaPattern, TooSmallCanvasThrows) {
+  EXPECT_THROW(make_dba_global_pattern(4, 4), Error);
+}
+
+TEST(PoisonTrainingSet, AddsRelabeledCopies) {
+  auto local = make_synth_digits({5, 1, 0.1});
+  auto pattern = make_pixel_pattern(3);
+  auto poisoned = poison_training_set(local, pattern, 9, 1, 2);
+  // 5 victim images × 2 copies each, on top of the original 50.
+  EXPECT_EQ(poisoned.size(), local.size() + 10);
+  // The extra examples carry the attack label.
+  auto hist_before = local.label_histogram();
+  auto hist_after = poisoned.label_histogram();
+  EXPECT_EQ(hist_after[1], hist_before[1] + 10);
+  EXPECT_EQ(hist_after[9], hist_before[9]);
+}
+
+TEST(PoisonTrainingSet, ZeroCopiesIsOriginal) {
+  auto local = make_synth_digits({3, 1, 0.1});
+  auto poisoned = poison_training_set(local, make_pixel_pattern(1), 9, 0, 0);
+  EXPECT_EQ(poisoned.size(), local.size());
+}
+
+TEST(BackdoorTestset, OnlyVictimImagesAllAttackLabeled) {
+  auto test = make_synth_digits({6, 2, 0.1});
+  auto pattern = make_pixel_pattern(5);
+  auto bd = make_backdoor_testset(test, pattern, 9, 3);
+  EXPECT_EQ(bd.size(), 6u);
+  for (std::size_t i = 0; i < bd.size(); ++i) {
+    EXPECT_EQ(bd.label(i), 3);
+    // Trigger stamped.
+    EXPECT_EQ(bd.image(i).at(0, pattern.pixels[0].y, pattern.pixels[0].x), 1.0f);
+  }
+}
+
+TEST(BackdoorTestset, NoVictimExamplesThrows) {
+  Dataset test(10);
+  test.add(tensor::Tensor(tensor::Shape{1, 5, 5}), 0);
+  EXPECT_THROW(make_backdoor_testset(test, make_pixel_pattern(1), 9, 0), Error);
+}

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "comm/network.h"
+
+using namespace fedcleanse;
+using namespace fedcleanse::comm;
+
+namespace {
+
+Message make_msg(MessageType type, std::vector<std::uint8_t> payload = {}) {
+  Message m;
+  m.type = type;
+  m.round = 3;
+  m.sender = -1;
+  m.payload = std::move(payload);
+  return m;
+}
+
+}  // namespace
+
+TEST(Channel, FifoOrder) {
+  Channel ch;
+  ch.send(make_msg(MessageType::kModelBroadcast));
+  ch.send(make_msg(MessageType::kRankRequest));
+  EXPECT_EQ(ch.try_recv()->type, MessageType::kModelBroadcast);
+  EXPECT_EQ(ch.try_recv()->type, MessageType::kRankRequest);
+  EXPECT_FALSE(ch.try_recv().has_value());
+}
+
+TEST(Channel, CountsBytes) {
+  Channel ch;
+  const auto size = ch.send(make_msg(MessageType::kModelUpdate, {1, 2, 3, 4}));
+  EXPECT_EQ(size, 14u);  // 4 payload + 10 header
+  EXPECT_EQ(ch.bytes_sent(), 14u);
+}
+
+TEST(Channel, BlockingRecvAcrossThreads) {
+  Channel ch;
+  std::thread producer([&] { ch.send(make_msg(MessageType::kVoteReport)); });
+  auto msg = ch.recv();
+  EXPECT_EQ(msg.type, MessageType::kVoteReport);
+  producer.join();
+}
+
+TEST(Network, RoutesPerClient) {
+  Network net(3);
+  net.send_to_client(1, make_msg(MessageType::kModelBroadcast));
+  EXPECT_FALSE(net.client_try_recv(0).has_value());
+  EXPECT_TRUE(net.client_try_recv(1).has_value());
+  net.send_to_server(2, make_msg(MessageType::kModelUpdate));
+  EXPECT_FALSE(net.try_recv_from_client(1).has_value());
+  EXPECT_TRUE(net.try_recv_from_client(2).has_value());
+}
+
+TEST(Network, TrafficAccounting) {
+  Network net(2);
+  net.send_to_client(0, make_msg(MessageType::kModelBroadcast, {1, 2}));
+  net.send_to_server(1, make_msg(MessageType::kModelUpdate, {1, 2, 3}));
+  EXPECT_EQ(net.downlink_bytes(), 12u);
+  EXPECT_EQ(net.uplink_bytes(), 13u);
+  EXPECT_EQ(net.total_bytes(), 25u);
+}
+
+TEST(Network, RejectsBadClientId) {
+  Network net(2);
+  EXPECT_THROW(net.send_to_client(2, make_msg(MessageType::kModelBroadcast)), Error);
+  EXPECT_THROW(net.send_to_client(-1, make_msg(MessageType::kModelBroadcast)), Error);
+}
+
+TEST(Codecs, FlatParamsRoundTrip) {
+  std::vector<float> params{1.5f, -2.0f, 0.0f};
+  EXPECT_EQ(decode_flat_params(encode_flat_params(params)), params);
+}
+
+TEST(Codecs, RanksRoundTrip) {
+  std::vector<std::uint32_t> ranks{3, 1, 2};
+  EXPECT_EQ(decode_ranks(encode_ranks(ranks)), ranks);
+}
+
+TEST(Codecs, VotesRoundTrip) {
+  std::vector<std::uint8_t> votes{1, 0, 0, 1};
+  EXPECT_EQ(decode_votes(encode_votes(votes)), votes);
+}
+
+TEST(Codecs, MasksRoundTrip) {
+  std::vector<std::vector<std::uint8_t>> masks{{1, 0}, {}, {1, 1, 1}};
+  EXPECT_EQ(decode_masks(encode_masks(masks)), masks);
+}
+
+TEST(Codecs, AccuracyRoundTrip) {
+  EXPECT_DOUBLE_EQ(decode_accuracy(encode_accuracy(0.925)), 0.925);
+}
+
+TEST(Codecs, MalformedPayloadThrows) {
+  std::vector<std::uint8_t> garbage{1, 2};
+  EXPECT_THROW(decode_flat_params(garbage), SerializationError);
+  EXPECT_THROW(decode_masks(garbage), SerializationError);
+}
+
+TEST(MessageNames, AllNamed) {
+  for (auto t : {MessageType::kModelBroadcast, MessageType::kModelUpdate,
+                 MessageType::kRankRequest, MessageType::kRankReport,
+                 MessageType::kVoteRequest, MessageType::kVoteReport,
+                 MessageType::kMaskBroadcast, MessageType::kAccuracyRequest,
+                 MessageType::kAccuracyReport}) {
+    EXPECT_STRNE(message_type_name(t), "?");
+  }
+}

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/partition.h"
+#include "data/synth.h"
+
+using namespace fedcleanse;
+using namespace fedcleanse::data;
+
+class SynthDatasetTest : public ::testing::TestWithParam<SynthKind> {};
+
+TEST_P(SynthDatasetTest, SizeClassesAndRange) {
+  SynthConfig cfg{12, 5, 0.1};
+  auto ds = make_synth(GetParam(), cfg);
+  EXPECT_EQ(ds.size(), 120u);
+  EXPECT_EQ(ds.num_classes(), 10);
+  auto hist = ds.label_histogram();
+  for (auto count : hist) EXPECT_EQ(count, 12u);
+  for (std::size_t i = 0; i < ds.size(); i += 17) {
+    EXPECT_GE(ds.image(i).min(), 0.0f);
+    EXPECT_LE(ds.image(i).max(), 1.0f);
+  }
+}
+
+TEST_P(SynthDatasetTest, DeterministicBySeed) {
+  SynthConfig cfg{4, 99, 0.1};
+  auto a = make_synth(GetParam(), cfg);
+  auto b = make_synth(GetParam(), cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.image(i).storage(), b.image(i).storage());
+  }
+}
+
+TEST_P(SynthDatasetTest, DifferentSeedsDiffer) {
+  auto a = make_synth(GetParam(), {4, 1, 0.1});
+  auto b = make_synth(GetParam(), {4, 2, 0.1});
+  EXPECT_NE(a.image(0).storage(), b.image(0).storage());
+}
+
+TEST_P(SynthDatasetTest, ClassesAreSeparated) {
+  // Same-class images must be closer to their class mean than to a random
+  // other class mean on average — a weak but meaningful separability check.
+  auto ds = make_synth(GetParam(), {20, 3, 0.05});
+  std::vector<tensor::Tensor> means;
+  for (int c = 0; c < 10; ++c) {
+    auto idx = ds.indices_of_label(c);
+    tensor::Tensor mean(ds.image(idx[0]).shape());
+    for (auto i : idx) mean += ds.image(i);
+    mean *= 1.0f / static_cast<float>(idx.size());
+    means.push_back(std::move(mean));
+  }
+  int wins = 0, total = 0;
+  for (int c = 0; c < 10; ++c) {
+    auto idx = ds.indices_of_label(c);
+    for (std::size_t k = 0; k < idx.size(); k += 5) {
+      const auto& img = ds.image(idx[k]);
+      auto dist = [&](const tensor::Tensor& m) {
+        auto d = img;
+        d -= m;
+        return d.norm();
+      };
+      const float own = dist(means[static_cast<std::size_t>(c)]);
+      const float other = dist(means[static_cast<std::size_t>((c + 5) % 10)]);
+      wins += (own < other) ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(wins) / total, 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SynthDatasetTest,
+                         ::testing::Values(SynthKind::kDigits, SynthKind::kFashion,
+                                           SynthKind::kObjects),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case SynthKind::kDigits: return "digits";
+                             case SynthKind::kFashion: return "fashion";
+                             case SynthKind::kObjects: return "objects";
+                           }
+                           return "?";
+                         });
+
+TEST(Dataset, BatchStacking) {
+  auto ds = make_synth_digits({2, 1, 0.1});
+  std::vector<std::size_t> idx{0, 3, 5};
+  auto batch = ds.make_batch(idx);
+  EXPECT_EQ(batch.images.shape(), (tensor::Shape{3, 1, 20, 20}));
+  EXPECT_EQ(batch.labels.size(), 3u);
+  // First row of the batch equals the first image.
+  for (int i = 0; i < 20 * 20; ++i) {
+    EXPECT_EQ(batch.images[static_cast<std::size_t>(i)], ds.image(0)[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Dataset, ShuffledBatchesCoverEverything) {
+  auto ds = make_synth_digits({3, 1, 0.1});
+  common::Rng rng(1);
+  auto batches = ds.shuffled_batches(7, rng);
+  std::set<std::size_t> seen;
+  for (const auto& b : batches) {
+    EXPECT_LE(b.size(), 7u);
+    seen.insert(b.begin(), b.end());
+  }
+  EXPECT_EQ(seen.size(), ds.size());
+}
+
+TEST(Dataset, SubsetAndHistogram) {
+  auto ds = make_synth_digits({4, 1, 0.1});
+  auto nines = ds.indices_of_label(9);
+  EXPECT_EQ(nines.size(), 4u);
+  auto sub = ds.subset(nines);
+  for (std::size_t i = 0; i < sub.size(); ++i) EXPECT_EQ(sub.label(i), 9);
+}
+
+TEST(Dataset, AppendConcatenates) {
+  auto a = make_synth_digits({2, 1, 0.1});
+  auto b = make_synth_digits({3, 2, 0.1});
+  const auto na = a.size();
+  a.append(b);
+  EXPECT_EQ(a.size(), na + b.size());
+}
+
+TEST(Dataset, RejectsOutOfRangeLabel) {
+  Dataset ds(10);
+  EXPECT_THROW(ds.add(tensor::Tensor(tensor::Shape{1, 2, 2}), 10), Error);
+}
+
+TEST(Dataset, RejectsMixedShapes) {
+  Dataset ds(10);
+  ds.add(tensor::Tensor(tensor::Shape{1, 2, 2}), 0);
+  EXPECT_THROW(ds.add(tensor::Tensor(tensor::Shape{1, 3, 3}), 0), Error);
+}
+
+// --- partitioning ------------------------------------------------------------
+
+TEST(Partition, LabelCountRespectsK) {
+  auto ds = make_synth_digits({20, 3, 0.1});
+  PartitionConfig cfg;
+  cfg.n_clients = 10;
+  cfg.labels_per_client = 3;
+  cfg.seed = 5;
+  auto locals = partition_k_label(ds, cfg);
+  ASSERT_EQ(locals.size(), 10u);
+  for (const auto& local : locals) {
+    std::set<int> labels(local.labels().begin(), local.labels().end());
+    EXPECT_LE(labels.size(), 3u);
+    EXPECT_GE(labels.size(), 1u);
+  }
+}
+
+TEST(Partition, EveryLabelCovered) {
+  auto ds = make_synth_digits({20, 3, 0.1});
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    PartitionConfig cfg;
+    cfg.n_clients = 10;
+    cfg.labels_per_client = 3;
+    cfg.seed = seed;
+    auto locals = partition_k_label(ds, cfg);
+    std::set<int> covered;
+    for (const auto& local : locals) {
+      covered.insert(local.labels().begin(), local.labels().end());
+    }
+    EXPECT_EQ(covered.size(), 10u) << "seed " << seed;
+  }
+}
+
+TEST(Partition, EqualSamplesPerClient) {
+  auto ds = make_synth_digits({30, 3, 0.1});
+  PartitionConfig cfg;
+  cfg.n_clients = 6;
+  cfg.labels_per_client = 3;
+  cfg.seed = 1;
+  auto locals = partition_k_label(ds, cfg);
+  for (const auto& local : locals) EXPECT_EQ(local.size(), ds.size() / 6);
+}
+
+TEST(Partition, ForcedLabelsHonored) {
+  auto ds = make_synth_digits({20, 3, 0.1});
+  PartitionConfig cfg;
+  cfg.n_clients = 10;
+  cfg.labels_per_client = 3;
+  cfg.seed = 9;
+  cfg.forced_labels = {{0, 9}, {1, 9}};
+  auto locals = partition_k_label(ds, cfg);
+  for (int c : {0, 1}) {
+    bool has9 = false;
+    for (int l : locals[static_cast<std::size_t>(c)].labels()) has9 |= (l == 9);
+    EXPECT_TRUE(has9) << "client " << c;
+  }
+}
+
+TEST(Partition, DeterministicBySeed) {
+  auto ds = make_synth_digits({10, 3, 0.1});
+  PartitionConfig cfg;
+  cfg.n_clients = 5;
+  cfg.labels_per_client = 2;
+  cfg.seed = 42;
+  auto a = partition_k_label(ds, cfg);
+  auto b = partition_k_label(ds, cfg);
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    EXPECT_EQ(a[c].labels(), b[c].labels());
+  }
+}
+
+TEST(Partition, PlanRejectsBadConfig) {
+  common::Rng rng(1);
+  EXPECT_THROW(plan_label_assignment(0, 3, 10, {}, rng), Error);
+  EXPECT_THROW(plan_label_assignment(5, 11, 10, {}, rng), Error);
+  EXPECT_THROW(plan_label_assignment(5, 0, 10, {}, rng), Error);
+}

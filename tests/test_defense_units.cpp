@@ -1,0 +1,268 @@
+// Unit tests for the defense primitives: ranking, RAP, MVP, the pruning
+// engine, and adjusting extreme weights.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "defense/activation_ranking.h"
+#include "defense/adjust_weights.h"
+#include "defense/majority_vote.h"
+#include "defense/pruning.h"
+#include "defense/rank_aggregation.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/model_zoo.h"
+#include "tensor/ops.h"
+
+using namespace fedcleanse;
+using namespace fedcleanse::defense;
+using fedcleanse::common::Rng;
+
+TEST(Ranking, RanksFromMeans) {
+  auto ranks = ranks_from_means({0.5, 0.9, 0.1});
+  EXPECT_EQ(ranks, (std::vector<std::uint32_t>{2, 1, 3}));
+}
+
+TEST(Ranking, TiesBrokenByIndex) {
+  auto ranks = ranks_from_means({0.5, 0.5, 0.5});
+  EXPECT_EQ(ranks, (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(Ranking, PruningOrderMostDormantFirst) {
+  auto order = pruning_order_from_dormancy({1.0, 3.0, 2.0});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(Ranking, ValidatesReports) {
+  EXPECT_TRUE(is_valid_rank_report({2, 1, 3}, 3));
+  EXPECT_FALSE(is_valid_rank_report({1, 1, 3}, 3));   // duplicate
+  EXPECT_FALSE(is_valid_rank_report({0, 1, 2}, 3));   // out of range
+  EXPECT_FALSE(is_valid_rank_report({1, 2, 4}, 3));   // out of range
+  EXPECT_FALSE(is_valid_rank_report({1, 2}, 3));      // wrong length
+}
+
+TEST(RapAggregate, MeanOfRanks) {
+  auto mean = rap_aggregate({{1, 2, 3}, {3, 2, 1}}, 3);
+  EXPECT_EQ(mean, (std::vector<double>{2, 2, 2}));
+}
+
+TEST(RapAggregate, IgnoresMalformedReports) {
+  auto mean = rap_aggregate({{1, 2, 3}, {9, 9, 9}, {1, 2}}, 3);
+  EXPECT_EQ(mean, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(RapAggregate, AllInvalidThrows) {
+  EXPECT_THROW(rap_aggregate({{7, 7, 7}}, 3), Error);
+}
+
+TEST(RapAggregate, MinorityAttackerInfluenceBounded) {
+  // With N honest reports and 1 attacker, the attacker can move a neuron's
+  // mean rank by at most (P−1)/N positions.
+  const int p = 10, n_honest = 9;
+  std::vector<std::uint32_t> honest(static_cast<std::size_t>(p));
+  std::iota(honest.begin(), honest.end(), 1);
+  std::vector<std::vector<std::uint32_t>> reports(n_honest, honest);
+  auto base = rap_aggregate(reports, p);
+
+  // Attacker promotes neuron p−1 (most dormant) to rank 1.
+  auto attack = honest;
+  std::swap(attack.front(), attack.back());
+  reports.push_back(attack);
+  auto skewed = rap_aggregate(reports, p);
+  const double shift = base[static_cast<std::size_t>(p - 1)] - skewed[static_cast<std::size_t>(p - 1)];
+  EXPECT_LE(shift, static_cast<double>(p - 1) / (n_honest + 1) + 1e-9);
+}
+
+TEST(RapOrder, DormantFirst) {
+  // Client ranks: neuron 2 always most dormant (rank 3).
+  auto order = rap_pruning_order({{1, 2, 3}, {2, 1, 3}}, 3);
+  EXPECT_EQ(order.front(), 2);
+}
+
+TEST(MvpAggregate, VoteShares) {
+  auto shares = mvp_aggregate({{1, 0, 0, 1}, {1, 1, 0, 0}}, 4, 0.5);
+  EXPECT_EQ(shares, (std::vector<double>{1.0, 0.5, 0.0, 0.5}));
+}
+
+TEST(MvpAggregate, DiscardsWrongQuota) {
+  // Second ballot votes 3 of 4 at rate 0.5 (quota 2) → discarded.
+  auto shares = mvp_aggregate({{1, 1, 0, 0}, {1, 1, 1, 0}}, 4, 0.5);
+  EXPECT_EQ(shares, (std::vector<double>{1.0, 1.0, 0.0, 0.0}));
+}
+
+TEST(MvpAggregate, DiscardsNonBinary) {
+  auto shares = mvp_aggregate({{1, 1, 0, 0}, {2, 0, 0, 0}}, 4, 0.5);
+  EXPECT_EQ(shares, (std::vector<double>{1.0, 1.0, 0.0, 0.0}));
+}
+
+TEST(MvpAggregate, AllInvalidThrows) {
+  EXPECT_THROW(mvp_aggregate({{1, 1, 1, 1}}, 4, 0.5), Error);
+}
+
+TEST(MvpExpectedVotes, RoundsAndClamps) {
+  EXPECT_EQ(expected_votes(10, 0.5), 5u);
+  EXPECT_EQ(expected_votes(10, 0.04), 1u);   // at least one
+  EXPECT_EQ(expected_votes(10, 0.99), 9u);   // never the whole layer
+  EXPECT_THROW(expected_votes(10, 0.0), Error);
+  EXPECT_THROW(expected_votes(10, 1.0), Error);
+}
+
+// --- pruning engine -----------------------------------------------------------
+
+namespace {
+
+// Model with a single conv layer whose accuracy oracle is scripted.
+struct PruneFixture {
+  nn::Sequential model;
+  int layer_index;
+
+  explicit PruneFixture(int channels) {
+    Rng rng(5);
+    layer_index = model.add(std::make_unique<nn::Conv2d>(1, channels, 3, rng));
+  }
+};
+
+}  // namespace
+
+TEST(PruneUntil, StopsAtThresholdAndReverts) {
+  PruneFixture fx(8);
+  // Scripted accuracy: fine until 4 neurons pruned, then below threshold.
+  auto& layer = fx.model.layer(fx.layer_index);
+  auto accuracy = [&] {
+    int pruned = 0;
+    for (int u = 0; u < 8; ++u) pruned += layer.unit_active(u) ? 0 : 1;
+    return pruned <= 3 ? 0.95 : 0.80;
+  };
+  std::vector<int> order{0, 1, 2, 3, 4, 5};
+  auto outcome = prune_until(fx.model, fx.layer_index, order, accuracy, 0.90);
+  EXPECT_EQ(outcome.n_pruned, 3);
+  EXPECT_TRUE(layer.unit_active(3));   // the reverted neuron
+  EXPECT_FALSE(layer.unit_active(2));
+  EXPECT_EQ(outcome.trace.size(), 4u);  // includes the reverted step
+  EXPECT_DOUBLE_EQ(outcome.final_accuracy, 0.95);
+}
+
+TEST(PruneUntil, RevertRestoresWeightsExactly) {
+  PruneFixture fx(4);
+  auto* conv = dynamic_cast<nn::Conv2d*>(&fx.model.layer(fx.layer_index));
+  const auto before = conv->weight().storage();
+  // Any prune trips the threshold → everything reverted.
+  auto outcome = prune_until(fx.model, fx.layer_index, {0, 1}, [] { return 0.0; }, 0.5);
+  EXPECT_EQ(outcome.n_pruned, 0);
+  EXPECT_EQ(conv->weight().storage(), before);
+}
+
+TEST(PruneUntil, NeverKillsLastUnit) {
+  PruneFixture fx(3);
+  std::vector<int> order{0, 1, 2};
+  auto outcome = prune_until(fx.model, fx.layer_index, order, [] { return 1.0; }, 0.0);
+  EXPECT_EQ(outcome.n_pruned, 2);
+  EXPECT_TRUE(fx.model.layer(fx.layer_index).unit_active(2));
+}
+
+TEST(PruneUntil, RespectsMaxPrunes) {
+  PruneFixture fx(8);
+  auto outcome =
+      prune_until(fx.model, fx.layer_index, {0, 1, 2, 3}, [] { return 1.0; }, 0.0, nullptr, 2);
+  EXPECT_EQ(outcome.n_pruned, 2);
+}
+
+TEST(PruneUntil, SkipsAlreadyPruned) {
+  PruneFixture fx(4);
+  fx.model.layer(fx.layer_index).set_unit_active(0, false);
+  auto outcome = prune_until(fx.model, fx.layer_index, {0, 1}, [] { return 1.0; }, 0.0);
+  EXPECT_EQ(outcome.n_pruned, 1);  // only neuron 1 newly pruned
+}
+
+TEST(PruneUntil, BadOrderEntryThrows) {
+  PruneFixture fx(4);
+  EXPECT_THROW(prune_until(fx.model, fx.layer_index, {9}, [] { return 1.0; }, 0.0), Error);
+}
+
+// --- adjusting extreme weights -------------------------------------------------
+
+TEST(AdjustWeights, OneShotBoundsSurvivors) {
+  Rng rng(6);
+  nn::Sequential model;
+  const int li = model.add(std::make_unique<nn::Conv2d>(2, 4, 3, rng));
+  auto* conv = dynamic_cast<nn::Conv2d*>(&model.layer(li));
+  conv->weight().storage()[0] = 50.0f;   // plant extremes
+  conv->weight().storage()[10] = -50.0f;
+
+  const auto population = conv->active_weights();
+  const auto [mu, sigma] = tensor::mean_stddev(population);
+  const int zeroed = zero_extreme_weights_once(model, {li}, 2.0);
+  EXPECT_GE(zeroed, 2);
+  const float lo = static_cast<float>(mu - 2.0 * sigma);
+  const float hi = static_cast<float>(mu + 2.0 * sigma);
+  for (float w : conv->weight().data()) {
+    if (w != 0.0f) {
+      EXPECT_GE(w, lo);
+      EXPECT_LE(w, hi);
+    }
+  }
+}
+
+TEST(AdjustWeights, SweepIsMonotoneAndStopsOnAccuracy) {
+  Rng rng(7);
+  nn::Sequential model;
+  const int li = model.add(std::make_unique<nn::Conv2d>(1, 4, 3, rng));
+  int evals = 0;
+  AdjustConfig cfg;
+  cfg.delta_start = 3.0;
+  cfg.delta_step = 0.5;
+  cfg.delta_min = 0.5;
+  cfg.min_accuracy = 0.9;
+  // Accuracy degrades with every accepted step; crosses 0.9 on eval 4.
+  auto accuracy = [&] { return 1.0 - 0.03 * evals++; };
+  auto outcome = adjust_extreme_weights(model, li, cfg, accuracy);
+  // Cumulative zero counts never decrease along the trace.
+  for (std::size_t i = 1; i < outcome.trace.size(); ++i) {
+    EXPECT_GE(outcome.trace[i].weights_zeroed, outcome.trace[i - 1].weights_zeroed);
+  }
+  EXPECT_GE(outcome.final_accuracy, 0.9);
+}
+
+TEST(AdjustWeights, RevertsOvershootingStep) {
+  Rng rng(8);
+  nn::Sequential model;
+  const int li = model.add(std::make_unique<nn::Conv2d>(1, 4, 3, rng));
+  auto* conv = dynamic_cast<nn::Conv2d*>(&model.layer(li));
+  conv->weight().storage()[0] = 40.0f;
+  const auto before = conv->weight().storage();
+
+  AdjustConfig cfg;
+  cfg.delta_start = 2.0;
+  cfg.delta_step = 0.5;
+  cfg.delta_min = 0.5;
+  cfg.min_accuracy = 0.5;
+  // First evaluation (after the Δ=2 clip) is already below the floor.
+  auto outcome = adjust_extreme_weights(model, li, cfg, [] { return 0.1; });
+  EXPECT_EQ(outcome.weights_zeroed, 0);
+  EXPECT_EQ(conv->weight().storage(), before);
+}
+
+TEST(AdjustWeights, WorksOnLinearLayers) {
+  Rng rng(9);
+  nn::Sequential model;
+  const int li = model.add(std::make_unique<nn::Linear>(8, 8, rng));
+  auto* linear = dynamic_cast<nn::Linear*>(&model.layer(li));
+  linear->weight().storage()[5] = 30.0f;
+  EXPECT_GE(zero_extreme_weights_once(model, {li}, 3.0), 1);
+}
+
+TEST(AdjustWeights, DefaultLayersAreConvPlusHead) {
+  Rng rng(10);
+  auto spec = nn::make_mnist_cnn(rng);
+  auto layers = default_adjust_layers(spec.net, spec.last_conv_index);
+  ASSERT_EQ(layers.size(), 3u);  // last conv + two linear layers
+  EXPECT_EQ(layers[0], spec.last_conv_index);
+}
+
+TEST(AdjustWeights, RejectsNonWeightLayer) {
+  Rng rng(11);
+  auto spec = nn::make_mnist_cnn(rng);
+  // tap_index is a ReLU — not adjustable.
+  EXPECT_THROW(zero_extreme_weights_once(spec.net, {spec.tap_index}, 3.0), Error);
+}

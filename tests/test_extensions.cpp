@@ -1,0 +1,252 @@
+// Tests for the extension modules: checkpointing, input normalization,
+// backdoor analysis, Dirichlet partitioning, reputation aggregation, and
+// the evaluation metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "analysis/backdoor_analysis.h"
+#include "data/normalize.h"
+#include "data/partition.h"
+#include "fl/metrics.h"
+#include "fl/reputation.h"
+#include "nn/activations.h"
+#include "nn/checkpoint.h"
+#include "nn/linear.h"
+#include "test_util.h"
+
+using namespace fedcleanse;
+
+// --- checkpointing --------------------------------------------------------------
+
+TEST(Checkpoint, RoundTripsParametersAndMasks) {
+  common::Rng rng(3);
+  auto spec = nn::make_mnist_cnn(rng);
+  spec.net.layer(spec.last_conv_index).set_unit_active(4, false);
+
+  auto bytes = nn::save_model(spec);
+  auto restored = nn::load_model(bytes);
+  EXPECT_EQ(restored.arch, spec.arch);
+  EXPECT_EQ(restored.net.get_flat(), spec.net.get_flat());
+  EXPECT_EQ(restored.net.prune_masks(), spec.net.prune_masks());
+  EXPECT_EQ(restored.last_conv_index, spec.last_conv_index);
+}
+
+TEST(Checkpoint, RestoredModelPredictsIdentically) {
+  common::Rng rng(4);
+  auto spec = nn::make_small_nn(rng);
+  auto restored = nn::load_model(nn::save_model(spec));
+  auto x = tensor::Tensor::rand_uniform(tensor::Shape{3, 1, 20, 20}, rng, 0.0f, 1.0f);
+  EXPECT_EQ(spec.net.forward(x).storage(), restored.net.forward(x).storage());
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  common::Rng rng(5);
+  auto spec = nn::make_small_nn(rng);
+  const std::string path = "/tmp/fedcleanse_test_ckpt.fckp";
+  nn::save_model_file(spec, path);
+  auto restored = nn::load_model_file(path);
+  EXPECT_EQ(restored.net.get_flat(), spec.net.get_flat());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+  std::vector<std::uint8_t> garbage{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_THROW(nn::load_model(garbage), Error);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  EXPECT_THROW(nn::load_model_file("/nonexistent/path.fckp"), Error);
+}
+
+// --- input normalization ----------------------------------------------------------
+
+TEST(Normalize, ClampBoundsPixels) {
+  tensor::Tensor img(tensor::Shape{1, 2, 2}, {-1.0f, 0.5f, 2.0f, 1.0f});
+  data::clamp_image(img);
+  EXPECT_EQ(img.storage(), (std::vector<float>{0.0f, 0.5f, 1.0f, 1.0f}));
+}
+
+TEST(Normalize, RescaleMapsToUnitRange) {
+  tensor::Tensor img(tensor::Shape{1, 1, 3}, {2.0f, 4.0f, 6.0f});
+  data::rescale_image(img);
+  EXPECT_EQ(img.storage(), (std::vector<float>{0.0f, 0.5f, 1.0f}));
+}
+
+TEST(Normalize, RescaleConstantImageIsNoop) {
+  tensor::Tensor img(tensor::Shape{1, 1, 2}, {3.0f, 3.0f});
+  data::rescale_image(img);
+  EXPECT_EQ(img.storage(), (std::vector<float>{3.0f, 3.0f}));
+}
+
+TEST(Normalize, DatasetWideClamp) {
+  data::Dataset ds(10);
+  ds.add(tensor::Tensor(tensor::Shape{1, 2, 2}, {5.0f, -5.0f, 0.5f, 0.5f}), 0);
+  EXPECT_FALSE(data::is_normalized(ds));
+  data::normalize_dataset(ds, data::NormalizeMode::kClamp);
+  EXPECT_TRUE(data::is_normalized(ds));
+}
+
+TEST(Normalize, SynthDataIsAlreadyNormalized) {
+  auto ds = data::make_synth_digits({4, 1, 0.1});
+  EXPECT_TRUE(data::is_normalized(ds));
+}
+
+// --- backdoor analysis -------------------------------------------------------------
+
+TEST(Analysis, ProfileIsNonDestructive) {
+  fl::Simulation sim(testutil::tiny_sim_config(61));
+  sim.run(false);
+  auto& model = sim.server().model();
+  const auto before = model.net.get_flat();
+  auto profiles = analysis::profile_channels(model, sim.test_set(), sim.backdoor_testset());
+  EXPECT_EQ(model.net.get_flat(), before);
+  EXPECT_EQ(static_cast<int>(profiles.size()),
+            model.net.layer(model.last_conv_index).prunable_units());
+  for (const auto& p : profiles) {
+    EXPECT_GE(p.clean_activation, 0.0);
+    EXPECT_GE(p.backdoor_activation, 0.0);
+    EXPECT_NEAR(p.trigger_gap, p.backdoor_activation - p.clean_activation, 1e-12);
+    EXPECT_GE(p.test_acc_without, 0.0);
+    EXPECT_LE(p.test_acc_without, 1.0);
+  }
+}
+
+TEST(Analysis, OracleCurveRestoresModel) {
+  fl::Simulation sim(testutil::tiny_sim_config(62));
+  sim.run(false);
+  auto& model = sim.server().model();
+  const auto before = model.net.get_flat();
+  const auto masks_before = model.net.prune_masks();
+  auto curve =
+      analysis::oracle_prune_curve(model, sim.test_set(), sim.backdoor_testset(), 5);
+  EXPECT_EQ(curve.size(), 5u);
+  EXPECT_EQ(model.net.get_flat(), before);
+  EXPECT_EQ(model.net.prune_masks(), masks_before);
+  // Channels in the curve are distinct.
+  std::set<int> channels;
+  for (const auto& step : curve) channels.insert(step.channel);
+  EXPECT_EQ(channels.size(), curve.size());
+}
+
+TEST(Analysis, ChannelMeansMatchAccumulatorWidth) {
+  fl::Simulation sim(testutil::tiny_sim_config(63));
+  auto& model = sim.server().model();
+  auto means = analysis::channel_means(model, sim.test_set());
+  EXPECT_EQ(static_cast<int>(means.size()),
+            model.net.layer(model.last_conv_index).prunable_units());
+}
+
+// --- dirichlet partition --------------------------------------------------------------
+
+TEST(Dirichlet, PartitionCoversAllExamples) {
+  auto ds = data::make_synth_digits({20, 1, 0.1});
+  auto locals = data::partition_dirichlet(ds, 5, 0.5, 7);
+  std::size_t total = 0;
+  for (const auto& l : locals) total += l.size();
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST(Dirichlet, NoClientIsEmpty) {
+  auto ds = data::make_synth_digits({5, 1, 0.1});
+  for (double alpha : {0.1, 1.0, 100.0}) {
+    auto locals = data::partition_dirichlet(ds, 8, alpha, 3);
+    for (const auto& l : locals) EXPECT_FALSE(l.empty()) << "alpha " << alpha;
+  }
+}
+
+TEST(Dirichlet, SmallAlphaIsMoreSkewedThanLarge) {
+  auto ds = data::make_synth_digits({40, 1, 0.1});
+  auto skew = [&](double alpha) {
+    auto locals = data::partition_dirichlet(ds, 10, alpha, 11);
+    // Mean over clients of the max label share — 1.0 means single-label.
+    double total = 0.0;
+    for (const auto& l : locals) {
+      auto hist = l.label_histogram();
+      const double mx = static_cast<double>(*std::max_element(hist.begin(), hist.end()));
+      total += mx / static_cast<double>(l.size());
+    }
+    return total / 10.0;
+  };
+  EXPECT_GT(skew(0.1), skew(100.0));
+}
+
+TEST(Dirichlet, RejectsBadConfig) {
+  auto ds = data::make_synth_digits({2, 1, 0.1});
+  EXPECT_THROW(data::partition_dirichlet(ds, 0, 1.0, 1), Error);
+  EXPECT_THROW(data::partition_dirichlet(ds, 3, 0.0, 1), Error);
+}
+
+// --- reputation aggregation -------------------------------------------------------------
+
+TEST(Reputation, CosineSimilarityBasics) {
+  std::vector<float> a{1, 0}, b{0, 1}, c{2, 0}, d{-1, 0};
+  EXPECT_NEAR(fl::cosine_similarity(a, b), 0.0, 1e-9);
+  EXPECT_NEAR(fl::cosine_similarity(a, c), 1.0, 1e-9);
+  EXPECT_NEAR(fl::cosine_similarity(a, d), -1.0, 1e-9);
+}
+
+TEST(Reputation, AgreementKeepsFullReputation) {
+  fl::ReputationAggregator agg(3);
+  std::vector<int> ids{0, 1, 2};
+  std::vector<std::vector<float>> updates(3, std::vector<float>{1.0f, 1.0f});
+  auto out = agg.aggregate(ids, updates);
+  EXPECT_NEAR(out[0], 1.0f, 1e-5f);
+  for (int c : ids) EXPECT_NEAR(agg.reputation(c), 1.0, 1e-9);
+}
+
+TEST(Reputation, OutlierLosesReputationAndInfluence) {
+  fl::ReputationAggregator agg(4, /*decay=*/0.5);
+  std::vector<int> ids{0, 1, 2, 3};
+  // Client 0 pushes the opposite direction of everyone else, repeatedly.
+  for (int round = 0; round < 6; ++round) {
+    std::vector<std::vector<float>> updates{
+        {-10.0f, -10.0f}, {1.0f, 1.0f}, {1.0f, 1.1f}, {0.9f, 1.0f}};
+    agg.aggregate(ids, updates);
+  }
+  EXPECT_LT(agg.reputation(0), 0.1);
+  EXPECT_GT(agg.reputation(1), 0.9);
+
+  std::vector<std::vector<float>> updates{
+      {-10.0f, -10.0f}, {1.0f, 1.0f}, {1.0f, 1.0f}, {1.0f, 1.0f}};
+  auto out = agg.aggregate(ids, updates);
+  EXPECT_GT(out[0], 0.5f);  // the outlier barely moves the aggregate
+}
+
+TEST(Reputation, RejectsMisalignedInput) {
+  fl::ReputationAggregator agg(2);
+  EXPECT_THROW(agg.aggregate({0}, {{1.0f}, {2.0f}}), Error);
+  EXPECT_THROW(agg.aggregate({0, 5}, {{1.0f}, {2.0f}}), Error);
+}
+
+// --- metrics ------------------------------------------------------------------------------
+
+TEST(Metrics, PerfectAndZeroAccuracy) {
+  // A model that always predicts the input's dominant... simplest: linear
+  // layer rigged to always output class 0.
+  common::Rng rng(1);
+  nn::Sequential net;
+  net.add(std::make_unique<nn::Flatten>());
+  auto linear = std::make_unique<nn::Linear>(4, 10, rng);
+  linear->weight().fill(0.0f);
+  linear->bias().fill(0.0f);
+  linear->bias().at(0) = 10.0f;  // always class 0
+  net.add(std::move(linear));
+
+  data::Dataset all_zero(10), all_one(10);
+  for (int i = 0; i < 5; ++i) {
+    all_zero.add(tensor::Tensor(tensor::Shape{1, 2, 2}), 0);
+    all_one.add(tensor::Tensor(tensor::Shape{1, 2, 2}), 1);
+  }
+  EXPECT_DOUBLE_EQ(fl::evaluate_accuracy(net, all_zero), 1.0);
+  EXPECT_DOUBLE_EQ(fl::evaluate_accuracy(net, all_one), 0.0);
+}
+
+TEST(Metrics, EmptyDatasetThrows) {
+  common::Rng rng(1);
+  auto spec = nn::make_small_nn(rng);
+  data::Dataset empty(10);
+  EXPECT_THROW(fl::evaluate_accuracy(spec.net, empty), Error);
+}

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/model_zoo.h"
+#include "nn/pooling.h"
+#include "test_util.h"
+
+using namespace fedcleanse;
+using namespace fedcleanse::nn;
+using fedcleanse::common::Rng;
+
+TEST(ReLULayer, ForwardClampsNegatives) {
+  ReLU relu;
+  tensor::Tensor x(tensor::Shape{4}, {-1, 0, 2, -3});
+  auto y = relu.forward(x);
+  EXPECT_EQ(y.storage(), (std::vector<float>{0, 0, 2, 0}));
+}
+
+TEST(ReLULayer, BackwardMasksByInputSign) {
+  ReLU relu;
+  tensor::Tensor x(tensor::Shape{4}, {-1, 0, 2, 3});
+  relu.forward(x);
+  tensor::Tensor gy(tensor::Shape{4}, {1, 1, 1, 1});
+  auto gx = relu.backward(gy);
+  EXPECT_EQ(gx.storage(), (std::vector<float>{0, 0, 1, 1}));
+}
+
+TEST(FlattenLayer, RoundTrip) {
+  Flatten flatten;
+  tensor::Tensor x(tensor::Shape{2, 3, 2, 2});
+  auto y = flatten.forward(x);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 12}));
+  auto gx = flatten.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(LinearLayer, ForwardHandComputed) {
+  Rng rng(1);
+  Linear linear(2, 2, rng);
+  linear.weight().storage() = {1, 2, 3, 4};  // [out, in]
+  linear.bias().storage() = {10, 20};
+  tensor::Tensor x(tensor::Shape{1, 2}, {1, 1});
+  auto y = linear.forward(x);
+  EXPECT_EQ(y.storage(), (std::vector<float>{13, 27}));
+}
+
+TEST(LinearLayer, RejectsWrongInputWidth) {
+  Rng rng(1);
+  Linear linear(3, 2, rng);
+  tensor::Tensor x(tensor::Shape{1, 4});
+  EXPECT_THROW(linear.forward(x), Error);
+}
+
+TEST(LinearLayer, PrunedUnitOutputsZero) {
+  Rng rng(2);
+  Linear linear(3, 4, rng);
+  linear.set_unit_active(2, false);
+  tensor::Tensor x(tensor::Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  auto y = linear.forward(x);
+  EXPECT_EQ(y.at(0, 2), 0.0f);
+  EXPECT_EQ(y.at(1, 2), 0.0f);
+  EXPECT_NE(y.at(0, 0), 0.0f);
+}
+
+TEST(LinearLayer, PrunedUnitZeroesWeightsAndGradients) {
+  Rng rng(2);
+  Linear linear(3, 4, rng);
+  linear.set_unit_active(1, false);
+  // Weights of the pruned row are zero.
+  for (int j = 0; j < 3; ++j) EXPECT_EQ(linear.weight().at(1, j), 0.0f);
+  EXPECT_EQ(linear.bias().at(1), 0.0f);
+  // Backward gives the row no gradient.
+  tensor::Tensor x(tensor::Shape{1, 3}, {1, 1, 1});
+  linear.forward(x);
+  tensor::Tensor gy(tensor::Shape{1, 4}, {1, 1, 1, 1});
+  linear.backward(gy);
+  auto params = linear.params();
+  for (int j = 0; j < 3; ++j) EXPECT_EQ(params[0].grad->at(1, j), 0.0f);
+  EXPECT_EQ(params[1].grad->at(1), 0.0f);
+}
+
+TEST(Conv2dLayer, PrunedChannelOutputsZero) {
+  Rng rng(3);
+  Conv2d conv(2, 3, 3, rng, 1, 1);
+  conv.set_unit_active(1, false);
+  auto x = tensor::Tensor::randn(tensor::Shape{1, 2, 5, 5}, rng);
+  auto y = conv.forward(x);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) EXPECT_EQ(y.at(0, 1, i, j), 0.0f);
+  }
+}
+
+TEST(Conv2dLayer, ActiveWeightsExcludePrunedChannels) {
+  Rng rng(3);
+  Conv2d conv(2, 3, 3, rng);
+  const auto all = conv.active_weights();
+  EXPECT_EQ(all.size(), 3u * 2 * 9);
+  conv.set_unit_active(0, false);
+  EXPECT_EQ(conv.active_weights().size(), 2u * 2 * 9);
+}
+
+TEST(Conv2dLayer, PruneMaskRoundTrip) {
+  Rng rng(3);
+  Conv2d conv(1, 4, 3, rng);
+  conv.set_prune_mask({1, 0, 1, 0});
+  EXPECT_TRUE(conv.unit_active(0));
+  EXPECT_FALSE(conv.unit_active(1));
+  EXPECT_EQ(conv.prune_mask(), (std::vector<std::uint8_t>{1, 0, 1, 0}));
+  EXPECT_THROW(conv.set_prune_mask({1, 1}), Error);
+}
+
+TEST(Conv2dLayer, CloneIsDeepCopy) {
+  Rng rng(4);
+  Conv2d conv(1, 2, 3, rng);
+  auto clone = conv.clone();
+  auto* cloned = dynamic_cast<Conv2d*>(clone.get());
+  ASSERT_NE(cloned, nullptr);
+  cloned->weight().storage()[0] = 999.0f;
+  EXPECT_NE(conv.weight().storage()[0], 999.0f);
+}
+
+// Gradient checks for whole architectures — the key numeric property test.
+class ModelGradientTest : public ::testing::TestWithParam<Architecture> {};
+
+TEST_P(ModelGradientTest, BackwardMatchesFiniteDifference) {
+  Rng rng(5);
+  auto spec = make_model(GetParam(), rng);
+  const auto& in = spec.input_shape;
+  auto x = tensor::Tensor::rand_uniform(
+      tensor::Shape{2, in[0], in[1], in[2]}, rng, 0.0f, 1.0f);
+  std::vector<int> labels{1, 7};
+  testutil::check_gradients(spec.net, x, labels);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, ModelGradientTest,
+                         ::testing::Values(Architecture::kMnistCnn,
+                                           Architecture::kFashionCnn,
+                                           Architecture::kVggSmall,
+                                           Architecture::kSmallNn,
+                                           Architecture::kLargeNn),
+                         [](const auto& info) { return arch_name(info.param); });
+
+// Gradient check with pruned units: masked channels must not perturb the
+// gradients of live ones.
+TEST(ModelGradient, HoldsUnderPruning) {
+  Rng rng(6);
+  auto spec = make_small_nn(rng);
+  spec.net.layer(spec.last_conv_index).set_unit_active(3, false);
+  spec.net.layer(spec.last_conv_index).set_unit_active(7, false);
+  auto x = tensor::Tensor::rand_uniform(tensor::Shape{2, 1, 20, 20}, rng, 0.0f, 1.0f);
+  testutil::check_gradients(spec.net, x, {0, 9});
+}

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+using namespace fedcleanse;
+using namespace fedcleanse::nn;
+using fedcleanse::common::Rng;
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogK) {
+  SoftmaxCrossEntropy loss;
+  tensor::Tensor logits(tensor::Shape{2, 4});  // all zeros → uniform softmax
+  const float value = loss.forward(logits, {0, 3});
+  EXPECT_NEAR(value, std::log(4.0f), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, PerfectPredictionNearZeroLoss) {
+  SoftmaxCrossEntropy loss;
+  tensor::Tensor logits(tensor::Shape{1, 3}, {100.0f, 0.0f, 0.0f});
+  EXPECT_LT(loss.forward(logits, {0}), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifference) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(1);
+  auto logits = tensor::Tensor::randn(tensor::Shape{3, 5}, rng);
+  std::vector<int> labels{0, 2, 4};
+  loss.forward(logits, labels);
+  auto grad = loss.backward();
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); i += 3) {
+    auto up = logits, down = logits;
+    up[i] += eps;
+    down[i] -= eps;
+    SoftmaxCrossEntropy l2;
+    const float numeric = (l2.forward(up, labels) - l2.forward(down, labels)) / (2 * eps);
+    EXPECT_NEAR(grad[i], numeric, 1e-3f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  SoftmaxCrossEntropy loss;
+  tensor::Tensor logits(tensor::Shape{1, 3});
+  EXPECT_THROW(loss.forward(logits, {3}), Error);
+  EXPECT_THROW(loss.forward(logits, {-1}), Error);
+  EXPECT_THROW(loss.forward(logits, {0, 1}), Error);  // size mismatch
+}
+
+TEST(SoftmaxCrossEntropy, BackwardBeforeForwardThrows) {
+  SoftmaxCrossEntropy loss;
+  EXPECT_THROW(loss.backward(), Error);
+}
+
+TEST(Sgd, PlainStepIsGradientDescent) {
+  Rng rng(1);
+  Sequential model;
+  model.add(std::make_unique<Linear>(2, 2, rng));
+  auto params = model.params();
+  params[0].value->storage() = {1, 1, 1, 1};
+  params[0].grad->storage() = {0.5f, 0, 0, -0.5f};
+  params[1].grad->storage() = {0, 0};
+
+  Sgd sgd(model, {0.1, 0.0});
+  sgd.step();
+  EXPECT_FLOAT_EQ(params[0].value->storage()[0], 0.95f);
+  EXPECT_FLOAT_EQ(params[0].value->storage()[3], 1.05f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Rng rng(1);
+  Sequential model;
+  model.add(std::make_unique<Linear>(1, 1, rng));
+  auto params = model.params();
+  params[0].value->storage() = {0.0f};
+
+  Sgd sgd(model, {0.1, 0.9});
+  params[0].grad->storage() = {1.0f};
+  sgd.step();  // v=1, w=-0.1
+  EXPECT_NEAR(params[0].value->storage()[0], -0.1f, 1e-6f);
+  params[0].grad->storage() = {1.0f};
+  sgd.step();  // v=1.9, w=-0.29
+  EXPECT_NEAR(params[0].value->storage()[0], -0.29f, 1e-6f);
+}
+
+TEST(Sgd, PerLayerWeightDecay) {
+  Rng rng(1);
+  Sequential model;
+  model.add(std::make_unique<Linear>(1, 1, rng));
+  model.layer(0).weight_decay = 0.5;
+  auto params = model.params();
+  params[0].value->storage() = {2.0f};
+  params[0].grad->storage() = {0.0f};
+  params[1].grad->storage() = {0.0f};
+  Sgd sgd(model, {0.1, 0.0});
+  sgd.step();
+  // w -= lr * wd * w = 2 − 0.1·0.5·2
+  EXPECT_NEAR(params[0].value->storage()[0], 1.9f, 1e-6f);
+}
+
+TEST(Sgd, PrunedUnitsStayExactlyZero) {
+  Rng rng(2);
+  Sequential model;
+  model.add(std::make_unique<Conv2d>(1, 4, 3, rng));
+  model.layer(0).set_unit_active(2, false);
+
+  Sgd sgd(model, {0.1, 0.9});
+  // Even with externally injected gradients, the pruned channel must stay 0.
+  auto params = model.params();
+  for (auto& g : params[0].grad->storage()) g = 1.0f;
+  for (auto& g : params[1].grad->storage()) g = 1.0f;
+  sgd.step();
+  auto* conv = dynamic_cast<Conv2d*>(&model.layer(0));
+  const std::size_t per_channel = 9;
+  for (std::size_t i = 0; i < per_channel; ++i) {
+    EXPECT_EQ(conv->weight()[2 * per_channel + i], 0.0f);
+  }
+  EXPECT_EQ(conv->bias()[2], 0.0f);
+}

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "baselines/neural_cleanse.h"
+#include "fl/metrics.h"
+#include "test_util.h"
+
+using namespace fedcleanse;
+using namespace fedcleanse::baselines;
+
+TEST(MadAnomaly, FlagsOnlySmallOutliers) {
+  // Values clustered at 10 with one small outlier (2) and one large (30).
+  std::vector<double> values{10, 10.5, 9.5, 10, 2, 30, 10.2, 9.8};
+  auto index = mad_anomaly_index(values);
+  EXPECT_GT(index[4], 2.0);   // small outlier flagged
+  EXPECT_EQ(index[5], 0.0);   // large outlier NOT a backdoor signal
+  EXPECT_LT(index[0], 2.0);
+}
+
+TEST(MadAnomaly, UniformValuesHaveNoOutliers) {
+  std::vector<double> values(10, 5.0);
+  for (double v : mad_anomaly_index(values)) EXPECT_EQ(v, 0.0);
+}
+
+TEST(MadAnomaly, EmptyThrows) {
+  EXPECT_THROW(mad_anomaly_index({}), Error);
+}
+
+namespace {
+
+NeuralCleanseConfig cheap_config() {
+  NeuralCleanseConfig cfg;
+  cfg.optimization_steps = 15;
+  cfg.batch_size = 8;
+  cfg.learning_rates = {0.3};
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ReverseTrigger, ProducesBoundedMaskAndPattern) {
+  fl::Simulation sim(testutil::tiny_sim_config(51));
+  sim.run(false);
+  auto& model = sim.server().model();
+  auto trigger = reverse_trigger(model, sim.test_set(), 1, cheap_config());
+  EXPECT_EQ(trigger.label, 1);
+  EXPECT_GT(trigger.mask_l1, 0.0);
+  EXPECT_GE(trigger.mask.min(), 0.0f);
+  EXPECT_LE(trigger.mask.max(), 1.0f);
+  EXPECT_GE(trigger.pattern.min(), 0.0f);
+  EXPECT_LE(trigger.pattern.max(), 1.0f);
+  EXPECT_GE(trigger.flip_rate, 0.0);
+  EXPECT_LE(trigger.flip_rate, 1.0);
+  EXPECT_EQ(trigger.mask.shape(), (tensor::Shape{1, 20, 20}));
+  EXPECT_EQ(trigger.pattern.shape(), (tensor::Shape{1, 20, 20}));
+}
+
+TEST(ReverseTrigger, OptimizationReducesLoss) {
+  fl::Simulation sim(testutil::tiny_sim_config(52));
+  sim.run(false);
+  auto& model = sim.server().model();
+  auto short_cfg = cheap_config();
+  short_cfg.optimization_steps = 2;
+  auto long_cfg = cheap_config();
+  long_cfg.optimization_steps = 40;
+  auto short_run = reverse_trigger(model, sim.test_set(), 2, short_cfg);
+  auto long_run = reverse_trigger(model, sim.test_set(), 2, long_cfg);
+  EXPECT_LE(long_run.final_loss, short_run.final_loss + 0.5);
+}
+
+TEST(NeuralCleanse, FullPipelineRunsAndReports) {
+  fl::Simulation sim(testutil::tiny_sim_config(53));
+  sim.run(false);
+  auto model = sim.server().model().clone();
+  auto report = run_neural_cleanse(model, sim.test_set(), cheap_config());
+  EXPECT_EQ(report.triggers.size(), 10u);
+  EXPECT_EQ(report.anomaly_index.size(), 10u);
+  EXPECT_GE(report.accuracy_before, 0.0);
+  EXPECT_GE(report.accuracy_after, 0.0);
+  // Mitigation never drops clean accuracy by more than the allowance
+  // (plus one reverted step).
+  EXPECT_GE(report.accuracy_after, report.accuracy_before - 0.04 - 1e-9);
+}

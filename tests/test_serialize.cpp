@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "common/serialize.h"
+
+using namespace fedcleanse::common;
+using fedcleanse::SerializationError;
+
+TEST(Serialize, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.write_u8(0xAB);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x0123456789ABCDEFULL);
+  w.write_i32(-12345);
+  w.write_f32(3.14159f);
+  w.write_f64(-2.718281828459045);
+  w.write_bool(true);
+  w.write_bool(false);
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.read_i32(), -12345);
+  EXPECT_FLOAT_EQ(r.read_f32(), 3.14159f);
+  EXPECT_DOUBLE_EQ(r.read_f64(), -2.718281828459045);
+  EXPECT_TRUE(r.read_bool());
+  EXPECT_FALSE(r.read_bool());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, StringRoundTrip) {
+  ByteWriter w;
+  w.write_string("hello fedcleanse");
+  w.write_string("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_string(), "hello fedcleanse");
+  EXPECT_EQ(r.read_string(), "");
+}
+
+TEST(Serialize, VectorsRoundTrip) {
+  ByteWriter w;
+  w.write_f32_vector({1.5f, -2.5f, 0.0f});
+  w.write_u32_vector({1, 2, 3, 4});
+  w.write_i32_vector({-1, 0, 1});
+  w.write_u8_vector({9, 8, 7});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_f32_vector(), (std::vector<float>{1.5f, -2.5f, 0.0f}));
+  EXPECT_EQ(r.read_u32_vector(), (std::vector<std::uint32_t>{1, 2, 3, 4}));
+  EXPECT_EQ(r.read_i32_vector(), (std::vector<std::int32_t>{-1, 0, 1}));
+  EXPECT_EQ(r.read_u8_vector(), (std::vector<std::uint8_t>{9, 8, 7}));
+}
+
+TEST(Serialize, EmptyVectorsRoundTrip) {
+  ByteWriter w;
+  w.write_f32_vector({});
+  w.write_u8_vector({});
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.read_f32_vector().empty());
+  EXPECT_TRUE(r.read_u8_vector().empty());
+}
+
+TEST(Serialize, TruncatedPrimitiveThrows) {
+  ByteWriter w;
+  w.write_u32(42);
+  auto bytes = w.take();
+  bytes.pop_back();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.read_u32(), SerializationError);
+}
+
+TEST(Serialize, TruncatedVectorThrows) {
+  ByteWriter w;
+  w.write_f32_vector({1.0f, 2.0f, 3.0f});
+  auto bytes = w.take();
+  bytes.resize(bytes.size() - 4);
+  ByteReader r(bytes);
+  EXPECT_THROW(r.read_f32_vector(), SerializationError);
+}
+
+TEST(Serialize, LyingLengthPrefixThrows) {
+  // A vector header claiming 2^30 floats on a tiny buffer must not allocate
+  // or read out of bounds.
+  ByteWriter w;
+  w.write_u32(1u << 30);
+  w.write_f32(1.0f);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.read_f32_vector(), SerializationError);
+}
+
+TEST(Serialize, LyingStringLengthThrows) {
+  ByteWriter w;
+  w.write_u32(1000);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.read_string(), SerializationError);
+}
+
+TEST(Serialize, ReadPastEndThrows) {
+  ByteWriter w;
+  w.write_u8(1);
+  ByteReader r(w.bytes());
+  r.read_u8();
+  EXPECT_THROW(r.read_u8(), SerializationError);
+}
+
+TEST(Serialize, RemainingTracksPosition) {
+  ByteWriter w;
+  w.write_u32(1);
+  w.write_u32(2);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.read_u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}

@@ -1,0 +1,205 @@
+// Integration tests of the FL simulation: client/server round protocol over
+// the comm layer, attack wiring, determinism, selection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fl/metrics.h"
+#include "defense/majority_vote.h"
+#include "fl/simulation.h"
+#include "test_util.h"
+
+using namespace fedcleanse;
+using namespace fedcleanse::fl;
+
+TEST(Simulation, ConstructsClientsAndAttackers) {
+  Simulation sim(testutil::tiny_sim_config());
+  EXPECT_EQ(sim.clients().size(), 4u);
+  EXPECT_EQ(sim.attacker_ids(), (std::vector<int>{0}));
+  EXPECT_TRUE(sim.clients()[0].malicious());
+  EXPECT_FALSE(sim.clients()[1].malicious());
+}
+
+TEST(Simulation, AttackerHoldsVictimLabel) {
+  Simulation sim(testutil::tiny_sim_config());
+  const auto& data = sim.clients()[0].local_data();
+  EXPECT_FALSE(data.indices_of_label(9).empty());
+}
+
+TEST(Simulation, RoundRunsAndUpdatesModel) {
+  Simulation sim(testutil::tiny_sim_config());
+  auto before = sim.server().params();
+  auto participants = sim.run_round(0);
+  EXPECT_EQ(participants.size(), 4u);
+  EXPECT_NE(sim.server().params(), before);
+}
+
+TEST(Simulation, TrafficIsCounted) {
+  Simulation sim(testutil::tiny_sim_config());
+  sim.run_round(0);
+  // 4 downlink model broadcasts + 4 uplink updates, each ≈ num_params·4B.
+  const std::size_t param_bytes = sim.server().model().net.num_params() * 4;
+  EXPECT_GE(sim.network().total_bytes(), 8 * param_bytes);
+}
+
+TEST(Simulation, DeterministicBySeed) {
+  auto cfg = testutil::tiny_sim_config(123);
+  Simulation a(cfg), b(cfg);
+  a.run(false);
+  b.run(false);
+  EXPECT_EQ(a.server().params(), b.server().params());
+}
+
+TEST(Simulation, DifferentSeedsDiverge) {
+  Simulation a(testutil::tiny_sim_config(1)), b(testutil::tiny_sim_config(2));
+  a.run(false);
+  b.run(false);
+  EXPECT_NE(a.server().params(), b.server().params());
+}
+
+TEST(Simulation, HistoryRecorded) {
+  auto cfg = testutil::tiny_sim_config();
+  cfg.rounds = 3;
+  Simulation sim(cfg);
+  sim.run(true);
+  ASSERT_EQ(sim.history().size(), 3u);
+  for (const auto& rec : sim.history()) {
+    EXPECT_GE(rec.test_acc, 0.0);
+    EXPECT_LE(rec.test_acc, 1.0);
+  }
+}
+
+TEST(Simulation, RandomSelectionRespectsCount) {
+  auto cfg = testutil::tiny_sim_config();
+  cfg.n_clients = 8;
+  cfg.clients_per_round = 3;
+  Simulation sim(cfg);
+  std::set<int> seen;
+  for (int r = 0; r < 6; ++r) {
+    auto participants = sim.run_round(static_cast<std::uint32_t>(r));
+    EXPECT_EQ(participants.size(), 3u);
+    std::set<int> unique(participants.begin(), participants.end());
+    EXPECT_EQ(unique.size(), 3u);
+    seen.insert(participants.begin(), participants.end());
+  }
+  EXPECT_GT(seen.size(), 3u);  // selection actually varies
+}
+
+TEST(Simulation, DbaSplitsPatternAcrossAttackers) {
+  auto cfg = testutil::tiny_sim_config();
+  cfg.n_clients = 6;
+  cfg.n_attackers = 3;
+  cfg.dba = true;
+  cfg.attack.pattern = data::make_dba_global_pattern(20, 20);
+  Simulation sim(cfg);
+  std::size_t total_pixels = 0;
+  for (int a : sim.attacker_ids()) {
+    const auto* spec = sim.clients()[static_cast<std::size_t>(a)].attack();
+    ASSERT_NE(spec, nullptr);
+    total_pixels += spec->pattern.pixels.size();
+    EXPECT_LT(spec->pattern.pixels.size(), cfg.attack.pattern.pixels.size());
+  }
+  EXPECT_EQ(total_pixels, cfg.attack.pattern.pixels.size());
+}
+
+TEST(Simulation, BackdoorTestsetUsesFullPattern) {
+  auto cfg = testutil::tiny_sim_config();
+  Simulation sim(cfg);
+  const auto& bd = sim.backdoor_testset();
+  ASSERT_FALSE(bd.empty());
+  for (std::size_t i = 0; i < bd.size(); ++i) EXPECT_EQ(bd.label(i), 1);
+}
+
+TEST(Simulation, AttackerConfigRequiresPattern) {
+  auto cfg = testutil::tiny_sim_config();
+  cfg.attack.pattern.pixels.clear();
+  EXPECT_THROW(Simulation sim(cfg), Error);
+}
+
+// --- client behaviours ---------------------------------------------------------
+
+TEST(Client, HonestUpdateIsLocalMinusGlobal) {
+  auto cfg = testutil::tiny_sim_config();
+  cfg.n_attackers = 0;
+  Simulation sim(cfg);
+  auto& client = sim.clients()[1];
+  auto global = sim.server().params();
+  auto update = client.compute_update(global);
+  auto local = client.model().net.get_flat();
+  ASSERT_EQ(update.size(), local.size());
+  for (std::size_t i = 0; i < update.size(); i += 97) {
+    EXPECT_NEAR(update[i], local[i] - global[i], 1e-5f);
+  }
+}
+
+TEST(Client, MaliciousUpdateIsAmplified) {
+  Simulation sim(testutil::tiny_sim_config());
+  auto& attacker = sim.clients()[0];
+  const double gamma = attacker.attack()->gamma;
+  auto global = sim.server().params();
+  auto update = attacker.compute_update(global);
+  auto local = attacker.model().net.get_flat();
+  for (std::size_t i = 0; i < update.size(); i += 131) {
+    EXPECT_NEAR(update[i], gamma * (local[i] - global[i]), 1e-4f);
+  }
+}
+
+TEST(Client, RankReportIsValidPermutation) {
+  Simulation sim(testutil::tiny_sim_config());
+  auto global = sim.server().params();
+  const int units =
+      sim.server().model().net.layer(sim.server().model().last_conv_index).prunable_units();
+  for (auto& client : sim.clients()) {
+    auto report = client.rank_report(global);
+    ASSERT_EQ(static_cast<int>(report.size()), units);
+    std::set<std::uint32_t> unique(report.begin(), report.end());
+    EXPECT_EQ(unique.size(), report.size());
+    EXPECT_EQ(*unique.begin(), 1u);
+    EXPECT_EQ(*unique.rbegin(), static_cast<std::uint32_t>(units));
+  }
+}
+
+TEST(Client, VoteReportHonorsQuota) {
+  Simulation sim(testutil::tiny_sim_config());
+  auto global = sim.server().params();
+  const int units =
+      sim.server().model().net.layer(sim.server().model().last_conv_index).prunable_units();
+  for (double rate : {0.25, 0.5, 0.75}) {
+    auto votes = sim.clients()[1].vote_report(global, rate);
+    ASSERT_EQ(static_cast<int>(votes.size()), units);
+    std::size_t cast = 0;
+    for (auto v : votes) cast += v;
+    EXPECT_EQ(cast, defense::expected_votes(units, rate));
+  }
+}
+
+TEST(Client, AccuracyReportInRange) {
+  Simulation sim(testutil::tiny_sim_config());
+  auto global = sim.server().params();
+  for (auto& client : sim.clients()) {
+    const double acc = client.report_accuracy(global);
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+  }
+}
+
+TEST(Client, MasksPropagateThroughMessages) {
+  Simulation sim(testutil::tiny_sim_config());
+  auto& server = sim.server();
+  auto& model = server.model();
+  model.net.layer(model.last_conv_index).set_unit_active(2, false);
+
+  const auto clients = sim.all_client_ids();
+  server.broadcast_masks(clients, 0);
+  for (int c : clients) sim.clients()[static_cast<std::size_t>(c)].handle_pending(sim.network());
+  for (auto& client : sim.clients()) {
+    EXPECT_FALSE(client.model().net.layer(model.last_conv_index).unit_active(2));
+  }
+}
+
+TEST(ServerAggregators, RobustRuleCanBeConfigured) {
+  auto cfg = testutil::tiny_sim_config();
+  cfg.server.aggregator = AggregatorKind::kMedian;
+  Simulation sim(cfg);
+  EXPECT_NO_THROW(sim.run_round(0));
+}

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+using namespace fedcleanse::tensor;
+using fedcleanse::Error;
+using fedcleanse::ShapeError;
+using fedcleanse::common::Rng;
+
+TEST(Shape, NumelAndRank) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.numel(), 24u);
+  EXPECT_EQ(s[1], 3);
+}
+
+TEST(Shape, EmptyShapeHasZeroNumel) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 0u);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+}
+
+TEST(Shape, NonPositiveDimensionThrows) {
+  EXPECT_THROW(Shape({2, 0}), Error);
+  EXPECT_THROW(Shape({-1}), Error);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{3, 3});
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FullAndOnes) {
+  auto t = Tensor::full(Shape{4}, 2.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 2.5f);
+  auto o = Tensor::ones(Shape{2, 2});
+  EXPECT_EQ(o.sum(), 4.0f);
+}
+
+TEST(Tensor, DataSizeMatchesShape) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1.0f, 2.0f}), Error);
+}
+
+TEST(Tensor, MultiDimAccessors) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t.at(1, 2), 7.0f);
+  EXPECT_EQ(t[5], 7.0f);  // row-major
+
+  Tensor t4(Shape{2, 2, 2, 2});
+  t4.at(1, 1, 1, 1) = 3.0f;
+  EXPECT_EQ(t4[15], 3.0f);
+}
+
+TEST(Tensor, RankCheckedAccessors) {
+  Tensor t(Shape{2, 3});
+  EXPECT_THROW(t.at(1), Error);
+  EXPECT_THROW(t.at(1, 1, 1), Error);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t(Shape{2, 6});
+  auto r = t.reshaped(Shape{3, 4});
+  EXPECT_EQ(r.shape(), (Shape{3, 4}));
+  EXPECT_THROW(t.reshaped(Shape{5}), Error);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  Tensor b(Shape{3}, {10, 20, 30});
+  a += b;
+  EXPECT_EQ(a.storage(), (std::vector<float>{11, 22, 33}));
+  a -= b;
+  EXPECT_EQ(a.storage(), (std::vector<float>{1, 2, 3}));
+  a *= b;
+  EXPECT_EQ(a.storage(), (std::vector<float>{10, 40, 90}));
+  a *= 0.5f;
+  EXPECT_EQ(a.storage(), (std::vector<float>{5, 20, 45}));
+  a += 1.0f;
+  EXPECT_EQ(a.storage(), (std::vector<float>{6, 21, 46}));
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a(Shape{3});
+  Tensor b(Shape{4});
+  EXPECT_THROW(a += b, ShapeError);
+  EXPECT_THROW(a -= b, ShapeError);
+  EXPECT_THROW(a *= b, ShapeError);
+  EXPECT_THROW(a.add_scaled(b, 1.0f), ShapeError);
+}
+
+TEST(Tensor, AddScaled) {
+  Tensor a(Shape{2}, {1, 1});
+  Tensor b(Shape{2}, {2, 4});
+  a.add_scaled(b, 0.5f);
+  EXPECT_EQ(a.storage(), (std::vector<float>{2, 3}));
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t(Shape{4}, {-1, 2, 3, -4});
+  EXPECT_EQ(t.sum(), 0.0f);
+  EXPECT_EQ(t.mean(), 0.0f);
+  EXPECT_EQ(t.min(), -4.0f);
+  EXPECT_EQ(t.max(), 3.0f);
+  EXPECT_FLOAT_EQ(t.norm(), std::sqrt(1.0f + 4 + 9 + 16));
+}
+
+TEST(Tensor, RandnMoments) {
+  Rng rng(1);
+  auto t = Tensor::randn(Shape{10000}, rng, 1.0f, 0.5f);
+  EXPECT_NEAR(t.mean(), 1.0f, 0.03f);
+}
+
+TEST(Tensor, RandUniformBounds) {
+  Rng rng(1);
+  auto t = Tensor::rand_uniform(Shape{1000}, rng, -1.0f, 1.0f);
+  EXPECT_GE(t.min(), -1.0f);
+  EXPECT_LT(t.max(), 1.0f);
+}
+
+TEST(Tensor, SerializeRoundTrip) {
+  Rng rng(5);
+  auto t = Tensor::randn(Shape{3, 4, 5}, rng);
+  fedcleanse::common::ByteWriter w;
+  t.serialize(w);
+  fedcleanse::common::ByteReader r(w.bytes());
+  auto back = Tensor::deserialize(r);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_EQ(back.storage(), t.storage());
+}
+
+TEST(Tensor, DeserializeRejectsAbsurdRank) {
+  fedcleanse::common::ByteWriter w;
+  w.write_u32(1000);
+  fedcleanse::common::ByteReader r(w.bytes());
+  EXPECT_THROW(Tensor::deserialize(r), Error);
+}
+
+TEST(Tensor, FreeFunctionArithmetic) {
+  Tensor a(Shape{2}, {1, 2});
+  Tensor b(Shape{2}, {3, 4});
+  EXPECT_EQ((a + b).storage(), (std::vector<float>{4, 6}));
+  EXPECT_EQ((b - a).storage(), (std::vector<float>{2, 2}));
+  EXPECT_EQ((a * 3.0f).storage(), (std::vector<float>{3, 6}));
+}

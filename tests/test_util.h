@@ -1,0 +1,93 @@
+// Shared helpers for the fedcleanse test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "fl/simulation.h"
+#include "nn/loss.h"
+#include "nn/sequential.h"
+
+namespace fedcleanse::testutil {
+
+// Central-difference gradient check of a whole model against a scalar loss.
+// Verifies dLoss/dParam for a sample of parameters and dLoss/dInput for a
+// sample of input coordinates.
+inline void check_gradients(nn::Sequential& model, const tensor::Tensor& input,
+                            const std::vector<int>& labels, double tolerance = 2e-2,
+                            int max_checks_per_tensor = 6) {
+  nn::SoftmaxCrossEntropy loss;
+
+  auto eval_loss = [&](const tensor::Tensor& x) {
+    auto logits = model.forward(x);
+    return static_cast<double>(loss.forward(logits, labels));
+  };
+
+  // Analytic gradients.
+  model.zero_grad();
+  auto logits = model.forward(input);
+  loss.forward(logits, labels);
+  auto grad_input = model.backward(loss.backward());
+
+  const float eps = 1e-3f;
+
+  // Parameter gradients (strided sample across each tensor).
+  for (auto& p : model.params()) {
+    auto values = p.value->data();
+    auto grads = p.grad->data();
+    const std::size_t stride =
+        std::max<std::size_t>(1, values.size() / static_cast<std::size_t>(max_checks_per_tensor));
+    for (std::size_t i = 0; i < values.size(); i += stride) {
+      const float saved = values[i];
+      values[i] = saved + eps;
+      const double up = eval_loss(input);
+      values[i] = saved - eps;
+      const double down = eval_loss(input);
+      values[i] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(grads[i], numeric, tolerance)
+          << "param grad mismatch at flat index " << i;
+    }
+  }
+
+  // Input gradients.
+  tensor::Tensor probe = input;
+  auto pv = probe.data();
+  const std::size_t stride =
+      std::max<std::size_t>(1, pv.size() / static_cast<std::size_t>(max_checks_per_tensor));
+  for (std::size_t i = 0; i < pv.size(); i += stride) {
+    const float saved = pv[i];
+    pv[i] = saved + eps;
+    const double up = eval_loss(probe);
+    pv[i] = saved - eps;
+    const double down = eval_loss(probe);
+    pv[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(grad_input.data()[i], numeric, tolerance)
+        << "input grad mismatch at flat index " << i;
+  }
+}
+
+// A tiny simulation configuration that trains in well under a second.
+inline fl::SimulationConfig tiny_sim_config(std::uint64_t seed = 11) {
+  fl::SimulationConfig cfg;
+  cfg.arch = nn::Architecture::kSmallNn;
+  cfg.dataset = data::SynthKind::kDigits;
+  cfg.n_clients = 4;
+  cfg.n_attackers = 1;
+  cfg.rounds = 2;
+  cfg.samples_per_class_train = 8;
+  cfg.samples_per_class_test = 4;
+  cfg.labels_per_client = 3;
+  cfg.train.local_epochs = 1;
+  cfg.train.batch_size = 16;
+  cfg.attack.pattern = data::make_pixel_pattern(3);
+  cfg.attack.victim_label = 9;
+  cfg.attack.attack_label = 1;
+  cfg.attack.gamma = 2.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace fedcleanse::testutil
