@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_aggregators"
+  "../bench/ablation_aggregators.pdb"
+  "CMakeFiles/ablation_aggregators.dir/ablation_aggregators.cpp.o"
+  "CMakeFiles/ablation_aggregators.dir/ablation_aggregators.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aggregators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_regularization"
+  "../bench/fig10_regularization.pdb"
+  "CMakeFiles/fig10_regularization.dir/fig10_regularization.cpp.o"
+  "CMakeFiles/fig10_regularization.dir/fig10_regularization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_regularization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_pruning_curves"
+  "../bench/fig5_pruning_curves.pdb"
+  "CMakeFiles/fig5_pruning_curves.dir/fig5_pruning_curves.cpp.o"
+  "CMakeFiles/fig5_pruning_curves.dir/fig5_pruning_curves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pruning_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

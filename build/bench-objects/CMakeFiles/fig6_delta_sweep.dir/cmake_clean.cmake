@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_delta_sweep"
+  "../bench/fig6_delta_sweep.pdb"
+  "CMakeFiles/fig6_delta_sweep.dir/fig6_delta_sweep.cpp.o"
+  "CMakeFiles/fig6_delta_sweep.dir/fig6_delta_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_delta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

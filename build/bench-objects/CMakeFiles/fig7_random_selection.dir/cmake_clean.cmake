@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_random_selection"
+  "../bench/fig7_random_selection.pdb"
+  "CMakeFiles/fig7_random_selection.dir/fig7_random_selection.cpp.o"
+  "CMakeFiles/fig7_random_selection.dir/fig7_random_selection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_random_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

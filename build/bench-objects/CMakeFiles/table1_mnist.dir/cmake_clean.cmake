@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_mnist"
+  "../bench/table1_mnist.pdb"
+  "CMakeFiles/table1_mnist.dir/table1_mnist.cpp.o"
+  "CMakeFiles/table1_mnist.dir/table1_mnist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_mnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

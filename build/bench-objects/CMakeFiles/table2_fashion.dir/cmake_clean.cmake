@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_fashion"
+  "../bench/table2_fashion.pdb"
+  "CMakeFiles/table2_fashion.dir/table2_fashion.cpp.o"
+  "CMakeFiles/table2_fashion.dir/table2_fashion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_fashion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_cifar_dba"
+  "../bench/table3_cifar_dba.pdb"
+  "CMakeFiles/table3_cifar_dba.dir/table3_cifar_dba.cpp.o"
+  "CMakeFiles/table3_cifar_dba.dir/table3_cifar_dba.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cifar_dba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_neural_cleanse"
+  "../bench/table4_neural_cleanse.pdb"
+  "CMakeFiles/table4_neural_cleanse.dir/table4_neural_cleanse.cpp.o"
+  "CMakeFiles/table4_neural_cleanse.dir/table4_neural_cleanse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_neural_cleanse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

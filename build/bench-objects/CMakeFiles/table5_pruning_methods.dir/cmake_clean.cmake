@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_pruning_methods"
+  "../bench/table5_pruning_methods.pdb"
+  "CMakeFiles/table5_pruning_methods.dir/table5_pruning_methods.cpp.o"
+  "CMakeFiles/table5_pruning_methods.dir/table5_pruning_methods.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_pruning_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

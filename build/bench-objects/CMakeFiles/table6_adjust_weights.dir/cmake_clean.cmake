@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_adjust_weights"
+  "../bench/table6_adjust_weights.pdb"
+  "CMakeFiles/table6_adjust_weights.dir/table6_adjust_weights.cpp.o"
+  "CMakeFiles/table6_adjust_weights.dir/table6_adjust_weights.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_adjust_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_adjust_weights.
+# This may be replaced when dependencies are built.

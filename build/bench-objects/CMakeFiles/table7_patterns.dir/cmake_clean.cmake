@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_patterns"
+  "../bench/table7_patterns.pdb"
+  "CMakeFiles/table7_patterns.dir/table7_patterns.cpp.o"
+  "CMakeFiles/table7_patterns.dir/table7_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

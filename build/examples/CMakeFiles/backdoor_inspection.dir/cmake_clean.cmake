@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backdoor_inspection.dir/backdoor_inspection.cpp.o"
+  "CMakeFiles/backdoor_inspection.dir/backdoor_inspection.cpp.o.d"
+  "backdoor_inspection"
+  "backdoor_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backdoor_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedcleanse_cli.dir/fedcleanse_cli.cpp.o"
+  "CMakeFiles/fedcleanse_cli.dir/fedcleanse_cli.cpp.o.d"
+  "fedcleanse_cli"
+  "fedcleanse_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedcleanse_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

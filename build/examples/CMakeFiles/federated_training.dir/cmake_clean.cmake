@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_training.dir/federated_training.cpp.o"
+  "CMakeFiles/federated_training.dir/federated_training.cpp.o.d"
+  "federated_training"
+  "federated_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

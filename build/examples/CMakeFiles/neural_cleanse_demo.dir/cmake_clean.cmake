@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neural_cleanse_demo.dir/neural_cleanse_demo.cpp.o"
+  "CMakeFiles/neural_cleanse_demo.dir/neural_cleanse_demo.cpp.o.d"
+  "neural_cleanse_demo"
+  "neural_cleanse_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neural_cleanse_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

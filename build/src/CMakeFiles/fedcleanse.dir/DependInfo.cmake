@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/backdoor_analysis.cpp" "src/CMakeFiles/fedcleanse.dir/analysis/backdoor_analysis.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/analysis/backdoor_analysis.cpp.o.d"
+  "/root/repo/src/baselines/neural_cleanse.cpp" "src/CMakeFiles/fedcleanse.dir/baselines/neural_cleanse.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/baselines/neural_cleanse.cpp.o.d"
+  "/root/repo/src/comm/channel.cpp" "src/CMakeFiles/fedcleanse.dir/comm/channel.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/comm/channel.cpp.o.d"
+  "/root/repo/src/comm/message.cpp" "src/CMakeFiles/fedcleanse.dir/comm/message.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/comm/message.cpp.o.d"
+  "/root/repo/src/comm/network.cpp" "src/CMakeFiles/fedcleanse.dir/comm/network.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/comm/network.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/fedcleanse.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/fedcleanse.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/serialize.cpp" "src/CMakeFiles/fedcleanse.dir/common/serialize.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/common/serialize.cpp.o.d"
+  "/root/repo/src/common/threadpool.cpp" "src/CMakeFiles/fedcleanse.dir/common/threadpool.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/common/threadpool.cpp.o.d"
+  "/root/repo/src/data/backdoor.cpp" "src/CMakeFiles/fedcleanse.dir/data/backdoor.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/data/backdoor.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/fedcleanse.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/normalize.cpp" "src/CMakeFiles/fedcleanse.dir/data/normalize.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/data/normalize.cpp.o.d"
+  "/root/repo/src/data/partition.cpp" "src/CMakeFiles/fedcleanse.dir/data/partition.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/data/partition.cpp.o.d"
+  "/root/repo/src/data/synth_digits.cpp" "src/CMakeFiles/fedcleanse.dir/data/synth_digits.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/data/synth_digits.cpp.o.d"
+  "/root/repo/src/data/synth_fashion.cpp" "src/CMakeFiles/fedcleanse.dir/data/synth_fashion.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/data/synth_fashion.cpp.o.d"
+  "/root/repo/src/data/synth_objects.cpp" "src/CMakeFiles/fedcleanse.dir/data/synth_objects.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/data/synth_objects.cpp.o.d"
+  "/root/repo/src/defense/activation_ranking.cpp" "src/CMakeFiles/fedcleanse.dir/defense/activation_ranking.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/defense/activation_ranking.cpp.o.d"
+  "/root/repo/src/defense/adjust_weights.cpp" "src/CMakeFiles/fedcleanse.dir/defense/adjust_weights.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/defense/adjust_weights.cpp.o.d"
+  "/root/repo/src/defense/finetune.cpp" "src/CMakeFiles/fedcleanse.dir/defense/finetune.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/defense/finetune.cpp.o.d"
+  "/root/repo/src/defense/majority_vote.cpp" "src/CMakeFiles/fedcleanse.dir/defense/majority_vote.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/defense/majority_vote.cpp.o.d"
+  "/root/repo/src/defense/pipeline.cpp" "src/CMakeFiles/fedcleanse.dir/defense/pipeline.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/defense/pipeline.cpp.o.d"
+  "/root/repo/src/defense/pruning.cpp" "src/CMakeFiles/fedcleanse.dir/defense/pruning.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/defense/pruning.cpp.o.d"
+  "/root/repo/src/defense/rank_aggregation.cpp" "src/CMakeFiles/fedcleanse.dir/defense/rank_aggregation.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/defense/rank_aggregation.cpp.o.d"
+  "/root/repo/src/fl/adaptive_attack.cpp" "src/CMakeFiles/fedcleanse.dir/fl/adaptive_attack.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/fl/adaptive_attack.cpp.o.d"
+  "/root/repo/src/fl/aggregation.cpp" "src/CMakeFiles/fedcleanse.dir/fl/aggregation.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/fl/aggregation.cpp.o.d"
+  "/root/repo/src/fl/attack.cpp" "src/CMakeFiles/fedcleanse.dir/fl/attack.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/fl/attack.cpp.o.d"
+  "/root/repo/src/fl/client.cpp" "src/CMakeFiles/fedcleanse.dir/fl/client.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/fl/client.cpp.o.d"
+  "/root/repo/src/fl/metrics.cpp" "src/CMakeFiles/fedcleanse.dir/fl/metrics.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/fl/metrics.cpp.o.d"
+  "/root/repo/src/fl/reputation.cpp" "src/CMakeFiles/fedcleanse.dir/fl/reputation.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/fl/reputation.cpp.o.d"
+  "/root/repo/src/fl/server.cpp" "src/CMakeFiles/fedcleanse.dir/fl/server.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/fl/server.cpp.o.d"
+  "/root/repo/src/fl/simulation.cpp" "src/CMakeFiles/fedcleanse.dir/fl/simulation.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/fl/simulation.cpp.o.d"
+  "/root/repo/src/nn/activation_stats.cpp" "src/CMakeFiles/fedcleanse.dir/nn/activation_stats.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/nn/activation_stats.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/fedcleanse.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/CMakeFiles/fedcleanse.dir/nn/checkpoint.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/nn/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/CMakeFiles/fedcleanse.dir/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/CMakeFiles/fedcleanse.dir/nn/init.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/nn/init.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/CMakeFiles/fedcleanse.dir/nn/layer.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/fedcleanse.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/fedcleanse.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/CMakeFiles/fedcleanse.dir/nn/model_zoo.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/nn/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/fedcleanse.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/CMakeFiles/fedcleanse.dir/nn/pooling.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/fedcleanse.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/fedcleanse.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/fedcleanse.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/fedcleanse.dir/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for fedcleanse.
+# This may be replaced when dependencies are built.

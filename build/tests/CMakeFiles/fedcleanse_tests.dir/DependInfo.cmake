@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aggregation.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_aggregation.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_aggregation.cpp.o.d"
+  "/root/repo/tests/test_backdoor.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_backdoor.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_backdoor.cpp.o.d"
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_comm.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_defense_units.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_defense_units.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_defense_units.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_layers.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_layers.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_layers.cpp.o.d"
+  "/root/repo/tests/test_loss_optimizer.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_loss_optimizer.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_loss_optimizer.cpp.o.d"
+  "/root/repo/tests/test_neural_cleanse.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_neural_cleanse.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_neural_cleanse.cpp.o.d"
+  "/root/repo/tests/test_ops.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_ops.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_ops.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sequential.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_sequential.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_sequential.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_serialize.cpp.o.d"
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_threadpool.cpp" "tests/CMakeFiles/fedcleanse_tests.dir/test_threadpool.cpp.o" "gcc" "tests/CMakeFiles/fedcleanse_tests.dir/test_threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedcleanse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
