@@ -35,7 +35,7 @@ int main() {
     const auto clients = sim.all_client_ids();
     for (int r = 0; r < cfg.rounds; ++r) {
       sim.server().broadcast_model(clients, static_cast<std::uint32_t>(r));
-      for (int c : clients) sim.clients()[static_cast<std::size_t>(c)].handle_pending(sim.network());
+      sim.dispatch_clients(clients);
       auto updates = sim.server().collect_updates(clients);
       auto agg = reputation.aggregate(clients, updates);
       auto params = sim.server().params();

@@ -8,9 +8,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/threadpool.h"
+#include "common/timer.h"
 #include "defense/pipeline.h"
 #include "fl/metrics.h"
 #include "fl/simulation.h"
@@ -175,6 +180,72 @@ inline const char* object_class_name(int label) {
 inline void print_rule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+// --- micro-benchmark timing --------------------------------------------------
+// Hand-rolled wall-clock harness for the kernel microbenchmarks: times a body
+// serially and on an N-thread pool, and emits a machine-readable JSON file so
+// the perf trajectory is tracked from run to run.
+
+// Keep the optimizer from discarding a result the benchmark body produced.
+inline void do_not_optimize(const void* p) { asm volatile("" : : "g"(p) : "memory"); }
+
+// Mean wall-clock nanoseconds per call of `body`, after one warmup call.
+// Batches calls between clock reads and runs until both floors are met.
+inline double time_ns_per_iter(const std::function<void()>& body,
+                               double min_seconds = 0.1, long min_iters = 5) {
+  body();  // warmup (first-touch allocation, cache fill)
+  long iters = 0;
+  long batch = 1;
+  common::Timer timer;
+  double elapsed = 0.0;
+  while (elapsed < min_seconds || iters < min_iters) {
+    for (long i = 0; i < batch; ++i) body();
+    iters += batch;
+    elapsed = timer.elapsed_seconds();
+    if (elapsed < min_seconds / 8.0) batch *= 2;
+  }
+  return elapsed * 1e9 / static_cast<double>(iters);
+}
+
+struct MicroRecord {
+  std::string op;
+  std::string size;        // e.g. "b32_c64" or "n256"
+  double serial_ns = 0.0;  // ns/iter with no ambient pool
+  double threaded_ns = 0.0;
+  double speedup() const { return threaded_ns > 0.0 ? serial_ns / threaded_ns : 0.0; }
+};
+
+// Time `body` twice — ambient pool cleared, then installed — restoring
+// whatever ambient pool the caller had.
+inline MicroRecord time_serial_vs_threaded(std::string op, std::string size,
+                                           common::ThreadPool& pool,
+                                           const std::function<void()>& body) {
+  MicroRecord rec{std::move(op), std::move(size), 0.0, 0.0};
+  common::ThreadPool* previous = common::ambient_pool();
+  common::set_ambient_pool(nullptr);
+  rec.serial_ns = time_ns_per_iter(body);
+  common::set_ambient_pool(&pool);
+  rec.threaded_ns = time_ns_per_iter(body);
+  common::set_ambient_pool(previous);
+  return rec;
+}
+
+inline void write_micro_json(const std::string& path, const std::vector<MicroRecord>& records,
+                             std::size_t threads) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"micro_ops\",\n  \"threads\": " << threads
+      << ",\n  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out << "    {\"op\": \"" << r.op << "\", \"size\": \"" << r.size
+        << "\", \"serial_ns_per_iter\": " << r.serial_ns
+        << ", \"threaded_ns_per_iter\": " << r.threaded_ns
+        << ", \"speedup\": " << r.speedup() << "}" << (i + 1 < records.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
 }
 
 }  // namespace fedcleanse::bench

@@ -1,56 +1,20 @@
-// Microbenchmarks (google-benchmark): the numeric kernels and aggregation
-// rules that dominate simulation time.
-#include <benchmark/benchmark.h>
+// Microbenchmarks: the numeric kernels and aggregation rules that dominate
+// simulation time, each timed serially and on an N-thread pool (N from
+// FEDCLEANSE_THREADS, default hardware concurrency). Prints a table and
+// writes BENCH_micro_ops.json for machine consumption.
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_common.h"
 #include "common/rng.h"
+#include "common/threadpool.h"
 #include "fl/aggregation.h"
 #include "tensor/ops.h"
 
 using namespace fedcleanse;
 
 namespace {
-
-void BM_Conv2dForward(benchmark::State& state) {
-  common::Rng rng(1);
-  const int channels = static_cast<int>(state.range(0));
-  auto x = tensor::Tensor::randn({32, 16, 10, 10}, rng);
-  auto w = tensor::Tensor::randn({channels, 16, 3, 3}, rng, 0.0f, 0.1f);
-  auto b = tensor::Tensor::zeros({channels});
-  tensor::Conv2dSpec spec{1, 1};
-  std::vector<float> cache;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tensor::conv2d_forward_cached(x, w, b, spec, cache));
-  }
-  state.SetItemsProcessed(state.iterations() * 32);
-}
-BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(32)->Arg(64);
-
-void BM_Conv2dBackward(benchmark::State& state) {
-  common::Rng rng(1);
-  const int channels = static_cast<int>(state.range(0));
-  auto x = tensor::Tensor::randn({32, 16, 10, 10}, rng);
-  auto w = tensor::Tensor::randn({channels, 16, 3, 3}, rng, 0.0f, 0.1f);
-  auto b = tensor::Tensor::zeros({channels});
-  tensor::Conv2dSpec spec{1, 1};
-  std::vector<float> cache;
-  auto y = tensor::conv2d_forward_cached(x, w, b, spec, cache);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tensor::conv2d_backward_cached(x, w, y, spec, cache));
-  }
-  state.SetItemsProcessed(state.iterations() * 32);
-}
-BENCHMARK(BM_Conv2dBackward)->Arg(16)->Arg(32);
-
-void BM_Matmul(benchmark::State& state) {
-  common::Rng rng(1);
-  const int n = static_cast<int>(state.range(0));
-  auto a = tensor::Tensor::randn({n, n}, rng);
-  auto b = tensor::Tensor::randn({n, n}, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tensor::matmul(a, b));
-  }
-}
-BENCHMARK(BM_Matmul)->Arg(64)->Arg(256);
 
 std::vector<std::vector<float>> make_updates(int n, int dim) {
   common::Rng rng(7);
@@ -62,30 +26,95 @@ std::vector<std::vector<float>> make_updates(int n, int dim) {
   return updates;
 }
 
-void BM_FedAvg(benchmark::State& state) {
-  auto updates = make_updates(10, static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(fl::mean_update(updates));
-  }
+bench::MicroRecord conv_forward(common::ThreadPool& pool, int batch, int channels) {
+  common::Rng rng(1);
+  auto x = tensor::Tensor::randn({batch, 16, 10, 10}, rng);
+  auto w = tensor::Tensor::randn({channels, 16, 3, 3}, rng, 0.0f, 0.1f);
+  auto b = tensor::Tensor::zeros({channels});
+  tensor::Conv2dSpec spec{1, 1};
+  std::vector<float> cache;
+  return bench::time_serial_vs_threaded(
+      "conv2d_forward", "b" + std::to_string(batch) + "_c" + std::to_string(channels), pool,
+      [&] {
+        auto y = tensor::conv2d_forward_cached(x, w, b, spec, cache);
+        bench::do_not_optimize(y.data().data());
+      });
 }
-BENCHMARK(BM_FedAvg)->Arg(10000)->Arg(100000);
 
-void BM_Krum(benchmark::State& state) {
-  auto updates = make_updates(static_cast<int>(state.range(0)), 10000);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(fl::krum(updates, 2));
-  }
+bench::MicroRecord conv_backward(common::ThreadPool& pool, int batch, int channels) {
+  common::Rng rng(1);
+  auto x = tensor::Tensor::randn({batch, 16, 10, 10}, rng);
+  auto w = tensor::Tensor::randn({channels, 16, 3, 3}, rng, 0.0f, 0.1f);
+  auto b = tensor::Tensor::zeros({channels});
+  tensor::Conv2dSpec spec{1, 1};
+  std::vector<float> cache;
+  auto y = tensor::conv2d_forward_cached(x, w, b, spec, cache);
+  return bench::time_serial_vs_threaded(
+      "conv2d_backward", "b" + std::to_string(batch) + "_c" + std::to_string(channels), pool,
+      [&] {
+        auto g = tensor::conv2d_backward_cached(x, w, y, spec, cache);
+        bench::do_not_optimize(g.grad_weight.data().data());
+      });
 }
-BENCHMARK(BM_Krum)->Arg(10)->Arg(30);
 
-void BM_Median(benchmark::State& state) {
-  auto updates = make_updates(10, static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(fl::coordinate_median(updates));
-  }
+bench::MicroRecord matmul(common::ThreadPool& pool, int n) {
+  common::Rng rng(1);
+  auto a = tensor::Tensor::randn({n, n}, rng);
+  auto b = tensor::Tensor::randn({n, n}, rng);
+  return bench::time_serial_vs_threaded("matmul", "n" + std::to_string(n), pool, [&] {
+    auto c = tensor::matmul(a, b);
+    bench::do_not_optimize(c.data().data());
+  });
 }
-BENCHMARK(BM_Median)->Arg(10000)->Arg(100000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  common::init_log_level_from_env();
+  const std::size_t threads = common::resolve_n_threads(0);
+  common::ThreadPool pool(threads);
+
+  std::vector<bench::MicroRecord> records;
+  for (int channels : {16, 32, 64}) records.push_back(conv_forward(pool, 32, channels));
+  records.push_back(conv_forward(pool, 8, 32));
+  for (int channels : {16, 32}) records.push_back(conv_backward(pool, 32, channels));
+  records.push_back(conv_backward(pool, 8, 32));
+  for (int n : {64, 256, 512}) records.push_back(matmul(pool, n));
+
+  // Aggregation rules have no parallel path (yet); timed serially for the
+  // trajectory, with both columns reporting the same configuration.
+  {
+    auto updates = make_updates(10, 100000);
+    records.push_back(bench::time_serial_vs_threaded("fedavg", "10x100k", pool, [&] {
+      auto m = fl::mean_update(updates);
+      bench::do_not_optimize(m.data());
+    }));
+  }
+  {
+    auto updates = make_updates(30, 10000);
+    records.push_back(bench::time_serial_vs_threaded("krum", "30x10k", pool, [&] {
+      auto m = fl::krum(updates, 2);
+      bench::do_not_optimize(m.data());
+    }));
+  }
+  {
+    auto updates = make_updates(10, 100000);
+    records.push_back(bench::time_serial_vs_threaded("median", "10x100k", pool, [&] {
+      auto m = fl::coordinate_median(updates);
+      bench::do_not_optimize(m.data());
+    }));
+  }
+
+  std::printf("%-16s %-10s %14s %14s %9s   (%zu threads)\n", "op", "size", "serial ns/it",
+              "pooled ns/it", "speedup", threads);
+  bench::print_rule();
+  for (const auto& r : records) {
+    std::printf("%-16s %-10s %14.0f %14.0f %8.2fx\n", r.op.c_str(), r.size.c_str(),
+                r.serial_ns, r.threaded_ns, r.speedup());
+  }
+
+  const std::string json_path = "BENCH_micro_ops.json";
+  bench::write_micro_json(json_path, records, threads);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,6 +1,9 @@
 #!/bin/sh
 # Regenerate every table and figure. FEDCLEANSE_SCALE trades fidelity for
 # time. Tables run first (the headline results), then figures/ablations.
+# micro_ops additionally writes BENCH_micro_ops.json (serial vs. pooled
+# ns/iter per kernel) into the current directory; FEDCLEANSE_THREADS sets
+# the pool size it times against (default: hardware concurrency).
 for b in build/bench/table1_mnist build/bench/table2_fashion \
          build/bench/table3_cifar_dba build/bench/table4_neural_cleanse \
          build/bench/table5_pruning_methods build/bench/table6_adjust_weights \

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Full verification: tier-1 build + test suite, then a ThreadSanitizer pass
+# over the concurrency-critical tests (thread pool + determinism).
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo "== tsan: thread pool + determinism tests under -fsanitize=thread =="
+cmake -B build-tsan -S . -DFEDCLEANSE_SANITIZE=thread
+cmake --build build-tsan --target fedcleanse_tsan_tests -j
+./build-tsan/tests/fedcleanse_tsan_tests
+
+echo "verify: OK"

@@ -1,8 +1,20 @@
 #include "common/threadpool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 
 namespace fedcleanse::common {
+
+namespace {
+
+// Set for the lifetime of each worker thread so parallel_for can detect
+// re-entrant calls from its own pool and run them inline.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+
+std::atomic<ThreadPool*> g_ambient_pool{nullptr};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) {
@@ -23,7 +35,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::on_worker_thread() const { return tl_worker_pool == this; }
+
 void ThreadPool::worker_loop() {
+  tl_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -39,12 +54,66 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  // Inline when parallelism cannot help — or would deadlock: a worker
+  // blocking on futures served by the same (possibly fully blocked) pool.
+  if (n == 1 || workers_.size() <= 1 || on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
   }
-  for (auto& f : futures) f.get();  // propagate exceptions
+
+  // Contiguous chunks, a few per worker so uneven bodies still balance.
+  const std::size_t n_chunks = std::min(n, workers_.size() * 4);
+  const std::size_t base = n / n_chunks;
+  const std::size_t rem = n % n_chunks;
+
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  std::vector<std::future<void>> futures;
+  futures.reserve(n_chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::size_t end = begin + base + (c < rem ? 1 : 0);
+    futures.push_back(submit([&fn, &err_mu, &first_error, begin, end] {
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }));
+    begin = end;
+  }
+  // Drain everything before rethrowing: `fn` is borrowed from the caller and
+  // must not be touched by stragglers after this frame unwinds.
+  for (auto& f : futures) f.get();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t resolve_n_threads(std::size_t configured) {
+  if (const char* env = std::getenv("FEDCLEANSE_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 0) configured = static_cast<std::size_t>(v);
+  }
+  if (configured == 0) {
+    configured = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return configured;
+}
+
+ThreadPool* ambient_pool() { return g_ambient_pool.load(std::memory_order_acquire); }
+
+void set_ambient_pool(ThreadPool* pool) {
+  g_ambient_pool.store(pool, std::memory_order_release);
+}
+
+void ambient_parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  ThreadPool* pool = ambient_pool();
+  if (pool != nullptr && pool->size() > 1 && n > 1 && !pool->on_worker_thread()) {
+    pool->parallel_for(n, fn);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) fn(i);
 }
 
 }  // namespace fedcleanse::common

@@ -2,6 +2,13 @@
 // activation scans) concurrently when more than one hardware thread is
 // available. Falls back gracefully to effectively serial execution on a
 // single-core host.
+//
+// The pool doubles as the process's *ambient execution context*: a
+// Simulation installs its pool via set_ambient_pool(), and the tensor
+// kernels pick it up through ambient_parallel_for() to spread batch work
+// across cores. parallel_for() called from inside one of the pool's own
+// workers runs inline (serially) instead of re-submitting — client tasks
+// already saturate the pool, and nested blocking waits would deadlock it.
 #pragma once
 
 #include <condition_variable>
@@ -25,6 +32,9 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  // True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
   // Enqueue a task; the returned future rethrows any exception.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
@@ -41,6 +51,11 @@ class ThreadPool {
   }
 
   // Run fn(i) for i in [0, n) across the pool and wait for completion.
+  // Indices are dispatched as contiguous chunks; every chunk runs to the end
+  // even when one throws, and the first exception is rethrown once all work
+  // has drained (so `fn` is never referenced after parallel_for returns).
+  // Runs inline when the pool has a single worker or when called from one of
+  // this pool's own worker threads.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
@@ -52,5 +67,22 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stopping_ = false;
 };
+
+// Resolve a configured thread count: FEDCLEANSE_THREADS overrides when set,
+// then 0 means hardware_concurrency; the result is always ≥ 1.
+std::size_t resolve_n_threads(std::size_t configured);
+
+// Process-wide ambient pool, consumed by the tensor kernels. nullptr (the
+// default) means serial execution. The installer owns the pool and must
+// clear the pointer before destroying it.
+ThreadPool* ambient_pool();
+void set_ambient_pool(ThreadPool* pool);
+
+// Run fn(i) for i in [0, n): on the ambient pool when one is installed and
+// usable (more than one worker, not already inside a worker), serially
+// otherwise. Bodies must write disjoint state per index; results must not
+// depend on the execution order, which keeps every code path bit-identical
+// to the serial run.
+void ambient_parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
 }  // namespace fedcleanse::common

@@ -12,9 +12,9 @@ FineTuneOutcome federated_finetune(fl::Simulation& sim, const FineTuneConfig& co
   // Propagate the pruned structure to every client so local training cannot
   // resurrect pruned neurons, and drop the learning rate for recovery.
   server.broadcast_masks(clients, 0);
+  sim.dispatch_clients(clients);
   for (int c : clients) {
     auto& client = sim.clients()[static_cast<std::size_t>(c)];
-    client.handle_pending(sim.network());
     client.set_lr(client.lr() * config.lr_scale);
   }
 

@@ -34,9 +34,7 @@ std::function<double()> make_accuracy_oracle(fl::Simulation& sim,
   return [&sim] {
     const auto clients = sim.all_client_ids();
     sim.server().request_accuracies(clients, 0);
-    for (int c : clients) {
-      sim.clients()[static_cast<std::size_t>(c)].handle_pending(sim.network());
-    }
+    sim.dispatch_clients(clients);
     auto reports = sim.server().collect_accuracies(clients);
     return std::accumulate(reports.begin(), reports.end(), 0.0) /
            static_cast<double>(reports.size());
@@ -52,12 +50,12 @@ std::vector<int> federated_pruning_order(fl::Simulation& sim, const DefenseConfi
 
   if (config.method == PruneMethod::kRAP) {
     server.request_ranks(clients, 0);
-    for (int c : clients) sim.clients()[static_cast<std::size_t>(c)].handle_pending(sim.network());
+    sim.dispatch_clients(clients);
     auto reports = server.collect_ranks(clients);
     return rap_pruning_order(reports, units);
   }
   server.request_votes(clients, config.vote_prune_rate, 0);
-  for (int c : clients) sim.clients()[static_cast<std::size_t>(c)].handle_pending(sim.network());
+  sim.dispatch_clients(clients);
   auto reports = server.collect_votes(clients);
   return mvp_pruning_order(reports, units, config.vote_prune_rate);
 }

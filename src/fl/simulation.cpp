@@ -6,7 +6,12 @@
 namespace fedcleanse::fl {
 
 Simulation::Simulation(SimulationConfig config)
-    : config_(std::move(config)), rng_(config_.seed) {
+    : config_(std::move(config)),
+      pool_(std::make_unique<common::ThreadPool>(
+          common::resolve_n_threads(static_cast<std::size_t>(
+              config_.n_threads < 0 ? 0 : config_.n_threads)))),
+      rng_(config_.seed) {
+  common::set_ambient_pool(pool_.get());
   FC_REQUIRE(config_.n_clients > 0, "need at least one client");
   FC_REQUIRE(config_.n_attackers >= 0 && config_.n_attackers <= config_.n_clients,
              "attacker count out of range");
@@ -77,6 +82,17 @@ Simulation::Simulation(SimulationConfig config)
   }
 }
 
+Simulation::~Simulation() {
+  // Only un-install our own pool; a newer Simulation may have replaced it.
+  if (common::ambient_pool() == pool_.get()) common::set_ambient_pool(nullptr);
+}
+
+void Simulation::dispatch_clients(const std::vector<int>& ids) {
+  pool_->parallel_for(ids.size(), [&](std::size_t i) {
+    clients_[static_cast<std::size_t>(ids[i])].handle_pending(*net_);
+  });
+}
+
 std::vector<int> Simulation::all_client_ids() const {
   std::vector<int> ids(static_cast<std::size_t>(config_.n_clients));
   for (int i = 0; i < config_.n_clients; ++i) ids[static_cast<std::size_t>(i)] = i;
@@ -100,7 +116,7 @@ std::vector<int> Simulation::run_round(std::uint32_t round) {
     participants.assign(sampled.begin(), sampled.end());
   }
   server_->broadcast_model(participants, round);
-  for (int c : participants) clients_[static_cast<std::size_t>(c)].handle_pending(*net_);
+  dispatch_clients(participants);
   auto updates = server_->collect_updates(participants);
   server_->apply_aggregate(updates);
   return participants;

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/threadpool.h"
 #include "common/timer.h"
 #include "data/partition.h"
 #include "data/synth.h"
@@ -42,6 +43,11 @@ struct SimulationConfig {
   double last_conv_weight_decay = 0.0;
   ServerConfig server;
   std::uint64_t seed = 42;
+  // Worker threads for the per-client round work and the batch-parallel
+  // tensor kernels. 0 = hardware concurrency; the FEDCLEANSE_THREADS
+  // environment variable overrides whatever is configured here. Results are
+  // bit-identical for every thread count.
+  int n_threads = 0;
 };
 
 struct RoundRecord {
@@ -53,6 +59,10 @@ struct RoundRecord {
 class Simulation {
  public:
   explicit Simulation(SimulationConfig config);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
 
   // Run all configured rounds (appends to history; callable once).
   void run(bool record_history = true);
@@ -63,6 +73,16 @@ class Simulation {
   std::vector<Client>& clients() { return clients_; }
   comm::Network& network() { return *net_; }
   const SimulationConfig& config() const { return config_; }
+
+  // The simulation's execution context (also installed as the process-wide
+  // ambient pool for the tensor kernels while this Simulation is alive).
+  common::ThreadPool& pool() { return *pool_; }
+
+  // Drain each listed client's pending server messages, one client per pool
+  // task. Clients share no mutable state (own model, data, RNG, channel), and
+  // the server's collect loops fix the aggregation order afterwards, so the
+  // result is identical to a serial drain.
+  void dispatch_clients(const std::vector<int>& ids);
 
   const data::Dataset& test_set() const { return test_; }
   const data::Dataset& backdoor_testset() const { return backdoor_test_; }
@@ -80,6 +100,7 @@ class Simulation {
 
  private:
   SimulationConfig config_;
+  std::unique_ptr<common::ThreadPool> pool_;
   common::Rng rng_;
   data::Dataset test_;
   data::Dataset backdoor_test_;

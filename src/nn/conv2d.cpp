@@ -1,5 +1,7 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
+
 #include "nn/init.h"
 
 namespace fedcleanse::nn {
@@ -33,9 +35,11 @@ void Conv2d::zero_channel_in(Tensor& t, int n, int /*c*/, int h, int w, int chan
 Tensor Conv2d::forward(const Tensor& x) {
   input_cache_ = x;
   Tensor y = tensor::conv2d_forward_cached(x, weight_, bias_, spec_, col_cache_);
-  for (int oc = 0; oc < out_channels_; ++oc) {
-    if (!active_[static_cast<std::size_t>(oc)]) {
-      zero_channel_in(y, y.shape()[0], out_channels_, y.shape()[2], y.shape()[3], oc);
+  if (any_pruned_) {
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      if (!active_[static_cast<std::size_t>(oc)]) {
+        zero_channel_in(y, y.shape()[0], out_channels_, y.shape()[2], y.shape()[3], oc);
+      }
     }
   }
   return y;
@@ -43,9 +47,11 @@ Tensor Conv2d::forward(const Tensor& x) {
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
   Tensor g = grad_out;
-  for (int oc = 0; oc < out_channels_; ++oc) {
-    if (!active_[static_cast<std::size_t>(oc)]) {
-      zero_channel_in(g, g.shape()[0], out_channels_, g.shape()[2], g.shape()[3], oc);
+  if (any_pruned_) {
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      if (!active_[static_cast<std::size_t>(oc)]) {
+        zero_channel_in(g, g.shape()[0], out_channels_, g.shape()[2], g.shape()[3], oc);
+      }
     }
   }
   auto grads = tensor::conv2d_backward_cached(input_cache_, weight_, g, spec_, col_cache_);
@@ -63,6 +69,7 @@ std::unique_ptr<Layer> Conv2d::clone() const { return std::make_unique<Conv2d>(*
 void Conv2d::set_unit_active(int unit, bool active) {
   FC_REQUIRE(unit >= 0 && unit < out_channels_, "Conv2d channel index out of range");
   active_[static_cast<std::size_t>(unit)] = active ? 1 : 0;
+  any_pruned_ = std::find(active_.begin(), active_.end(), std::uint8_t{0}) != active_.end();
   if (!active) {
     const std::size_t per_channel =
         static_cast<std::size_t>(in_channels_) * kernel_ * kernel_;

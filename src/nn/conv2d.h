@@ -49,6 +49,9 @@ class Conv2d : public Layer {
   Tensor grad_weight_;
   Tensor grad_bias_;
   std::vector<std::uint8_t> active_;
+  // True iff any entry of active_ is 0; lets forward/backward skip the
+  // per-channel mask scan in the common fully-active case.
+  bool any_pruned_ = false;
   Tensor input_cache_;
   // im2col buffer from the last forward, reused by backward.
   std::vector<float> col_cache_;

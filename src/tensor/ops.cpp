@@ -4,7 +4,17 @@
 #include <cmath>
 #include <limits>
 
+#include "common/threadpool.h"
+
 namespace fedcleanse::tensor {
+
+namespace {
+
+// Row blocks of a matmul only pay for dispatch above this many
+// multiply-accumulates (m·k·n); smaller products stay inline.
+constexpr std::size_t kMatmulParallelFlops = 1u << 20;
+
+}  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) { return matmul_t(a, false, b, false); }
 
@@ -21,11 +31,13 @@ Tensor matmul_t(const Tensor& a, bool transpose_a, const Tensor& b, bool transpo
   const auto av = a.data();
   const auto bv = b.data();
   auto cv = c.data();
-  const int a_rows = a.shape()[0], a_cols = a.shape()[1];
+  const int a_cols = a.shape()[1];
   const int b_cols = b.shape()[1];
   // i-k-j loop order keeps the innermost access contiguous for the common
-  // (no-transpose) case.
-  for (int i = 0; i < m; ++i) {
+  // (no-transpose) case. Each output row depends only on its own inputs, so
+  // rows can be computed on any thread without changing a single float.
+  auto compute_row = [&](std::size_t row) {
+    const int i = static_cast<int>(row);
     for (int kk = 0; kk < k; ++kk) {
       const float aik = transpose_a ? av[static_cast<std::size_t>(kk) * a_cols + i]
                                     : av[static_cast<std::size_t>(i) * a_cols + kk];
@@ -41,8 +53,14 @@ Tensor matmul_t(const Tensor& a, bool transpose_a, const Tensor& b, bool transpo
         }
       }
     }
+  };
+  const std::size_t flops = static_cast<std::size_t>(m) * static_cast<std::size_t>(k) *
+                            static_cast<std::size_t>(n);
+  if (flops >= kMatmulParallelFlops) {
+    common::ambient_parallel_for(static_cast<std::size_t>(m), compute_row);
+  } else {
+    for (int i = 0; i < m; ++i) compute_row(static_cast<std::size_t>(i));
   }
-  (void)a_rows;
   return c;
 }
 
@@ -116,7 +134,10 @@ Tensor conv2d_forward_cached(const Tensor& input, const Tensor& weight, const Te
   const auto bs = bias.data();
   auto ov = out.data();
 
-  for (int b = 0; b < d.n; ++b) {
+  // Each sample owns a disjoint slice of the column cache and of the output,
+  // so the batch dimension parallelizes without reordering any float op.
+  common::ambient_parallel_for(static_cast<std::size_t>(d.n), [&](std::size_t sample) {
+    const int b = static_cast<int>(sample);
     float* col = &col_cache[static_cast<std::size_t>(b) * d.kdim * d.pdim];
     im2col(&in[static_cast<std::size_t>(b) * d.cin * d.h * d.w], d.cin, d.h, d.w, d.kh, d.kw,
            spec, d.ho, d.wo, col);
@@ -132,7 +153,7 @@ Tensor conv2d_forward_cached(const Tensor& input, const Tensor& weight, const Te
         for (int p = 0; p < d.pdim; ++p) orow[p] += wk * crow[p];
       }
     }
-  }
+  });
   return out;
 }
 
@@ -158,25 +179,34 @@ Conv2dGrads conv2d_backward_cached(const Tensor& input, const Tensor& weight,
   auto gw = g.grad_weight.data();
   auto gb = g.grad_bias.data();
 
-  std::vector<float> gcol(static_cast<std::size_t>(d.kdim) * d.pdim);
+  // grad_input is disjoint per sample, but grad_weight/grad_bias are sums
+  // over the batch. Each sample writes its contribution into its own slot of
+  // these scratch arrays; a serial in-order reduction below then produces the
+  // exact float sequence of the serial kernel, independent of thread count.
+  const std::size_t wslot = static_cast<std::size_t>(d.cout) * d.kdim;
+  std::vector<float> gw_partial(static_cast<std::size_t>(d.n) * wslot);
+  std::vector<float> gb_partial(static_cast<std::size_t>(d.n) * d.cout);
 
-  for (int b = 0; b < d.n; ++b) {
+  common::ambient_parallel_for(static_cast<std::size_t>(d.n), [&](std::size_t sample) {
+    const int b = static_cast<int>(sample);
     const float* col = &col_cache[static_cast<std::size_t>(b) * d.kdim * d.pdim];
-    std::fill(gcol.begin(), gcol.end(), 0.0f);
+    float* gwp = &gw_partial[static_cast<std::size_t>(b) * wslot];
+    float* gbp = &gb_partial[static_cast<std::size_t>(b) * d.cout];
+    std::vector<float> gcol(static_cast<std::size_t>(d.kdim) * d.pdim, 0.0f);
     for (int oc = 0; oc < d.cout; ++oc) {
       const float* grow = &go[(static_cast<std::size_t>(b) * d.cout + oc) * d.pdim];
-      float* gwrow = &gw[static_cast<std::size_t>(oc) * d.kdim];
+      float* gwrow = &gwp[static_cast<std::size_t>(oc) * d.kdim];
       const float* wrow = &wt[static_cast<std::size_t>(oc) * d.kdim];
       float gbacc = 0.0f;
       for (int p = 0; p < d.pdim; ++p) gbacc += grow[p];
-      gb[oc] += gbacc;
+      gbp[oc] = gbacc;
       // Two separate vectorizable passes: gw[k] += <grow, col_k> and
       // gcol_k += w_k · grow.
       for (int k = 0; k < d.kdim; ++k) {
         const float* crow = &col[static_cast<std::size_t>(k) * d.pdim];
         float acc = 0.0f;
         for (int p = 0; p < d.pdim; ++p) acc += grow[p] * crow[p];
-        gwrow[k] += acc;
+        gwrow[k] = acc;
       }
       for (int k = 0; k < d.kdim; ++k) {
         const float wk = wrow[k];
@@ -209,6 +239,14 @@ Conv2dGrads conv2d_backward_cached(const Tensor& input, const Tensor& weight,
         }
       }
     }
+  });
+
+  // Ordered reduction: batch order, never thread-completion order.
+  for (int b = 0; b < d.n; ++b) {
+    const float* gwp = &gw_partial[static_cast<std::size_t>(b) * wslot];
+    for (std::size_t i = 0; i < wslot; ++i) gw[i] += gwp[i];
+    const float* gbp = &gb_partial[static_cast<std::size_t>(b) * d.cout];
+    for (int oc = 0; oc < d.cout; ++oc) gb[oc] += gbp[oc];
   }
   return g;
 }
@@ -218,10 +256,10 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
   const ConvDims d = conv_dims(input, weight, spec);
   std::vector<float> col(static_cast<std::size_t>(d.n) * d.kdim * d.pdim);
   const auto in = input.data();
-  for (int b = 0; b < d.n; ++b) {
-    im2col(&in[static_cast<std::size_t>(b) * d.cin * d.h * d.w], d.cin, d.h, d.w, d.kh, d.kw,
-           spec, d.ho, d.wo, &col[static_cast<std::size_t>(b) * d.kdim * d.pdim]);
-  }
+  common::ambient_parallel_for(static_cast<std::size_t>(d.n), [&](std::size_t b) {
+    im2col(&in[b * d.cin * d.h * d.w], d.cin, d.h, d.w, d.kh, d.kw, spec, d.ho, d.wo,
+           &col[b * d.kdim * d.pdim]);
+  });
   return conv2d_backward_cached(input, weight, grad_output, spec, col);
 }
 

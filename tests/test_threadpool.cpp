@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "common/threadpool.h"
 
@@ -57,4 +59,80 @@ TEST(ThreadPool, ManyTasksComplete) {
   }
   for (auto& f : futures) f.get();
   EXPECT_EQ(sum.load(), 20100);
+}
+
+TEST(ThreadPool, ParallelForDrainsAllWorkBeforeThrowing) {
+  // The body is borrowed from the caller's frame; parallel_for must not
+  // rethrow while straggler tasks could still call it. An early index throws
+  // while later (slow) chunks are still queued — no body may observe the
+  // post-return state.
+  ThreadPool pool(3);
+  std::atomic<bool> returned{false};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   EXPECT_FALSE(returned.load());
+                                   if (i == 0) throw std::runtime_error("boom");
+                                   std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                                 }),
+               std::runtime_error);
+  returned.store(true);
+}
+
+TEST(ThreadPool, ReusableAcrossManySubmitWaves) {
+  ThreadPool pool(4);
+  for (int wave = 0; wave < 100; ++wave) {
+    std::atomic<int> count{0};
+    pool.parallel_for(32, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 32);
+  }
+  // A wave that throws must not poison subsequent waves.
+  EXPECT_THROW(pool.parallel_for(8, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(16, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  // parallel_for from a worker of the same pool must run inline: re-submitting
+  // and blocking would deadlock once all workers wait on each other.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    EXPECT_TRUE(pool.on_worker_thread());
+    pool.parallel_for(8, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPool, OnWorkerThreadIsPoolSpecific) {
+  ThreadPool a(2), b(2);
+  EXPECT_FALSE(a.on_worker_thread());
+  a.submit([&] {
+     EXPECT_TRUE(a.on_worker_thread());
+     EXPECT_FALSE(b.on_worker_thread());
+   }).get();
+}
+
+TEST(AmbientPool, InstallAndClear) {
+  using fedcleanse::common::ambient_parallel_for;
+  using fedcleanse::common::ambient_pool;
+  using fedcleanse::common::set_ambient_pool;
+  ASSERT_EQ(ambient_pool(), nullptr);
+
+  // Serial fallback with no pool installed.
+  std::vector<int> hits(16, 0);
+  ambient_parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+
+  {
+    ThreadPool pool(3);
+    set_ambient_pool(&pool);
+    EXPECT_EQ(ambient_pool(), &pool);
+    std::vector<std::atomic<int>> atomic_hits(64);
+    ambient_parallel_for(atomic_hits.size(), [&](std::size_t i) { atomic_hits[i]++; });
+    for (auto& h : atomic_hits) EXPECT_EQ(h.load(), 1);
+    set_ambient_pool(nullptr);
+  }
+  EXPECT_EQ(ambient_pool(), nullptr);
 }
