@@ -34,10 +34,20 @@ int main() {
     fl::ReputationAggregator reputation(cfg.n_clients);
     const auto clients = sim.all_client_ids();
     for (int r = 0; r < cfg.rounds; ++r) {
-      sim.server().broadcast_model(clients, static_cast<std::uint32_t>(r));
+      const auto round = static_cast<std::uint32_t>(r);
+      sim.server().broadcast_model(clients, round);
       sim.dispatch_clients(clients);
-      auto updates = sim.server().collect_updates(clients);
-      auto agg = reputation.aggregate(clients, updates);
+      auto replies = sim.server().collect_updates(clients, round);
+      // Perfect wire here: every reply is present. Keep ids and updates
+      // aligned anyway, since the reputation state is per client id.
+      std::vector<int> responders;
+      std::vector<std::vector<float>> updates;
+      for (std::size_t i = 0; i < replies.size(); ++i) {
+        if (!replies[i]) continue;
+        responders.push_back(clients[i]);
+        updates.push_back(std::move(*replies[i]));
+      }
+      auto agg = reputation.aggregate(responders, updates);
       auto params = sim.server().params();
       for (std::size_t i = 0; i < params.size(); ++i) params[i] += agg[i];
       sim.server().set_params(params);

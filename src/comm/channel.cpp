@@ -29,6 +29,14 @@ Message Channel::recv() {
   return m;
 }
 
+std::optional<Message> Channel::recv_for(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_for(lock, timeout, [this] { return !queue_.empty(); })) return std::nullopt;
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
 std::size_t Channel::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();

@@ -2,6 +2,7 @@
 // server and one client.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -20,6 +21,10 @@ class Channel {
   std::optional<Message> try_recv();
   // Blocking receive (used when clients run on worker threads).
   Message recv();
+  // Blocking receive with a deadline: returns the next message, or nullopt if
+  // none arrived within `timeout`. The degraded-mode round protocol uses this
+  // so a crashed or straggling peer can never wedge the server.
+  std::optional<Message> recv_for(std::chrono::milliseconds timeout);
 
   std::size_t pending() const;
   std::size_t bytes_sent() const;

@@ -1,0 +1,120 @@
+#include "comm/fault_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fedcleanse::comm {
+
+void FaultConfig::validate(int n_clients) const {
+  auto in01 = [](double v) { return v >= 0.0 && v <= 1.0; };
+  if (!in01(dropout_rate) || !in01(corrupt_rate) || !in01(duplicate_rate) ||
+      !in01(delay_rate) || !in01(straggler_fraction) || !in01(straggler_miss_rate) ||
+      !in01(min_collect_fraction)) {
+    throw ConfigError("fault rates must lie in [0, 1]");
+  }
+  if (max_request_retries < 0) throw ConfigError("max_request_retries must be >= 0");
+  if (recv_timeout_ms < 0) throw ConfigError("recv_timeout_ms must be >= 0");
+  for (const auto& cp : crash_schedule) {
+    if (cp.client < 0 || cp.client >= n_clients) {
+      throw ConfigError("crash_schedule names client " + std::to_string(cp.client) +
+                        " outside [0, " + std::to_string(n_clients) + ")");
+    }
+  }
+}
+
+FaultModel::FaultModel(FaultConfig config, int n_clients, std::uint64_t seed)
+    : config_(std::move(config)) {
+  FC_REQUIRE(n_clients > 0, "fault model needs at least one client");
+  config_.validate(n_clients);
+  const auto n = static_cast<std::size_t>(n_clients);
+
+  // All per-link streams and the straggler draw derive from one splitmix64
+  // walk over the fault seed: fully reproducible, independent per link.
+  std::uint64_t state = seed;
+  streams_.reserve(2 * n);
+  for (std::size_t i = 0; i < 2 * n; ++i) streams_.emplace_back(common::splitmix64(state));
+
+  straggler_.assign(n, 0);
+  if (config_.straggler_fraction > 0.0) {
+    common::Rng pick(common::splitmix64(state));
+    const auto k = std::min<std::size_t>(
+        n, static_cast<std::size_t>(
+               std::lround(config_.straggler_fraction * static_cast<double>(n))));
+    for (std::size_t c : pick.sample_without_replacement(n, std::max<std::size_t>(1, k))) {
+      straggler_[c] = 1;
+    }
+  }
+
+  crash_round_.assign(n, std::nullopt);
+  for (const auto& cp : config_.crash_schedule) {
+    auto& slot = crash_round_[static_cast<std::size_t>(cp.client)];
+    slot = slot ? std::min(*slot, cp.round) : cp.round;
+  }
+}
+
+common::Rng& FaultModel::stream(int client, Direction dir) {
+  return streams_[2 * static_cast<std::size_t>(client) + static_cast<std::size_t>(dir)];
+}
+
+bool FaultModel::crashed(int client, std::uint32_t round) const {
+  const auto& slot = crash_round_[static_cast<std::size_t>(client)];
+  return slot && round >= *slot;
+}
+
+bool FaultModel::straggler(int client) const {
+  return straggler_[static_cast<std::size_t>(client)] != 0;
+}
+
+FaultModel::Fate FaultModel::next_fate(int client, Direction dir, std::uint32_t round) {
+  (void)round;  // crash handling is the caller's (it consumes no randomness)
+  auto& rng = stream(client, dir);
+  Fate fate;
+  // Fixed draw count per call keeps the stream aligned no matter which
+  // faults fire.
+  fate.drop = rng.bernoulli(config_.dropout_rate);
+  fate.corrupt = rng.bernoulli(config_.corrupt_rate);
+  fate.duplicate = rng.bernoulli(config_.duplicate_rate);
+  fate.delay = rng.bernoulli(config_.delay_rate);
+  if (dir == Direction::kUplink && straggler(client)) {
+    fate.delay = rng.bernoulli(config_.straggler_miss_rate) || fate.delay;
+  }
+  return fate;
+}
+
+void FaultModel::corrupt(Message& message, int client, Direction dir) {
+  auto& rng = stream(client, dir);
+  auto& payload = message.payload;
+  std::size_t mode = rng.index(4);
+  if (payload.empty() && mode < 2) mode = 2;  // nothing to truncate/flip
+  switch (mode) {
+    case 0:  // truncate: the classic torn read
+      payload.resize(rng.index(payload.size()));
+      break;
+    case 1: {  // flip bytes in place: garbage values, maybe a lying prefix
+      const std::size_t flips = 1 + payload.size() / 16;
+      for (std::size_t i = 0; i < flips; ++i) {
+        payload[rng.index(payload.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.index(255));
+      }
+      break;
+    }
+    case 2: {  // append trailing garbage: oversized payload
+      const std::size_t extra = 1 + rng.index(8);
+      for (std::size_t i = 0; i < extra; ++i) {
+        payload.push_back(static_cast<std::uint8_t>(rng.next_u64() & 0xFF));
+      }
+      break;
+    }
+    default: {  // mistype: valid bytes, wrong protocol slot
+      const auto current = static_cast<std::uint8_t>(message.type);
+      const auto shifted =
+          static_cast<std::uint8_t>(1 + (current - 1 + 1 + rng.index(8)) % 9);
+      message.type = *parse_message_type(shifted);
+      break;
+    }
+  }
+}
+
+}  // namespace fedcleanse::comm

@@ -1,0 +1,130 @@
+// Seeded fault injection for the in-memory wire.
+//
+// FaultModel decides, deterministically, what happens to every message on
+// every link: delivered, dropped, corrupted, duplicated, or delayed past the
+// current protocol phase. Each (client, direction) pair owns its own
+// common::Rng stream derived from a single fault seed, so the fate sequence
+// of a link depends only on the seed and that link's own send order — never
+// on thread scheduling. That is what keeps fault-injected runs bit-identical
+// across thread counts (DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "comm/message.h"
+#include "common/rng.h"
+
+namespace fedcleanse::comm {
+
+// One crash entry: the client's link goes permanently silent (both
+// directions) for every message stamped with `round` or later.
+struct CrashPoint {
+  int client = 0;
+  std::uint32_t round = 0;
+};
+
+// All knobs default to a perfect wire; Simulation only installs the faulty
+// network when any_faults() (or force_faulty_network) is set, so the default
+// path is byte-identical to a build without this layer.
+struct FaultConfig {
+  // --- per-message fault probabilities, applied per link direction ----------
+  double dropout_rate = 0.0;    // message silently lost
+  double corrupt_rate = 0.0;    // payload/type mutated (see FaultModel::corrupt)
+  double duplicate_rate = 0.0;  // message delivered twice
+  double delay_rate = 0.0;      // held until the next protocol phase; later
+                                // messages overtake it (reordering + delay)
+
+  // --- per-client schedules -------------------------------------------------
+  // Fraction of clients (chosen by the fault seed) whose uplink replies miss
+  // the server's deadline with probability straggler_miss_rate.
+  double straggler_fraction = 0.0;
+  double straggler_miss_rate = 0.75;
+  std::vector<CrashPoint> crash_schedule;
+
+  // --- degraded-mode round protocol -----------------------------------------
+  // The server proceeds with a collect phase when at least
+  // ceil(min_collect_fraction · participants) valid reports arrived (always
+  // at least one). Below quorum: training rounds skip aggregation, the
+  // defense protocol throws QuorumError.
+  double min_collect_fraction = 0.5;
+  // Retransmissions of an unanswered/undecodable request before giving up.
+  int max_request_retries = 2;
+  // Server-side recv deadline per client; doubles per retry attempt, capped
+  // at 8× (the "capped backoff").
+  int recv_timeout_ms = 25;
+
+  // 0 = derive from SimulationConfig::seed (independently of the simulation's
+  // own RNG stream, so enabling faults never perturbs data/init draws).
+  std::uint64_t fault_seed = 0;
+  // Install the FaultyNetwork wrapper even with every rate at zero — used by
+  // tests to prove the wrapper itself is behaviour-neutral.
+  bool force_faulty_network = false;
+
+  bool any_faults() const {
+    return dropout_rate > 0.0 || corrupt_rate > 0.0 || duplicate_rate > 0.0 ||
+           delay_rate > 0.0 || straggler_fraction > 0.0 || !crash_schedule.empty();
+  }
+  // Throws ConfigError on out-of-range knobs.
+  void validate(int n_clients) const;
+};
+
+// Aggregate message-level fault counts (what the wire did, as opposed to the
+// server-side RoundRecord counts, which record what the protocol observed).
+struct FaultStats {
+  std::size_t dropped = 0;
+  std::size_t corrupted = 0;
+  std::size_t duplicated = 0;
+  std::size_t delayed = 0;
+  std::size_t crashed = 0;  // messages eaten by a crashed link
+
+  FaultStats& operator+=(const FaultStats& o) {
+    dropped += o.dropped;
+    corrupted += o.corrupted;
+    duplicated += o.duplicated;
+    delayed += o.delayed;
+    crashed += o.crashed;
+    return *this;
+  }
+};
+
+class FaultModel {
+ public:
+  enum class Direction { kDownlink = 0, kUplink = 1 };
+
+  struct Fate {
+    bool drop = false;
+    bool corrupt = false;
+    bool duplicate = false;
+    bool delay = false;
+  };
+
+  FaultModel(FaultConfig config, int n_clients, std::uint64_t seed);
+
+  const FaultConfig& config() const { return config_; }
+
+  // Crash/straggler schedules (pure lookups; no RNG consumed).
+  bool crashed(int client, std::uint32_t round) const;
+  bool straggler(int client) const;
+
+  // Draw the fate of the next message on (client, dir). Advances that link
+  // direction's RNG stream by a fixed number of draws per call, so the stream
+  // stays aligned regardless of which faults actually fire.
+  Fate next_fate(int client, Direction dir, std::uint32_t round);
+
+  // Mutate a message in one of four ways (truncate payload, flip payload
+  // bytes, append trailing garbage, or mistype), drawn from the same link
+  // stream. Every mode produces something the receiving side must survive.
+  void corrupt(Message& message, int client, Direction dir);
+
+ private:
+  common::Rng& stream(int client, Direction dir);
+
+  FaultConfig config_;
+  std::vector<common::Rng> streams_;  // 2 per client: [downlink, uplink]
+  std::vector<char> straggler_;
+  std::vector<std::optional<std::uint32_t>> crash_round_;
+};
+
+}  // namespace fedcleanse::comm

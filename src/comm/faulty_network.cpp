@@ -1,0 +1,77 @@
+#include "comm/faulty_network.h"
+
+namespace fedcleanse::comm {
+
+FaultyNetwork::FaultyNetwork(int n_clients, FaultConfig config, std::uint64_t seed)
+    : Network(n_clients),
+      model_(std::move(config), n_clients, seed),
+      links_(2 * static_cast<std::size_t>(n_clients)) {}
+
+FaultyNetwork::LinkState& FaultyNetwork::state(int client, FaultModel::Direction dir) {
+  return links_[2 * static_cast<std::size_t>(client) + static_cast<std::size_t>(dir)];
+}
+
+void FaultyNetwork::deliver(int client, FaultModel::Direction dir, Message message) {
+  if (dir == FaultModel::Direction::kDownlink) {
+    Network::send_to_client(client, std::move(message));
+  } else {
+    Network::send_to_server(client, std::move(message));
+  }
+}
+
+void FaultyNetwork::inject(int client, FaultModel::Direction dir, Message message) {
+  auto& st = state(client, dir);
+  if (model_.crashed(client, message.round)) {
+    ++st.stats.crashed;
+    return;
+  }
+  const auto fate = model_.next_fate(client, dir, message.round);
+  if (fate.drop) {
+    ++st.stats.dropped;
+    return;
+  }
+  if (fate.corrupt) {
+    model_.corrupt(message, client, dir);
+    ++st.stats.corrupted;
+  }
+  if (fate.delay) {
+    ++st.stats.delayed;
+    st.delayed.push_back({std::move(message), phase_.load(std::memory_order_relaxed)});
+    return;
+  }
+  if (fate.duplicate) {
+    ++st.stats.duplicated;
+    deliver(client, dir, message);  // copy
+  }
+  deliver(client, dir, std::move(message));
+}
+
+void FaultyNetwork::send_to_client(int client, Message message) {
+  inject(client, FaultModel::Direction::kDownlink, std::move(message));
+}
+
+void FaultyNetwork::send_to_server(int client, Message message) {
+  inject(client, FaultModel::Direction::kUplink, std::move(message));
+}
+
+void FaultyNetwork::flush_delayed() {
+  const std::uint64_t now = phase_.load(std::memory_order_relaxed);
+  for (int c = 0; c < n_clients(); ++c) {
+    for (auto dir : {FaultModel::Direction::kDownlink, FaultModel::Direction::kUplink}) {
+      auto& st = state(c, dir);
+      while (!st.delayed.empty() && st.delayed.front().phase < now) {
+        deliver(c, dir, std::move(st.delayed.front().message));
+        st.delayed.pop_front();
+      }
+    }
+  }
+  phase_.store(now + 1, std::memory_order_relaxed);
+}
+
+FaultStats FaultyNetwork::stats() const {
+  FaultStats total;
+  for (const auto& link : links_) total += link.stats;
+  return total;
+}
+
+}  // namespace fedcleanse::comm

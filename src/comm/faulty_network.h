@@ -1,0 +1,57 @@
+// Fault-injecting wire: a Network whose send paths run every message through
+// a seeded FaultModel before it reaches a channel.
+//
+// Threading contract (mirrors Simulation's use of the wire): downlink state
+// for link c is touched only by the coordinating (server) thread; uplink
+// state only by client c's worker task. flush_delayed() and stats() must be
+// called from the coordinating thread while no client tasks run (the
+// simulation calls them at phase boundaries, after the pool barrier). Under
+// that contract no lock is needed beyond the Channels' own mutexes, and the
+// per-link RNG streams make every fault decision independent of thread
+// scheduling.
+#pragma once
+
+#include <atomic>
+#include <deque>
+
+#include "comm/fault_model.h"
+#include "comm/network.h"
+
+namespace fedcleanse::comm {
+
+class FaultyNetwork : public Network {
+ public:
+  FaultyNetwork(int n_clients, FaultConfig config, std::uint64_t seed);
+
+  void send_to_client(int client, Message message) override;
+  void send_to_server(int client, Message message) override;
+
+  // Deliver every message that was delayed in an *earlier* phase; messages
+  // delayed in the current phase stay held, so a delayed message always
+  // misses at least one collect deadline before arriving (stale by then).
+  void flush_delayed() override;
+
+  const FaultModel& model() const { return model_; }
+  // Aggregate fault counts across all links (coordinating thread only).
+  FaultStats stats() const;
+
+ private:
+  struct Delayed {
+    Message message;
+    std::uint64_t phase;
+  };
+  struct LinkState {
+    std::deque<Delayed> delayed;
+    FaultStats stats;
+  };
+
+  void inject(int client, FaultModel::Direction dir, Message message);
+  void deliver(int client, FaultModel::Direction dir, Message message);
+  LinkState& state(int client, FaultModel::Direction dir);
+
+  FaultModel model_;
+  std::vector<LinkState> links_;  // 2 per client: [downlink, uplink]
+  std::atomic<std::uint64_t> phase_{0};
+};
+
+}  // namespace fedcleanse::comm

@@ -17,6 +17,80 @@ const char* message_type_name(MessageType t) {
   return "?";
 }
 
+std::optional<MessageType> parse_message_type(std::uint8_t raw) {
+  if (raw < static_cast<std::uint8_t>(MessageType::kModelBroadcast) ||
+      raw > static_cast<std::uint8_t>(MessageType::kAccuracyReport)) {
+    return std::nullopt;
+  }
+  return static_cast<MessageType>(raw);
+}
+
+namespace {
+
+// Run `fn` against a ByteReader over `payload`, converting any serialization
+// failure into a DecodeError tagged with the codec name, and rejecting
+// payloads with trailing bytes (an oversized payload is as malformed as a
+// truncated one — it means the sender and receiver disagree on the format).
+template <typename Fn>
+auto decode_checked(const char* codec, const std::vector<std::uint8_t>& payload, Fn fn) {
+  common::ByteReader r(payload);
+  try {
+    auto value = fn(r);
+    if (!r.exhausted()) {
+      throw DecodeError(std::string(codec) + ": " + std::to_string(r.remaining()) +
+                        " trailing bytes");
+    }
+    return value;
+  } catch (const DecodeError&) {
+    throw;
+  } catch (const SerializationError& e) {
+    throw DecodeError(std::string(codec) + ": " + e.what());
+  }
+}
+
+}  // namespace
+
+std::uint64_t payload_checksum(const std::vector<std::uint8_t>& payload) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64
+  for (std::uint8_t b : payload) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> encode_message(const Message& m) {
+  common::ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(m.type));
+  w.write_u32(m.round);
+  w.write_i32(m.sender);
+  // Always write the true checksum: encoded bytes are by construction
+  // self-consistent, whatever m.checksum held.
+  w.write_u64(payload_checksum(m.payload));
+  w.write_u8_vector(m.payload);
+  return w.take();
+}
+
+Message decode_message(const std::vector<std::uint8_t>& bytes) {
+  return decode_checked("message", bytes, [](common::ByteReader& r) {
+    Message m;
+    const std::uint8_t raw_type = r.read_u8();
+    auto type = parse_message_type(raw_type);
+    if (!type) {
+      throw DecodeError("message: unknown type byte " + std::to_string(raw_type));
+    }
+    m.type = *type;
+    m.round = r.read_u32();
+    m.sender = r.read_i32();
+    m.checksum = r.read_u64();
+    m.payload = r.read_u8_vector();
+    if (!m.checksum_ok()) {
+      throw DecodeError("message: payload fails checksum");
+    }
+    return m;
+  });
+}
+
 std::vector<std::uint8_t> encode_flat_params(const std::vector<float>& params) {
   common::ByteWriter w;
   w.write_f32_vector(params);
@@ -24,8 +98,8 @@ std::vector<std::uint8_t> encode_flat_params(const std::vector<float>& params) {
 }
 
 std::vector<float> decode_flat_params(const std::vector<std::uint8_t>& payload) {
-  common::ByteReader r(payload);
-  return r.read_f32_vector();
+  return decode_checked("flat_params", payload,
+                        [](common::ByteReader& r) { return r.read_f32_vector(); });
 }
 
 std::vector<std::uint8_t> encode_ranks(const std::vector<std::uint32_t>& ranks) {
@@ -35,8 +109,8 @@ std::vector<std::uint8_t> encode_ranks(const std::vector<std::uint32_t>& ranks) 
 }
 
 std::vector<std::uint32_t> decode_ranks(const std::vector<std::uint8_t>& payload) {
-  common::ByteReader r(payload);
-  return r.read_u32_vector();
+  return decode_checked("ranks", payload,
+                        [](common::ByteReader& r) { return r.read_u32_vector(); });
 }
 
 std::vector<std::uint8_t> encode_votes(const std::vector<std::uint8_t>& votes) {
@@ -46,8 +120,8 @@ std::vector<std::uint8_t> encode_votes(const std::vector<std::uint8_t>& votes) {
 }
 
 std::vector<std::uint8_t> decode_votes(const std::vector<std::uint8_t>& payload) {
-  common::ByteReader r(payload);
-  return r.read_u8_vector();
+  return decode_checked("votes", payload,
+                        [](common::ByteReader& r) { return r.read_u8_vector(); });
 }
 
 std::vector<std::uint8_t> encode_vote_request(double prune_rate) {
@@ -57,8 +131,8 @@ std::vector<std::uint8_t> encode_vote_request(double prune_rate) {
 }
 
 double decode_vote_request(const std::vector<std::uint8_t>& payload) {
-  common::ByteReader r(payload);
-  return r.read_f64();
+  return decode_checked("vote_request", payload,
+                        [](common::ByteReader& r) { return r.read_f64(); });
 }
 
 std::vector<std::uint8_t> encode_masks(const std::vector<std::vector<std::uint8_t>>& masks) {
@@ -69,11 +143,17 @@ std::vector<std::uint8_t> encode_masks(const std::vector<std::vector<std::uint8_
 }
 
 std::vector<std::vector<std::uint8_t>> decode_masks(const std::vector<std::uint8_t>& payload) {
-  common::ByteReader r(payload);
-  const std::uint32_t n = r.read_u32();
-  std::vector<std::vector<std::uint8_t>> masks(n);
-  for (auto& m : masks) m = r.read_u8_vector();
-  return masks;
+  return decode_checked("masks", payload, [](common::ByteReader& r) {
+    const std::uint32_t n = r.read_u32();
+    // Each mask costs at least its 4-byte length prefix; a lying count must
+    // not reach the vector allocation below.
+    if (static_cast<std::size_t>(n) * 4 > r.remaining()) {
+      throw DecodeError("masks: count " + std::to_string(n) + " exceeds payload");
+    }
+    std::vector<std::vector<std::uint8_t>> masks(n);
+    for (auto& m : masks) m = r.read_u8_vector();
+    return masks;
+  });
 }
 
 std::vector<std::uint8_t> encode_accuracy(double accuracy) {
@@ -83,8 +163,8 @@ std::vector<std::uint8_t> encode_accuracy(double accuracy) {
 }
 
 double decode_accuracy(const std::vector<std::uint8_t>& payload) {
-  common::ByteReader r(payload);
-  return r.read_f64();
+  return decode_checked("accuracy", payload,
+                        [](common::ByteReader& r) { return r.read_f64(); });
 }
 
 }  // namespace fedcleanse::comm

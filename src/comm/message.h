@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,17 +30,57 @@ enum class MessageType : std::uint8_t {
 };
 
 const char* message_type_name(MessageType t);
+// Validated conversion from a (possibly corrupted) wire byte.
+std::optional<MessageType> parse_message_type(std::uint8_t raw);
+
+// Malformed message or payload: truncated, oversized, lying length prefix,
+// unknown type byte. Subtype of SerializationError so callers that only care
+// about "bad bytes" can catch the base type.
+class DecodeError : public SerializationError {
+ public:
+  explicit DecodeError(const std::string& what) : SerializationError(what) {}
+};
+
+// FNV-1a 64 over the payload bytes — the wire integrity check. Flipped,
+// truncated, or appended payload bytes (fault injection, or a torn read)
+// fail verification at the receiver instead of decoding into silent garbage.
+std::uint64_t payload_checksum(const std::vector<std::uint8_t>& payload);
+
+// Wire header: type (u8) + round (u32) + sender (i32) + checksum (u64) +
+// payload length (u32). Single source of truth shared by
+// Message::wire_size() and the encode_message()/decode_message() pair, so a
+// header change cannot silently skew Network::total_bytes() accounting.
+inline constexpr std::size_t kMessageHeaderBytes = 1 + 4 + 4 + 8 + 4;
 
 struct Message {
   MessageType type{};
   std::uint32_t round = 0;
   std::int32_t sender = -1;  // client id, or -1 for the server
+  std::uint64_t checksum = 0;  // payload_checksum(payload), set by stamp()
   std::vector<std::uint8_t> payload;
 
-  std::size_t wire_size() const { return payload.size() + 10; }
+  // Compute the checksum — call after filling the payload, before sending.
+  // Anything that mutates the payload afterwards (FaultModel::corrupt) is
+  // detectable via checksum_ok().
+  Message& stamp() {
+    checksum = payload_checksum(payload);
+    return *this;
+  }
+  bool checksum_ok() const { return checksum == payload_checksum(payload); }
+
+  std::size_t wire_size() const { return kMessageHeaderBytes + payload.size(); }
 };
 
+// Full message ↔ bytes. encode_message's output is exactly wire_size() bytes;
+// decode_message throws DecodeError on truncation, trailing bytes, or an
+// unknown type byte.
+std::vector<std::uint8_t> encode_message(const Message& m);
+Message decode_message(const std::vector<std::uint8_t>& bytes);
+
 // --- payload codecs ---------------------------------------------------------
+// Every decoder validates the payload end to end and throws DecodeError on
+// anything malformed (truncated, oversized, or with a lying length prefix);
+// a Byzantine client can never crash the server with bad bytes.
 
 std::vector<std::uint8_t> encode_flat_params(const std::vector<float>& params);
 std::vector<float> decode_flat_params(const std::vector<std::uint8_t>& payload);

@@ -28,6 +28,11 @@ std::optional<Message> Network::try_recv_from_client(int client) {
 
 Message Network::recv_from_client(int client) { return link(client).to_server.recv(); }
 
+std::optional<Message> Network::recv_from_client_for(int client,
+                                                    std::chrono::milliseconds timeout) {
+  return link(client).to_server.recv_for(timeout);
+}
+
 void Network::send_to_server(int client, Message message) {
   link(client).to_server.send(std::move(message));
 }

@@ -1,10 +1,14 @@
 // In-memory network wiring one server to N clients with per-direction
 // channels and aggregate traffic accounting.
+//
+// The send paths are virtual so a fault-injection layer (FaultyNetwork) can
+// wrap the wire without either endpoint knowing: server and clients only ever
+// hold a Network&.
 #pragma once
 
-#include <vector>
-
+#include <chrono>
 #include <memory>
+#include <vector>
 
 #include "comm/channel.h"
 #include "common/error.h"
@@ -14,20 +18,29 @@ namespace fedcleanse::comm {
 class Network {
  public:
   explicit Network(int n_clients);
+  virtual ~Network() = default;
 
   int n_clients() const { return static_cast<int>(links_.size()); }
 
   // Server side.
-  void send_to_client(int client, Message message);
+  virtual void send_to_client(int client, Message message);
   std::optional<Message> try_recv_from_client(int client);
   Message recv_from_client(int client);
+  // Deadline-bounded receive: nullopt if the client sent nothing in time.
+  std::optional<Message> recv_from_client_for(int client, std::chrono::milliseconds timeout);
 
   // Client side.
-  void send_to_server(int client, Message message);
+  virtual void send_to_server(int client, Message message);
   std::optional<Message> client_try_recv(int client);
   Message client_recv(int client);
 
-  // Total bytes that have crossed the network in either direction.
+  // Release any fault-delayed messages into their channels (no-op on a
+  // perfect wire). The simulation calls this at phase boundaries, from the
+  // coordinating thread only.
+  virtual void flush_delayed() {}
+
+  // Total bytes that have crossed the network in either direction. Dropped
+  // messages never reach a channel and are not counted.
   std::size_t total_bytes() const;
   std::size_t downlink_bytes() const;  // server → clients
   std::size_t uplink_bytes() const;    // clients → server

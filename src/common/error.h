@@ -42,6 +42,13 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
 };
 
+// Too few clients replied validly for a protocol phase to proceed (degraded
+// federated round below its min_collect_fraction gate, after retries).
+class QuorumError : public Error {
+ public:
+  explicit QuorumError(const std::string& what) : Error("quorum error: " + what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
                                         const std::string& msg) {

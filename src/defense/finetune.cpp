@@ -1,5 +1,7 @@
 #include "defense/finetune.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace fedcleanse::defense {
@@ -10,9 +12,17 @@ FineTuneOutcome federated_finetune(fl::Simulation& sim, const FineTuneConfig& co
   const auto clients = sim.all_client_ids();
 
   // Propagate the pruned structure to every client so local training cannot
-  // resurrect pruned neurons, and drop the learning rate for recovery.
-  server.broadcast_masks(clients, 0);
-  sim.dispatch_clients(clients);
+  // resurrect pruned neurons, and drop the learning rate for recovery. Masks
+  // have no acknowledgement, so on a faulty wire re-send them once per
+  // configured retry: a client that misses every copy fine-tunes unmasked,
+  // which the server's keep-best loop tolerates.
+  const std::uint32_t mask_round = 2002;  // defense round-tag space
+  const int mask_sends = 1 + std::max(0, sim.config().fault.max_request_retries);
+  for (int s = 0; s < mask_sends; ++s) {
+    server.broadcast_masks(clients, mask_round);
+    sim.dispatch_clients(clients);
+    if (sim.faulty_network() == nullptr) break;  // perfect wire: one send is enough
+  }
   for (int c : clients) {
     auto& client = sim.clients()[static_cast<std::size_t>(c)];
     client.set_lr(client.lr() * config.lr_scale);
@@ -32,6 +42,13 @@ FineTuneOutcome federated_finetune(fl::Simulation& sim, const FineTuneConfig& co
     rec.round = r;
     rec.test_acc = sim.test_accuracy();
     rec.attack_acc = sim.attack_success();
+    const auto& ex = sim.last_round_stats();
+    rec.n_participants = ex.n_participants;
+    rec.n_valid = ex.n_valid;
+    rec.n_dropped = ex.n_dropped;
+    rec.n_corrupted = ex.n_corrupted;
+    rec.n_retried = ex.n_retried;
+    rec.quorum_met = ex.quorum_met;
     outcome.history.push_back(rec);
 
     const double acc = server.validation_accuracy();

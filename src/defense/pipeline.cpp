@@ -7,8 +7,18 @@
 #include "common/timer.h"
 #include "defense/majority_vote.h"
 #include "defense/rank_aggregation.h"
+#include "fl/protocol.h"
 
 namespace fedcleanse::defense {
+
+// Round tags for the defense protocol's messages, far above any training or
+// fine-tuning round so a delayed training reply can never be mistaken for a
+// defense report (and crashed clients stay crashed).
+namespace round_tag {
+constexpr std::uint32_t kRanks = 2000;
+constexpr std::uint32_t kVotes = 2001;
+constexpr std::uint32_t kAccuracyBase = 3000;  // +1 per oracle call
+}  // namespace round_tag
 
 const char* prune_method_name(PruneMethod method) {
   switch (method) {
@@ -25,39 +35,71 @@ StageMetrics snapshot(fl::Simulation& sim) {
 }
 
 // Accuracy oracle for the pruning loop: the server's validation set, or the
-// mean of client-reported accuracies when the server has no data.
+// mean of client-reported accuracies when the server has no data. Each call
+// uses a fresh round tag so a delayed report from an earlier call (evaluated
+// at older parameters) can never be accepted as current.
 std::function<double()> make_accuracy_oracle(fl::Simulation& sim,
                                              const DefenseConfig& config) {
   if (!config.use_client_accuracy) {
     return [&sim] { return sim.server().validation_accuracy(); };
   }
-  return [&sim] {
+  return [&sim, round = round_tag::kAccuracyBase]() mutable {
     const auto clients = sim.all_client_ids();
-    sim.server().request_accuracies(clients, 0);
-    sim.dispatch_clients(clients);
-    auto reports = sim.server().collect_accuracies(clients);
-    return std::accumulate(reports.begin(), reports.end(), 0.0) /
-           static_cast<double>(reports.size());
+    auto ex = fl::exchange_with_retries<double>(
+        sim, clients,
+        [&](const std::vector<int>& ids) { sim.server().request_accuracies(ids, round); },
+        [&](const std::vector<int>& ids, fl::CollectStats* cs) {
+          return sim.server().collect_accuracies(ids, round, cs);
+        },
+        "accuracy oracle");
+    ++round;
+    if (!ex.stats.quorum_met) {
+      throw QuorumError("accuracy oracle: " + std::to_string(ex.stats.n_valid) + "/" +
+                        std::to_string(clients.size()) + " clients reported");
+    }
+    return std::accumulate(ex.values.begin(), ex.values.end(), 0.0) /
+           static_cast<double>(ex.values.size());
   };
 }
 
 }  // namespace
 
-std::vector<int> federated_pruning_order(fl::Simulation& sim, const DefenseConfig& config) {
+std::vector<int> federated_pruning_order(fl::Simulation& sim, const DefenseConfig& config,
+                                         fl::ExchangeStats* stats) {
   auto& server = sim.server();
   const auto clients = sim.all_client_ids();
   const int units = server.model().net.layer(server.model().last_conv_index).prunable_units();
 
+  auto below_quorum = [&](const fl::ExchangeStats& st) {
+    return QuorumError(std::string(prune_method_name(config.method)) + " pruning: " +
+                       std::to_string(st.n_valid) + "/" + std::to_string(clients.size()) +
+                       " valid reports after " + std::to_string(st.n_retried) + " retries");
+  };
+
   if (config.method == PruneMethod::kRAP) {
-    server.request_ranks(clients, 0);
-    sim.dispatch_clients(clients);
-    auto reports = server.collect_ranks(clients);
-    return rap_pruning_order(reports, units);
+    auto ex = fl::exchange_with_retries<std::vector<std::uint32_t>>(
+        sim, clients,
+        [&](const std::vector<int>& ids) { server.request_ranks(ids, round_tag::kRanks); },
+        [&](const std::vector<int>& ids, fl::CollectStats* cs) {
+          return server.collect_ranks(ids, round_tag::kRanks, cs);
+        },
+        "FP rank collection");
+    if (stats != nullptr) *stats = ex.stats;
+    if (!ex.stats.quorum_met) throw below_quorum(ex.stats);
+    return rap_pruning_order(ex.values, units);
   }
-  server.request_votes(clients, config.vote_prune_rate, 0);
-  sim.dispatch_clients(clients);
-  auto reports = server.collect_votes(clients);
-  return mvp_pruning_order(reports, units, config.vote_prune_rate);
+  auto ex = fl::exchange_with_retries<std::vector<std::uint8_t>>(
+      sim, clients,
+      [&](const std::vector<int>& ids) {
+        server.request_votes(ids, config.vote_prune_rate, round_tag::kVotes);
+      },
+      [&](const std::vector<int>& ids, fl::CollectStats* cs) {
+        return server.collect_votes(ids, round_tag::kVotes, cs);
+      },
+      "FP vote collection");
+  if (stats != nullptr) *stats = ex.stats;
+  if (!ex.stats.quorum_met) throw below_quorum(ex.stats);
+  return mvp_pruning_order(ex.values, units, config.vote_prune_rate);
 }
 
 DefenseReport run_defense(fl::Simulation& sim, const DefenseConfig& config) {
@@ -67,13 +109,16 @@ DefenseReport run_defense(fl::Simulation& sim, const DefenseConfig& config) {
   auto& model = server.model();
 
   report.training = snapshot(sim);
-  const double baseline = make_accuracy_oracle(sim, config)();
+  // One oracle closure for baseline + pruning loop: it tags every
+  // client-accuracy exchange with a strictly increasing round.
+  auto accuracy_oracle = make_accuracy_oracle(sim, config);
+  const double baseline = accuracy_oracle();
 
   // --- Stage 1: Federated Pruning -------------------------------------------
   {
     auto timer = phases.scope("pruning");
-    auto order = federated_pruning_order(sim, config);
-    auto accuracy_eval = make_accuracy_oracle(sim, config);
+    auto order = federated_pruning_order(sim, config, &report.fp_exchange);
+    auto& accuracy_eval = accuracy_oracle;
     std::function<double()> asr_eval;
     if (config.record_asr_traces) {
       asr_eval = [&sim] { return sim.attack_success(); };

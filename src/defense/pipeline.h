@@ -59,15 +59,25 @@ struct DefenseReport {
   PruneOutcome prune;
   FineTuneOutcome finetune;
   AdjustOutcome adjust;
+  // What the FP rank/vote exchange saw at the server (degraded-mode
+  // bookkeeping; all-valid on a perfect wire).
+  fl::ExchangeStats fp_exchange;
   // Phase name → seconds ("pruning", "fine-tuning", "adjust-weights").
   std::map<std::string, double> phase_seconds;
 };
 
 // Run the configured stages against sim's global model, in place.
+//
+// Unlike training rounds, the defense protocol cannot proceed on a
+// below-quorum collect (a pruning decision from a sliver of clients is worse
+// than no decision): throws QuorumError when, after all retries, fewer than
+// ceil(min_collect_fraction · clients) valid reports arrived.
 DefenseReport run_defense(fl::Simulation& sim, const DefenseConfig& config);
 
 // Just the federated-pruning stage (used by Table V / Fig 5): returns the
 // pruning order chosen by the configured method without applying it.
-std::vector<int> federated_pruning_order(fl::Simulation& sim, const DefenseConfig& config);
+// `stats`, when non-null, receives the exchange bookkeeping.
+std::vector<int> federated_pruning_order(fl::Simulation& sim, const DefenseConfig& config,
+                                         fl::ExchangeStats* stats = nullptr);
 
 }  // namespace fedcleanse::defense

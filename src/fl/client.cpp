@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/logging.h"
 #include "fl/metrics.h"
 #include "nn/activation_stats.h"
 #include "nn/conv2d.h"
@@ -220,48 +221,71 @@ void Client::self_adjust_weights() {
 
 void Client::handle_pending(comm::Network& net) {
   while (auto msg = net.client_try_recv(id_)) {
-    comm::Message reply;
-    reply.round = msg->round;
-    reply.sender = id_;
-    switch (msg->type) {
-      case comm::MessageType::kModelBroadcast: {
-        auto global = comm::decode_flat_params(msg->payload);
-        reply.type = comm::MessageType::kModelUpdate;
-        reply.payload = comm::encode_flat_params(compute_update(global));
-        net.send_to_server(id_, std::move(reply));
-        break;
-      }
-      case comm::MessageType::kRankRequest: {
-        auto global = comm::decode_flat_params(msg->payload);
-        reply.type = comm::MessageType::kRankReport;
-        reply.payload = comm::encode_ranks(rank_report(global));
-        net.send_to_server(id_, std::move(reply));
-        break;
-      }
-      case comm::MessageType::kVoteRequest: {
-        common::ByteReader r(msg->payload);
-        const double p = r.read_f64();
-        auto global = r.read_f32_vector();
-        reply.type = comm::MessageType::kVoteReport;
-        reply.payload = comm::encode_votes(vote_report(global, p));
-        net.send_to_server(id_, std::move(reply));
-        break;
-      }
-      case comm::MessageType::kMaskBroadcast: {
-        apply_prune_masks(comm::decode_masks(msg->payload));
-        break;  // no reply
-      }
-      case comm::MessageType::kAccuracyRequest: {
-        auto global = comm::decode_flat_params(msg->payload);
-        reply.type = comm::MessageType::kAccuracyReport;
-        reply.payload = comm::encode_accuracy(report_accuracy(global));
-        net.send_to_server(id_, std::move(reply));
-        break;
-      }
-      default:
-        throw CommError(std::string("client received unexpected message type ") +
-                        comm::message_type_name(msg->type));
+    try {
+      handle_message(net, *msg);
+    } catch (const Error& e) {
+      // A corrupted wire must not kill the client: log what arrived (with
+      // this client's id, the message type, and the round) and wait for the
+      // server's retransmission.
+      FC_LOG(Warn) << "client " << id_ << ": dropping "
+                   << comm::message_type_name(msg->type) << " for round " << msg->round
+                   << " — " << e.what();
     }
+  }
+}
+
+void Client::handle_message(comm::Network& net, const comm::Message& msg) {
+  if (!msg.checksum_ok()) {
+    throw comm::DecodeError("payload fails checksum");
+  }
+  comm::Message reply;
+  reply.round = msg.round;
+  reply.sender = id_;
+  switch (msg.type) {
+    case comm::MessageType::kModelBroadcast: {
+      auto global = comm::decode_flat_params(msg.payload);
+      reply.type = comm::MessageType::kModelUpdate;
+      reply.payload = comm::encode_flat_params(compute_update(global));
+      reply.stamp();
+      net.send_to_server(id_, std::move(reply));
+      break;
+    }
+    case comm::MessageType::kRankRequest: {
+      auto global = comm::decode_flat_params(msg.payload);
+      reply.type = comm::MessageType::kRankReport;
+      reply.payload = comm::encode_ranks(rank_report(global));
+      reply.stamp();
+      net.send_to_server(id_, std::move(reply));
+      break;
+    }
+    case comm::MessageType::kVoteRequest: {
+      common::ByteReader r(msg.payload);
+      const double p = r.read_f64();
+      auto global = r.read_f32_vector();
+      reply.type = comm::MessageType::kVoteReport;
+      reply.payload = comm::encode_votes(vote_report(global, p));
+      reply.stamp();
+      net.send_to_server(id_, std::move(reply));
+      break;
+    }
+    case comm::MessageType::kMaskBroadcast: {
+      apply_prune_masks(comm::decode_masks(msg.payload));
+      break;  // no reply
+    }
+    case comm::MessageType::kAccuracyRequest: {
+      auto global = comm::decode_flat_params(msg.payload);
+      reply.type = comm::MessageType::kAccuracyReport;
+      reply.payload = comm::encode_accuracy(report_accuracy(global));
+      reply.stamp();
+      net.send_to_server(id_, std::move(reply));
+      break;
+    }
+    default:
+      // Mistyped (possibly corrupted) request: ignore it rather than die.
+      FC_LOG(Warn) << "client " << id_ << ": unexpected "
+                   << comm::message_type_name(msg.type) << " for round " << msg.round
+                   << " — ignored";
+      break;
   }
 }
 

@@ -83,10 +83,14 @@ class Client {
   // validation data). An attacker reports a manipulated (inflated) value.
   double report_accuracy(std::span<const float> global_params);
 
-  // Drain and answer all pending messages from the server.
+  // Drain and answer all pending messages from the server. Malformed or
+  // mistyped messages (a faulty wire) are logged and skipped, never fatal.
   void handle_pending(comm::Network& net);
 
  private:
+  // Decode and answer one server message; throws fedcleanse::Error on
+  // anything malformed (handle_pending catches and logs).
+  void handle_message(comm::Network& net, const comm::Message& msg);
   void train_locally();
   // Activation increase caused by the trigger, per neuron — the attacker's
   // estimate of which neurons carry its backdoor.

@@ -1,0 +1,102 @@
+// Degraded-mode exchange driver: request → dispatch → collect, with capped
+// retransmission and a quorum gate (FaultConfig::min_collect_fraction).
+//
+// One template serves every phase of the round protocol — training updates,
+// RAP ranks, MVP votes, accuracy reports. On a perfect wire it performs
+// exactly one attempt with every client replying, so the fault-free path is
+// byte-identical to the pre-fault-layer protocol.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "fl/simulation.h"
+
+namespace fedcleanse::fl {
+
+// Smallest number of valid reports that lets a collect phase proceed.
+inline std::size_t quorum_count(std::size_t n_clients, double min_fraction) {
+  const double need = std::ceil(min_fraction * static_cast<double>(n_clients));
+  return std::max<std::size_t>(
+      1, std::min(n_clients, static_cast<std::size_t>(std::max(0.0, need))));
+}
+
+// ExchangeStats itself lives in fl/simulation.h (RoundRecord embeds its
+// fields and Simulation caches the last round's copy).
+template <typename T>
+struct Exchange {
+  std::vector<int> clients;  // clients with a valid report, in id order
+  std::vector<T> values;     // aligned with `clients`
+  ExchangeStats stats;
+};
+
+// `request(ids)` re-sends the phase's request to the given clients;
+// `collect(ids, &stats)` returns one std::optional<T> per id. The recv
+// deadline doubles per retry attempt, capped at 8× (capped backoff), and is
+// restored afterwards. Does NOT throw below quorum — the caller decides
+// whether a thin round is skippable (training) or fatal (defense).
+template <typename T, typename RequestFn, typename CollectFn>
+Exchange<T> exchange_with_retries(Simulation& sim, const std::vector<int>& clients,
+                                  RequestFn request, CollectFn collect,
+                                  const char* what) {
+  const comm::FaultConfig& fc = sim.config().fault;
+  Exchange<T> result;
+  result.stats.n_participants = static_cast<int>(clients.size());
+
+  std::vector<std::optional<T>> got(clients.size());
+  std::vector<std::size_t> pending(clients.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+
+  const int base_timeout = sim.server().recv_timeout_ms();
+  const int attempts = 1 + std::max(0, fc.max_request_retries);
+  for (int attempt = 0; attempt < attempts && !pending.empty(); ++attempt) {
+    std::vector<int> ids;
+    ids.reserve(pending.size());
+    for (std::size_t i : pending) ids.push_back(clients[i]);
+    if (attempt > 0) {
+      result.stats.n_retried += static_cast<int>(ids.size());
+      sim.server().set_recv_timeout_ms(base_timeout << std::min(attempt, 3));
+      FC_LOG(Info) << what << ": retry " << attempt << " for " << ids.size()
+                   << " client(s)";
+    }
+    request(ids);
+    sim.dispatch_clients(ids);
+    CollectStats cs;
+    auto replies = collect(ids, &cs);
+    result.stats.n_corrupted += cs.n_malformed;
+
+    std::vector<std::size_t> still_pending;
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      if (replies[k].has_value()) {
+        got[pending[k]] = std::move(replies[k]);
+      } else {
+        still_pending.push_back(pending[k]);
+      }
+    }
+    pending = std::move(still_pending);
+  }
+  sim.server().set_recv_timeout_ms(base_timeout);
+
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i].has_value()) {
+      result.clients.push_back(clients[i]);
+      result.values.push_back(std::move(*got[i]));
+    }
+  }
+  result.stats.n_valid = static_cast<int>(result.values.size());
+  result.stats.n_dropped = static_cast<int>(pending.size());
+  result.stats.quorum_met =
+      result.values.size() >= quorum_count(clients.size(), fc.min_collect_fraction);
+  if (!result.stats.quorum_met) {
+    FC_LOG(Warn) << what << ": quorum not met — " << result.stats.n_valid << "/"
+                 << clients.size() << " valid reports (need "
+                 << quorum_count(clients.size(), fc.min_collect_fraction) << ")";
+  }
+  return result;
+}
+
+}  // namespace fedcleanse::fl

@@ -1,10 +1,14 @@
 #include "fl/server.h"
 
+#include <chrono>
+
+#include "common/logging.h"
 #include "fl/metrics.h"
 
 namespace fedcleanse::fl {
 
 namespace {
+
 comm::Message server_message(comm::MessageType type, std::uint32_t round,
                              std::vector<std::uint8_t> payload) {
   comm::Message m;
@@ -12,8 +16,76 @@ comm::Message server_message(comm::MessageType type, std::uint32_t round,
   m.round = round;
   m.sender = -1;
   m.payload = std::move(payload);
+  m.stamp();
   return m;
 }
+
+// Drain one client's channel until a valid reply of the expected type and
+// round appears or the deadline passes. Mistyped, stale, duplicate, and
+// undecodable messages are logged (with the client id and the type actually
+// received) and skipped — a degraded round must be debuggable from the log
+// alone. `decode` parses *and validates* the payload, throwing
+// comm::DecodeError on anything unacceptable.
+template <typename T, typename Decode>
+std::vector<std::optional<T>> collect_typed(comm::Network& net,
+                                            const std::vector<int>& clients,
+                                            std::uint32_t round,
+                                            comm::MessageType expected, Decode decode,
+                                            int timeout_ms, CollectStats* stats) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::optional<T>> out(clients.size());
+  CollectStats local;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const int c = clients[i];
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (true) {
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (remaining.count() < 0) remaining = std::chrono::milliseconds(0);
+      auto msg = net.recv_from_client_for(c, remaining);
+      if (!msg) {
+        ++local.n_timed_out;
+        FC_LOG(Debug) << "collect " << comm::message_type_name(expected) << ": client "
+                      << c << " sent no reply before the deadline (round " << round << ")";
+        break;
+      }
+      if (msg->type != expected || msg->round != round) {
+        ++local.n_malformed;
+        FC_LOG(Warn) << "collect " << comm::message_type_name(expected) << " (round "
+                     << round << "): client " << c << " sent "
+                     << comm::message_type_name(msg->type) << " for round " << msg->round
+                     << " — skipped";
+        continue;  // keep draining; the real reply may be queued behind it
+      }
+      if (!msg->checksum_ok()) {
+        ++local.n_malformed;
+        FC_LOG(Warn) << "collect " << comm::message_type_name(expected) << " (round "
+                     << round << "): client " << c << " sent a "
+                     << comm::message_type_name(msg->type)
+                     << " whose payload fails its checksum — skipped";
+        continue;
+      }
+      try {
+        out[i] = decode(*msg);
+        ++local.n_valid;
+        break;
+      } catch (const SerializationError& e) {
+        ++local.n_malformed;
+        FC_LOG(Warn) << "collect " << comm::message_type_name(expected) << " (round "
+                     << round << "): client " << c << " sent an undecodable "
+                     << comm::message_type_name(msg->type) << ": " << e.what();
+        continue;
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->n_valid += local.n_valid;
+    stats->n_timed_out += local.n_timed_out;
+    stats->n_malformed += local.n_malformed;
+  }
+  return out;
+}
+
 }  // namespace
 
 Server::Server(nn::ModelSpec model, data::Dataset validation, comm::Network& net,
@@ -30,19 +102,20 @@ void Server::broadcast_model(const std::vector<int>& clients, std::uint32_t roun
   }
 }
 
-std::vector<std::vector<float>> Server::collect_updates(const std::vector<int>& clients) {
-  std::vector<std::vector<float>> updates;
-  updates.reserve(clients.size());
-  for (int c : clients) {
-    auto msg = net_.recv_from_client(c);
-    FC_REQUIRE(msg.type == comm::MessageType::kModelUpdate,
-               "expected ModelUpdate, got " + std::string(comm::message_type_name(msg.type)));
-    auto update = comm::decode_flat_params(msg.payload);
-    FC_REQUIRE(update.size() == model_.net.num_params(),
-               "client update has the wrong parameter count");
-    updates.push_back(std::move(update));
-  }
-  return updates;
+std::vector<std::optional<std::vector<float>>> Server::collect_updates(
+    const std::vector<int>& clients, std::uint32_t round, CollectStats* stats) {
+  const std::size_t n_params = model_.net.num_params();
+  return collect_typed<std::vector<float>>(
+      net_, clients, round, comm::MessageType::kModelUpdate,
+      [n_params](const comm::Message& msg) {
+        auto update = comm::decode_flat_params(msg.payload);
+        if (update.size() != n_params) {
+          throw comm::DecodeError("update has " + std::to_string(update.size()) +
+                                  " params, model has " + std::to_string(n_params));
+        }
+        return update;
+      },
+      config_.recv_timeout_ms, stats);
 }
 
 void Server::apply_aggregate(const std::vector<std::vector<float>>& updates) {
@@ -60,16 +133,12 @@ void Server::request_ranks(const std::vector<int>& clients, std::uint32_t round)
   }
 }
 
-std::vector<std::vector<std::uint32_t>> Server::collect_ranks(
-    const std::vector<int>& clients) {
-  std::vector<std::vector<std::uint32_t>> reports;
-  reports.reserve(clients.size());
-  for (int c : clients) {
-    auto msg = net_.recv_from_client(c);
-    FC_REQUIRE(msg.type == comm::MessageType::kRankReport, "expected RankReport");
-    reports.push_back(comm::decode_ranks(msg.payload));
-  }
-  return reports;
+std::vector<std::optional<std::vector<std::uint32_t>>> Server::collect_ranks(
+    const std::vector<int>& clients, std::uint32_t round, CollectStats* stats) {
+  return collect_typed<std::vector<std::uint32_t>>(
+      net_, clients, round, comm::MessageType::kRankReport,
+      [](const comm::Message& msg) { return comm::decode_ranks(msg.payload); },
+      config_.recv_timeout_ms, stats);
 }
 
 void Server::request_votes(const std::vector<int>& clients, double prune_rate,
@@ -83,16 +152,12 @@ void Server::request_votes(const std::vector<int>& clients, double prune_rate,
   }
 }
 
-std::vector<std::vector<std::uint8_t>> Server::collect_votes(
-    const std::vector<int>& clients) {
-  std::vector<std::vector<std::uint8_t>> reports;
-  reports.reserve(clients.size());
-  for (int c : clients) {
-    auto msg = net_.recv_from_client(c);
-    FC_REQUIRE(msg.type == comm::MessageType::kVoteReport, "expected VoteReport");
-    reports.push_back(comm::decode_votes(msg.payload));
-  }
-  return reports;
+std::vector<std::optional<std::vector<std::uint8_t>>> Server::collect_votes(
+    const std::vector<int>& clients, std::uint32_t round, CollectStats* stats) {
+  return collect_typed<std::vector<std::uint8_t>>(
+      net_, clients, round, comm::MessageType::kVoteReport,
+      [](const comm::Message& msg) { return comm::decode_votes(msg.payload); },
+      config_.recv_timeout_ms, stats);
 }
 
 void Server::broadcast_masks(const std::vector<int>& clients, std::uint32_t round) {
@@ -110,15 +175,19 @@ void Server::request_accuracies(const std::vector<int>& clients, std::uint32_t r
   }
 }
 
-std::vector<double> Server::collect_accuracies(const std::vector<int>& clients) {
-  std::vector<double> out;
-  out.reserve(clients.size());
-  for (int c : clients) {
-    auto msg = net_.recv_from_client(c);
-    FC_REQUIRE(msg.type == comm::MessageType::kAccuracyReport, "expected AccuracyReport");
-    out.push_back(comm::decode_accuracy(msg.payload));
-  }
-  return out;
+std::vector<std::optional<double>> Server::collect_accuracies(
+    const std::vector<int>& clients, std::uint32_t round, CollectStats* stats) {
+  return collect_typed<double>(
+      net_, clients, round, comm::MessageType::kAccuracyReport,
+      [](const comm::Message& msg) {
+        const double acc = comm::decode_accuracy(msg.payload);
+        if (!(acc >= 0.0 && acc <= 1.0)) {
+          throw comm::DecodeError("accuracy " + std::to_string(acc) +
+                                  " outside [0, 1]");
+        }
+        return acc;
+      },
+      config_.recv_timeout_ms, stats);
 }
 
 double Server::validation_accuracy() {

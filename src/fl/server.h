@@ -1,8 +1,16 @@
 // Federated server: owns the global model, drives the round protocol over
 // the comm network, aggregates updates, and answers the defense pipeline's
 // needs (validation accuracy, rank/vote collection, mask broadcast).
+//
+// The collect paths are fault-tolerant: every collect_* returns one
+// std::optional per requested client (nullopt = no valid reply before the
+// deadline), logs the offending client id and received message type for
+// anything mistyped, stale, or undecodable, and never blocks forever or
+// throws on malformed client bytes. Quorum gating and retries live one layer
+// up (fl/protocol.h), where the caller can re-drive the request.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "comm/network.h"
@@ -19,6 +27,17 @@ struct ServerConfig {
   AggregatorKind aggregator = AggregatorKind::kFedAvg;
   // Robustness parameter f for the Byzantine-robust aggregators.
   int byzantine_hint = 0;
+  // Per-client deadline for collect_* receives. Simulation keeps this in sync
+  // with FaultConfig::recv_timeout_ms; on a perfect wire replies are already
+  // queued when the server collects, so the deadline never actually elapses.
+  int recv_timeout_ms = 25;
+};
+
+// What a collect pass observed, from the protocol's point of view.
+struct CollectStats {
+  int n_valid = 0;      // clients whose reply decoded and validated
+  int n_timed_out = 0;  // clients with no usable reply before the deadline
+  int n_malformed = 0;  // messages skipped: undecodable, mistyped, or stale
 };
 
 class Server {
@@ -31,23 +50,33 @@ class Server {
   std::vector<float> params() const { return model_.net.get_flat(); }
   void set_params(std::span<const float> params) { model_.net.set_flat(params); }
 
+  // Deadline knob, exposed so the retry layer can apply capped backoff.
+  int recv_timeout_ms() const { return config_.recv_timeout_ms; }
+  void set_recv_timeout_ms(int ms) { config_.recv_timeout_ms = ms; }
+
   // --- training round -------------------------------------------------------
   // Send the current global model to the given clients.
   void broadcast_model(const std::vector<int>& clients, std::uint32_t round);
-  // Collect one update message from each client (they must have replied).
-  std::vector<std::vector<float>> collect_updates(const std::vector<int>& clients);
-  // ω_{t+1} = ω_t + η·aggregate(Δω).
+  // One slot per requested client: the decoded update, or nullopt if the
+  // client timed out or replied malformed.
+  std::vector<std::optional<std::vector<float>>> collect_updates(
+      const std::vector<int>& clients, std::uint32_t round, CollectStats* stats = nullptr);
+  // ω_{t+1} = ω_t + η·aggregate(Δω) over whichever updates arrived.
   void apply_aggregate(const std::vector<std::vector<float>>& updates);
 
   // --- defense protocol -----------------------------------------------------
   void request_ranks(const std::vector<int>& clients, std::uint32_t round);
-  std::vector<std::vector<std::uint32_t>> collect_ranks(const std::vector<int>& clients);
+  std::vector<std::optional<std::vector<std::uint32_t>>> collect_ranks(
+      const std::vector<int>& clients, std::uint32_t round, CollectStats* stats = nullptr);
   void request_votes(const std::vector<int>& clients, double prune_rate,
                      std::uint32_t round);
-  std::vector<std::vector<std::uint8_t>> collect_votes(const std::vector<int>& clients);
+  std::vector<std::optional<std::vector<std::uint8_t>>> collect_votes(
+      const std::vector<int>& clients, std::uint32_t round, CollectStats* stats = nullptr);
   void broadcast_masks(const std::vector<int>& clients, std::uint32_t round);
   void request_accuracies(const std::vector<int>& clients, std::uint32_t round);
-  std::vector<double> collect_accuracies(const std::vector<int>& clients);
+  std::vector<std::optional<double>> collect_accuracies(const std::vector<int>& clients,
+                                                        std::uint32_t round,
+                                                        CollectStats* stats = nullptr);
 
   // Accuracy of the current global model on the server's validation set.
   double validation_accuracy();

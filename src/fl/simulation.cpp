@@ -1,7 +1,9 @@
 #include "fl/simulation.h"
 
+#include "comm/faulty_network.h"
 #include "common/logging.h"
 #include "fl/metrics.h"
+#include "fl/protocol.h"
 
 namespace fedcleanse::fl {
 
@@ -17,6 +19,9 @@ Simulation::Simulation(SimulationConfig config)
              "attacker count out of range");
   FC_REQUIRE(!config_.attack.pattern.empty() || config_.n_attackers == 0,
              "attackers configured without a trigger pattern");
+  config_.fault.validate(config_.n_clients);
+  // The server's recv deadline is a fault-protocol knob; keep them in sync.
+  config_.server.recv_timeout_ms = config_.fault.recv_timeout_ms;
 
   // --- data ------------------------------------------------------------------
   data::SynthConfig train_cfg{config_.samples_per_class_train, rng_.next_u64(),
@@ -43,7 +48,19 @@ Simulation::Simulation(SimulationConfig config)
   auto locals = data::partition_k_label(full_train, part);
 
   // --- network, server, clients ----------------------------------------------
-  net_ = std::make_unique<comm::Network>(config_.n_clients);
+  if (config_.fault.any_faults() || config_.fault.force_faulty_network) {
+    // The fault seed is derived from the experiment seed but NOT drawn from
+    // rng_: enabling faults must not shift the data/init/selection streams,
+    // so a zero-rate faulty run stays byte-identical to the plain network.
+    std::uint64_t fseed = config_.fault.fault_seed;
+    if (fseed == 0) {
+      std::uint64_t state = config_.seed ^ 0xFA171FA171FA171FULL;
+      fseed = common::splitmix64(state);
+    }
+    net_ = std::make_unique<comm::FaultyNetwork>(config_.n_clients, config_.fault, fseed);
+  } else {
+    net_ = std::make_unique<comm::Network>(config_.n_clients);
+  }
   auto server_model = nn::make_model(config_.arch, rng_);
   if (config_.last_conv_weight_decay > 0.0) {
     server_model.net.layer(server_model.last_conv_index).weight_decay =
@@ -87,7 +104,17 @@ Simulation::~Simulation() {
   if (common::ambient_pool() == pool_.get()) common::set_ambient_pool(nullptr);
 }
 
+comm::FaultyNetwork* Simulation::faulty_network() {
+  return dynamic_cast<comm::FaultyNetwork*>(net_.get());
+}
+
 void Simulation::dispatch_clients(const std::vector<int>& ids) {
+  // Open a new delivery phase first: messages delayed during an earlier phase
+  // surface now (stale, overtaken by newer traffic), while messages delayed
+  // from here on are held until the *next* dispatch — so a delayed reply
+  // always misses at least one collect deadline. Called only from the
+  // coordinating thread, never inside pool tasks.
+  net_->flush_delayed();
   pool_->parallel_for(ids.size(), [&](std::size_t i) {
     clients_[static_cast<std::size_t>(ids[i])].handle_pending(*net_);
   });
@@ -115,10 +142,23 @@ std::vector<int> Simulation::run_round(std::uint32_t round) {
         static_cast<std::size_t>(config_.clients_per_round));
     participants.assign(sampled.begin(), sampled.end());
   }
-  server_->broadcast_model(participants, round);
-  dispatch_clients(participants);
-  auto updates = server_->collect_updates(participants);
-  server_->apply_aggregate(updates);
+  auto ex = exchange_with_retries<std::vector<float>>(
+      *this, participants,
+      [&](const std::vector<int>& ids) { server_->broadcast_model(ids, round); },
+      [&](const std::vector<int>& ids, CollectStats* cs) {
+        return server_->collect_updates(ids, round, cs);
+      },
+      "training round");
+  last_round_stats_ = ex.stats;
+  if (ex.stats.quorum_met) {
+    server_->apply_aggregate(ex.values);
+  } else {
+    // Degraded round: too few valid updates to trust an aggregate. Keep the
+    // current global model and move on — training rounds are skippable.
+    FC_LOG(Warn) << "round " << round << ": aggregation skipped ("
+                 << ex.stats.n_valid << "/" << participants.size()
+                 << " valid updates)";
+  }
   return participants;
 }
 
@@ -131,8 +171,15 @@ void Simulation::run(bool record_history) {
       rec.round = r;
       rec.test_acc = test_accuracy();
       rec.attack_acc = attack_success();
+      rec.n_participants = last_round_stats_.n_participants;
+      rec.n_valid = last_round_stats_.n_valid;
+      rec.n_dropped = last_round_stats_.n_dropped;
+      rec.n_corrupted = last_round_stats_.n_corrupted;
+      rec.n_retried = last_round_stats_.n_retried;
+      rec.quorum_met = last_round_stats_.quorum_met;
       history_.push_back(rec);
-      FC_LOG(Debug) << "round " << r << " TA=" << rec.test_acc << " AA=" << rec.attack_acc;
+      FC_LOG(Debug) << "round " << r << " TA=" << rec.test_acc << " AA=" << rec.attack_acc
+                    << " valid=" << rec.n_valid << "/" << rec.n_participants;
     }
   }
   training_seconds_ += timer.elapsed_seconds();

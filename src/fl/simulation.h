@@ -11,12 +11,17 @@
 #include <memory>
 #include <vector>
 
+#include "comm/fault_model.h"
 #include "common/threadpool.h"
 #include "common/timer.h"
 #include "data/partition.h"
 #include "data/synth.h"
 #include "fl/client.h"
 #include "fl/server.h"
+
+namespace fedcleanse::comm {
+class FaultyNetwork;
+}
 
 namespace fedcleanse::fl {
 
@@ -42,6 +47,10 @@ struct SimulationConfig {
   // L2 penalty applied to the last conv layer only (Fig 10).
   double last_conv_weight_decay = 0.0;
   ServerConfig server;
+  // Wire fault injection + degraded-mode protocol knobs. With every rate at
+  // zero (the default) the plain Network is used and results are
+  // byte-identical to a build without the fault layer.
+  comm::FaultConfig fault;
   std::uint64_t seed = 42;
   // Worker threads for the per-client round work and the batch-parallel
   // tensor kernels. 0 = hardware concurrency; the FEDCLEANSE_THREADS
@@ -50,10 +59,29 @@ struct SimulationConfig {
   int n_threads = 0;
 };
 
+// What one request→dispatch→collect exchange observed at the server, after
+// all retries (filled by fl/protocol.h's exchange_with_retries).
+struct ExchangeStats {
+  int n_participants = 0;
+  int n_valid = 0;      // clients that produced a valid report (possibly late)
+  int n_dropped = 0;    // clients with no valid report after all retries
+  int n_corrupted = 0;  // malformed/stale/mistyped messages skipped along the way
+  int n_retried = 0;    // request retransmissions issued
+  bool quorum_met = true;
+};
+
 struct RoundRecord {
   int round = 0;
   double test_acc = 0.0;
   double attack_acc = 0.0;
+  // Degraded-mode bookkeeping for the round's update exchange. On a perfect
+  // wire: n_valid == n_participants, everything else zero/true.
+  int n_participants = 0;
+  int n_valid = 0;
+  int n_dropped = 0;
+  int n_corrupted = 0;
+  int n_retried = 0;
+  bool quorum_met = true;
 };
 
 class Simulation {
@@ -72,6 +100,8 @@ class Simulation {
   Server& server() { return *server_; }
   std::vector<Client>& clients() { return clients_; }
   comm::Network& network() { return *net_; }
+  // The fault-injection wrapper, or nullptr when running on a perfect wire.
+  comm::FaultyNetwork* faulty_network();
   const SimulationConfig& config() const { return config_; }
 
   // The simulation's execution context (also installed as the process-wide
@@ -92,6 +122,9 @@ class Simulation {
   double attack_success();
 
   const std::vector<RoundRecord>& history() const { return history_; }
+  // Stats of the most recent run_round() update exchange (perfect-wire
+  // defaults before the first round).
+  const ExchangeStats& last_round_stats() const { return last_round_stats_; }
   double training_seconds() const { return training_seconds_; }
 
   // Ids of all / malicious clients.
@@ -108,6 +141,7 @@ class Simulation {
   std::unique_ptr<Server> server_;
   std::vector<Client> clients_;
   std::vector<RoundRecord> history_;
+  ExchangeStats last_round_stats_;
   double training_seconds_ = 0.0;
 };
 

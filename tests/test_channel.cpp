@@ -1,0 +1,111 @@
+// Channel concurrency contract: blocking receives wake across threads, FIFO
+// order holds per sender under contention, and recv_for() respects its
+// deadline without ever losing a delivered message.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "comm/channel.h"
+
+using namespace fedcleanse::comm;
+using namespace std::chrono_literals;
+
+namespace {
+
+Message tagged(std::uint32_t round, std::int32_t sender = -1) {
+  Message m;
+  m.type = MessageType::kModelUpdate;
+  m.round = round;
+  m.sender = sender;
+  m.stamp();
+  return m;
+}
+
+}  // namespace
+
+TEST(ChannelThreads, BlockingRecvIsWokenBySend) {
+  Channel ch;
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    const Message m = ch.recv();  // blocks until the producer sends
+    EXPECT_EQ(m.round, 7u);
+    got.store(true);
+  });
+  std::this_thread::sleep_for(10ms);  // give the consumer time to block
+  EXPECT_FALSE(got.load());
+  ch.send(tagged(7));
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(ChannelThreads, FifoPerSenderUnderConcurrentSenders) {
+  Channel ch;
+  constexpr int kSenders = 4;
+  constexpr int kPerSender = 50;
+  std::vector<std::thread> senders;
+  for (int s = 0; s < kSenders; ++s) {
+    senders.emplace_back([&ch, s] {
+      for (int i = 0; i < kPerSender; ++i) {
+        ch.send(tagged(static_cast<std::uint32_t>(i), s));
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+
+  ASSERT_EQ(ch.pending(), static_cast<std::size_t>(kSenders * kPerSender));
+  // Interleaving across senders is arbitrary, but each sender's own messages
+  // must drain in send order.
+  std::vector<std::uint32_t> next_round(kSenders, 0);
+  while (auto m = ch.try_recv()) {
+    const auto s = static_cast<std::size_t>(m->sender);
+    ASSERT_LT(s, static_cast<std::size_t>(kSenders));
+    EXPECT_EQ(m->round, next_round[s]) << "sender " << s << " reordered";
+    ++next_round[s];
+  }
+  for (int s = 0; s < kSenders; ++s) {
+    EXPECT_EQ(next_round[static_cast<std::size_t>(s)],
+              static_cast<std::uint32_t>(kPerSender));
+  }
+}
+
+TEST(ChannelTimeout, RecvForExpiresOnSilence) {
+  Channel ch;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.recv_for(30ms).has_value());
+  // The deadline must actually be honoured (no early return, no hang).
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 25ms);
+}
+
+TEST(ChannelTimeout, RecvForReturnsQueuedMessageImmediately) {
+  Channel ch;
+  ch.send(tagged(3));
+  const auto start = std::chrono::steady_clock::now();
+  auto m = ch.recv_for(10s);  // must not wait anywhere near this long
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->round, 3u);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 1s);
+}
+
+TEST(ChannelTimeout, RecvForIsWokenByLateSend) {
+  Channel ch;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(15ms);
+    ch.send(tagged(11));
+  });
+  auto m = ch.recv_for(10s);
+  producer.join();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->round, 11u);
+}
+
+TEST(ChannelTimeout, ZeroTimeoutActsAsTryRecv) {
+  Channel ch;
+  EXPECT_FALSE(ch.recv_for(0ms).has_value());
+  ch.send(tagged(5));
+  auto m = ch.recv_for(0ms);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->round, 5u);
+}

@@ -15,6 +15,7 @@ Message make_msg(MessageType type, std::vector<std::uint8_t> payload = {}) {
   m.round = 3;
   m.sender = -1;
   m.payload = std::move(payload);
+  m.stamp();
   return m;
 }
 
@@ -32,8 +33,8 @@ TEST(Channel, FifoOrder) {
 TEST(Channel, CountsBytes) {
   Channel ch;
   const auto size = ch.send(make_msg(MessageType::kModelUpdate, {1, 2, 3, 4}));
-  EXPECT_EQ(size, 14u);  // 4 payload + 10 header
-  EXPECT_EQ(ch.bytes_sent(), 14u);
+  EXPECT_EQ(size, 4u + kMessageHeaderBytes);
+  EXPECT_EQ(ch.bytes_sent(), 4u + kMessageHeaderBytes);
 }
 
 TEST(Channel, BlockingRecvAcrossThreads) {
@@ -58,9 +59,9 @@ TEST(Network, TrafficAccounting) {
   Network net(2);
   net.send_to_client(0, make_msg(MessageType::kModelBroadcast, {1, 2}));
   net.send_to_server(1, make_msg(MessageType::kModelUpdate, {1, 2, 3}));
-  EXPECT_EQ(net.downlink_bytes(), 12u);
-  EXPECT_EQ(net.uplink_bytes(), 13u);
-  EXPECT_EQ(net.total_bytes(), 25u);
+  EXPECT_EQ(net.downlink_bytes(), 2u + kMessageHeaderBytes);
+  EXPECT_EQ(net.uplink_bytes(), 3u + kMessageHeaderBytes);
+  EXPECT_EQ(net.total_bytes(), 5u + 2 * kMessageHeaderBytes);
 }
 
 TEST(Network, RejectsBadClientId) {
@@ -97,6 +98,63 @@ TEST(Codecs, MalformedPayloadThrows) {
   std::vector<std::uint8_t> garbage{1, 2};
   EXPECT_THROW(decode_flat_params(garbage), SerializationError);
   EXPECT_THROW(decode_masks(garbage), SerializationError);
+}
+
+TEST(Wire, EncodeIsExactlyWireSize) {
+  // wire_size() and encode_message must agree byte for byte — the traffic
+  // accounting is only honest if they share the same header definition.
+  const auto m = make_msg(MessageType::kVoteReport, {9, 8, 7});
+  const auto bytes = encode_message(m);
+  EXPECT_EQ(bytes.size(), m.wire_size());
+  EXPECT_EQ(bytes.size(), 3u + kMessageHeaderBytes);
+}
+
+TEST(Wire, MessageRoundTrip) {
+  Message m = make_msg(MessageType::kRankReport, {1, 2, 3, 4, 5});
+  m.round = 17;
+  m.sender = 4;
+  const auto back = decode_message(encode_message(m));
+  EXPECT_EQ(back.type, m.type);
+  EXPECT_EQ(back.round, m.round);
+  EXPECT_EQ(back.sender, m.sender);
+  EXPECT_EQ(back.payload, m.payload);
+  EXPECT_TRUE(back.checksum_ok());
+}
+
+TEST(Wire, UnknownTypeByteThrows) {
+  auto bytes = encode_message(make_msg(MessageType::kModelBroadcast, {1}));
+  bytes[0] = 0;  // below the valid range
+  EXPECT_THROW(decode_message(bytes), DecodeError);
+  bytes[0] = 200;  // above it
+  EXPECT_THROW(decode_message(bytes), DecodeError);
+}
+
+TEST(Wire, TruncatedMessageThrows) {
+  const auto bytes = encode_message(make_msg(MessageType::kModelUpdate, {1, 2, 3, 4}));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + static_cast<long>(len));
+    EXPECT_THROW(decode_message(cut), DecodeError) << "prefix length " << len;
+  }
+}
+
+TEST(Wire, ChecksumDetectsPayloadTampering) {
+  Message m = make_msg(MessageType::kModelUpdate, {1, 2, 3, 4});
+  EXPECT_TRUE(m.checksum_ok());
+  m.payload[2] ^= 0x40;  // in-memory flip after stamping
+  EXPECT_FALSE(m.checksum_ok());
+
+  auto bytes = encode_message(make_msg(MessageType::kModelUpdate, {1, 2, 3, 4}));
+  bytes.back() ^= 0x40;  // flip an encoded payload byte
+  EXPECT_THROW(decode_message(bytes), DecodeError);
+}
+
+TEST(Wire, ParseMessageTypeValidatesRange) {
+  for (std::uint8_t raw = 1; raw <= 9; ++raw) {
+    ASSERT_TRUE(parse_message_type(raw).has_value()) << int(raw);
+  }
+  EXPECT_FALSE(parse_message_type(0).has_value());
+  EXPECT_FALSE(parse_message_type(10).has_value());
+  EXPECT_FALSE(parse_message_type(255).has_value());
 }
 
 TEST(MessageNames, AllNamed) {

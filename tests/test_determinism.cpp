@@ -6,6 +6,7 @@
 
 #include <cstdlib>
 
+#include "comm/faulty_network.h"
 #include "common/threadpool.h"
 #include "defense/pipeline.h"
 #include "fl/simulation.h"
@@ -159,4 +160,61 @@ TEST(Determinism, EnvVarOverridesConfiguredThreads) {
   ASSERT_EQ(unsetenv("FEDCLEANSE_THREADS"), 0);
   EXPECT_EQ(common::resolve_n_threads(8), 8u);
   EXPECT_GE(common::resolve_n_threads(0), 1u);
+}
+
+TEST(Determinism, ZeroFaultWrapperMatchesPlainNetworkBitwise) {
+  // Installing the FaultyNetwork wrapper with every rate at zero must not
+  // change a single bit: fault randomness lives in its own seed stream, so
+  // the data/init/selection draws are untouched.
+  fl::Simulation plain(threaded_config(1));
+  plain.run(true);
+
+  auto cfg = threaded_config(1);
+  cfg.fault.force_faulty_network = true;
+  fl::Simulation wrapped(cfg);
+  ASSERT_NE(wrapped.faulty_network(), nullptr);
+  wrapped.run(true);
+
+  EXPECT_EQ(wrapped.server().params(), plain.server().params());
+  ASSERT_EQ(wrapped.history().size(), plain.history().size());
+  for (std::size_t r = 0; r < plain.history().size(); ++r) {
+    EXPECT_EQ(wrapped.history()[r].test_acc, plain.history()[r].test_acc);
+    EXPECT_EQ(wrapped.history()[r].attack_acc, plain.history()[r].attack_acc);
+    EXPECT_EQ(wrapped.history()[r].n_valid, plain.history()[r].n_valid);
+    EXPECT_TRUE(wrapped.history()[r].quorum_met);
+  }
+}
+
+TEST(Determinism, FaultInjectedRunIsThreadCountInvariant) {
+  // Fault fates are drawn from per-link streams keyed by send order, never by
+  // thread scheduling — so even a lossy run is bit-identical at any pool size.
+  auto make_cfg = [](int n_threads) {
+    auto cfg = threaded_config(n_threads);
+    cfg.rounds = 4;
+    cfg.fault.dropout_rate = 0.25;
+    cfg.fault.corrupt_rate = 0.10;
+    cfg.fault.duplicate_rate = 0.05;
+    cfg.fault.recv_timeout_ms = 5;
+    return cfg;
+  };
+  fl::Simulation serial(make_cfg(1));
+  serial.run(true);
+  fl::Simulation threaded(make_cfg(4));
+  threaded.run(true);
+
+  EXPECT_EQ(threaded.server().params(), serial.server().params());
+  ASSERT_EQ(threaded.history().size(), serial.history().size());
+  for (std::size_t r = 0; r < serial.history().size(); ++r) {
+    EXPECT_EQ(threaded.history()[r].n_valid, serial.history()[r].n_valid);
+    EXPECT_EQ(threaded.history()[r].n_dropped, serial.history()[r].n_dropped);
+    EXPECT_EQ(threaded.history()[r].n_corrupted, serial.history()[r].n_corrupted);
+    EXPECT_EQ(threaded.history()[r].n_retried, serial.history()[r].n_retried);
+    EXPECT_EQ(threaded.history()[r].test_acc, serial.history()[r].test_acc);
+    EXPECT_EQ(threaded.history()[r].attack_acc, serial.history()[r].attack_acc);
+  }
+  const auto a = serial.faulty_network()->stats();
+  const auto b = threaded.faulty_network()->stats();
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.corrupted, b.corrupted);
+  EXPECT_EQ(a.duplicated, b.duplicated);
 }

@@ -1,0 +1,333 @@
+// Fault-injection layer and degraded-mode round protocol: seeded FaultModel
+// behaviour, FaultyNetwork wire semantics, and end-to-end federated runs on
+// a lossy wire (ISSUE: 12 rounds at 20% dropout + 5% corruption must finish
+// with quorum-gated aggregation, and the defense must still bite).
+#include <gtest/gtest.h>
+
+#include "comm/faulty_network.h"
+#include "defense/pipeline.h"
+#include "fl/protocol.h"
+#include "fl/simulation.h"
+#include "test_util.h"
+
+using namespace fedcleanse;
+using namespace fedcleanse::comm;
+
+namespace {
+
+Message stamped(MessageType type, std::uint32_t round,
+                std::vector<std::uint8_t> payload = {1, 2, 3, 4}) {
+  Message m;
+  m.type = type;
+  m.round = round;
+  m.sender = -1;
+  m.payload = std::move(payload);
+  m.stamp();
+  return m;
+}
+
+// A lossy-wire simulation config: the ISSUE's acceptance scenario.
+fl::SimulationConfig faulty_sim_config(std::uint64_t seed = 51) {
+  auto cfg = testutil::tiny_sim_config(seed);
+  cfg.rounds = 12;
+  cfg.fault.dropout_rate = 0.20;
+  cfg.fault.corrupt_rate = 0.05;
+  cfg.fault.recv_timeout_ms = 5;  // no real latency in-process; keep tests fast
+  return cfg;
+}
+
+}  // namespace
+
+// --- FaultModel -------------------------------------------------------------
+
+TEST(FaultModel, FateSequenceIsDeterministicInSeed) {
+  FaultConfig fc;
+  fc.dropout_rate = 0.3;
+  fc.corrupt_rate = 0.2;
+  fc.duplicate_rate = 0.1;
+  fc.delay_rate = 0.1;
+  FaultModel a(fc, 3, 99);
+  FaultModel b(fc, 3, 99);
+  FaultModel c(fc, 3, 100);
+  bool any_difference_vs_c = false;
+  for (int i = 0; i < 200; ++i) {
+    for (int client = 0; client < 3; ++client) {
+      for (auto dir : {FaultModel::Direction::kDownlink, FaultModel::Direction::kUplink}) {
+        const auto fa = a.next_fate(client, dir, 0);
+        const auto fb = b.next_fate(client, dir, 0);
+        const auto fcte = c.next_fate(client, dir, 0);
+        ASSERT_EQ(fa.drop, fb.drop);
+        ASSERT_EQ(fa.corrupt, fb.corrupt);
+        ASSERT_EQ(fa.duplicate, fb.duplicate);
+        ASSERT_EQ(fa.delay, fb.delay);
+        any_difference_vs_c |= fa.drop != fcte.drop || fa.corrupt != fcte.corrupt;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference_vs_c) << "different fault seeds produced identical fates";
+}
+
+TEST(FaultModel, FateRatesTrackConfiguredProbabilities) {
+  FaultConfig fc;
+  fc.dropout_rate = 0.30;
+  FaultModel model(fc, 1, 7);
+  int drops = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    drops += model.next_fate(0, FaultModel::Direction::kUplink, 0).drop ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.30, 0.03);
+}
+
+TEST(FaultModel, CrashScheduleIsPermanentAndMinMerged) {
+  FaultConfig fc;
+  fc.crash_schedule = {{1, 5}, {1, 3}, {0, 0}};
+  FaultModel model(fc, 2, 1);
+  EXPECT_TRUE(model.crashed(0, 0));
+  EXPECT_FALSE(model.crashed(1, 2));
+  EXPECT_TRUE(model.crashed(1, 3));  // min of the two entries wins
+  EXPECT_TRUE(model.crashed(1, 1000));
+}
+
+TEST(FaultModel, StragglerFractionPicksThatManyClients) {
+  FaultConfig fc;
+  fc.straggler_fraction = 0.5;
+  FaultModel model(fc, 4, 13);
+  int stragglers = 0;
+  for (int c = 0; c < 4; ++c) stragglers += model.straggler(c) ? 1 : 0;
+  EXPECT_EQ(stragglers, 2);
+  // Same seed → same pick.
+  FaultModel again(fc, 4, 13);
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(model.straggler(c), again.straggler(c));
+}
+
+TEST(FaultModel, CorruptionAlwaysProducesADetectablyDifferentMessage) {
+  FaultConfig fc;
+  fc.corrupt_rate = 1.0;
+  FaultModel model(fc, 1, 29);
+  for (int i = 0; i < 100; ++i) {
+    auto m = stamped(MessageType::kModelUpdate, 4, {10, 20, 30, 40, 50, 60, 70, 80});
+    const auto original_payload = m.payload;
+    const auto original_type = m.type;
+    model.corrupt(m, 0, FaultModel::Direction::kUplink);
+    const bool payload_changed = m.payload != original_payload;
+    const bool type_changed = m.type != original_type;
+    EXPECT_TRUE(payload_changed || type_changed) << "corruption was a no-op at draw " << i;
+    if (payload_changed) {
+      // Any payload mutation must fail the integrity check.
+      EXPECT_FALSE(m.checksum_ok());
+    }
+  }
+}
+
+TEST(FaultModel, ValidateRejectsBadKnobs) {
+  const int n_clients = 4;
+  FaultConfig fc;
+  fc.dropout_rate = 1.5;
+  EXPECT_THROW(fc.validate(n_clients), ConfigError);
+  fc = {};
+  fc.min_collect_fraction = -0.1;
+  EXPECT_THROW(fc.validate(n_clients), ConfigError);
+  fc = {};
+  fc.max_request_retries = -1;
+  EXPECT_THROW(fc.validate(n_clients), ConfigError);
+  fc = {};
+  fc.crash_schedule = {{4, 0}};
+  EXPECT_THROW(fc.validate(n_clients), ConfigError);
+  fc = {};
+  EXPECT_NO_THROW(fc.validate(n_clients));
+}
+
+// --- FaultyNetwork ----------------------------------------------------------
+
+TEST(FaultyNetwork, FullDropoutEatsEveryMessage) {
+  FaultConfig fc;
+  fc.dropout_rate = 1.0;
+  FaultyNetwork net(2, fc, 3);
+  for (int i = 0; i < 5; ++i) {
+    net.send_to_client(0, stamped(MessageType::kModelBroadcast, 0));
+    net.send_to_server(1, stamped(MessageType::kModelUpdate, 0));
+  }
+  EXPECT_FALSE(net.client_try_recv(0).has_value());
+  EXPECT_FALSE(net.try_recv_from_client(1).has_value());
+  EXPECT_EQ(net.stats().dropped, 10u);
+}
+
+TEST(FaultyNetwork, DuplicationDeliversTwice) {
+  FaultConfig fc;
+  fc.duplicate_rate = 1.0;
+  FaultyNetwork net(1, fc, 3);
+  net.send_to_client(0, stamped(MessageType::kMaskBroadcast, 2));
+  EXPECT_TRUE(net.client_try_recv(0).has_value());
+  auto dup = net.client_try_recv(0);
+  ASSERT_TRUE(dup.has_value());
+  EXPECT_EQ(dup->type, MessageType::kMaskBroadcast);
+  EXPECT_TRUE(dup->checksum_ok());
+  EXPECT_FALSE(net.client_try_recv(0).has_value());
+  EXPECT_EQ(net.stats().duplicated, 1u);
+}
+
+TEST(FaultyNetwork, DelayedMessageSurfacesAfterAMissedPhase) {
+  FaultConfig fc;
+  fc.delay_rate = 1.0;
+  FaultyNetwork net(1, fc, 3);
+  net.flush_delayed();  // open the first delivery phase
+  net.send_to_server(0, stamped(MessageType::kModelUpdate, 1));
+  EXPECT_FALSE(net.try_recv_from_client(0).has_value());
+  net.flush_delayed();  // message was delayed in the current phase: still held
+  EXPECT_FALSE(net.try_recv_from_client(0).has_value());
+  net.flush_delayed();  // now it is from an earlier phase: delivered, stale
+  auto m = net.try_recv_from_client(0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->round, 1u);
+  EXPECT_EQ(net.stats().delayed, 1u);
+}
+
+TEST(FaultyNetwork, CrashedClientGoesSilentBothWays) {
+  FaultConfig fc;
+  fc.crash_schedule = {{0, 2}};
+  FaultyNetwork net(1, fc, 3);
+  net.send_to_client(0, stamped(MessageType::kModelBroadcast, 1));
+  EXPECT_TRUE(net.client_try_recv(0).has_value());
+  net.send_to_client(0, stamped(MessageType::kModelBroadcast, 2));
+  net.send_to_server(0, stamped(MessageType::kModelUpdate, 2));
+  EXPECT_FALSE(net.client_try_recv(0).has_value());
+  EXPECT_FALSE(net.try_recv_from_client(0).has_value());
+  EXPECT_EQ(net.stats().crashed, 2u);
+}
+
+TEST(FaultyNetwork, ZeroRatesDeliverEverythingUntouched) {
+  FaultyNetwork net(1, FaultConfig{}, 3);
+  const auto sent = stamped(MessageType::kRankReport, 9, {4, 5, 6});
+  net.send_to_server(0, sent);
+  auto got = net.try_recv_from_client(0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, sent.payload);
+  EXPECT_TRUE(got->checksum_ok());
+  const auto st = net.stats();
+  EXPECT_EQ(st.dropped + st.corrupted + st.duplicated + st.delayed + st.crashed, 0u);
+}
+
+// --- protocol helpers -------------------------------------------------------
+
+TEST(Quorum, CountIsCeilOfFractionClampedToAtLeastOne) {
+  EXPECT_EQ(fl::quorum_count(4, 0.5), 2u);
+  EXPECT_EQ(fl::quorum_count(5, 0.5), 3u);  // ceil
+  EXPECT_EQ(fl::quorum_count(10, 0.0), 1u);  // never zero
+  EXPECT_EQ(fl::quorum_count(3, 1.0), 3u);
+  EXPECT_EQ(fl::quorum_count(7, 0.01), 1u);
+}
+
+// --- end-to-end: training on a lossy wire -----------------------------------
+
+TEST(FaultyRounds, TwelveRoundsAtTwentyPercentDropoutComplete) {
+  fl::Simulation sim(faulty_sim_config());
+  ASSERT_NE(sim.faulty_network(), nullptr);
+  sim.run(true);  // must neither deadlock nor throw
+
+  ASSERT_EQ(sim.history().size(), 12u);
+  int valid_total = 0, faults_observed = 0, aggregated_rounds = 0;
+  for (const auto& rec : sim.history()) {
+    EXPECT_EQ(rec.n_participants, 4);
+    EXPECT_EQ(rec.n_valid + rec.n_dropped, rec.n_participants);
+    valid_total += rec.n_valid;
+    faults_observed += rec.n_dropped + rec.n_corrupted + rec.n_retried;
+    aggregated_rounds += rec.quorum_met ? 1 : 0;
+    if (rec.quorum_met) EXPECT_GE(rec.n_valid, 2);  // ceil(0.5 · 4)
+  }
+  // The wire really was lossy, and the protocol really did make progress.
+  EXPECT_GT(faults_observed, 0);
+  EXPECT_GT(aggregated_rounds, 0);
+  EXPECT_GT(valid_total, 0);
+  const auto wire = sim.faulty_network()->stats();
+  EXPECT_GT(wire.dropped, 0u);
+  // Training still converged to something useful despite the losses: well
+  // above the 10% chance floor for the 10-class synthetic set.
+  EXPECT_GT(sim.history().back().test_acc, 0.3);
+}
+
+TEST(FaultyRounds, DefenseOnLossyWireStillLowersAttackSuccess) {
+  auto cfg = faulty_sim_config(52);
+  fl::Simulation sim(cfg);
+  sim.run(false);
+
+  defense::DefenseConfig dcfg;
+  dcfg.finetune.max_rounds = 2;
+  defense::DefenseReport report;
+  ASSERT_NO_THROW(report = defense::run_defense(sim, dcfg));
+  // Quorum was reachable (80% expected turnout), so FP ran on real reports…
+  EXPECT_TRUE(report.fp_exchange.quorum_met);
+  EXPECT_GE(report.fp_exchange.n_valid, 2);
+  // …and the cleansing still bites: attack success does not survive the
+  // pipeline any better than it does on a perfect wire.
+  EXPECT_LE(report.after_aw.attack_acc, report.training.attack_acc + 1e-9);
+}
+
+TEST(FaultyRounds, FullDropoutSkipsAggregationWithoutCrashing) {
+  auto cfg = testutil::tiny_sim_config(53);
+  cfg.rounds = 2;
+  cfg.fault.dropout_rate = 1.0;
+  cfg.fault.max_request_retries = 0;
+  cfg.fault.recv_timeout_ms = 2;
+  fl::Simulation sim(cfg);
+  const auto params_before = sim.server().params();
+  sim.run(true);
+  // No update ever arrived: every round is below quorum, aggregation is
+  // skipped, and the global model is bit-identical to its initialization.
+  EXPECT_EQ(sim.server().params(), params_before);
+  for (const auto& rec : sim.history()) {
+    EXPECT_FALSE(rec.quorum_met);
+    EXPECT_EQ(rec.n_valid, 0);
+    EXPECT_EQ(rec.n_dropped, rec.n_participants);
+  }
+}
+
+TEST(FaultyRounds, DefenseBelowQuorumThrowsQuorumError) {
+  auto cfg = testutil::tiny_sim_config(54);
+  cfg.rounds = 1;
+  fl::Simulation sim(cfg);
+  sim.run(false);
+
+  // Cut the wire after training: rebuild the simulation at full dropout so
+  // the defense protocol can never reach its quorum.
+  auto cut = cfg;
+  cut.fault.dropout_rate = 1.0;
+  cut.fault.max_request_retries = 1;
+  cut.fault.recv_timeout_ms = 2;
+  fl::Simulation dead(cut);
+  defense::DefenseConfig dcfg;
+  EXPECT_THROW(defense::federated_pruning_order(dead, dcfg), QuorumError);
+  dcfg.use_client_accuracy = true;
+  EXPECT_THROW(defense::run_defense(dead, dcfg), QuorumError);
+}
+
+TEST(FaultyRounds, CrashScheduleRemovesAClientMidTraining) {
+  auto cfg = testutil::tiny_sim_config(55);
+  cfg.rounds = 4;
+  cfg.fault.crash_schedule = {{3, 2}};  // client 3 dies at round 2
+  cfg.fault.recv_timeout_ms = 2;
+  fl::Simulation sim(cfg);
+  sim.run(true);
+  ASSERT_EQ(sim.history().size(), 4u);
+  EXPECT_EQ(sim.history()[0].n_valid, 4);
+  EXPECT_EQ(sim.history()[1].n_valid, 4);
+  EXPECT_EQ(sim.history()[2].n_valid, 3);  // crashed client never reports again
+  EXPECT_EQ(sim.history()[3].n_valid, 3);
+  EXPECT_TRUE(sim.history()[3].quorum_met);
+}
+
+TEST(FaultyRounds, StragglerRepliesArriveLateAndStale) {
+  auto cfg = testutil::tiny_sim_config(56);
+  cfg.rounds = 4;
+  cfg.fault.straggler_fraction = 0.25;  // exactly one straggler out of 4
+  cfg.fault.straggler_miss_rate = 1.0;  // it always misses the deadline
+  cfg.fault.max_request_retries = 0;
+  cfg.fault.recv_timeout_ms = 2;
+  fl::Simulation sim(cfg);
+  sim.run(true);
+  for (const auto& rec : sim.history()) {
+    EXPECT_EQ(rec.n_valid, 3) << "round " << rec.round;
+    EXPECT_TRUE(rec.quorum_met);
+  }
+  EXPECT_GT(sim.faulty_network()->stats().delayed, 0u);
+}

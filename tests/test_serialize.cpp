@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "common/serialize.h"
 
 using namespace fedcleanse::common;
@@ -110,4 +112,80 @@ TEST(Serialize, RemainingTracksPosition) {
   EXPECT_EQ(r.remaining(), 8u);
   r.read_u32();
   EXPECT_EQ(r.remaining(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-style hardening of the comm payload codecs: every strict prefix of a
+// valid payload must throw DecodeError (never crash, hang, or allocate
+// unboundedly), and every payload with trailing bytes must be rejected too —
+// an oversized payload means sender and receiver disagree on the format.
+// ---------------------------------------------------------------------------
+
+#include "comm/message.h"
+
+namespace {
+
+using DecodeFn = std::function<void(const std::vector<std::uint8_t>&)>;
+
+struct CodecCase {
+  const char* name;
+  std::vector<std::uint8_t> valid;
+  DecodeFn decode;
+};
+
+std::vector<CodecCase> codec_cases() {
+  using namespace fedcleanse::comm;
+  std::vector<CodecCase> cases;
+  cases.push_back({"flat_params", encode_flat_params({1.5f, -2.0f, 0.25f}),
+                   [](const auto& p) { decode_flat_params(p); }});
+  cases.push_back({"ranks", encode_ranks({3, 1, 2, 4}),
+                   [](const auto& p) { decode_ranks(p); }});
+  cases.push_back({"votes", encode_votes({1, 0, 1, 1, 0}),
+                   [](const auto& p) { decode_votes(p); }});
+  cases.push_back({"vote_request", encode_vote_request(0.5),
+                   [](const auto& p) { decode_vote_request(p); }});
+  cases.push_back({"masks", encode_masks({{1, 0, 1}, {}, {0, 0}}),
+                   [](const auto& p) { decode_masks(p); }});
+  cases.push_back({"accuracy", encode_accuracy(0.875),
+                   [](const auto& p) { decode_accuracy(p); }});
+  return cases;
+}
+
+}  // namespace
+
+TEST(CodecFuzz, EveryTruncationThrowsDecodeError) {
+  for (const auto& c : codec_cases()) {
+    for (std::size_t len = 0; len < c.valid.size(); ++len) {
+      std::vector<std::uint8_t> cut(c.valid.begin(),
+                                    c.valid.begin() + static_cast<long>(len));
+      EXPECT_THROW(c.decode(cut), fedcleanse::comm::DecodeError)
+          << c.name << " truncated to " << len << "/" << c.valid.size() << " bytes";
+    }
+  }
+}
+
+TEST(CodecFuzz, TrailingBytesThrowDecodeError) {
+  for (const auto& c : codec_cases()) {
+    auto oversized = c.valid;
+    oversized.push_back(0xEE);
+    EXPECT_THROW(c.decode(oversized), fedcleanse::comm::DecodeError) << c.name;
+    oversized.insert(oversized.end(), 7, 0xEE);
+    EXPECT_THROW(c.decode(oversized), fedcleanse::comm::DecodeError) << c.name;
+  }
+}
+
+TEST(CodecFuzz, LyingMaskCountDoesNotAllocate) {
+  // A masks payload whose count field claims 2^30 entries must be rejected
+  // before the per-mask vector is sized (a ~96 GB allocation otherwise).
+  ByteWriter w;
+  w.write_u32(1u << 30);
+  w.write_u8_vector({1, 0});
+  EXPECT_THROW(fedcleanse::comm::decode_masks(w.take()),
+               fedcleanse::comm::DecodeError);
+}
+
+TEST(CodecFuzz, DecodeErrorIsSerializationError) {
+  // Callers that only care about "bad bytes" keep catching the base type.
+  const std::vector<std::uint8_t> garbage{9, 9};
+  EXPECT_THROW(fedcleanse::comm::decode_ranks(garbage), SerializationError);
 }
