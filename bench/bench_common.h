@@ -190,22 +190,38 @@ inline void print_rule(int width = 78) {
 // Keep the optimizer from discarding a result the benchmark body produced.
 inline void do_not_optimize(const void* p) { asm volatile("" : : "g"(p) : "memory"); }
 
-// Mean wall-clock nanoseconds per call of `body`, after one warmup call.
-// Batches calls between clock reads and runs until both floors are met.
+// Best (minimum) mean wall-clock nanoseconds per call of `body` over `reps`
+// timed repetitions. A warmup phase first runs the body with doubling batch
+// sizes until it has burned ~min_seconds/4 — that settles first-touch
+// allocation, cache state, and workspace growth, and calibrates the batch
+// size — then each of the `reps` repetitions times one batch and the fastest
+// repetition wins. Min-of-K discards interference from the host (other
+// processes, frequency ramps), which inflates only the slow reps.
 inline double time_ns_per_iter(const std::function<void()>& body,
-                               double min_seconds = 0.1, long min_iters = 5) {
-  body();  // warmup (first-touch allocation, cache fill)
-  long iters = 0;
+                               double min_seconds = 0.1, long min_iters = 5,
+                               int reps = 5) {
   long batch = 1;
-  common::Timer timer;
+  long warm_iters = 0;
+  common::Timer warm;
   double elapsed = 0.0;
-  while (elapsed < min_seconds || iters < min_iters) {
+  while (elapsed < min_seconds / 4.0 || warm_iters < min_iters) {
     for (long i = 0; i < batch; ++i) body();
-    iters += batch;
-    elapsed = timer.elapsed_seconds();
-    if (elapsed < min_seconds / 8.0) batch *= 2;
+    warm_iters += batch;
+    elapsed = warm.elapsed_seconds();
+    if (elapsed < min_seconds / 16.0) batch *= 2;
   }
-  return elapsed * 1e9 / static_cast<double>(iters);
+  const double est_ns = elapsed * 1e9 / static_cast<double>(warm_iters);
+  const double rep_budget_ns = min_seconds * 1e9 / (4.0 * reps);
+  long rep_iters = est_ns > 0.0 ? static_cast<long>(rep_budget_ns / est_ns) : min_iters;
+  if (rep_iters < 1) rep_iters = 1;
+  double best_ns = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    common::Timer timer;
+    for (long i = 0; i < rep_iters; ++i) body();
+    const double ns = timer.elapsed_seconds() * 1e9 / static_cast<double>(rep_iters);
+    if (r == 0 || ns < best_ns) best_ns = ns;
+  }
+  return best_ns;
 }
 
 struct MicroRecord {
@@ -213,7 +229,12 @@ struct MicroRecord {
   std::string size;        // e.g. "b32_c64" or "n256"
   double serial_ns = 0.0;  // ns/iter with no ambient pool
   double threaded_ns = 0.0;
+  std::string kernel;           // e.g. "gemm_packed" vs "legacy_scalar"; "" = n/a
+  double flops_per_iter = 0.0;  // 0 = not a flop-counted op
   double speedup() const { return threaded_ns > 0.0 ? serial_ns / threaded_ns : 0.0; }
+  double gflops_serial() const {
+    return serial_ns > 0.0 ? flops_per_iter / serial_ns : 0.0;
+  }
 };
 
 // Time `body` twice — ambient pool cleared, then installed — restoring
@@ -239,11 +260,12 @@ inline void write_micro_json(const std::string& path, const std::vector<MicroRec
       << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
-    out << "    {\"op\": \"" << r.op << "\", \"size\": \"" << r.size
-        << "\", \"serial_ns_per_iter\": " << r.serial_ns
+    out << "    {\"op\": \"" << r.op << "\", \"size\": \"" << r.size << "\", \"kernel\": \""
+        << r.kernel << "\", \"serial_ns_per_iter\": " << r.serial_ns
         << ", \"threaded_ns_per_iter\": " << r.threaded_ns
-        << ", \"speedup\": " << r.speedup() << "}" << (i + 1 < records.size() ? "," : "")
-        << "\n";
+        << ", \"speedup\": " << r.speedup() << ", \"flops_per_iter\": " << r.flops_per_iter
+        << ", \"gflops_serial\": " << r.gflops_serial() << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }

@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "common/threadpool.h"
 #include "fl/aggregation.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 using namespace fedcleanse;
@@ -26,6 +27,12 @@ std::vector<std::vector<float>> make_updates(int n, int dim) {
   return updates;
 }
 
+// 10×10 input, 3×3 kernel, stride 1, pad 1 → 10×10 output; im2col GEMM is
+// [cout, cin·k·k] × [cin·k·k, ho·wo] per sample.
+double conv_gemm_flops(int batch, int channels) {
+  return 2.0 * batch * channels * (16.0 * 3 * 3) * (10.0 * 10);
+}
+
 bench::MicroRecord conv_forward(common::ThreadPool& pool, int batch, int channels) {
   common::Rng rng(1);
   auto x = tensor::Tensor::randn({batch, 16, 10, 10}, rng);
@@ -33,12 +40,15 @@ bench::MicroRecord conv_forward(common::ThreadPool& pool, int batch, int channel
   auto b = tensor::Tensor::zeros({channels});
   tensor::Conv2dSpec spec{1, 1};
   std::vector<float> cache;
-  return bench::time_serial_vs_threaded(
+  auto rec = bench::time_serial_vs_threaded(
       "conv2d_forward", "b" + std::to_string(batch) + "_c" + std::to_string(channels), pool,
       [&] {
         auto y = tensor::conv2d_forward_cached(x, w, b, spec, cache);
         bench::do_not_optimize(y.data().data());
       });
+  rec.kernel = "gemm_packed";
+  rec.flops_per_iter = conv_gemm_flops(batch, channels);
+  return rec;
 }
 
 bench::MicroRecord conv_backward(common::ThreadPool& pool, int batch, int channels) {
@@ -49,22 +59,45 @@ bench::MicroRecord conv_backward(common::ThreadPool& pool, int batch, int channe
   tensor::Conv2dSpec spec{1, 1};
   std::vector<float> cache;
   auto y = tensor::conv2d_forward_cached(x, w, b, spec, cache);
-  return bench::time_serial_vs_threaded(
+  auto rec = bench::time_serial_vs_threaded(
       "conv2d_backward", "b" + std::to_string(batch) + "_c" + std::to_string(channels), pool,
       [&] {
         auto g = tensor::conv2d_backward_cached(x, w, y, spec, cache);
         bench::do_not_optimize(g.grad_weight.data().data());
       });
+  rec.kernel = "gemm_packed";
+  rec.flops_per_iter = 2.0 * conv_gemm_flops(batch, channels);  // gw GEMM + gcol GEMM
+  return rec;
 }
 
 bench::MicroRecord matmul(common::ThreadPool& pool, int n) {
   common::Rng rng(1);
   auto a = tensor::Tensor::randn({n, n}, rng);
   auto b = tensor::Tensor::randn({n, n}, rng);
-  return bench::time_serial_vs_threaded("matmul", "n" + std::to_string(n), pool, [&] {
+  auto rec = bench::time_serial_vs_threaded("matmul", "n" + std::to_string(n), pool, [&] {
     auto c = tensor::matmul(a, b);
     bench::do_not_optimize(c.data().data());
   });
+  rec.kernel = "gemm_packed";
+  rec.flops_per_iter = 2.0 * n * n * double(n);
+  return rec;
+}
+
+// Same product through the legacy scalar i-k-j kernel: the packed-vs-legacy
+// pair in the JSON is what scripts/bench_compare.py tracks across commits.
+bench::MicroRecord matmul_legacy(common::ThreadPool& pool, int n) {
+  common::Rng rng(1);
+  auto a = tensor::Tensor::randn({n, n}, rng);
+  auto b = tensor::Tensor::randn({n, n}, rng);
+  tensor::Tensor c(tensor::Shape{n, n});
+  auto rec = bench::time_serial_vs_threaded("matmul", "n" + std::to_string(n), pool, [&] {
+    tensor::gemm_reference(false, false, n, n, n, a.data().data(), n, b.data().data(), n,
+                           c.data().data(), n, /*accumulate=*/false);
+    bench::do_not_optimize(c.data().data());
+  });
+  rec.kernel = "legacy_scalar";
+  rec.flops_per_iter = 2.0 * n * n * double(n);
+  return rec;
 }
 
 }  // namespace
@@ -80,6 +113,7 @@ int main() {
   for (int channels : {16, 32}) records.push_back(conv_backward(pool, 32, channels));
   records.push_back(conv_backward(pool, 8, 32));
   for (int n : {64, 256, 512}) records.push_back(matmul(pool, n));
+  for (int n : {256, 512}) records.push_back(matmul_legacy(pool, n));
 
   // Aggregation rules have no parallel path (yet); timed serially for the
   // trajectory, with both columns reporting the same configuration.
@@ -105,12 +139,18 @@ int main() {
     }));
   }
 
-  std::printf("%-16s %-10s %14s %14s %9s   (%zu threads)\n", "op", "size", "serial ns/it",
-              "pooled ns/it", "speedup", threads);
-  bench::print_rule();
+  std::printf("%-16s %-10s %-13s %14s %14s %9s %9s   (%zu threads)\n", "op", "size",
+              "kernel", "serial ns/it", "pooled ns/it", "speedup", "GFLOP/s", threads);
+  bench::print_rule(96);
   for (const auto& r : records) {
-    std::printf("%-16s %-10s %14.0f %14.0f %8.2fx\n", r.op.c_str(), r.size.c_str(),
-                r.serial_ns, r.threaded_ns, r.speedup());
+    std::printf("%-16s %-10s %-13s %14.0f %14.0f %8.2fx ", r.op.c_str(), r.size.c_str(),
+                r.kernel.empty() ? "-" : r.kernel.c_str(), r.serial_ns, r.threaded_ns,
+                r.speedup());
+    if (r.flops_per_iter > 0.0) {
+      std::printf("%9.2f\n", r.gflops_serial());
+    } else {
+      std::printf("%9s\n", "-");
+    }
   }
 
   const std::string json_path = "BENCH_micro_ops.json";

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_micro_ops.json files and flag perf regressions.
+
+Usage: bench_compare.py BASELINE.json CANDIDATE.json [--tolerance 0.10]
+
+Records are matched on (op, size, kernel). A record whose candidate
+serial_ns_per_iter exceeds the baseline by more than the tolerance is a
+regression; the exit code is 1 if any regression is found, so a CI step can
+gate on it. Records present on only one side are reported but never fail the
+comparison (benches come and go across commits).
+
+Only serial times are compared: pooled times depend on the runner's core
+count, which differs between the machine that produced the baseline and CI.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict[tuple[str, str, str], dict]:
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for rec in doc.get("results", []):
+        key = (rec.get("op", ""), rec.get("size", ""), rec.get("kernel", ""))
+        out[key] = rec
+    return out
+
+
+def fmt_key(key: tuple[str, str, str]) -> str:
+    op, size, kernel = key
+    return f"{op}/{size}" + (f"[{kernel}]" if kernel else "")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown before a record counts as a regression",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    regressions = []
+    print(f"{'record':<40} {'base ns':>14} {'cand ns':>14} {'ratio':>8}")
+    print("-" * 80)
+    for key in sorted(base.keys() & cand.keys()):
+        b = base[key]["serial_ns_per_iter"]
+        c = cand[key]["serial_ns_per_iter"]
+        ratio = c / b if b > 0 else float("inf")
+        marker = ""
+        if ratio > 1.0 + args.tolerance:
+            regressions.append((key, ratio))
+            marker = "  <-- REGRESSION"
+        print(f"{fmt_key(key):<40} {b:>14.0f} {c:>14.0f} {ratio:>7.2f}x{marker}")
+
+    for key in sorted(base.keys() - cand.keys()):
+        print(f"{fmt_key(key):<40} (only in baseline)")
+    for key in sorted(cand.keys() - base.keys()):
+        print(f"{fmt_key(key):<40} (only in candidate)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {args.tolerance:.0%}:")
+        for key, ratio in regressions:
+            print(f"  {fmt_key(key)}: {ratio:.2f}x")
+        return 1
+    print(f"\nno regressions beyond {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

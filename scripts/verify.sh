@@ -1,6 +1,7 @@
 #!/bin/sh
-# Full verification: tier-1 build + test suite, then a ThreadSanitizer pass
-# over the concurrency-critical tests (thread pool + determinism).
+# Full verification: tier-1 build + test suite, a ThreadSanitizer pass over
+# the concurrency-critical tests (thread pool + determinism), and an
+# ASan/UBSan pass over the kernel + layer tests (packed GEMM, workspace).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -13,5 +14,10 @@ echo "== tsan: thread pool + determinism tests under -fsanitize=thread =="
 cmake -B build-tsan -S . -DFEDCLEANSE_SANITIZE=thread
 cmake --build build-tsan --target fedcleanse_tsan_tests -j
 ./build-tsan/tests/fedcleanse_tsan_tests
+
+echo "== asan: kernel + layer tests under -fsanitize=address,undefined =="
+cmake -B build-asan -S . -DFEDCLEANSE_SANITIZE=address,undefined
+cmake --build build-asan --target fedcleanse_asan_tests -j
+ASAN_OPTIONS=halt_on_error=1 ./build-asan/tests/fedcleanse_asan_tests
 
 echo "verify: OK"

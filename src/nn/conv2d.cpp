@@ -23,38 +23,20 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, common::Rng& rng, 
   bias_.fill(0.0f);
 }
 
-void Conv2d::zero_channel_in(Tensor& t, int n, int /*c*/, int h, int w, int channel) const {
-  auto v = t.data();
-  const std::size_t plane = static_cast<std::size_t>(h) * w;
-  for (int b = 0; b < n; ++b) {
-    float* p = &v[((static_cast<std::size_t>(b) * out_channels_) + channel) * plane];
-    std::fill(p, p + plane, 0.0f);
-  }
-}
-
 Tensor Conv2d::forward(const Tensor& x) {
   input_cache_ = x;
-  Tensor y = tensor::conv2d_forward_cached(x, weight_, bias_, spec_, col_cache_);
-  if (any_pruned_) {
-    for (int oc = 0; oc < out_channels_; ++oc) {
-      if (!active_[static_cast<std::size_t>(oc)]) {
-        zero_channel_in(y, y.shape()[0], out_channels_, y.shape()[2], y.shape()[3], oc);
-      }
-    }
-  }
-  return y;
+  // Pruned channels are skipped inside the packed GEMM (and written as exact
+  // zeros) rather than zeroed in a second pass over the output.
+  return tensor::conv2d_forward_cached(x, weight_, bias_, spec_, col_cache_,
+                                       any_pruned_ ? active_.data() : nullptr);
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
-  Tensor g = grad_out;
-  if (any_pruned_) {
-    for (int oc = 0; oc < out_channels_; ++oc) {
-      if (!active_[static_cast<std::size_t>(oc)]) {
-        zero_channel_in(g, g.shape()[0], out_channels_, g.shape()[2], g.shape()[3], oc);
-      }
-    }
-  }
-  auto grads = tensor::conv2d_backward_cached(input_cache_, weight_, g, spec_, col_cache_);
+  // The channel mask makes the kernel drop pruned channels from every
+  // gradient product, so the incoming gradient needs no masking copy.
+  auto grads = tensor::conv2d_backward_cached(input_cache_, weight_, grad_out, spec_,
+                                              col_cache_,
+                                              any_pruned_ ? active_.data() : nullptr);
   grad_weight_ += grads.grad_weight;
   grad_bias_ += grads.grad_bias;
   return std::move(grads.grad_input);

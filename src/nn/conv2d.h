@@ -38,8 +38,6 @@ class Conv2d : public Layer {
   std::vector<float> active_weights() const;
 
  private:
-  void zero_channel_in(Tensor& t, int n, int c, int h, int w, int channel) const;
-
   int in_channels_;
   int out_channels_;
   int kernel_;

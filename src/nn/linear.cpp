@@ -1,6 +1,7 @@
 #include "nn/linear.h"
 
 #include "nn/init.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace fedcleanse::nn {
@@ -39,25 +40,30 @@ Tensor Linear::forward(const Tensor& x) {
 Tensor Linear::backward(const Tensor& grad_out) {
   FC_REQUIRE(grad_out.shape().rank() == 2 && grad_out.shape()[1] == out_features_,
              "Linear backward grad shape mismatch");
-  // Pruned units contribute no gradient anywhere.
-  Tensor g = grad_out;
-  const int n = g.shape()[0];
-  auto gv = g.data();
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < out_features_; ++j) {
-      if (!active_[static_cast<std::size_t>(j)]) {
-        gv[static_cast<std::size_t>(i) * out_features_ + j] = 0.0f;
-      }
-    }
-  }
-  grad_weight_ += tensor::matmul_t(g, true, input_cache_, false);  // [out, in]
+  // Pruned units contribute no gradient anywhere: instead of zeroing a copy
+  // of grad_out, their rows are skipped in the GEMMs and the bias sum, which
+  // leaves the same exact zeros without the copy.
+  const int n = grad_out.shape()[0];
+  const auto gv = grad_out.data();
+  // grad_weight += gradᵀ · x, accumulated in place (no temporary tensor).
+  tensor::gemm(true, false, out_features_, in_features_, n, gv.data(), out_features_,
+               input_cache_.data().data(), in_features_, grad_weight_.data().data(),
+               in_features_, /*accumulate=*/true,
+               tensor::GemmMask{active_.data(), nullptr});
   auto gb = grad_bias_.data();
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < out_features_; ++j) {
-      gb[j] += gv[static_cast<std::size_t>(i) * out_features_ + j];
+      if (active_[static_cast<std::size_t>(j)]) {
+        gb[j] += gv[static_cast<std::size_t>(i) * out_features_ + j];
+      }
     }
   }
-  return tensor::matmul_t(g, false, weight_, false);  // [N, in]
+  // grad_input = grad · W, with pruned units dropped from the contraction.
+  Tensor gx(Shape{n, in_features_});
+  tensor::gemm(false, false, n, in_features_, out_features_, gv.data(), out_features_,
+               weight_.data().data(), in_features_, gx.data().data(), in_features_,
+               /*accumulate=*/false, tensor::GemmMask{nullptr, active_.data()});
+  return gx;
 }
 
 std::vector<ParamRef> Linear::params() {

@@ -30,8 +30,6 @@ class Linear : public Layer {
   const Tensor& bias() const { return bias_; }
 
  private:
-  void apply_mask_to_rows(Tensor& t) const;
-
   int in_features_;
   int out_features_;
   Tensor weight_;  // [out, in]

@@ -1,0 +1,262 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/threadpool.h"
+#include "tensor/workspace.h"
+
+namespace fedcleanse::tensor {
+
+namespace {
+
+// Row blocks only pay for pool dispatch above this many multiply-accumulates
+// (m·k·n); smaller products run inline (same threshold as the old matmul).
+constexpr std::size_t kParallelFlops = 1u << 20;
+
+constexpr int kStripsPerBlock = (kGemmMC + kGemmMR - 1) / kGemmMR;
+
+inline int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+// Pack a kc×nr sliver of op(B) columns [j0, j0+n_sub) into bp, zero-padded to
+// NR so the microkernel never needs a column edge case. kidx maps packed
+// depth p to the stored k index (nullptr → identity starting at k0).
+void pack_b_sliver(const float* b, int ldb, bool tb, int k0, int kc, const int* kidx,
+                   int j0, int n_sub, float* bp) {
+  for (int p = 0; p < kc; ++p) {
+    const int kk = kidx != nullptr ? kidx[p] : k0 + p;
+    float* dst = bp + static_cast<std::size_t>(p) * kGemmNR;
+    int j = 0;
+    if (!tb) {
+      const float* src = b + static_cast<std::size_t>(kk) * ldb + j0;
+      for (; j < n_sub; ++j) dst[j] = src[j];
+    } else {
+      for (; j < n_sub; ++j) dst[j] = b[static_cast<std::size_t>(j0 + j) * ldb + kk];
+    }
+    for (; j < kGemmNR; ++j) dst[j] = 0.0f;
+  }
+}
+
+// Pack an mr-strip of op(A) rows [i0, i0+m_sub) into ap, zero-padded to MR.
+void pack_a_strip(const float* a, int lda, bool ta, int k0, int kc, const int* kidx,
+                  int i0, int m_sub, float* ap) {
+  for (int p = 0; p < kc; ++p) {
+    const int kk = kidx != nullptr ? kidx[p] : k0 + p;
+    float* dst = ap + static_cast<std::size_t>(p) * kGemmMR;
+    int i = 0;
+    if (ta) {
+      const float* src = a + static_cast<std::size_t>(kk) * lda + i0;
+      for (; i < m_sub; ++i) dst[i] = src[i];
+    } else {
+      for (; i < m_sub; ++i) dst[i] = a[static_cast<std::size_t>(i0 + i) * lda + kk];
+    }
+    for (; i < kGemmMR; ++i) dst[i] = 0.0f;
+  }
+}
+
+// The register tile: a full MR×NR block of C accumulated over kc packed
+// depths. Every trip count except kc is a compile-time constant and the
+// unroll pragmas flatten both tile loops, so the j dimension vectorizes
+// (two 8-lane FMAs per row on AVX2) and `acc` is scalar-replaced into
+// registers across the whole k sweep. The store loops must also have
+// constant bounds — a runtime-bounded read of `acc` would force the whole
+// block onto the stack — which is why edges go through micro_edge instead.
+template <bool Accumulate>
+inline void micro_full(int kc, const float* __restrict ap, const float* __restrict bp,
+                       float* __restrict c, int ldc) {
+  float acc[kGemmMR][kGemmNR] = {};
+  for (int p = 0; p < kc; ++p) {
+    const float* __restrict arow = ap + static_cast<std::size_t>(p) * kGemmMR;
+    const float* __restrict brow = bp + static_cast<std::size_t>(p) * kGemmNR;
+#pragma GCC unroll 16
+    for (int i = 0; i < kGemmMR; ++i) {
+      const float ai = arow[i];
+#pragma GCC unroll 32
+      for (int j = 0; j < kGemmNR; ++j) acc[i][j] += ai * brow[j];
+    }
+  }
+#pragma GCC unroll 16
+  for (int i = 0; i < kGemmMR; ++i) {
+    float* crow = c + static_cast<std::size_t>(i) * ldc;
+#pragma GCC unroll 32
+    for (int j = 0; j < kGemmNR; ++j) {
+      if constexpr (Accumulate) {
+        crow[j] += acc[i][j];
+      } else {
+        crow[j] = acc[i][j];
+      }
+    }
+  }
+}
+
+// Edge / masked tiles: run the full kernel into a stack tile (the packs are
+// zero-padded, so the extra lanes compute exact zeros), then copy out only
+// the live m_sub×n_sub sub-block, honoring the row mask. The extra copy is
+// confined to ragged borders and pruned strips.
+void micro_edge(int kc, const float* __restrict ap, const float* __restrict bp,
+                float* __restrict c, int ldc, int m_sub, int n_sub, bool accumulate,
+                const std::uint8_t* row_active) {
+  float tmp[kGemmMR][kGemmNR];
+  micro_full<false>(kc, ap, bp, &tmp[0][0], kGemmNR);
+  for (int i = 0; i < m_sub; ++i) {
+    if (row_active != nullptr && row_active[i] == 0) continue;
+    float* crow = c + static_cast<std::size_t>(i) * ldc;
+    if (accumulate) {
+      for (int j = 0; j < n_sub; ++j) crow[j] += tmp[i][j];
+    } else {
+      for (int j = 0; j < n_sub; ++j) crow[j] = tmp[i][j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a, int lda,
+          const float* b, int ldb, float* c, int ldc, bool accumulate,
+          const GemmMask& mask) {
+  if (m <= 0 || n <= 0) return;
+
+  Workspace& cws = Workspace::tls();
+  const Workspace::Mark outer = cws.mark();
+
+  // Compact the contraction dimension when a k mask prunes entries; an
+  // all-active mask degenerates to the unmasked fast path.
+  const int* kidx = nullptr;
+  int keff = std::max(k, 0);
+  if (mask.k_active != nullptr && k > 0) {
+    int* idx = static_cast<int*>(cws.alloc_bytes(static_cast<std::size_t>(k) * sizeof(int)));
+    int cnt = 0;
+    for (int p = 0; p < k; ++p) {
+      if (mask.k_active[p] != 0) idx[cnt++] = p;
+    }
+    if (cnt < k) {
+      kidx = idx;
+      keff = cnt;
+    }
+  }
+  const std::uint8_t* row_active = mask.row_active;
+  if (row_active != nullptr &&
+      std::all_of(row_active, row_active + m, [](std::uint8_t v) { return v != 0; })) {
+    row_active = nullptr;
+  }
+
+  if (keff == 0) {
+    // Empty contraction contributes nothing; overwrite mode still owns the
+    // active rows of C.
+    if (!accumulate) {
+      for (int i = 0; i < m; ++i) {
+        if (row_active != nullptr && row_active[i] == 0) continue;
+        std::fill_n(c + static_cast<std::size_t>(i) * ldc, n, 0.0f);
+      }
+    }
+    cws.release(outer);
+    return;
+  }
+
+  const std::size_t work = static_cast<std::size_t>(m) * static_cast<std::size_t>(n) *
+                           static_cast<std::size_t>(keff);
+  const int n_mblocks = ceil_div(m, kGemmMC);
+  const bool parallel = work >= kParallelFlops && n_mblocks > 1;
+
+  for (int jc = 0; jc < n; jc += kGemmNC) {
+    const int nc = std::min(kGemmNC, n - jc);
+    const int n_slivers = ceil_div(nc, kGemmNR);
+    for (int pc = 0, pcn = 0; pc < keff; pc += kGemmKC, ++pcn) {
+      const int kc = std::min(kGemmKC, keff - pc);
+      const bool acc_block = accumulate || pcn > 0;
+      const int* kslice = kidx != nullptr ? kidx + pc : nullptr;
+
+      // B panel packed once per (jc, pc) on the calling thread; row blocks
+      // below only read it.
+      const Workspace::Mark bmark = cws.mark();
+      float* bp = cws.alloc_floats(static_cast<std::size_t>(n_slivers) * kc * kGemmNR);
+      for (int js = 0; js < n_slivers; ++js) {
+        pack_b_sliver(b, ldb, trans_b, pc, kc, kslice, jc + js * kGemmNR,
+                      std::min(kGemmNR, nc - js * kGemmNR),
+                      bp + static_cast<std::size_t>(js) * kc * kGemmNR);
+      }
+
+      // Each MC-row block owns its rows of C exclusively and sweeps k in the
+      // same order no matter which thread runs it → bit-identical results
+      // for every thread count.
+      auto run_mblock = [&](std::size_t blk) {
+        const int i0 = static_cast<int>(blk) * kGemmMC;
+        const int mc = std::min(kGemmMC, m - i0);
+        const int n_strips = ceil_div(mc, kGemmMR);
+
+        Workspace& ws = Workspace::tls();
+        const Workspace::Mark amark = ws.mark();
+        float* ap = ws.alloc_floats(static_cast<std::size_t>(n_strips) * kc * kGemmMR);
+
+        bool strip_live[kStripsPerBlock];
+        for (int is = 0; is < n_strips; ++is) {
+          const int r0 = i0 + is * kGemmMR;
+          const int m_sub = std::min(kGemmMR, m - r0);
+          bool live = true;
+          if (row_active != nullptr) {
+            live = false;
+            for (int i = 0; i < m_sub; ++i) live |= row_active[r0 + i] != 0;
+          }
+          strip_live[is] = live;
+          if (live) {
+            pack_a_strip(a, lda, trans_a, pc, kc, kslice, r0, m_sub,
+                         ap + static_cast<std::size_t>(is) * kc * kGemmMR);
+          }
+        }
+
+        for (int js = 0; js < n_slivers; ++js) {
+          const int j0 = jc + js * kGemmNR;
+          const int n_sub = std::min(kGemmNR, nc - js * kGemmNR);
+          const float* bsl = bp + static_cast<std::size_t>(js) * kc * kGemmNR;
+          for (int is = 0; is < n_strips; ++is) {
+            if (!strip_live[is]) continue;
+            const int r0 = i0 + is * kGemmMR;
+            const int m_sub = std::min(kGemmMR, m - r0);
+            const float* asl = ap + static_cast<std::size_t>(is) * kc * kGemmMR;
+            float* csl = c + static_cast<std::size_t>(r0) * ldc + j0;
+            if (m_sub == kGemmMR && n_sub == kGemmNR && row_active == nullptr) {
+              if (acc_block) {
+                micro_full<true>(kc, asl, bsl, csl, ldc);
+              } else {
+                micro_full<false>(kc, asl, bsl, csl, ldc);
+              }
+            } else {
+              micro_edge(kc, asl, bsl, csl, ldc, m_sub, n_sub, acc_block,
+                         row_active != nullptr ? row_active + r0 : nullptr);
+            }
+          }
+        }
+        ws.release(amark);
+      };
+
+      if (parallel) {
+        common::ambient_parallel_for(static_cast<std::size_t>(n_mblocks), run_mblock);
+      } else {
+        for (int blk = 0; blk < n_mblocks; ++blk) run_mblock(static_cast<std::size_t>(blk));
+      }
+      cws.release(bmark);
+    }
+  }
+  cws.release(outer);
+}
+
+void gemm_reference(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
+                    int lda, const float* b, int ldb, float* c, int ldc, bool accumulate) {
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<std::size_t>(i) * ldc;
+    if (!accumulate) std::fill_n(crow, n, 0.0f);
+    for (int p = 0; p < k; ++p) {
+      const float aik = trans_a ? a[static_cast<std::size_t>(p) * lda + i]
+                                : a[static_cast<std::size_t>(i) * lda + p];
+      if (aik == 0.0f) continue;
+      if (!trans_b) {
+        const float* brow = b + static_cast<std::size_t>(p) * ldb;
+        for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      } else {
+        for (int j = 0; j < n; ++j) crow[j] += aik * b[static_cast<std::size_t>(j) * ldb + p];
+      }
+    }
+  }
+}
+
+}  // namespace fedcleanse::tensor

@@ -1,0 +1,63 @@
+// Cache-blocked, register-tiled single-precision GEMM.
+//
+//   C[m,n] (+)= op(A)[m,k] · op(B)[k,n]
+//
+// The kernel packs panels of A and B into contiguous, 64-byte-aligned
+// workspace buffers (handling all four transpose variants in the pack step)
+// and runs an mr×nr register tile over them, written as plain loops with
+// compile-time trip counts so the compiler auto-vectorizes the inner
+// dimension to FMA on any target (portable scalar code on targets without
+// SIMD). Blocking follows the classic Goto/BLIS scheme: KC×NR slivers of B
+// stream from L1, MC×KC panels of A sit in L2, NC bounds the packed-B
+// footprint.
+//
+// Determinism: for a fixed (shape, mask) the floating-point accumulation
+// order per C element is a function of the blocking constants only — k is
+// swept in ascending KC blocks by every thread, and threads partition rows
+// of C, which they own exclusively. Results are therefore bit-identical for
+// every thread count, which the determinism suite pins.
+#pragma once
+
+#include <cstdint>
+
+namespace fedcleanse::tensor {
+
+// Register tile and cache-blocking constants (see DESIGN.md §8). With AVX2
+// (8-wide) the 4×16 tile holds 8 accumulator vectors plus 4 broadcasts and
+// 2 B vectors — 14 of the 16 architectural YMM registers, the largest shape
+// GCC allocates without spilling accumulators to the stack.
+inline constexpr int kGemmMR = 4;
+inline constexpr int kGemmNR = 16;
+inline constexpr int kGemmMC = 96;    // A panel rows:   MC·KC floats ≈ 96 KiB (L2)
+inline constexpr int kGemmKC = 256;   // shared k depth: KC·NR floats ≈ 16 KiB (L1)
+inline constexpr int kGemmNC = 2048;  // packed-B bound: KC·NC floats ≈ 2 MiB
+
+// Optional sparsity structure, used by the pruning defense: a pruned conv
+// channel is a zero row of the weight matrix, and skipping it explicitly
+// preserves the speed the legacy kernel got from its `a == 0` test.
+struct GemmMask {
+  // [m] entries; rows of C whose entry is 0 are neither computed nor written
+  // (the caller must pre-initialize them — typically to exact zeros).
+  const std::uint8_t* row_active = nullptr;
+  // [k] entries; contraction indices whose entry is 0 are dropped in the pack
+  // step. Skipping is value-preserving when the corresponding A column or B
+  // row is exactly zero (pruned weights are), since x + (±0·y) == x for the
+  // accumulators this kernel produces.
+  const std::uint8_t* k_active = nullptr;
+};
+
+// C is row-major with leading dimension ldc; A/B are row-major as *stored*
+// (lda/ldb are the stored row strides; the transpose flags select how they
+// are read). accumulate=false overwrites C, accumulate=true adds to it.
+// Rows ≥ m·n·k of work are spread over the ambient thread pool in MC-row
+// blocks; see the determinism note above.
+void gemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a, int lda,
+          const float* b, int ldb, float* c, int ldc, bool accumulate,
+          const GemmMask& mask = {});
+
+// The legacy scalar i-k-j kernel (with its `aik == 0` skip), kept as the
+// correctness oracle for tests and the baseline for bench comparisons.
+void gemm_reference(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
+                    int lda, const float* b, int ldb, float* c, int ldc, bool accumulate);
+
+}  // namespace fedcleanse::tensor

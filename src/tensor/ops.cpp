@@ -5,16 +5,10 @@
 #include <limits>
 
 #include "common/threadpool.h"
+#include "tensor/gemm.h"
+#include "tensor/workspace.h"
 
 namespace fedcleanse::tensor {
-
-namespace {
-
-// Row blocks of a matmul only pay for dispatch above this many
-// multiply-accumulates (m·k·n); smaller products stay inline.
-constexpr std::size_t kMatmulParallelFlops = 1u << 20;
-
-}  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) { return matmul_t(a, false, b, false); }
 
@@ -28,39 +22,8 @@ Tensor matmul_t(const Tensor& a, bool transpose_a, const Tensor& b, bool transpo
                           b.shape().to_string());
 
   Tensor c(Shape{m, n});
-  const auto av = a.data();
-  const auto bv = b.data();
-  auto cv = c.data();
-  const int a_cols = a.shape()[1];
-  const int b_cols = b.shape()[1];
-  // i-k-j loop order keeps the innermost access contiguous for the common
-  // (no-transpose) case. Each output row depends only on its own inputs, so
-  // rows can be computed on any thread without changing a single float.
-  auto compute_row = [&](std::size_t row) {
-    const int i = static_cast<int>(row);
-    for (int kk = 0; kk < k; ++kk) {
-      const float aik = transpose_a ? av[static_cast<std::size_t>(kk) * a_cols + i]
-                                    : av[static_cast<std::size_t>(i) * a_cols + kk];
-      if (aik == 0.0f) continue;
-      if (!transpose_b) {
-        const float* brow = &bv[static_cast<std::size_t>(kk) * b_cols];
-        float* crow = &cv[static_cast<std::size_t>(i) * n];
-        for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
-      } else {
-        float* crow = &cv[static_cast<std::size_t>(i) * n];
-        for (int j = 0; j < n; ++j) {
-          crow[j] += aik * bv[static_cast<std::size_t>(j) * b_cols + kk];
-        }
-      }
-    }
-  };
-  const std::size_t flops = static_cast<std::size_t>(m) * static_cast<std::size_t>(k) *
-                            static_cast<std::size_t>(n);
-  if (flops >= kMatmulParallelFlops) {
-    common::ambient_parallel_for(static_cast<std::size_t>(m), compute_row);
-  } else {
-    for (int i = 0; i < m; ++i) compute_row(static_cast<std::size_t>(i));
-  }
+  gemm(transpose_a, transpose_b, m, n, k, a.data().data(), a.shape()[1], b.data().data(),
+       b.shape()[1], c.data().data(), n, /*accumulate=*/false);
   return c;
 }
 
@@ -123,7 +86,8 @@ ConvDims conv_dims(const Tensor& input, const Tensor& weight, const Conv2dSpec& 
 }  // namespace
 
 Tensor conv2d_forward_cached(const Tensor& input, const Tensor& weight, const Tensor& bias,
-                             const Conv2dSpec& spec, std::vector<float>& col_cache) {
+                             const Conv2dSpec& spec, std::vector<float>& col_cache,
+                             const std::uint8_t* channel_active) {
   const ConvDims d = conv_dims(input, weight, spec);
   FC_REQUIRE(bias.shape().rank() == 1 && bias.shape()[0] == d.cout, "conv2d bias mismatch");
   col_cache.resize(static_cast<std::size_t>(d.n) * d.kdim * d.pdim);
@@ -133,6 +97,7 @@ Tensor conv2d_forward_cached(const Tensor& input, const Tensor& weight, const Te
   const auto wt = weight.data();
   const auto bs = bias.data();
   auto ov = out.data();
+  const GemmMask mask{channel_active, nullptr};
 
   // Each sample owns a disjoint slice of the column cache and of the output,
   // so the batch dimension parallelizes without reordering any float op.
@@ -141,18 +106,16 @@ Tensor conv2d_forward_cached(const Tensor& input, const Tensor& weight, const Te
     float* col = &col_cache[static_cast<std::size_t>(b) * d.kdim * d.pdim];
     im2col(&in[static_cast<std::size_t>(b) * d.cin * d.h * d.w], d.cin, d.h, d.w, d.kh, d.kw,
            spec, d.ho, d.wo, col);
-    // GEMM: out[oc, :] = weight[oc, :] · col
+    // GEMM: out[oc, :] = bias[oc] + weight[oc, :] · col; pruned channels are
+    // skipped by the row mask and stay at the exact zero written here.
+    float* osample = &ov[static_cast<std::size_t>(b) * d.cout * d.pdim];
     for (int oc = 0; oc < d.cout; ++oc) {
-      float* orow = &ov[(static_cast<std::size_t>(b) * d.cout + oc) * d.pdim];
-      std::fill(orow, orow + d.pdim, bs[oc]);
-      const float* wrow = &wt[static_cast<std::size_t>(oc) * d.kdim];
-      for (int k = 0; k < d.kdim; ++k) {
-        const float wk = wrow[k];
-        if (wk == 0.0f) continue;
-        const float* crow = &col[static_cast<std::size_t>(k) * d.pdim];
-        for (int p = 0; p < d.pdim; ++p) orow[p] += wk * crow[p];
-      }
+      const bool active = channel_active == nullptr || channel_active[oc] != 0;
+      std::fill_n(osample + static_cast<std::size_t>(oc) * d.pdim, d.pdim,
+                  active ? bs[oc] : 0.0f);
     }
+    gemm(false, false, d.cout, d.pdim, d.kdim, wt.data(), d.kdim, col, d.pdim, osample,
+         d.pdim, /*accumulate=*/true, mask);
   });
   return out;
 }
@@ -163,14 +126,15 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight, const Tensor& b
   return conv2d_forward_cached(input, weight, bias, spec, scratch);
 }
 
-Conv2dGrads conv2d_backward_cached(const Tensor& input, const Tensor& weight,
-                                   const Tensor& grad_output, const Conv2dSpec& spec,
-                                   const std::vector<float>& col_cache) {
+namespace {
+
+Conv2dGrads conv2d_backward_impl(const Tensor& input, const Tensor& weight,
+                                 const Tensor& grad_output, const Conv2dSpec& spec,
+                                 const float* col_cache,
+                                 const std::uint8_t* channel_active) {
   const ConvDims d = conv_dims(input, weight, spec);
   FC_REQUIRE(grad_output.shape()[0] == d.n && grad_output.shape()[1] == d.cout,
              "conv2d_backward grad_output shape mismatch");
-  FC_REQUIRE(col_cache.size() == static_cast<std::size_t>(d.n) * d.kdim * d.pdim,
-             "conv2d_backward column cache has the wrong size");
 
   Conv2dGrads g{Tensor(input.shape()), Tensor(weight.shape()), Tensor(Shape{d.cout})};
   const auto wt = weight.data();
@@ -181,43 +145,51 @@ Conv2dGrads conv2d_backward_cached(const Tensor& input, const Tensor& weight,
 
   // grad_input is disjoint per sample, but grad_weight/grad_bias are sums
   // over the batch. Each sample writes its contribution into its own slot of
-  // these scratch arrays; a serial in-order reduction below then produces the
-  // exact float sequence of the serial kernel, independent of thread count.
+  // a workspace scratch area; a serial in-order reduction below then produces
+  // the exact float sequence of the serial kernel, independent of thread
+  // count. The scratch lives on the calling thread's arena and is released
+  // (for byte-identical reuse next call) before returning.
   const std::size_t wslot = static_cast<std::size_t>(d.cout) * d.kdim;
-  std::vector<float> gw_partial(static_cast<std::size_t>(d.n) * wslot);
-  std::vector<float> gb_partial(static_cast<std::size_t>(d.n) * d.cout);
+  Workspace& cws = Workspace::tls();
+  const Workspace::Mark outer = cws.mark();
+  float* gw_partial = cws.alloc_floats(static_cast<std::size_t>(d.n) * wslot);
+  float* gb_partial = cws.alloc_floats(static_cast<std::size_t>(d.n) * d.cout);
+  const GemmMask row_mask{channel_active, nullptr};
+  const GemmMask contraction_mask{nullptr, channel_active};
 
   common::ambient_parallel_for(static_cast<std::size_t>(d.n), [&](std::size_t sample) {
     const int b = static_cast<int>(sample);
     const float* col = &col_cache[static_cast<std::size_t>(b) * d.kdim * d.pdim];
+    const float* gsample = &go[static_cast<std::size_t>(b) * d.cout * d.pdim];
     float* gwp = &gw_partial[static_cast<std::size_t>(b) * wslot];
     float* gbp = &gb_partial[static_cast<std::size_t>(b) * d.cout];
-    std::vector<float> gcol(static_cast<std::size_t>(d.kdim) * d.pdim, 0.0f);
+
     for (int oc = 0; oc < d.cout; ++oc) {
-      const float* grow = &go[(static_cast<std::size_t>(b) * d.cout + oc) * d.pdim];
-      float* gwrow = &gwp[static_cast<std::size_t>(oc) * d.kdim];
-      const float* wrow = &wt[static_cast<std::size_t>(oc) * d.kdim];
+      if (channel_active != nullptr && channel_active[oc] == 0) {
+        // Pruned channel: exact-zero gradient rows, skipped in the GEMMs.
+        gbp[oc] = 0.0f;
+        std::fill_n(gwp + static_cast<std::size_t>(oc) * d.kdim, d.kdim, 0.0f);
+        continue;
+      }
+      const float* grow = gsample + static_cast<std::size_t>(oc) * d.pdim;
       float gbacc = 0.0f;
       for (int p = 0; p < d.pdim; ++p) gbacc += grow[p];
       gbp[oc] = gbacc;
-      // Two separate vectorizable passes: gw[k] += <grow, col_k> and
-      // gcol_k += w_k · grow.
-      for (int k = 0; k < d.kdim; ++k) {
-        const float* crow = &col[static_cast<std::size_t>(k) * d.pdim];
-        float acc = 0.0f;
-        for (int p = 0; p < d.pdim; ++p) acc += grow[p] * crow[p];
-        gwrow[k] = acc;
-      }
-      for (int k = 0; k < d.kdim; ++k) {
-        const float wk = wrow[k];
-        if (wk == 0.0f) continue;
-        float* gcrow = &gcol[static_cast<std::size_t>(k) * d.pdim];
-        for (int p = 0; p < d.pdim; ++p) gcrow[p] += wk * grow[p];
-      }
     }
+    // gw[oc, k] = Σ_p grad[oc, p] · col[k, p]  (B read transposed).
+    gemm(false, true, d.cout, d.kdim, d.pdim, gsample, d.pdim, col, d.pdim, gwp, d.kdim,
+         /*accumulate=*/false, row_mask);
+
+    // gcol[k, p] = Σ_oc w[oc, k] · grad[oc, p]  (A read transposed; pruned
+    // channels drop out of the contraction).
+    Workspace& ws = Workspace::tls();
+    const Workspace::Mark smark = ws.mark();
+    float* gcol = ws.alloc_floats(static_cast<std::size_t>(d.kdim) * d.pdim);
+    gemm(true, false, d.kdim, d.pdim, d.cout, wt.data(), d.kdim, gsample, d.pdim, gcol,
+         d.pdim, /*accumulate=*/false, contraction_mask);
 
     // col2im scatter of gcol into grad_input.
-    const float* gcp = gcol.data();
+    const float* gcp = gcol;
     float* gimage = &gi[static_cast<std::size_t>(b) * d.cin * d.h * d.w];
     for (int ic = 0; ic < d.cin; ++ic) {
       float* plane = gimage + static_cast<std::size_t>(ic) * d.h * d.w;
@@ -239,6 +211,7 @@ Conv2dGrads conv2d_backward_cached(const Tensor& input, const Tensor& weight,
         }
       }
     }
+    ws.release(smark);
   });
 
   // Ordered reduction: batch order, never thread-completion order.
@@ -248,19 +221,37 @@ Conv2dGrads conv2d_backward_cached(const Tensor& input, const Tensor& weight,
     const float* gbp = &gb_partial[static_cast<std::size_t>(b) * d.cout];
     for (int oc = 0; oc < d.cout; ++oc) gb[oc] += gbp[oc];
   }
+  cws.release(outer);
   return g;
+}
+
+}  // namespace
+
+Conv2dGrads conv2d_backward_cached(const Tensor& input, const Tensor& weight,
+                                   const Tensor& grad_output, const Conv2dSpec& spec,
+                                   const std::vector<float>& col_cache,
+                                   const std::uint8_t* channel_active) {
+  const ConvDims d = conv_dims(input, weight, spec);
+  FC_REQUIRE(col_cache.size() == static_cast<std::size_t>(d.n) * d.kdim * d.pdim,
+             "conv2d_backward column cache has the wrong size");
+  return conv2d_backward_impl(input, weight, grad_output, spec, col_cache.data(),
+                              channel_active);
 }
 
 Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
                             const Tensor& grad_output, const Conv2dSpec& spec) {
   const ConvDims d = conv_dims(input, weight, spec);
-  std::vector<float> col(static_cast<std::size_t>(d.n) * d.kdim * d.pdim);
+  Workspace& ws = Workspace::tls();
+  const Workspace::Mark mk = ws.mark();
+  float* col = ws.alloc_floats(static_cast<std::size_t>(d.n) * d.kdim * d.pdim);
   const auto in = input.data();
   common::ambient_parallel_for(static_cast<std::size_t>(d.n), [&](std::size_t b) {
     im2col(&in[b * d.cin * d.h * d.w], d.cin, d.h, d.w, d.kh, d.kw, spec, d.ho, d.wo,
            &col[b * d.kdim * d.pdim]);
   });
-  return conv2d_backward_cached(input, weight, grad_output, spec, col);
+  Conv2dGrads g = conv2d_backward_impl(input, weight, grad_output, spec, col, nullptr);
+  ws.release(mk);
+  return g;
 }
 
 MaxPoolResult maxpool2d_forward(const Tensor& input, int kernel, int stride) {

@@ -43,12 +43,17 @@ void im2col(const float* image, int cin, int h, int w, int kh, int kw,
             const Conv2dSpec& spec, int ho, int wo, float* col);
 
 // Variants that reuse a caller-provided column cache holding the unfolded
-// batch ([N][kdim·pdim], concatenated).
+// batch ([N][kdim·pdim], concatenated). `channel_active` (optional, [Cout])
+// marks pruned output channels: inactive channels are skipped in the packed
+// GEMMs — forward writes exact zeros for them, backward produces exact-zero
+// grad_weight/grad_bias rows and drops them from the grad_input contraction.
 Tensor conv2d_forward_cached(const Tensor& input, const Tensor& weight, const Tensor& bias,
-                             const Conv2dSpec& spec, std::vector<float>& col_cache);
+                             const Conv2dSpec& spec, std::vector<float>& col_cache,
+                             const std::uint8_t* channel_active = nullptr);
 Conv2dGrads conv2d_backward_cached(const Tensor& input, const Tensor& weight,
                                    const Tensor& grad_output, const Conv2dSpec& spec,
-                                   const std::vector<float>& col_cache);
+                                   const std::vector<float>& col_cache,
+                                   const std::uint8_t* channel_active = nullptr);
 
 struct MaxPoolResult {
   Tensor output;

@@ -1,0 +1,86 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fedcleanse::tensor {
+
+namespace {
+
+constexpr std::size_t kMinChunkBytes = 256 * 1024;
+
+inline std::size_t round_up(std::size_t bytes, std::size_t align) {
+  return (bytes + align - 1) / align * align;
+}
+
+}  // namespace
+
+Workspace::Chunk::Chunk(std::size_t bytes) {
+  raw = std::make_unique<std::byte[]>(bytes + kAlign - 1);
+  const auto addr = reinterpret_cast<std::uintptr_t>(raw.get());
+  base = raw.get() + (round_up(addr, kAlign) - addr);
+  cap = bytes;
+}
+
+void* Workspace::alloc_bytes(std::size_t bytes) {
+  bytes = round_up(std::max<std::size_t>(bytes, 1), kAlign);
+  // Find a chunk with room, starting at the active one. Tail space skipped
+  // here is stranded until release(); in_use_ counts only live allocations,
+  // which is exactly what a single coalesced chunk would need.
+  while (active_ < chunks_.size() && chunks_[active_].cap - chunks_[active_].used < bytes) {
+    ++active_;
+  }
+  if (active_ == chunks_.size()) {
+    chunks_.emplace_back(std::max(bytes, kMinChunkBytes));
+    ++chunk_allocs_;
+  }
+  Chunk& c = chunks_[active_];
+  void* p = c.base + c.used;
+  c.used += bytes;
+  in_use_ += bytes;
+  high_water_ = std::max(high_water_, in_use_);
+  return p;
+}
+
+float* Workspace::alloc_floats(std::size_t n) {
+  return static_cast<float*>(alloc_bytes(n * sizeof(float)));
+}
+
+void Workspace::release(const Mark& m) {
+  FC_REQUIRE(m.chunk <= active_ && m.chunk <= chunks_.size(),
+             "Workspace::release with a mark from a different epoch");
+  for (std::size_t i = chunks_.size(); i-- > m.chunk + 1;) {
+    in_use_ -= chunks_[i].used;
+    chunks_[i].used = 0;
+  }
+  if (m.chunk < chunks_.size()) {
+    in_use_ -= chunks_[m.chunk].used - m.used;
+    chunks_[m.chunk].used = m.used;
+  }
+  active_ = m.chunk;
+  if (in_use_ == 0 && chunks_.size() > 1) coalesce();
+}
+
+void Workspace::coalesce() {
+  // Fully released but fragmented: replace every chunk with one sized to the
+  // high-water mark, so the next iteration's allocation pattern fits without
+  // growing. This is the last heap allocation the arena performs.
+  chunks_.clear();
+  chunks_.emplace_back(std::max(round_up(high_water_, kAlign), kMinChunkBytes));
+  ++chunk_allocs_;
+  active_ = 0;
+}
+
+std::size_t Workspace::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const auto& c : chunks_) total += c.cap;
+  return total;
+}
+
+Workspace& Workspace::tls() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace fedcleanse::tensor

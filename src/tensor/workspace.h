@@ -1,0 +1,76 @@
+// Per-thread scratch arena for the tensor kernels.
+//
+// A Workspace is a chunked bump allocator with strict stack discipline:
+// callers take a Mark, allocate any number of aligned buffers, and release
+// back to the mark when done. Nested mark/release pairs (conv calls gemm,
+// gemm packs panels) compose naturally. Nothing is freed on release — the
+// memory is reused verbatim by the next identical allocation pattern, so a
+// steady-state training loop performs zero heap allocations through the
+// arena after its first iteration.
+//
+// Each thread (main or pool worker) owns its own arena via Workspace::tls();
+// buffers therefore never cross threads unless the caller explicitly hands a
+// pointer to a parallel_for body (allowed: disjoint writes only, and the
+// allocating frame outlives the parallel region).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace fedcleanse::tensor {
+
+class Workspace {
+ public:
+  // All allocations are aligned to kAlign bytes (cache line / AVX-512 lane).
+  static constexpr std::size_t kAlign = 64;
+
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t used = 0;
+  };
+
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // Aligned, uninitialized storage for `n` floats. Pointers stay valid until
+  // the enclosing mark is released (growth appends chunks, never moves them).
+  float* alloc_floats(std::size_t n);
+  // Aligned raw storage, for index buffers and the like.
+  void* alloc_bytes(std::size_t bytes);
+
+  Mark mark() const { return Mark{active_, active_ < chunks_.size() ? chunks_[active_].used : 0}; }
+  void release(const Mark& m);
+
+  // Monotonic count of chunks ever malloc'd — the observable for the
+  // "allocation-free after warmup" property tests.
+  std::size_t chunk_allocs() const { return chunk_allocs_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+  std::size_t high_water_bytes() const { return high_water_; }
+  std::size_t capacity_bytes() const;
+
+  // The calling thread's arena (pool workers each get their own).
+  static Workspace& tls();
+
+ private:
+  struct Chunk {
+    explicit Chunk(std::size_t bytes);
+    std::unique_ptr<std::byte[]> raw;  // over-allocated for manual alignment
+    std::byte* base = nullptr;         // kAlign-aligned start
+    std::size_t cap = 0;
+    std::size_t used = 0;
+  };
+
+  // Merge a multi-chunk arena into one chunk sized to the high-water mark.
+  // Only legal (and only called) when fully released.
+  void coalesce();
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;       // chunk currently being bumped
+  std::size_t in_use_ = 0;       // total bytes currently allocated
+  std::size_t high_water_ = 0;   // max of in_use_ over the arena's lifetime
+  std::size_t chunk_allocs_ = 0;
+};
+
+}  // namespace fedcleanse::tensor

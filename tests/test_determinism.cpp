@@ -152,6 +152,33 @@ TEST(Determinism, MatmulParallelMatchesSerialExactly) {
   }
 }
 
+TEST(Determinism, PackedGemmTransposeVariantsAreThreadCountInvariant) {
+  // The packed kernel parallelizes over MC row blocks; every transpose
+  // variant must produce the same bits at any pool size because each C
+  // element's accumulation order is fixed by the blocking constants alone.
+  common::Rng rng(21);
+  auto x = tensor::Tensor::randn({160, 128}, rng);   // m·k·n crosses 2^20
+  auto y = tensor::Tensor::randn({128, 160}, rng);
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      const auto& a = ta ? y : x;
+      const auto& b = tb ? x : y;
+      auto serial = [&] {
+        AmbientPoolGuard serial_guard(nullptr);
+        return tensor::matmul_t(a, ta, b, tb);
+      }();
+      common::ThreadPool pool(4);
+      AmbientPoolGuard guard(&pool);
+      auto threaded = tensor::matmul_t(a, ta, b, tb);
+      ASSERT_EQ(threaded.size(), serial.size());
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(threaded.data()[i], serial.data()[i])
+            << "ta=" << ta << " tb=" << tb << " element " << i;
+      }
+    }
+  }
+}
+
 TEST(Determinism, EnvVarOverridesConfiguredThreads) {
   ASSERT_EQ(setenv("FEDCLEANSE_THREADS", "3", 1), 0);
   EXPECT_EQ(common::resolve_n_threads(8), 3u);

@@ -1,0 +1,276 @@
+// The packed GEMM against the legacy scalar oracle, across every transpose
+// variant and ragged shapes straddling the register-tile and cache-block
+// boundaries — plus the workspace arena invariants the kernel leans on
+// (alignment, stack discipline, allocation-freedom after warmup).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/threadpool.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/workspace.h"
+
+using namespace fedcleanse;
+using tensor::GemmMask;
+using tensor::Workspace;
+
+namespace {
+
+class AmbientPoolGuard {
+ public:
+  explicit AmbientPoolGuard(common::ThreadPool* pool)
+      : previous_(common::ambient_pool()) {
+    common::set_ambient_pool(pool);
+  }
+  ~AmbientPoolGuard() { common::set_ambient_pool(previous_); }
+
+ private:
+  common::ThreadPool* previous_;
+};
+
+std::vector<float> random_matrix(int rows, int cols, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<float> m(static_cast<std::size_t>(rows) * cols);
+  for (auto& v : m) v = static_cast<float>(rng.normal());
+  return m;
+}
+
+// Run packed and reference kernels on the same random operands and compare.
+// The packed kernel sums each C element in KC-blocked order, the reference
+// in flat order, so equality is to rounding, not bitwise.
+void expect_matches_reference(bool ta, bool tb, int m, int n, int k,
+                              bool accumulate) {
+  const int lda = ta ? m : k;
+  const int ldb = tb ? k : n;
+  auto a = random_matrix(ta ? k : m, lda, 11 * m + 13 * n + 17 * k + ta);
+  auto b = random_matrix(tb ? n : k, ldb, 23 * m + 29 * n + 31 * k + tb);
+  auto c = random_matrix(m, n, 41);  // nonzero so accumulate=true is exercised
+  auto c_ref = c;
+  if (!accumulate) {
+    // Overwrite mode must not depend on prior C contents; make them differ.
+    for (auto& v : c) v += 3.0f;
+  }
+
+  tensor::gemm(ta, tb, m, n, k, a.data(), lda, b.data(), ldb, c.data(), n, accumulate);
+  tensor::gemm_reference(ta, tb, m, n, k, a.data(), lda, b.data(), ldb, c_ref.data(), n,
+                         accumulate);
+
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const float ref = c_ref[static_cast<std::size_t>(i) * n + j];
+      const float got = c[static_cast<std::size_t>(i) * n + j];
+      const float tol = 1e-3f * std::max(1.0f, std::abs(ref));
+      ASSERT_NEAR(got, ref, tol) << "ta=" << ta << " tb=" << tb << " m=" << m
+                                 << " n=" << n << " k=" << k << " acc=" << accumulate
+                                 << " at (" << i << "," << j << ")";
+    }
+  }
+}
+
+}  // namespace
+
+TEST(Gemm, AllTransposeVariantsAcrossTileBoundaries) {
+  // Shapes straddling the register tile (MR=4, NR=16) and ragged singletons.
+  const int ms[] = {1, tensor::kGemmMR - 1, tensor::kGemmMR, tensor::kGemmMR + 1, 17};
+  const int ns[] = {1, tensor::kGemmNR - 1, tensor::kGemmNR, tensor::kGemmNR + 1, 33};
+  const int ks[] = {1, 7, 64};
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      for (int m : ms) {
+        for (int n : ns) {
+          for (int k : ks) {
+            expect_matches_reference(ta, tb, m, n, k, (m + n + k) % 2 == 0);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Gemm, KDepthStraddlesCacheBlock) {
+  // k around KC exercises the multi-block k sweep (and its accumulate=true
+  // continuation blocks) in both transpose orientations.
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      for (int k : {tensor::kGemmKC - 1, tensor::kGemmKC, tensor::kGemmKC + 1}) {
+        expect_matches_reference(ta, tb, 9, 21, k, false);
+      }
+    }
+  }
+}
+
+TEST(Gemm, RowsStraddleCacheBlock) {
+  // m around MC exercises the multi-row-block path (the one the pool
+  // parallelizes) while staying below the parallel threshold here.
+  for (int m : {tensor::kGemmMC - 1, tensor::kGemmMC, tensor::kGemmMC + 1}) {
+    expect_matches_reference(false, false, m, 19, 33, true);
+  }
+}
+
+TEST(Gemm, RowMaskSkipsInactiveRowsEntirely) {
+  const int m = 11, n = 21, k = 18;
+  auto a = random_matrix(m, k, 3);
+  auto b = random_matrix(k, n, 4);
+  std::vector<std::uint8_t> active(m, 1);
+  active[0] = active[4] = active[10] = 0;
+
+  const float sentinel = 7.5f;
+  std::vector<float> c(static_cast<std::size_t>(m) * n, sentinel);
+  tensor::gemm(false, false, m, n, k, a.data(), k, b.data(), n, c.data(), n,
+               /*accumulate=*/false, GemmMask{active.data(), nullptr});
+
+  std::vector<float> ref(static_cast<std::size_t>(m) * n, 0.0f);
+  tensor::gemm_reference(false, false, m, n, k, a.data(), k, b.data(), n, ref.data(), n,
+                         false);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const std::size_t at = static_cast<std::size_t>(i) * n + j;
+      if (active[i]) {
+        EXPECT_NEAR(c[at], ref[at], 1e-3f * std::max(1.0f, std::abs(ref[at])));
+      } else {
+        // Inactive rows are never written — the caller's contents survive.
+        EXPECT_EQ(c[at], sentinel) << "row " << i << " col " << j;
+      }
+    }
+  }
+}
+
+TEST(Gemm, KMaskDropsZeroContractionIndices) {
+  // A k mask is value-preserving when the masked B rows are exact zeros
+  // (pruned weights are): dropping x + 0·y terms changes nothing.
+  const int m = 9, n = 33, k = 24;
+  auto a = random_matrix(m, k, 5);
+  auto b = random_matrix(k, n, 6);
+  std::vector<std::uint8_t> k_active(k, 1);
+  for (int p : {0, 3, 7, 23}) {
+    k_active[p] = 0;
+    for (int j = 0; j < n; ++j) b[static_cast<std::size_t>(p) * n + j] = 0.0f;
+  }
+
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  std::vector<float> ref = c;
+  tensor::gemm(false, false, m, n, k, a.data(), k, b.data(), n, c.data(), n, false,
+               GemmMask{nullptr, k_active.data()});
+  tensor::gemm_reference(false, false, m, n, k, a.data(), k, b.data(), n, ref.data(), n,
+                         false);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-3f * std::max(1.0f, std::abs(ref[i])));
+  }
+}
+
+TEST(Gemm, AllInactiveKMaskZeroesOutputInOverwriteMode) {
+  const int m = 5, n = 6, k = 4;
+  auto a = random_matrix(m, k, 8);
+  auto b = random_matrix(k, n, 9);
+  std::vector<std::uint8_t> k_active(k, 0);
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 123.0f);
+  tensor::gemm(false, false, m, n, k, a.data(), k, b.data(), n, c.data(), n, false,
+               GemmMask{nullptr, k_active.data()});
+  for (float v : c) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Gemm, ThreadCountDoesNotChangeAnyBit) {
+  // Big enough that the pool path engages (m·k·n ≥ 2^20 and multiple MC row
+  // blocks); every transpose variant must be bit-identical serial vs pooled.
+  const int m = 205, n = 133, k = 311;
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      const int lda = ta ? m : k;
+      const int ldb = tb ? k : n;
+      auto a = random_matrix(ta ? k : m, lda, 100 + ta);
+      auto b = random_matrix(tb ? n : k, ldb, 200 + tb);
+      std::vector<float> c_serial(static_cast<std::size_t>(m) * n, 0.0f);
+      std::vector<float> c_pooled = c_serial;
+      {
+        AmbientPoolGuard guard(nullptr);
+        tensor::gemm(ta, tb, m, n, k, a.data(), lda, b.data(), ldb, c_serial.data(), n,
+                     false);
+      }
+      common::ThreadPool pool(4);
+      AmbientPoolGuard guard(&pool);
+      tensor::gemm(ta, tb, m, n, k, a.data(), lda, b.data(), ldb, c_pooled.data(), n,
+                   false);
+      for (std::size_t i = 0; i < c_serial.size(); ++i) {
+        ASSERT_EQ(c_pooled[i], c_serial[i])
+            << "ta=" << ta << " tb=" << tb << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(Workspace, AllocationsAreAligned) {
+  Workspace ws;
+  const auto m = ws.mark();
+  for (std::size_t n : {1u, 3u, 17u, 1000u, 100000u}) {
+    float* p = ws.alloc_floats(n);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % Workspace::kAlign, 0u);
+    void* q = ws.alloc_bytes(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % Workspace::kAlign, 0u);
+  }
+  ws.release(m);
+}
+
+TEST(Workspace, ReleaseReusesMemoryVerbatim) {
+  Workspace ws;
+  const auto m = ws.mark();
+  float* first = ws.alloc_floats(512);
+  ws.release(m);
+  float* again = ws.alloc_floats(512);
+  EXPECT_EQ(again, first);
+  ws.release(m);
+}
+
+TEST(Workspace, NestedMarksComposeAndCoalesce) {
+  Workspace ws;
+  const auto outer = ws.mark();
+  ws.alloc_floats(1 << 16);  // 256 KiB — fills the first chunk
+  const auto inner = ws.mark();
+  ws.alloc_floats(1 << 17);  // forces a second chunk
+  EXPECT_GE(ws.chunk_count(), 2u);
+  ws.release(inner);
+  ws.release(outer);
+  // Fully released: the arena folds into one chunk sized to the high-water
+  // mark, so the steady state is a single allocation.
+  ws.alloc_floats(1);
+  EXPECT_EQ(ws.chunk_count(), 1u);
+  EXPECT_GE(ws.capacity_bytes(), ws.high_water_bytes());
+}
+
+TEST(Workspace, SteadyStateIsAllocationFree) {
+  // The tentpole property: after a warmup pass sizes the arena, repeated
+  // forward/backward through the conv kernels never mallocs again (observed
+  // via the monotonic chunk-allocation counter of this thread's arena).
+  AmbientPoolGuard guard(nullptr);  // keep all work on this thread's arena
+  common::Rng rng(12);
+  auto x = tensor::Tensor::randn({4, 3, 10, 10}, rng);
+  auto w = tensor::Tensor::randn({8, 3, 3, 3}, rng, 0.0f, 0.2f);
+  auto b = tensor::Tensor::randn({8}, rng);
+  tensor::Conv2dSpec spec{1, 1};
+  std::vector<float> cache;
+
+  auto step = [&] {
+    auto y = tensor::conv2d_forward_cached(x, w, b, spec, cache);
+    auto g = tensor::conv2d_backward_cached(x, w, y, spec, cache);
+    (void)g;
+  };
+  step();  // warmup: grows the arena to its high-water mark
+  const std::size_t after_warmup = Workspace::tls().chunk_allocs();
+  for (int i = 0; i < 10; ++i) step();
+  EXPECT_EQ(Workspace::tls().chunk_allocs(), after_warmup)
+      << "steady-state conv forward/backward allocated new arena chunks";
+}
+
+TEST(Workspace, MatmulSteadyStateIsAllocationFree) {
+  AmbientPoolGuard guard(nullptr);
+  common::Rng rng(13);
+  auto a = tensor::Tensor::randn({64, 48}, rng);
+  auto b = tensor::Tensor::randn({48, 32}, rng);
+  auto c = tensor::matmul(a, b);  // warmup
+  const std::size_t after_warmup = Workspace::tls().chunk_allocs();
+  for (int i = 0; i < 10; ++i) c = tensor::matmul(a, b);
+  EXPECT_EQ(Workspace::tls().chunk_allocs(), after_warmup);
+}

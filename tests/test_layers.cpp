@@ -93,6 +93,94 @@ TEST(Conv2dLayer, PrunedChannelOutputsZero) {
   }
 }
 
+TEST(Conv2dLayer, PrunedChannelGradientsStayExactlyZero) {
+  // The packed GEMM skips pruned channels via its row/k masks rather than
+  // zeroing afterwards; outputs and every gradient slot of a pruned channel
+  // must still be exact (bitwise) zeros, even when the incoming grad_out
+  // carries garbage in the pruned channel.
+  Rng rng(6);
+  // 10 channels: prunes land mid register-strip and at the strip edge.
+  Conv2d conv(3, 10, 3, rng, 1, 1);
+  conv.set_unit_active(2, false);
+  conv.set_unit_active(9, false);
+  auto x = tensor::Tensor::randn(tensor::Shape{2, 3, 6, 6}, rng);
+  auto y = conv.forward(x);
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < 6; ++i) {
+      for (int j = 0; j < 6; ++j) {
+        EXPECT_EQ(y.at(s, 2, i, j), 0.0f);
+        EXPECT_EQ(y.at(s, 9, i, j), 0.0f);
+      }
+    }
+  }
+
+  auto gy = tensor::Tensor::randn(y.shape(), rng);
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < 6; ++i) {
+      for (int j = 0; j < 6; ++j) gy.at(s, 2, i, j) = 123.0f;  // must be ignored
+    }
+  }
+  auto gx = conv.backward(gy);
+  auto params = conv.params();
+  for (int oc : {2, 9}) {
+    for (int ic = 0; ic < 3; ++ic) {
+      for (int u = 0; u < 3; ++u) {
+        for (int v = 0; v < 3; ++v) {
+          EXPECT_EQ(params[0].grad->at(oc, ic, u, v), 0.0f)
+              << "grad_weight channel " << oc;
+        }
+      }
+    }
+    EXPECT_EQ(params[1].grad->at(oc), 0.0f) << "grad_bias channel " << oc;
+  }
+
+  // grad_input must match a conv where the pruned channels' grad_out is
+  // explicitly zeroed — the mask drops exactly those contributions.
+  Conv2d twin(3, 10, 3, rng, 1, 1);
+  twin.weight() = conv.weight();
+  twin.bias() = conv.bias();
+  twin.forward(x);
+  auto gy_zeroed = gy;
+  for (int s = 0; s < 2; ++s) {
+    for (int oc : {2, 9}) {
+      for (int i = 0; i < 6; ++i) {
+        for (int j = 0; j < 6; ++j) gy_zeroed.at(s, oc, i, j) = 0.0f;
+      }
+    }
+  }
+  auto gx_twin = twin.backward(gy_zeroed);
+  ASSERT_EQ(gx.size(), gx_twin.size());
+  for (std::size_t i = 0; i < gx.size(); ++i) {
+    EXPECT_EQ(gx.data()[i], gx_twin.data()[i]) << "grad_input element " << i;
+  }
+}
+
+TEST(LinearLayer, PrunedUnitIgnoresGarbageUpstreamGradient) {
+  Rng rng(7);
+  Linear linear(5, 4, rng);
+  linear.set_unit_active(1, false);
+  tensor::Tensor x(tensor::Shape{3, 5});
+  for (std::size_t i = 0; i < x.size(); ++i) x.data()[i] = 0.1f * float(i);
+  linear.forward(x);
+  auto gy = tensor::Tensor::randn(tensor::Shape{3, 4}, rng);
+  for (int s = 0; s < 3; ++s) gy.at(s, 1) = 999.0f;  // pruned row: must be ignored
+  auto gx = linear.backward(gy);
+  auto params = linear.params();
+  for (int j = 0; j < 5; ++j) EXPECT_EQ(params[0].grad->at(1, j), 0.0f);
+  EXPECT_EQ(params[1].grad->at(1), 0.0f);
+  // grad_input drops the pruned unit from its contraction: same as zeroing.
+  Linear twin(5, 4, rng);
+  twin.weight() = linear.weight();
+  twin.bias() = linear.bias();
+  twin.forward(x);
+  auto gy_zeroed = gy;
+  for (int s = 0; s < 3; ++s) gy_zeroed.at(s, 1) = 0.0f;
+  auto gx_twin = twin.backward(gy_zeroed);
+  for (std::size_t i = 0; i < gx.size(); ++i) {
+    EXPECT_EQ(gx.data()[i], gx_twin.data()[i]) << "grad_input element " << i;
+  }
+}
+
 TEST(Conv2dLayer, ActiveWeightsExcludePrunedChannels) {
   Rng rng(3);
   Conv2d conv(2, 3, 3, rng);
