@@ -15,7 +15,7 @@
 using namespace fedcleanse;
 
 int main() {
-  common::init_log_level_from_env();
+  bench::init_env();
   std::printf("Ablation — adaptive attacks vs the full pipeline (scale=%.2f)\n\n",
               bench::scale());
   std::printf("attacker mode      | train TA  AA | FP TA    AA | full TA  AA\n");

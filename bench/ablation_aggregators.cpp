@@ -9,7 +9,7 @@
 using namespace fedcleanse;
 
 int main() {
-  common::init_log_level_from_env();
+  bench::init_env();
   std::printf("Ablation — robust aggregation vs the model-replacement backdoor (scale=%.2f)\n\n",
               bench::scale());
   std::printf("aggregator     |  TA     AA\n");

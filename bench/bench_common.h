@@ -19,8 +19,18 @@
 #include "defense/pipeline.h"
 #include "fl/metrics.h"
 #include "fl/simulation.h"
+#include "obs/trace.h"
 
 namespace fedcleanse::bench {
+
+// Common bench setup: log level from FEDCLEANSE_LOG, telemetry from
+// FEDCLEANSE_TRACE / FEDCLEANSE_METRICS. When a trace was requested it is
+// flushed at process exit so benches need no explicit teardown.
+inline void init_env() {
+  common::init_log_level_from_env();
+  obs::init_from_env();
+  if (obs::tracing_enabled()) std::atexit([] { obs::flush_trace(); });
+}
 
 inline double scale() {
   if (const char* env = std::getenv("FEDCLEANSE_SCALE")) {

@@ -9,7 +9,7 @@
 using namespace fedcleanse;
 
 int main() {
-  common::init_log_level_from_env();
+  bench::init_env();
   std::printf("Figure 10 — last-conv L2 regularization during training (scale=%.2f)\n\n",
               bench::scale());
   for (double lambda : {0.0, 0.01, 0.05, 0.2}) {

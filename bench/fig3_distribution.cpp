@@ -8,7 +8,7 @@
 using namespace fedcleanse;
 
 int main() {
-  common::init_log_level_from_env();
+  bench::init_env();
   std::printf("Figure 3 — training under K-label non-IID distributions (scale=%.2f)\n\n",
               bench::scale());
   for (int k : {3, 5, 7}) {

@@ -10,7 +10,7 @@
 using namespace fedcleanse;
 
 int main() {
-  common::init_log_level_from_env();
+  bench::init_env();
   std::printf("Figure 5 — pruning curves: TA/AA vs #neurons pruned (scale=%.2f)\n\n",
               bench::scale());
   for (int target : {0, 2}) {

@@ -10,7 +10,7 @@ using namespace fedcleanse;
 int main(int argc, char** argv) {
   const double gamma_override = argc > 1 ? std::strtod(argv[1], nullptr) : 0.0;
   const double wd = argc > 2 ? std::strtod(argv[2], nullptr) : 0.0;
-  common::init_log_level_from_env();
+  bench::init_env();
   std::printf("Figure 6 — adjusting extreme weights vs. threshold Δ\n");
   std::printf("(paper: ASR collapses at large Δ while TA holds; scale=%.2f)\n\n",
               bench::scale());

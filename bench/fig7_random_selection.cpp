@@ -9,7 +9,7 @@
 using namespace fedcleanse;
 
 int main() {
-  common::init_log_level_from_env();
+  bench::init_env();
   std::printf("Figure 7 — 50 clients, 10%% attackers, random per-round selection (scale=%.2f)\n\n",
               bench::scale());
   for (int select : {5, 10, 15, 20, 25}) {

@@ -10,7 +10,7 @@
 using namespace fedcleanse;
 
 int main() {
-  common::init_log_level_from_env();
+  bench::init_env();
   std::printf("Figure 8 — defense vs number of attackers (of 10 clients) (scale=%.2f)\n\n",
               bench::scale());
   std::printf("#atk | train TA  AA | FP TA    AA | full TA  AA\n");

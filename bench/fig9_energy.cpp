@@ -30,7 +30,7 @@ void run(const char* name, fl::SimulationConfig cfg) {
 }  // namespace
 
 int main() {
-  common::init_log_level_from_env();
+  bench::init_env();
   std::printf("Figure 9 — time per defense phase (seconds) and traffic (MiB) (scale=%.2f)\n\n",
               bench::scale());
   std::printf("task             train   pruning  finetune  adjustW    traffic train/defense\n");

@@ -103,7 +103,7 @@ bench::MicroRecord matmul_legacy(common::ThreadPool& pool, int n) {
 }  // namespace
 
 int main() {
-  common::init_log_level_from_env();
+  bench::init_env();
   const std::size_t threads = common::resolve_n_threads(0);
   common::ThreadPool pool(threads);
 

@@ -56,7 +56,7 @@ void print_rows(const std::vector<Row>& rows) {
 }  // namespace
 
 int main() {
-  common::init_log_level_from_env();
+  bench::init_env();
   std::printf("Table I — MNIST stand-in, modes Training / FP+AW / All (scale=%.2f)\n\n",
               bench::scale());
 

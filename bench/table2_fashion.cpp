@@ -9,7 +9,7 @@
 using namespace fedcleanse;
 
 int main() {
-  common::init_log_level_from_env();
+  bench::init_env();
   std::printf(
       "Table II — Fashion-MNIST stand-in, single-pixel trigger (scale=%.2f)\n\n",
       bench::scale());

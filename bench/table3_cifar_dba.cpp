@@ -11,7 +11,7 @@
 using namespace fedcleanse;
 
 int main() {
-  common::init_log_level_from_env();
+  bench::init_env();
   std::printf("Table III — CIFAR-10 stand-in under DBA, 4 attackers (scale=%.2f)\n\n",
               bench::scale());
   std::printf("VL     AL         | test  atk  |  FP: test  atk | FP+AW: test  atk |  All: test  atk\n");

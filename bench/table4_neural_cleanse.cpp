@@ -40,7 +40,7 @@ void run_dataset(const char* name, fl::SimulationConfig cfg) {
 }  // namespace
 
 int main() {
-  common::init_log_level_from_env();
+  bench::init_env();
   std::printf("Table IV — defense comparison with Neural Cleanse (scale=%.2f)\n\n",
               bench::scale());
   std::printf("dataset        | train TA  AA | Neural Cleanse TA AA | ours TA  AA\n");

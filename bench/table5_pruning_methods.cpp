@@ -29,7 +29,7 @@ defense::StageMetrics prune_only(fl::Simulation& sim, defense::PruneMethod metho
 }  // namespace
 
 int main() {
-  common::init_log_level_from_env();
+  bench::init_env();
   std::printf("Table V — pruning-only defense: RAP vs MVP (scale=%.2f)\n\n", bench::scale());
   std::printf("VL  AL | train TA  AA | RAP TA   AA | MVP TA   AA\n");
   bench::print_rule(56);

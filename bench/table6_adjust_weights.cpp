@@ -38,7 +38,7 @@ Cell run_cell(nn::Architecture arch, int vl, int al, std::uint64_t seed) {
 }  // namespace
 
 int main() {
-  common::init_log_level_from_env();
+  bench::init_env();
   std::printf("Table VI — AW only, Small NN (8/16) vs Large NN (20/50) (scale=%.2f)\n\n",
               bench::scale());
   std::printf("VL  AL | Small:   N    TA    AA | Large:   N    TA    AA\n");

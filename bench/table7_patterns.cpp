@@ -9,7 +9,7 @@
 using namespace fedcleanse;
 
 int main() {
-  common::init_log_level_from_env();
+  bench::init_env();
   std::printf("Table VII — defense under different pixel patterns, fixed delta=3 (scale=%.2f)\n\n",
               bench::scale());
   std::printf("pixels | train TA  AA | FP:  num   TA    AA | FP+AW: num   TA    AA\n");

@@ -12,12 +12,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/logging.h"
 #include "defense/pipeline.h"
 #include "fl/simulation.h"
 #include "nn/checkpoint.h"
+#include "obs/journal.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 using namespace fedcleanse;
 
@@ -42,7 +46,9 @@ void usage(const char* argv0) {
       "  --no-finetune      skip the fine-tuning stage\n"
       "  --no-aw            skip adjusting extreme weights\n"
       "  --save PATH        checkpoint the cleansed model\n"
-      "  --seed S           RNG seed (default 42)\n",
+      "  --seed S           RNG seed (default 42)\n"
+      "  --journal-out PATH write a JSONL run journal (one line per round)\n"
+      "  --trace-out PATH   write a Chrome trace_event file (Perfetto-loadable)\n",
       argv0);
 }
 
@@ -50,6 +56,8 @@ void usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   common::init_log_level_from_env();
+  obs::init_from_env();
+  std::unique_ptr<obs::Journal> journal;
   fl::SimulationConfig cfg;
   cfg.rounds = 25;
   cfg.attack.victim_label = 9;
@@ -124,6 +132,18 @@ int main(int argc, char** argv) {
       save_path = next();
     } else if (arg == "--seed") {
       cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--journal-out") {
+      const char* path = next();
+      journal = std::make_unique<obs::Journal>(path);
+      if (!journal->ok()) {
+        std::fprintf(stderr, "cannot open journal %s\n", path);
+        return 2;
+      }
+      obs::set_ambient_journal(journal.get());
+      obs::set_metrics_enabled(true);
+    } else if (arg == "--trace-out") {
+      obs::set_trace_path(next());
+      obs::set_metrics_enabled(true);
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage(argv[0]);
@@ -164,6 +184,15 @@ int main(int argc, char** argv) {
   if (!save_path.empty()) {
     nn::save_model_file(sim.server().model(), save_path);
     std::printf("saved cleansed model to %s\n", save_path.c_str());
+  }
+
+  if (journal) {
+    FC_LOG(Info) << "run journal: " << journal->path() << " (" << journal->lines_written()
+                 << " lines)";
+    obs::set_ambient_journal(nullptr);
+  }
+  if (obs::flush_trace()) {
+    FC_LOG(Info) << "chrome trace: " << obs::trace_path();
   }
   return 0;
 }

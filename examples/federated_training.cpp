@@ -10,11 +10,13 @@
 
 #include "common/logging.h"
 #include "fl/simulation.h"
+#include "obs/trace.h"
 
 using namespace fedcleanse;
 
 int main(int argc, char** argv) {
   common::init_log_level_from_env();
+  obs::init_from_env();  // FEDCLEANSE_TRACE=path enables span tracing
   auto arg = [&](int i, double dflt) {
     return argc > i ? std::strtod(argv[i], nullptr) : dflt;
   };
@@ -41,5 +43,6 @@ int main(int argc, char** argv) {
     sim.run_round(static_cast<std::uint32_t>(r));
     std::printf("%4d  %.3f  %.3f\n", r, sim.test_accuracy(), sim.attack_success());
   }
+  obs::flush_trace();
   return 0;
 }

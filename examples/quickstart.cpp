@@ -7,19 +7,49 @@
 // fine-tuning, and adjusting extreme weights — and print the test accuracy
 // (TA) and attack success rate (AA) after every stage.
 //
-// Usage: quickstart [seed]
+// Usage: quickstart [seed] [--journal-out run.jsonl] [--trace-out trace.json]
+//
+// Telemetry is opt-in and never changes the run: with --journal-out a JSONL
+// run journal (one line per round; validate/tabulate with
+// scripts/journal_check.py) is written, with --trace-out (or FEDCLEANSE_TRACE)
+// a Chrome trace_event file loadable in chrome://tracing or
+// https://ui.perfetto.dev — stdout and the trained model bytes stay identical
+// either way.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 
 #include "common/logging.h"
 #include "defense/pipeline.h"
 #include "fl/simulation.h"
+#include "obs/journal.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 using namespace fedcleanse;
 
 int main(int argc, char** argv) {
   common::init_log_level_from_env();
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  obs::init_from_env();
+  std::uint64_t seed = 42;
+  std::unique_ptr<obs::Journal> journal;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--journal-out") == 0 && i + 1 < argc) {
+      journal = std::make_unique<obs::Journal>(argv[++i]);
+      if (!journal->ok()) {
+        std::fprintf(stderr, "cannot open journal %s\n", argv[i]);
+        return 2;
+      }
+      obs::set_ambient_journal(journal.get());
+      obs::set_metrics_enabled(true);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      obs::set_trace_path(argv[++i]);
+      obs::set_metrics_enabled(true);
+    } else {
+      seed = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
 
   fl::SimulationConfig cfg;
   cfg.arch = nn::Architecture::kMnistCnn;
@@ -61,5 +91,17 @@ int main(int argc, char** argv) {
               report.adjust.final_delta);
   std::printf("Network traffic: %.2f MiB\n",
               static_cast<double>(sim.network().total_bytes()) / (1024.0 * 1024.0));
+
+  // Telemetry artifacts land on stderr-side reporting only: stdout above is
+  // byte-identical whether or not a journal/trace was requested.
+  if (journal) {
+    FC_LOG(Info) << "run journal: " << journal->path() << " (" << journal->lines_written()
+                 << " lines)";
+    obs::set_ambient_journal(nullptr);
+  }
+  if (obs::flush_trace()) {
+    FC_LOG(Info) << "chrome trace: " << obs::trace_path()
+                 << " (open in chrome://tracing or ui.perfetto.dev)";
+  }
   return 0;
 }

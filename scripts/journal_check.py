@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate a fedcleanse run journal (JSONL) and print its TA/ASR table.
+
+Usage: journal_check.py RUN.jsonl [--quiet]
+
+A journal is one JSON object per line, written by Simulation::run,
+federated_finetune, and run_defense (see DESIGN.md "Observability").
+Checks enforced here:
+
+  * every line parses as a JSON object with a known "kind"
+    (train_round | finetune_round | defense)
+  * round-bearing kinds carry round / ta / asr / n_participants / n_valid,
+    with ta and asr in [0, 1]
+  * rounds are monotonically increasing within each kind (journals append
+    in execution order; out-of-order rounds mean interleaved writers)
+  * a "defense" line carries the stage accuracies and phase_seconds
+
+Exit code is 1 on any violation, so CI can gate on it.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+ROUND_KINDS = ("train_round", "finetune_round")
+KNOWN_KINDS = ROUND_KINDS + ("defense",)
+ROUND_KEYS = ("round", "ta", "asr", "n_participants", "n_valid")
+DEFENSE_KEYS = ("method", "ta", "asr", "ta_before", "asr_before",
+                "neurons_pruned", "weights_zeroed", "phase_seconds")
+
+
+def check(path: str) -> tuple[list[dict], list[str]]:
+    entries: list[dict] = []
+    errors: list[str] = []
+    last_round: dict[str, int] = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as e:
+                errors.append(f"{where}: not valid JSON ({e})")
+                continue
+            if not isinstance(entry, dict):
+                errors.append(f"{where}: line is not a JSON object")
+                continue
+            kind = entry.get("kind")
+            if kind not in KNOWN_KINDS:
+                errors.append(f"{where}: unknown kind {kind!r}")
+                continue
+            required = ROUND_KEYS if kind in ROUND_KINDS else DEFENSE_KEYS
+            missing = [k for k in required if k not in entry]
+            if missing:
+                errors.append(f"{where}: {kind} missing keys {missing}")
+                continue
+            for k in ("ta", "asr"):
+                v = entry[k]
+                if not isinstance(v, (int, float)) or not (0.0 <= v <= 1.0):
+                    errors.append(f"{where}: {k}={v!r} outside [0, 1]")
+            if kind in ROUND_KINDS:
+                r = entry["round"]
+                if not isinstance(r, int) or r < 0:
+                    errors.append(f"{where}: bad round {r!r}")
+                elif kind in last_round and r <= last_round[kind]:
+                    errors.append(
+                        f"{where}: {kind} round {r} not after {last_round[kind]}")
+                else:
+                    last_round[kind] = r
+            entries.append(entry)
+    return entries, errors
+
+
+def print_table(entries: list[dict]) -> None:
+    rounds = [e for e in entries if e.get("kind") in ROUND_KINDS]
+    if rounds:
+        print(f"{'kind':<15} {'round':>5} {'TA':>7} {'ASR':>7} {'valid':>5} {'drop':>4} {'retry':>5}")
+        for e in rounds:
+            print(f"{e['kind']:<15} {e['round']:>5} {e['ta']:>7.3f} {e['asr']:>7.3f} "
+                  f"{e['n_valid']:>5} {e.get('n_dropped', 0):>4} {e.get('n_retried', 0):>5}")
+    for e in entries:
+        if e.get("kind") != "defense":
+            continue
+        print(f"defense ({e['method']}): "
+              f"TA {e['ta_before']:.3f} -> {e['ta']:.3f}, "
+              f"ASR {e['asr_before']:.3f} -> {e['asr']:.3f}, "
+              f"{e['neurons_pruned']} pruned, {e['weights_zeroed']} zeroed")
+        phases = e.get("phase_seconds") or {}
+        if phases:
+            print("  " + "  ".join(f"{k}={v:.2f}s" for k, v in sorted(phases.items())))
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("journal", help="path to the JSONL run journal")
+    ap.add_argument("--quiet", action="store_true", help="suppress the TA/ASR table")
+    args = ap.parse_args()
+
+    try:
+        entries, errors = check(args.journal)
+    except OSError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+    if not args.quiet:
+        print_table(entries)
+    if not entries:
+        errors.append(f"{args.journal}: journal is empty")
+    for err in errors:
+        print(f"error: {err}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"{args.journal}: OK ({len(entries)} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,4 +20,11 @@ cmake -B build-asan -S . -DFEDCLEANSE_SANITIZE=address,undefined
 cmake --build build-asan --target fedcleanse_asan_tests -j
 ASAN_OPTIONS=halt_on_error=1 ./build-asan/tests/fedcleanse_asan_tests
 
+echo "== telemetry: quickstart journal + trace, stdout unperturbed =="
+./build/examples/quickstart > /tmp/fc_stdout_off.txt
+./build/examples/quickstart --journal-out /tmp/fc_run.jsonl \
+  --trace-out /tmp/fc_trace.json > /tmp/fc_stdout_on.txt
+diff /tmp/fc_stdout_off.txt /tmp/fc_stdout_on.txt
+python3 scripts/journal_check.py --quiet /tmp/fc_run.jsonl
+
 echo "verify: OK"

@@ -1,9 +1,14 @@
 #include "comm/channel.h"
 
+#include "obs/metrics.h"
+
 namespace fedcleanse::comm {
 
 std::size_t Channel::send(Message message) {
   const std::size_t size = message.wire_size();
+  FC_METRIC(channel_msgs().inc());
+  FC_METRIC(channel_bytes().add(size));
+  FC_METRIC(message_bytes().observe(static_cast<double>(size)));
   {
     std::lock_guard<std::mutex> lock(mu_);
     bytes_sent_ += size;

@@ -1,5 +1,7 @@
 #include "comm/faulty_network.h"
 
+#include "obs/metrics.h"
+
 namespace fedcleanse::comm {
 
 FaultyNetwork::FaultyNetwork(int n_clients, FaultConfig config, std::uint64_t seed)
@@ -23,24 +25,29 @@ void FaultyNetwork::inject(int client, FaultModel::Direction dir, Message messag
   auto& st = state(client, dir);
   if (model_.crashed(client, message.round)) {
     ++st.stats.crashed;
+    FC_METRIC(fault_crashed().inc());
     return;
   }
   const auto fate = model_.next_fate(client, dir, message.round);
   if (fate.drop) {
     ++st.stats.dropped;
+    FC_METRIC(fault_dropped().inc());
     return;
   }
   if (fate.corrupt) {
     model_.corrupt(message, client, dir);
     ++st.stats.corrupted;
+    FC_METRIC(fault_corrupted().inc());
   }
   if (fate.delay) {
     ++st.stats.delayed;
+    FC_METRIC(fault_delayed().inc());
     st.delayed.push_back({std::move(message), phase_.load(std::memory_order_relaxed)});
     return;
   }
   if (fate.duplicate) {
     ++st.stats.duplicated;
+    FC_METRIC(fault_duplicated().inc());
     deliver(client, dir, message);  // copy
   }
   deliver(client, dir, std::move(message));

@@ -2,7 +2,13 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <mutex>
+
+#include "common/thread_id.h"
 
 namespace fedcleanse::common {
 
@@ -47,8 +53,36 @@ void init_log_level_from_env() {
 
 namespace detail {
 void emit(LogLevel level, const std::string& message) {
+  // ISO-8601 UTC with millisecond precision, e.g. 2026-08-05T14:03:07.214Z.
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char stamp[40];
+  const std::size_t n = std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(stamp + n, sizeof(stamp) - n, ".%03dZ", static_cast<int>(ms));
+
+  // Compose the full line first, then write it under one lock: lines from
+  // concurrent threads (pool workers log too) never interleave mid-line.
+  std::string line;
+  line.reserve(message.size() + 48);
+  line += stamp;
+  line += " [";
+  line += level_name(level);
+  line += "] [t";
+  line += std::to_string(thread_index());
+  line += "] ";
+  line += message;
+  line += "\n";
+
+  static std::mutex mu;
   std::ostream& out = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
-  out << "[" << level_name(level) << "] " << message << "\n";
+  std::lock_guard<std::mutex> lock(mu);
+  out << line;
 }
 }  // namespace detail
 

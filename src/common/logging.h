@@ -3,6 +3,11 @@
 // Defaults to Info. Benches set the level from FEDCLEANSE_LOG
 // (debug|info|warn|error|off). Not a general-purpose logging framework —
 // just enough structure that library code never writes raw to stdout.
+//
+// Each line is emitted as one locked write of
+//   <ISO-8601 UTC ms> [LEVEL] [t<thread-index>] <message>
+// so lines from pool workers never interleave, and the t<N> index matches
+// the tid in obs trace exports.
 #pragma once
 
 #include <iostream>

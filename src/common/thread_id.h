@@ -1,0 +1,18 @@
+// Small, stable per-thread index: the first thread to call thread_index()
+// gets 0, the next 1, and so on for the life of the process. Used wherever a
+// compact thread identity beats std::thread::id — log line prefixes, trace
+// event tids, and the metric registry's shard selection — so all three agree
+// on which thread is which.
+#pragma once
+
+#include <atomic>
+
+namespace fedcleanse::common {
+
+inline int thread_index() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace fedcleanse::common

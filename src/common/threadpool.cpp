@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+
+#include "obs/metrics.h"
 
 namespace fedcleanse::common {
 
@@ -42,12 +45,25 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
+      // Time spent parked here is the pool's idle-time observable. The clock
+      // reads happen only while telemetry is on, and only around the wait —
+      // never between dequeue and task execution.
+      const bool timed = obs::metrics_enabled();
+      [[maybe_unused]] const auto park = timed ? std::chrono::steady_clock::now()
+                                               : std::chrono::steady_clock::time_point{};
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (timed) {
+        FC_METRIC(pool_idle_ns().add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - park)
+                .count())));
+      }
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    FC_METRIC(pool_tasks().inc());
     task();
   }
 }
@@ -57,9 +73,11 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   // Inline when parallelism cannot help — or would deadlock: a worker
   // blocking on futures served by the same (possibly fully blocked) pool.
   if (n == 1 || workers_.size() <= 1 || on_worker_thread()) {
+    FC_METRIC(pool_inline_for_calls().inc());
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  FC_METRIC(pool_parallel_for_calls().inc());
 
   // Contiguous chunks, a few per worker so uneven bodies still balance.
   const std::size_t n_chunks = std::min(n, workers_.size() * 4);

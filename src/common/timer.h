@@ -1,10 +1,9 @@
-// Wall-clock timing utilities used by the defense pipeline (Fig 9, the
-// per-phase energy/time breakdown) and by benches.
+// Wall-clock stopwatch for the benches. Phase-level timing in library code
+// uses obs::Span (src/obs/trace.h) instead, which both accumulates seconds
+// and, when tracing is on, records a trace event.
 #pragma once
 
 #include <chrono>
-#include <map>
-#include <string>
 
 namespace fedcleanse::common {
 
@@ -20,36 +19,6 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
-};
-
-// Accumulates named phase durations; used to report time per defense stage.
-class PhaseTimer {
- public:
-  // Scoped measurement: adds elapsed time to `name` on destruction.
-  class Scope {
-   public:
-    Scope(PhaseTimer& owner, std::string name)
-        : owner_(owner), name_(std::move(name)) {}
-    ~Scope() { owner_.add(name_, timer_.elapsed_seconds()); }
-    Scope(const Scope&) = delete;
-    Scope& operator=(const Scope&) = delete;
-
-   private:
-    PhaseTimer& owner_;
-    std::string name_;
-    Timer timer_;
-  };
-
-  void add(const std::string& name, double seconds) { totals_[name] += seconds; }
-  double total(const std::string& name) const {
-    auto it = totals_.find(name);
-    return it == totals_.end() ? 0.0 : it->second;
-  }
-  const std::map<std::string, double>& totals() const { return totals_; }
-  Scope scope(std::string name) { return Scope(*this, std::move(name)); }
-
- private:
-  std::map<std::string, double> totals_;
 };
 
 }  // namespace fedcleanse::common

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/journal.h"
 
 namespace fedcleanse::defense {
 
@@ -50,6 +51,20 @@ FineTuneOutcome federated_finetune(fl::Simulation& sim, const FineTuneConfig& co
     rec.n_retried = ex.n_retried;
     rec.quorum_met = ex.quorum_met;
     outcome.history.push_back(rec);
+    if (obs::Journal* journal = obs::ambient_journal()) {
+      obs::JsonObject entry;
+      entry.add("kind", "finetune_round")
+          .add("round", rec.round)
+          .add("ta", rec.test_acc)
+          .add("asr", rec.attack_acc)
+          .add("n_participants", rec.n_participants)
+          .add("n_valid", rec.n_valid)
+          .add("n_dropped", rec.n_dropped)
+          .add("n_corrupted", rec.n_corrupted)
+          .add("n_retried", rec.n_retried)
+          .add("quorum_met", rec.quorum_met);
+      journal->write(entry);
+    }
 
     const double acc = server.validation_accuracy();
     FC_LOG(Debug) << "fine-tune round " << r << " val=" << acc << " TA=" << rec.test_acc

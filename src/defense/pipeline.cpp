@@ -4,10 +4,11 @@
 #include <numeric>
 
 #include "common/logging.h"
-#include "common/timer.h"
 #include "defense/majority_vote.h"
 #include "defense/rank_aggregation.h"
 #include "fl/protocol.h"
+#include "obs/journal.h"
+#include "obs/trace.h"
 
 namespace fedcleanse::defense {
 
@@ -76,6 +77,7 @@ std::vector<int> federated_pruning_order(fl::Simulation& sim, const DefenseConfi
                        " valid reports after " + std::to_string(st.n_retried) + " retries");
   };
 
+  obs::Span span("defense.fp_scan", "defense");
   if (config.method == PruneMethod::kRAP) {
     auto ex = fl::exchange_with_retries<std::vector<std::uint32_t>>(
         sim, clients,
@@ -103,7 +105,6 @@ std::vector<int> federated_pruning_order(fl::Simulation& sim, const DefenseConfi
 }
 
 DefenseReport run_defense(fl::Simulation& sim, const DefenseConfig& config) {
-  common::PhaseTimer phases;
   DefenseReport report;
   auto& server = sim.server();
   auto& model = server.model();
@@ -116,7 +117,7 @@ DefenseReport run_defense(fl::Simulation& sim, const DefenseConfig& config) {
 
   // --- Stage 1: Federated Pruning -------------------------------------------
   {
-    auto timer = phases.scope("pruning");
+    obs::Span span("defense.pruning", "defense", &report.phase_seconds["pruning"]);
     auto order = federated_pruning_order(sim, config, &report.fp_exchange);
     auto& accuracy_eval = accuracy_oracle;
     std::function<double()> asr_eval;
@@ -134,14 +135,15 @@ DefenseReport run_defense(fl::Simulation& sim, const DefenseConfig& config) {
 
   // --- Stage 2: Fine-tuning (optional) ---------------------------------------
   if (config.enable_finetune) {
-    auto timer = phases.scope("fine-tuning");
+    obs::Span span("defense.finetune", "defense", &report.phase_seconds["fine-tuning"]);
     report.finetune = federated_finetune(sim, config.finetune);
   }
   report.after_ft = snapshot(sim);
 
   // --- Stage 3: Adjusting Extreme Weights (optional) --------------------------
   if (config.enable_adjust_weights) {
-    auto timer = phases.scope("adjust-weights");
+    obs::Span span("defense.adjust_weights", "defense",
+                   &report.phase_seconds["adjust-weights"]);
     auto accuracy_eval = [&server] { return server.validation_accuracy(); };
     std::function<double()> asr_eval;
     if (config.record_asr_traces) {
@@ -164,7 +166,32 @@ DefenseReport run_defense(fl::Simulation& sim, const DefenseConfig& config) {
                << report.after_aw.attack_acc << " (zeroed " << report.weights_zeroed
                << " weights, final delta " << report.adjust.final_delta << ")";
 
-  report.phase_seconds = phases.totals();
+  if (obs::Journal* journal = obs::ambient_journal()) {
+    obs::JsonObject phases_json;
+    for (const auto& [phase, seconds] : report.phase_seconds) {
+      phases_json.add(phase, seconds);
+    }
+    obs::JsonObject entry;
+    entry.add("kind", "defense")
+        .add("method", prune_method_name(config.method))
+        .add("ta", report.after_aw.test_acc)
+        .add("asr", report.after_aw.attack_acc)
+        .add("ta_before", report.training.test_acc)
+        .add("asr_before", report.training.attack_acc)
+        .add("ta_after_fp", report.after_fp.test_acc)
+        .add("asr_after_fp", report.after_fp.attack_acc)
+        .add("ta_after_ft", report.after_ft.test_acc)
+        .add("asr_after_ft", report.after_ft.attack_acc)
+        .add("neurons_pruned", report.neurons_pruned)
+        .add("weights_zeroed", report.weights_zeroed)
+        .add("finetune_rounds", report.finetune.rounds_run)
+        .add("n_valid", report.fp_exchange.n_valid)
+        .add("n_dropped", report.fp_exchange.n_dropped)
+        .add("n_corrupted", report.fp_exchange.n_corrupted)
+        .add("n_retried", report.fp_exchange.n_retried)
+        .add_raw("phase_seconds", phases_json.str());
+    journal->write(entry);
+  }
   return report;
 }
 

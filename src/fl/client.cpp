@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "fl/metrics.h"
+#include "obs/trace.h"
 #include "nn/activation_stats.h"
 #include "nn/conv2d.h"
 #include "nn/loss.h"
@@ -243,6 +244,8 @@ void Client::handle_message(comm::Network& net, const comm::Message& msg) {
   reply.sender = id_;
   switch (msg.type) {
     case comm::MessageType::kModelBroadcast: {
+      obs::Span span("client.train", "client");
+      span.set_arg("client", id_);
       auto global = comm::decode_flat_params(msg.payload);
       reply.type = comm::MessageType::kModelUpdate;
       reply.payload = comm::encode_flat_params(compute_update(global));
@@ -251,6 +254,8 @@ void Client::handle_message(comm::Network& net, const comm::Message& msg) {
       break;
     }
     case comm::MessageType::kRankRequest: {
+      obs::Span span("client.rank_scan", "client");
+      span.set_arg("client", id_);
       auto global = comm::decode_flat_params(msg.payload);
       reply.type = comm::MessageType::kRankReport;
       reply.payload = comm::encode_ranks(rank_report(global));
@@ -259,6 +264,8 @@ void Client::handle_message(comm::Network& net, const comm::Message& msg) {
       break;
     }
     case comm::MessageType::kVoteRequest: {
+      obs::Span span("client.vote_scan", "client");
+      span.set_arg("client", id_);
       common::ByteReader r(msg.payload);
       const double p = r.read_f64();
       auto global = r.read_f32_vector();
@@ -273,6 +280,8 @@ void Client::handle_message(comm::Network& net, const comm::Message& msg) {
       break;  // no reply
     }
     case comm::MessageType::kAccuracyRequest: {
+      obs::Span span("client.eval", "client");
+      span.set_arg("client", id_);
       auto global = comm::decode_flat_params(msg.payload);
       reply.type = comm::MessageType::kAccuracyReport;
       reply.payload = comm::encode_accuracy(report_accuracy(global));

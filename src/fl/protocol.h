@@ -15,6 +15,8 @@
 
 #include "common/logging.h"
 #include "fl/simulation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fedcleanse::fl {
 
@@ -44,6 +46,9 @@ Exchange<T> exchange_with_retries(Simulation& sim, const std::vector<int>& clien
                                   RequestFn request, CollectFn collect,
                                   const char* what) {
   const comm::FaultConfig& fc = sim.config().fault;
+  // `what` is a string literal at every call site, so it can name the span.
+  obs::Span exchange_span(what, "protocol");
+  FC_METRIC(exchange_rounds().inc());
   Exchange<T> result;
   result.stats.n_participants = static_cast<int>(clients.size());
 
@@ -59,6 +64,7 @@ Exchange<T> exchange_with_retries(Simulation& sim, const std::vector<int>& clien
     for (std::size_t i : pending) ids.push_back(clients[i]);
     if (attempt > 0) {
       result.stats.n_retried += static_cast<int>(ids.size());
+      FC_METRIC(exchange_retries().add(ids.size()));
       sim.server().set_recv_timeout_ms(base_timeout << std::min(attempt, 3));
       FC_LOG(Info) << what << ": retry " << attempt << " for " << ids.size()
                    << " client(s)";
@@ -66,8 +72,16 @@ Exchange<T> exchange_with_retries(Simulation& sim, const std::vector<int>& clien
     request(ids);
     sim.dispatch_clients(ids);
     CollectStats cs;
-    auto replies = collect(ids, &cs);
+    decltype(collect(ids, &cs)) replies;
+    {
+      // The collect phase is where the server sits in recv_for deadlines —
+      // the wait the trace must show to explain a slow lossy round.
+      obs::Span collect_span("collect", "protocol");
+      collect_span.set_arg("attempt", attempt);
+      replies = collect(ids, &cs);
+    }
     result.stats.n_corrupted += cs.n_malformed;
+    FC_METRIC(exchange_corrupted().add(static_cast<std::uint64_t>(cs.n_malformed)));
 
     std::vector<std::size_t> still_pending;
     for (std::size_t k = 0; k < pending.size(); ++k) {
@@ -89,6 +103,7 @@ Exchange<T> exchange_with_retries(Simulation& sim, const std::vector<int>& clien
   }
   result.stats.n_valid = static_cast<int>(result.values.size());
   result.stats.n_dropped = static_cast<int>(pending.size());
+  FC_METRIC(exchange_drops().add(pending.size()));
   result.stats.quorum_met =
       result.values.size() >= quorum_count(clients.size(), fc.min_collect_fraction);
   if (!result.stats.quorum_met) {

@@ -4,6 +4,8 @@
 #include "common/logging.h"
 #include "fl/metrics.h"
 #include "fl/protocol.h"
+#include "obs/journal.h"
+#include "obs/trace.h"
 
 namespace fedcleanse::fl {
 
@@ -116,6 +118,8 @@ void Simulation::dispatch_clients(const std::vector<int>& ids) {
   // coordinating thread, never inside pool tasks.
   net_->flush_delayed();
   pool_->parallel_for(ids.size(), [&](std::size_t i) {
+    obs::Span span("client.dispatch", "fl");
+    span.set_arg("client", ids[i]);
     clients_[static_cast<std::size_t>(ids[i])].handle_pending(*net_);
   });
 }
@@ -133,6 +137,8 @@ std::vector<int> Simulation::attacker_ids() const {
 }
 
 std::vector<int> Simulation::run_round(std::uint32_t round) {
+  obs::Span span("fl.round", "fl");
+  span.set_arg("round", round);
   std::vector<int> participants;
   if (config_.clients_per_round <= 0 || config_.clients_per_round >= config_.n_clients) {
     participants = all_client_ids();
@@ -178,6 +184,20 @@ void Simulation::run(bool record_history) {
       rec.n_retried = last_round_stats_.n_retried;
       rec.quorum_met = last_round_stats_.quorum_met;
       history_.push_back(rec);
+      if (obs::Journal* journal = obs::ambient_journal()) {
+        obs::JsonObject entry;
+        entry.add("kind", "train_round")
+            .add("round", rec.round)
+            .add("ta", rec.test_acc)
+            .add("asr", rec.attack_acc)
+            .add("n_participants", rec.n_participants)
+            .add("n_valid", rec.n_valid)
+            .add("n_dropped", rec.n_dropped)
+            .add("n_corrupted", rec.n_corrupted)
+            .add("n_retried", rec.n_retried)
+            .add("quorum_met", rec.quorum_met);
+        journal->write(entry);
+      }
       FC_LOG(Debug) << "round " << r << " TA=" << rec.test_acc << " AA=" << rec.attack_acc
                     << " valid=" << rec.n_valid << "/" << rec.n_participants;
     }

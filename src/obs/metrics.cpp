@@ -1,0 +1,96 @@
+#include "obs/metrics.h"
+
+namespace fedcleanse::obs::metrics {
+
+namespace {
+Counter& counter(const char* name) { return Registry::global().counter(name); }
+}  // namespace
+
+Counter& gemm_calls() {
+  static Counter& c = counter("tensor.gemm.calls");
+  return c;
+}
+Counter& gemm_flops() {
+  static Counter& c = counter("tensor.gemm.flops");
+  return c;
+}
+Counter& workspace_chunk_allocs() {
+  static Counter& c = counter("tensor.workspace.chunk_allocs");
+  return c;
+}
+Counter& workspace_chunk_bytes() {
+  static Counter& c = counter("tensor.workspace.chunk_bytes");
+  return c;
+}
+
+Counter& pool_tasks() {
+  static Counter& c = counter("pool.tasks");
+  return c;
+}
+Counter& pool_parallel_for_calls() {
+  static Counter& c = counter("pool.parallel_for.calls");
+  return c;
+}
+Counter& pool_inline_for_calls() {
+  static Counter& c = counter("pool.parallel_for.inline");
+  return c;
+}
+Counter& pool_idle_ns() {
+  static Counter& c = counter("pool.idle_ns");
+  return c;
+}
+
+Counter& channel_msgs() {
+  static Counter& c = counter("comm.channel.msgs");
+  return c;
+}
+Counter& channel_bytes() {
+  static Counter& c = counter("comm.channel.bytes");
+  return c;
+}
+Histogram& message_bytes() {
+  // Wire sizes range from ~21-byte headers to multi-MiB model broadcasts.
+  static Histogram& h = Registry::global().histogram(
+      "comm.message_bytes",
+      {64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0});
+  return h;
+}
+Counter& fault_dropped() {
+  static Counter& c = counter("comm.fault.dropped");
+  return c;
+}
+Counter& fault_corrupted() {
+  static Counter& c = counter("comm.fault.corrupted");
+  return c;
+}
+Counter& fault_duplicated() {
+  static Counter& c = counter("comm.fault.duplicated");
+  return c;
+}
+Counter& fault_delayed() {
+  static Counter& c = counter("comm.fault.delayed");
+  return c;
+}
+Counter& fault_crashed() {
+  static Counter& c = counter("comm.fault.crashed");
+  return c;
+}
+
+Counter& exchange_rounds() {
+  static Counter& c = counter("fl.exchange.rounds");
+  return c;
+}
+Counter& exchange_retries() {
+  static Counter& c = counter("fl.exchange.retries");
+  return c;
+}
+Counter& exchange_drops() {
+  static Counter& c = counter("fl.exchange.drops");
+  return c;
+}
+Counter& exchange_corrupted() {
+  static Counter& c = counter("fl.exchange.corrupted");
+  return c;
+}
+
+}  // namespace fedcleanse::obs::metrics

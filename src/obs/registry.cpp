@@ -1,0 +1,111 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fedcleanse::obs {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace
+
+bool metrics_enabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
+
+void set_metrics_enabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  FC_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  FC_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+             "histogram bounds must be ascending");
+  counts_ = std::vector<detail::Slot>(kShards * (bounds_.size() + 1));
+}
+
+void Histogram::observe(double v) {
+  if (!metrics_enabled()) return;
+  // Bounds are few and fixed; a linear scan beats binary search at this size.
+  std::size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  const std::size_t shard = detail::shard_index();
+  counts_[shard * (bounds_.size() + 1) + b].v.fetch_add(1, std::memory_order_relaxed);
+  sums_[shard].fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  const std::size_t n = bounds_.size() + 1;
+  std::vector<std::uint64_t> out(n, 0);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (std::size_t b = 0; b < n; ++b) {
+      out[b] += counts_[s * n + b].v.load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Histogram::total_count() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts()) total += c;
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& s : sums_) total += s.load(std::memory_order_relaxed);
+  return total;
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: metric references handed out to function-local statics
+  // must outlive every other static destructor.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+Snapshot Registry::scrape() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    s.bounds = h->bounds();
+    s.counts = h->counts();
+    for (auto c : s.counts) s.total_count += c;
+    s.sum = h->sum();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::map<std::string, std::uint64_t> Registry::counter_values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+}  // namespace fedcleanse::obs

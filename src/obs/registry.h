@@ -1,0 +1,144 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// Hot-path cost model. Every metric is sharded into kShards cache-line-sized
+// slots; a thread writes the slot picked by its thread_index(), so with up to
+// kShards live threads each thread owns a slot outright and an increment is
+// one relaxed fetch_add on an uncontended line (beyond that threads share
+// slots — still exact, just occasionally contended). When telemetry is
+// disabled at runtime (the default) an increment is a single relaxed load and
+// a predictable branch; when compiled out (FEDCLEANSE_NO_TELEMETRY, see
+// metrics.h) the call sites vanish entirely.
+//
+// Scrape model. Values are aggregated only on read: value() sums the shards
+// with relaxed loads. Counters are monotone, so a scrape concurrent with
+// writers is a valid (slightly stale) snapshot; exact totals need only
+// quiescence, which the journal writer has at round boundaries.
+//
+// Metric objects are created on first lookup and never destroyed or moved;
+// references returned by Registry are stable for the life of the process,
+// which is what lets call sites cache them in function-local statics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_id.h"
+
+namespace fedcleanse::obs {
+
+// Runtime switch for the counter/gauge/histogram hot paths. Off by default:
+// examples turn it on when --journal-out/--trace-out is given, tests and
+// benches via set_metrics_enabled / FEDCLEANSE_METRICS=1.
+bool metrics_enabled();
+void set_metrics_enabled(bool on);
+
+inline constexpr std::size_t kShards = 16;
+
+namespace detail {
+struct alignas(64) Slot {
+  std::atomic<std::uint64_t> v{0};
+};
+inline std::size_t shard_index() {
+  return static_cast<std::size_t>(common::thread_index()) % kShards;
+}
+}  // namespace detail
+
+// Monotone event count (calls, bytes, FLOPs, drops, ...).
+class Counter {
+ public:
+  void add(std::uint64_t n) {
+    if (!metrics_enabled()) return;
+    slots_[detail::shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& s : slots_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  detail::Slot slots_[kShards];
+};
+
+// Last-written value (pool size, capacity bytes, ...). Not sharded: gauges
+// are set from configuration points, not hot loops.
+class Gauge {
+ public:
+  void set(double v) {
+    if (!metrics_enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Fixed-bucket histogram with upper-inclusive bounds (Prometheus "le"
+// convention): observe(v) lands in the first bucket whose bound >= v, or the
+// overflow bucket past the last bound. Bounds are fixed at registration; a
+// later lookup of the same name returns the existing histogram and ignores
+// the bounds argument.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  // counts() has bounds().size() + 1 entries; the last is the overflow.
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t total_count() const;
+  double sum() const;
+
+ private:
+  std::vector<double> bounds_;
+  // Shard-major: shard s owns counts_[s * n_buckets .. +n_buckets).
+  std::vector<detail::Slot> counts_;
+  std::atomic<double> sums_[kShards] = {};
+};
+
+// Point-in-time aggregate of every registered metric.
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1, last = overflow
+  std::uint64_t total_count = 0;
+  double sum = 0.0;
+};
+
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+class Registry {
+ public:
+  static Registry& global();
+
+  // Find-or-create by name. References stay valid forever (metrics are
+  // never deleted), so call sites may cache them in statics.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  Snapshot scrape() const;
+  // Just the counters (what the run journal embeds as per-round deltas).
+  std::map<std::string, std::uint64_t> counter_values() const;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace fedcleanse::obs

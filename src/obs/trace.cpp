@@ -1,0 +1,183 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "common/thread_id.h"
+#include "obs/registry.h"
+
+namespace fedcleanse::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+// Construct-on-first-use (and leaked): set_trace_path may be called from
+// another translation unit's static initializer, before this file's globals
+// would have been constructed.
+struct PathState {
+  std::mutex mu;
+  std::string path;
+};
+PathState& path_state() {
+  static PathState* s = new PathState();
+  return *s;
+}
+
+// One buffer per thread, owned by the collector for the life of the process
+// (threads die; their events must survive until export).
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+};
+
+struct Collector {
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;
+};
+
+Collector& collector() {
+  // Leaked: thread-local buffer pointers must stay valid in late TLS dtors.
+  static Collector* c = new Collector();
+  return *c;
+}
+
+TraceBuffer& local_buffer() {
+  thread_local TraceBuffer* buf = [] {
+    auto owned = std::make_unique<TraceBuffer>();
+    TraceBuffer* raw = owned.get();
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.buffers.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buf;
+}
+
+std::int64_t now_ns() {
+  // A fixed process epoch keeps ts values small and all threads comparable.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+}  // namespace
+
+bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+void set_tracing_enabled(bool on) { g_tracing.store(on, std::memory_order_relaxed); }
+
+void set_trace_path(std::string path) {
+  PathState& st = path_state();
+  bool enable;
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.path = std::move(path);
+    enable = !st.path.empty();
+  }
+  if (enable) set_tracing_enabled(true);
+}
+
+std::string trace_path() {
+  PathState& st = path_state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.path;
+}
+
+void init_from_env() {
+  if (const char* env = std::getenv("FEDCLEANSE_TRACE"); env != nullptr && env[0] != '\0') {
+    set_trace_path(env);
+    set_metrics_enabled(true);  // a requested trace implies telemetry on
+  }
+  if (const char* env = std::getenv("FEDCLEANSE_METRICS"); env != nullptr) {
+    set_metrics_enabled(env[0] != '0' && env[0] != '\0');
+  }
+}
+
+Span::Span(const char* name, const char* cat, double* seconds_sink)
+    : name_(name), cat_(cat), sink_(seconds_sink), recording_(tracing_enabled()) {
+  if (recording_ || sink_ != nullptr) start_ns_ = now_ns();
+}
+
+double Span::elapsed_seconds() const {
+  return static_cast<double>(now_ns() - start_ns_) * 1e-9;
+}
+
+Span::~Span() {
+  if (!recording_ && sink_ == nullptr) return;
+  const std::int64_t end = now_ns();
+  if (sink_ != nullptr) *sink_ += static_cast<double>(end - start_ns_) * 1e-9;
+  if (!recording_) return;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.cat = cat_;
+  ev.start_ns = start_ns_;
+  ev.dur_ns = end - start_ns_;
+  ev.tid = common::thread_index();
+  ev.arg_key = arg_key_;
+  ev.arg_value = arg_value_;
+  TraceBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(ev);
+}
+
+std::vector<TraceEvent> trace_events_snapshot() {
+  std::vector<TraceEvent> out;
+  Collector& c = collector();
+  std::lock_guard<std::mutex> clock(c.mu);
+  for (auto& buf : c.buffers) {
+    std::lock_guard<std::mutex> block(buf->mu);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  return out;
+}
+
+void clear_trace_events() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> clock(c.mu);
+  for (auto& buf : c.buffers) {
+    std::lock_guard<std::mutex> block(buf->mu);
+    buf->events.clear();
+  }
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const auto events = trace_events_snapshot();
+  // Fixed 3-decimal µs keeps full ns resolution at any run length (default
+  // stream precision would truncate ts on runs past a few seconds).
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ev : events) {
+    if (!first) out << ",";
+    first = false;
+    // Chrome's ts/dur are microseconds; fractional µs keeps ns resolution.
+    out << "\n{\"name\":\"" << ev.name << "\",\"cat\":\"" << ev.cat
+        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid
+        << ",\"ts\":" << static_cast<double>(ev.start_ns) / 1000.0
+        << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1000.0;
+    if (ev.arg_key != nullptr) {
+      out << ",\"args\":{\"" << ev.arg_key << "\":" << ev.arg_value << "}";
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+  return out.good();
+}
+
+bool flush_trace() {
+  if (!tracing_enabled()) return false;
+  const std::string path = trace_path();
+  if (path.empty()) return false;
+  return write_chrome_trace(path);
+}
+
+}  // namespace fedcleanse::obs

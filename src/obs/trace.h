@@ -1,0 +1,99 @@
+// Trace spans: RAII wall-clock intervals buffered per thread and exportable
+// as Chrome trace_event JSON (load the file in chrome://tracing or
+// https://ui.perfetto.dev).
+//
+// A Span always measures (one steady_clock read at construction when a
+// seconds sink is attached or tracing is on; zero clock reads otherwise), but
+// only *records* an event when tracing was enabled at construction. Events
+// carry the span name, a category, the owning thread's compact index (the
+// same one log lines print), and start/duration in nanoseconds; nesting needs
+// no bookkeeping because RAII guarantees child intervals close before their
+// parent on the same thread, which is exactly the contract Chrome "X"
+// (complete) events encode.
+//
+// Buffering: each thread appends to its own mutex-guarded buffer, registered
+// once with the process-wide collector and never freed (a thread may die with
+// its events still pending export). The per-buffer mutex is uncontended on
+// the hot path — only export takes it from another thread — so a recorded
+// span costs one clock read plus one vector push under an owned lock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fedcleanse::obs {
+
+// Tracing is off until enabled here or via init_from_env (FEDCLEANSE_TRACE).
+bool tracing_enabled();
+void set_tracing_enabled(bool on);
+
+// Where flush_trace() writes. Setting a non-empty path also enables tracing.
+void set_trace_path(std::string path);
+std::string trace_path();
+
+// FEDCLEANSE_TRACE=<path> → set_trace_path; FEDCLEANSE_METRICS=1 → enable
+// the metrics registry. Examples and the bench harness call this at startup.
+void init_from_env();
+
+struct TraceEvent {
+  const char* name = "";  // string literals only — never freed, never copied
+  const char* cat = "";
+  std::int64_t start_ns = 0;  // steady_clock, relative to process trace epoch
+  std::int64_t dur_ns = 0;
+  int tid = 0;
+  const char* arg_key = nullptr;  // optional single integer argument
+  std::int64_t arg_value = 0;
+};
+
+class Span {
+ public:
+  // Name and category must be string literals (or otherwise outlive the
+  // process's trace buffers).
+  explicit Span(const char* name, const char* cat = "misc")
+      : Span(name, cat, nullptr) {}
+  // `seconds_sink`, when non-null, accumulates the span's elapsed seconds on
+  // destruction — the DefenseReport::phase_seconds path, which must keep
+  // working with tracing off.
+  Span(const char* name, const char* cat, double* seconds_sink);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attach one integer argument (round number, client id, ...) shown in the
+  // trace viewer's args pane. `key` must be a string literal.
+  void set_arg(const char* key, std::int64_t value) {
+    arg_key_ = key;
+    arg_value_ = value;
+  }
+
+  double elapsed_seconds() const;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  double* sink_;
+  std::int64_t start_ns_ = 0;
+  bool recording_;  // tracing was on when this span opened
+  const char* arg_key_ = nullptr;
+  std::int64_t arg_value_ = 0;
+};
+
+// Copy of every buffered event (all threads). Ordered by thread then append
+// order; callers sort by start_ns if they need a global timeline.
+std::vector<TraceEvent> trace_events_snapshot();
+
+// Drop all buffered events (test isolation between trace test cases).
+void clear_trace_events();
+
+// Write the buffered events as Chrome trace JSON. Returns false (and logs
+// nothing) when the file cannot be opened. Thread-safe against concurrent
+// span recording; call it at a quiet point for a complete picture.
+bool write_chrome_trace(const std::string& path);
+
+// write_chrome_trace(trace_path()) if tracing was enabled and a path is set;
+// returns true when a file was written. Examples call this before exiting.
+bool flush_trace();
+
+}  // namespace fedcleanse::obs

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "common/threadpool.h"
+#include "obs/metrics.h"
 #include "tensor/workspace.h"
 
 namespace fedcleanse::tensor {
@@ -155,6 +156,8 @@ void gemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a, int l
 
   const std::size_t work = static_cast<std::size_t>(m) * static_cast<std::size_t>(n) *
                            static_cast<std::size_t>(keff);
+  FC_METRIC(gemm_calls().inc());
+  FC_METRIC(gemm_flops().add(2 * static_cast<std::uint64_t>(work)));
   const int n_mblocks = ceil_div(m, kGemmMC);
   const bool parallel = work >= kParallelFlops && n_mblocks > 1;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace fedcleanse::tensor {
 
@@ -32,8 +33,11 @@ void* Workspace::alloc_bytes(std::size_t bytes) {
     ++active_;
   }
   if (active_ == chunks_.size()) {
-    chunks_.emplace_back(std::max(bytes, kMinChunkBytes));
+    const std::size_t chunk_bytes = std::max(bytes, kMinChunkBytes);
+    chunks_.emplace_back(chunk_bytes);
     ++chunk_allocs_;
+    FC_METRIC(workspace_chunk_allocs().inc());
+    FC_METRIC(workspace_chunk_bytes().add(chunk_bytes));
   }
   Chunk& c = chunks_[active_];
   void* p = c.base + c.used;
@@ -67,8 +71,11 @@ void Workspace::coalesce() {
   // high-water mark, so the next iteration's allocation pattern fits without
   // growing. This is the last heap allocation the arena performs.
   chunks_.clear();
-  chunks_.emplace_back(std::max(round_up(high_water_, kAlign), kMinChunkBytes));
+  const std::size_t chunk_bytes = std::max(round_up(high_water_, kAlign), kMinChunkBytes);
+  chunks_.emplace_back(chunk_bytes);
   ++chunk_allocs_;
+  FC_METRIC(workspace_chunk_allocs().inc());
+  FC_METRIC(workspace_chunk_bytes().add(chunk_bytes));
   active_ = 0;
 }
 

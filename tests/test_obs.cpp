@@ -1,0 +1,278 @@
+// Tests of the obs telemetry subsystem: registry counters under concurrency,
+// histogram bucket edges, span nesting and thread attribution, Chrome trace
+// export, journal output, and the invariant that telemetry never perturbs a
+// simulation's results.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "fl/simulation.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "test_util.h"
+
+using namespace fedcleanse;
+
+namespace {
+
+// Honor FEDCLEANSE_METRICS / FEDCLEANSE_TRACE for the whole test binary: the
+// TSAN CI job re-runs the concurrency suites with telemetry switched on so
+// the sharded counters and span buffers are exercised under real 4-thread
+// training rounds.
+[[maybe_unused]] const bool g_env_init = [] {
+  obs::init_from_env();
+  return true;
+}();
+
+// Every test here toggles process-global telemetry state; restore it so the
+// rest of the suite (determinism tests in particular) runs telemetry-off.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_metrics_ = obs::metrics_enabled();
+    was_tracing_ = obs::tracing_enabled();
+  }
+  void TearDown() override {
+    obs::set_metrics_enabled(was_metrics_);
+    obs::set_tracing_enabled(was_tracing_);
+    obs::clear_trace_events();
+    obs::set_ambient_journal(nullptr);
+  }
+
+ private:
+  bool was_metrics_ = false;
+  bool was_tracing_ = false;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+TEST_F(ObsTest, CounterDisabledByDefaultCostsNothing) {
+  obs::set_metrics_enabled(false);
+  auto& c = obs::Registry::global().counter("test.disabled");
+  const std::uint64_t before = c.value();
+  c.add(100);
+  c.inc();
+  EXPECT_EQ(c.value(), before);
+}
+
+TEST_F(ObsTest, CounterExactUnderConcurrentIncrements) {
+  obs::set_metrics_enabled(true);
+  auto& c = obs::Registry::global().counter("test.concurrent");
+  const std::uint64_t before = c.value();
+  constexpr std::size_t kTasks = 64;
+  constexpr std::uint64_t kPerTask = 10000;
+  common::ThreadPool pool(4);
+  pool.parallel_for(kTasks, [&](std::size_t) {
+    for (std::uint64_t i = 0; i < kPerTask; ++i) c.inc();
+  });
+  EXPECT_EQ(c.value(), before + kTasks * kPerTask);
+}
+
+TEST_F(ObsTest, RegistryReturnsSameMetricForSameName) {
+  auto& a = obs::Registry::global().counter("test.same_name");
+  auto& b = obs::Registry::global().counter("test.same_name");
+  EXPECT_EQ(&a, &b);
+  auto& h1 = obs::Registry::global().histogram("test.same_hist", {1.0, 2.0});
+  auto& h2 = obs::Registry::global().histogram("test.same_hist", {99.0});
+  EXPECT_EQ(&h1, &h2);  // bounds fixed at first registration
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST_F(ObsTest, HistogramBucketBoundariesAreUpperInclusive) {
+  obs::set_metrics_enabled(true);
+  auto& h = obs::Registry::global().histogram("test.edges", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1       -> bucket 0
+  h.observe(1.0);    // == 1       -> bucket 0 (upper-inclusive)
+  h.observe(1.5);    // (1, 10]    -> bucket 1
+  h.observe(10.0);   // == 10      -> bucket 1
+  h.observe(100.0);  // == 100     -> bucket 2
+  h.observe(101.0);  // > last     -> overflow
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.total_count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 10.0 + 100.0 + 101.0);
+}
+
+TEST_F(ObsTest, GaugeHoldsLastValue) {
+  obs::set_metrics_enabled(true);
+  auto& g = obs::Registry::global().gauge("test.gauge");
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST_F(ObsTest, ScrapeSeesRegisteredMetrics) {
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().counter("test.scrape_me").add(7);
+  const auto snap = obs::Registry::global().scrape();
+  ASSERT_TRUE(snap.counters.count("test.scrape_me"));
+  EXPECT_GE(snap.counters.at("test.scrape_me"), 7u);
+}
+
+TEST_F(ObsTest, SpanMeasuresWithTracingOff) {
+  obs::set_tracing_enabled(false);
+  double sink = 0.0;
+  {
+    obs::Span span("measured", "test", &sink);
+  }
+  EXPECT_GE(sink, 0.0);
+  // No event was recorded.
+  for (const auto& e : obs::trace_events_snapshot()) {
+    EXPECT_STRNE(e.name, "measured");
+  }
+}
+
+TEST_F(ObsTest, SpanNestingAndThreadAttribution) {
+  obs::clear_trace_events();
+  obs::set_tracing_enabled(true);
+  {
+    obs::Span outer("outer", "test");
+    outer.set_arg("round", 7);
+    {
+      obs::Span inner("inner", "test");
+    }
+  }
+  common::ThreadPool pool(2);
+  pool.submit([] { obs::Span span("on_worker", "test"); }).get();
+  obs::set_tracing_enabled(false);
+
+  const auto events = obs::trace_events_snapshot();
+  const obs::TraceEvent* outer = nullptr;
+  const obs::TraceEvent* inner = nullptr;
+  const obs::TraceEvent* worker = nullptr;
+  for (const auto& e : events) {
+    if (std::string(e.name) == "outer") outer = &e;
+    if (std::string(e.name) == "inner") inner = &e;
+    if (std::string(e.name) == "on_worker") worker = &e;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(worker, nullptr);
+  // RAII nesting: the inner interval lies within the outer one.
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->start_ns + inner->dur_ns, outer->start_ns + outer->dur_ns);
+  // Same thread for nested spans; the pool worker reports a different tid.
+  EXPECT_EQ(inner->tid, outer->tid);
+  EXPECT_EQ(outer->tid, common::thread_index());
+  EXPECT_NE(worker->tid, outer->tid);
+  // The argument survives.
+  ASSERT_STREQ(outer->arg_key, "round");
+  EXPECT_EQ(outer->arg_value, 7);
+}
+
+TEST_F(ObsTest, ChromeTraceFileIsValidJson) {
+  obs::clear_trace_events();
+  obs::set_tracing_enabled(true);
+  {
+    obs::Span span("exported", "test");
+    span.set_arg("k", 42);
+  }
+  obs::set_tracing_enabled(false);
+  const std::string path = ::testing::TempDir() + "obs_trace.json";
+  ASSERT_TRUE(obs::write_chrome_trace(path));
+  const std::string body = read_file(path);
+  // Structural checks: the trace viewer needs a traceEvents array of complete
+  // ("X") events with microsecond timestamps.
+  EXPECT_NE(body.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"exported\""), std::string::npos);
+  EXPECT_NE(body.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(body.find("\"args\":{\"k\":42}"), std::string::npos);
+  EXPECT_EQ(body.rfind("]}"), body.size() - 3);  // trailing newline
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, JournalWritesOneJsonObjectPerLine) {
+  obs::set_metrics_enabled(false);  // no "metrics" splice: lines are exact
+  const std::string path = ::testing::TempDir() + "obs_journal.jsonl";
+  {
+    obs::Journal journal(path);
+    ASSERT_TRUE(journal.ok());
+    obs::JsonObject a;
+    a.add("kind", "train_round").add("round", 0).add("ta", 0.5).add("quorum_met", true);
+    journal.write(a);
+    obs::JsonObject b;
+    b.add("kind", "train_round").add("round", 1).add("ta", 0.625).add("note", "x\"y\n");
+    journal.write(b);
+    EXPECT_EQ(journal.lines_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "{\"kind\":\"train_round\",\"round\":0,\"ta\":0.5,\"quorum_met\":true}");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"note\":\"x\\\"y\\n\""), std::string::npos);
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, JournalEmbedsCounterDeltasWhenMetricsOn) {
+  obs::set_metrics_enabled(true);
+  const std::string path = ::testing::TempDir() + "obs_journal_metrics.jsonl";
+  {
+    obs::Journal journal(path);
+    ASSERT_TRUE(journal.ok());
+    obs::Registry::global().counter("test.delta").add(3);
+    obs::JsonObject first;
+    first.add("kind", "train_round").add("round", 0).add("ta", 0.1).add("asr", 0.9);
+    journal.write(first);
+    // No new activity: the second line must not repeat the stale delta.
+    obs::JsonObject second;
+    second.add("kind", "train_round").add("round", 1).add("ta", 0.2).add("asr", 0.8);
+    journal.write(second);
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  ASSERT_TRUE(std::getline(in, line1));
+  ASSERT_TRUE(std::getline(in, line2));
+  EXPECT_NE(line1.find("\"test.delta\":3"), std::string::npos);
+  EXPECT_EQ(line2.find("test.delta"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// The load-bearing invariant: a telemetry-on run trains the byte-identical
+// model as a telemetry-off run of the same seed.
+TEST_F(ObsTest, TelemetryDoesNotPerturbSimulation) {
+  const auto cfg = testutil::tiny_sim_config(77);
+
+  obs::set_metrics_enabled(false);
+  obs::set_tracing_enabled(false);
+  fl::Simulation plain(cfg);
+  plain.run();
+  const std::vector<float> want = plain.server().params();
+
+  const std::string jpath = ::testing::TempDir() + "obs_determinism.jsonl";
+  obs::Journal journal(jpath);
+  ASSERT_TRUE(journal.ok());
+  obs::set_ambient_journal(&journal);
+  obs::set_metrics_enabled(true);
+  obs::set_tracing_enabled(true);
+  fl::Simulation traced(cfg);
+  traced.run();
+  obs::set_ambient_journal(nullptr);
+  obs::set_tracing_enabled(false);
+  obs::set_metrics_enabled(false);
+
+  EXPECT_EQ(traced.server().params(), want);
+  EXPECT_EQ(traced.test_accuracy(), plain.test_accuracy());
+  EXPECT_EQ(journal.lines_written(), static_cast<std::size_t>(cfg.rounds));
+  std::remove(jpath.c_str());
+}
