@@ -13,10 +13,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/logging.h"
 #include "defense/pipeline.h"
+#include "fl/run_state.h"
 #include "fl/simulation.h"
 #include "nn/checkpoint.h"
 #include "obs/journal.h"
@@ -48,7 +50,10 @@ void usage(const char* argv0) {
       "  --save PATH        checkpoint the cleansed model\n"
       "  --seed S           RNG seed (default 42)\n"
       "  --journal-out PATH write a JSONL run journal (one line per round)\n"
-      "  --trace-out PATH   write a Chrome trace_event file (Perfetto-loadable)\n",
+      "  --trace-out PATH   write a Chrome trace_event file (Perfetto-loadable)\n"
+      "  --checkpoint-dir D write rotated crash-resume snapshots into D\n"
+      "  --checkpoint-every N  snapshot every N rounds (default 5)\n"
+      "  --resume           continue from the newest snapshot in --checkpoint-dir\n",
       argv0);
 }
 
@@ -69,6 +74,10 @@ int main(int argc, char** argv) {
   defense::DefenseConfig dcfg;
   dcfg.aw_acc_drop = 0.05;
   std::string save_path;
+  std::string journal_path;
+  std::string checkpoint_dir;
+  int checkpoint_every = 5;
+  bool resume = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -133,14 +142,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed") {
       cfg.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--journal-out") {
-      const char* path = next();
-      journal = std::make_unique<obs::Journal>(path);
-      if (!journal->ok()) {
-        std::fprintf(stderr, "cannot open journal %s\n", path);
-        return 2;
-      }
-      obs::set_ambient_journal(journal.get());
-      obs::set_metrics_enabled(true);
+      journal_path = next();
+    } else if (arg == "--checkpoint-dir") {
+      checkpoint_dir = next();
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = std::atoi(next());
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (arg == "--trace-out") {
       obs::set_trace_path(next());
       obs::set_metrics_enabled(true);
@@ -149,6 +157,22 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 2;
     }
+  }
+
+  if (resume && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return 2;
+  }
+  if (!journal_path.empty()) {
+    // A resumed run appends (the snapshot's {"kind":"resume"} line marks the
+    // boundary) instead of clobbering the crashed run's rounds.
+    journal = std::make_unique<obs::Journal>(journal_path, resume);
+    if (!journal->ok()) {
+      std::fprintf(stderr, "cannot open journal %s\n", journal_path.c_str());
+      return 2;
+    }
+    obs::set_ambient_journal(journal.get());
+    obs::set_metrics_enabled(true);
   }
 
   if (cfg.n_attackers > 0) {
@@ -161,6 +185,22 @@ int main(int argc, char** argv) {
   std::printf("training: %d clients (%d malicious), %d rounds, %d-label non-IID\n",
               cfg.n_clients, cfg.n_attackers, cfg.rounds, cfg.labels_per_client);
   fl::Simulation sim(cfg);
+  std::unique_ptr<fl::CheckpointManager> manager;
+  std::optional<fl::RunSnapshot> resumed;
+  if (!checkpoint_dir.empty()) {
+    manager = std::make_unique<fl::CheckpointManager>(checkpoint_dir, checkpoint_every);
+    if (resume) {
+      resumed = manager->load_latest();
+      if (resumed) {
+        fl::resume_simulation(sim, *resumed);
+        std::printf("  resumed from %s snapshot (next round %d)\n",
+                    resumed->stage.c_str(), resumed->next_round);
+      } else {
+        std::printf("  no snapshot in %s; starting fresh\n", checkpoint_dir.c_str());
+      }
+    }
+    sim.set_checkpoint_manager(manager.get());
+  }
   sim.run();
   std::printf("  trained: TA=%.3f AA=%.3f\n", sim.test_accuracy(), sim.attack_success());
 
@@ -168,7 +208,8 @@ int main(int argc, char** argv) {
     std::printf("defending (%s%s%s)...\n", prune_method_name(dcfg.method),
                 dcfg.enable_finetune ? " + fine-tune" : "",
                 dcfg.enable_adjust_weights ? " + adjust-weights" : "");
-    auto report = defense::run_defense(sim, dcfg);
+    auto report = defense::run_defense(sim, dcfg, manager.get(),
+                                       resumed ? &*resumed : nullptr);
     std::printf("  after FP: TA=%.3f AA=%.3f (%d pruned)\n", report.after_fp.test_acc,
                 report.after_fp.attack_acc, report.neurons_pruned);
     std::printf("  after FT: TA=%.3f AA=%.3f\n", report.after_ft.test_acc,

@@ -8,6 +8,8 @@
 // (TA) and attack success rate (AA) after every stage.
 //
 // Usage: quickstart [seed] [--journal-out run.jsonl] [--trace-out trace.json]
+//                   [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+//                   [--save model.fckp]
 //
 // Telemetry is opt-in and never changes the run: with --journal-out a JSONL
 // run journal (one line per round; validate/tabulate with
@@ -15,14 +17,23 @@
 // a Chrome trace_event file loadable in chrome://tracing or
 // https://ui.perfetto.dev — stdout and the trained model bytes stay identical
 // either way.
+//
+// With --checkpoint-dir the run writes rotated crash-resume snapshots every
+// --checkpoint-every rounds (DESIGN.md §13); kill the process at any point
+// and rerun with --resume added to continue from the newest snapshot — the
+// final model is byte-identical to the uninterrupted run.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
+#include <string>
 
 #include "common/logging.h"
 #include "defense/pipeline.h"
+#include "fl/run_state.h"
 #include "fl/simulation.h"
+#include "nn/checkpoint.h"
 #include "obs/journal.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -33,22 +44,46 @@ int main(int argc, char** argv) {
   common::init_log_level_from_env();
   obs::init_from_env();
   std::uint64_t seed = 42;
-  std::unique_ptr<obs::Journal> journal;
+  std::string journal_path;
+  std::string checkpoint_dir;
+  std::string save_path;
+  int checkpoint_every = 5;
+  bool resume = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--journal-out") == 0 && i + 1 < argc) {
-      journal = std::make_unique<obs::Journal>(argv[++i]);
-      if (!journal->ok()) {
-        std::fprintf(stderr, "cannot open journal %s\n", argv[i]);
-        return 2;
-      }
-      obs::set_ambient_journal(journal.get());
-      obs::set_metrics_enabled(true);
+      journal_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       obs::set_trace_path(argv[++i]);
       obs::set_metrics_enabled(true);
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 && i + 1 < argc) {
+      checkpoint_every = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+      save_path = argv[++i];
     } else {
       seed = std::strtoull(argv[i], nullptr, 10);
     }
+  }
+  if (resume && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return 2;
+  }
+
+  // A resumed run appends to its journal (the snapshot marks the boundary
+  // with a {"kind":"resume"} line) instead of clobbering the rounds the
+  // crashed run already recorded.
+  std::unique_ptr<obs::Journal> journal;
+  if (!journal_path.empty()) {
+    journal = std::make_unique<obs::Journal>(journal_path, resume);
+    if (!journal->ok()) {
+      std::fprintf(stderr, "cannot open journal %s\n", journal_path.c_str());
+      return 2;
+    }
+    obs::set_ambient_journal(journal.get());
+    obs::set_metrics_enabled(true);
   }
 
   fl::SimulationConfig cfg;
@@ -68,6 +103,22 @@ int main(int argc, char** argv) {
   std::printf("Training 10-client federated model (1 attacker, trigger: %s)...\n",
               cfg.attack.pattern.name.c_str());
   fl::Simulation sim(cfg);
+  std::unique_ptr<fl::CheckpointManager> manager;
+  std::optional<fl::RunSnapshot> resumed;
+  if (!checkpoint_dir.empty()) {
+    manager = std::make_unique<fl::CheckpointManager>(checkpoint_dir, checkpoint_every);
+    if (resume) {
+      resumed = manager->load_latest();
+      if (resumed) {
+        fl::resume_simulation(sim, *resumed);
+        std::printf("  resumed from %s snapshot (next round %d)\n",
+                    resumed->stage.c_str(), resumed->next_round);
+      } else {
+        std::printf("  no snapshot in %s; starting fresh\n", checkpoint_dir.c_str());
+      }
+    }
+    sim.set_checkpoint_manager(manager.get());
+  }
   sim.run();
   std::printf("  after training: TA=%.3f  AA=%.3f\n", sim.test_accuracy(),
               sim.attack_success());
@@ -77,7 +128,8 @@ int main(int argc, char** argv) {
   dcfg.vote_prune_rate = 0.5;
 
   std::printf("Running defense pipeline (FP -> FT -> AW)...\n");
-  auto report = defense::run_defense(sim, dcfg);
+  auto report = defense::run_defense(sim, dcfg, manager.get(),
+                                     resumed ? &*resumed : nullptr);
 
   std::printf("  stage          TA      AA\n");
   std::printf("  training     %.3f   %.3f\n", report.training.test_acc,
@@ -91,6 +143,11 @@ int main(int argc, char** argv) {
               report.adjust.final_delta);
   std::printf("Network traffic: %.2f MiB\n",
               static_cast<double>(sim.network().total_bytes()) / (1024.0 * 1024.0));
+
+  if (!save_path.empty()) {
+    nn::save_model_file(sim.server().model(), save_path);
+    std::printf("saved cleansed model to %s\n", save_path.c_str());
+  }
 
   // Telemetry artifacts land on stderr-side reporting only: stdout above is
   // byte-identical whether or not a journal/trace was requested.

@@ -1,19 +1,29 @@
 #!/usr/bin/env python3
 """Validate a fedcleanse run journal (JSONL) and print its TA/ASR table.
 
-Usage: journal_check.py RUN.jsonl [--quiet]
+Usage: journal_check.py RUN.jsonl [--quiet] [--stable]
 
 A journal is one JSON object per line, written by Simulation::run,
 federated_finetune, and run_defense (see DESIGN.md "Observability").
 Checks enforced here:
 
   * every line parses as a JSON object with a known "kind"
-    (train_round | finetune_round | defense)
+    (train_round | finetune_round | defense | resume)
   * round-bearing kinds carry round / ta / asr / n_participants / n_valid,
     with ta and asr in [0, 1]
   * rounds are monotonically increasing within each kind (journals append
     in execution order; out-of-order rounds mean interleaved writers)
   * a "defense" line carries the stage accuracies and phase_seconds
+
+Crash-resume journals (DESIGN.md §13): a resumed run appends to the crashed
+run's journal after a {"kind": "resume", "stage": ..., "round": R} marker.
+Rounds at or after R were re-run, so the crashed run's entries for them are
+superseded and dropped here; a torn (half-written) line is forgiven when a
+resume marker follows it, since the crash that tore it is exactly what the
+resume repaired. With --stable the output omits everything that legitimately
+differs between a resumed run and an uninterrupted reference run (wall-clock
+phase timings, the journal path), so the two outputs can be diffed byte-for-
+byte to prove the resume replayed the same rounds.
 
 Exit code is 1 on any violation, so CI can gate on it.
 """
@@ -24,15 +34,37 @@ import json
 import sys
 
 ROUND_KINDS = ("train_round", "finetune_round")
-KNOWN_KINDS = ROUND_KINDS + ("defense",)
+KNOWN_KINDS = ROUND_KINDS + ("defense", "resume")
 ROUND_KEYS = ("round", "ta", "asr", "n_participants", "n_valid")
 DEFENSE_KEYS = ("method", "ta", "asr", "ta_before", "asr_before",
                 "neurons_pruned", "weights_zeroed", "phase_seconds")
 
 
+def apply_resume(entries: list[dict], stage: str, rnd: int) -> None:
+    """Drop entries the resumed run is about to re-write.
+
+    A "train"-stage resume replays training from round `rnd` and everything
+    after it (fine-tuning, defense); a "finetune"-stage resume replays
+    fine-tune rounds from `rnd` and the defense summary.
+    """
+    def superseded(e: dict) -> bool:
+        kind = e.get("kind")
+        if kind == "defense":
+            return True
+        if kind == "train_round":
+            return stage == "train" and e["round"] >= rnd
+        if kind == "finetune_round":
+            return stage == "train" or e["round"] >= rnd
+        return False
+
+    entries[:] = [e for e in entries if not superseded(e)]
+
+
 def check(path: str) -> tuple[list[dict], list[str]]:
     entries: list[dict] = []
-    errors: list[str] = []
+    errors: list[tuple[int, str]] = []
+    torn: list[int] = []      # line numbers that failed to parse as JSON
+    resumes: list[int] = []   # line numbers of resume markers
     last_round: dict[str, int] = {}
     with open(path) as f:
         for lineno, line in enumerate(f, 1):
@@ -43,38 +75,58 @@ def check(path: str) -> tuple[list[dict], list[str]]:
             try:
                 entry = json.loads(line)
             except json.JSONDecodeError as e:
-                errors.append(f"{where}: not valid JSON ({e})")
+                errors.append((lineno, f"{where}: not valid JSON ({e})"))
+                torn.append(lineno)
                 continue
             if not isinstance(entry, dict):
-                errors.append(f"{where}: line is not a JSON object")
+                errors.append((lineno, f"{where}: line is not a JSON object"))
                 continue
             kind = entry.get("kind")
             if kind not in KNOWN_KINDS:
-                errors.append(f"{where}: unknown kind {kind!r}")
+                errors.append((lineno, f"{where}: unknown kind {kind!r}"))
+                continue
+            if kind == "resume":
+                stage, rnd = entry.get("stage"), entry.get("round")
+                if stage not in ("train", "finetune") or not isinstance(rnd, int):
+                    errors.append((lineno, f"{where}: malformed resume marker"))
+                    continue
+                resumes.append(lineno)
+                apply_resume(entries, stage, rnd)
+                # Monotonicity restarts at the resume point for the replayed
+                # kinds (the resumed process re-emits those rounds).
+                if stage == "train":
+                    last_round.pop("finetune_round", None)
+                    last_round["train_round"] = rnd - 1
+                else:
+                    last_round["finetune_round"] = rnd - 1
                 continue
             required = ROUND_KEYS if kind in ROUND_KINDS else DEFENSE_KEYS
             missing = [k for k in required if k not in entry]
             if missing:
-                errors.append(f"{where}: {kind} missing keys {missing}")
+                errors.append((lineno, f"{where}: {kind} missing keys {missing}"))
                 continue
             for k in ("ta", "asr"):
                 v = entry[k]
                 if not isinstance(v, (int, float)) or not (0.0 <= v <= 1.0):
-                    errors.append(f"{where}: {k}={v!r} outside [0, 1]")
+                    errors.append((lineno, f"{where}: {k}={v!r} outside [0, 1]"))
             if kind in ROUND_KINDS:
                 r = entry["round"]
                 if not isinstance(r, int) or r < 0:
-                    errors.append(f"{where}: bad round {r!r}")
+                    errors.append((lineno, f"{where}: bad round {r!r}"))
                 elif kind in last_round and r <= last_round[kind]:
                     errors.append(
-                        f"{where}: {kind} round {r} not after {last_round[kind]}")
+                        (lineno, f"{where}: {kind} round {r} not after {last_round[kind]}"))
                 else:
                     last_round[kind] = r
             entries.append(entry)
-    return entries, errors
+
+    # A line torn by the crash is not an error when a resume marker follows:
+    # the entry it would have held was replayed by the resumed run.
+    forgiven = {n for n in torn if any(r > n for r in resumes)}
+    return entries, [msg for n, msg in errors if n not in forgiven]
 
 
-def print_table(entries: list[dict]) -> None:
+def print_table(entries: list[dict], stable: bool) -> None:
     rounds = [e for e in entries if e.get("kind") in ROUND_KINDS]
     if rounds:
         print(f"{'kind':<15} {'round':>5} {'TA':>7} {'ASR':>7} {'valid':>5} {'drop':>4} {'retry':>5}")
@@ -89,7 +141,7 @@ def print_table(entries: list[dict]) -> None:
               f"ASR {e['asr_before']:.3f} -> {e['asr']:.3f}, "
               f"{e['neurons_pruned']} pruned, {e['weights_zeroed']} zeroed")
         phases = e.get("phase_seconds") or {}
-        if phases:
+        if phases and not stable:
             print("  " + "  ".join(f"{k}={v:.2f}s" for k, v in sorted(phases.items())))
 
 
@@ -97,6 +149,10 @@ def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("journal", help="path to the JSONL run journal")
     ap.add_argument("--quiet", action="store_true", help="suppress the TA/ASR table")
+    ap.add_argument("--stable", action="store_true",
+                    help="omit wall-clock timings and the journal path so a "
+                         "resumed run's output diffs clean against an "
+                         "uninterrupted reference")
     args = ap.parse_args()
 
     try:
@@ -106,14 +162,15 @@ def main() -> int:
         return 1
 
     if not args.quiet:
-        print_table(entries)
+        print_table(entries, args.stable)
     if not entries:
         errors.append(f"{args.journal}: journal is empty")
     for err in errors:
         print(f"error: {err}", file=sys.stderr)
     if errors:
         return 1
-    print(f"{args.journal}: OK ({len(entries)} entries)")
+    label = "journal" if args.stable else args.journal
+    print(f"{label}: OK ({len(entries)} entries)")
     return 0
 
 

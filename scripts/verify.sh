@@ -27,4 +27,20 @@ echo "== telemetry: quickstart journal + trace, stdout unperturbed =="
 diff /tmp/fc_stdout_off.txt /tmp/fc_stdout_on.txt
 python3 scripts/journal_check.py --quiet /tmp/fc_run.jsonl
 
+echo "== crash-resume: SIGKILL mid-run, resume, model bytes identical =="
+rm -rf /tmp/fc_ckpt /tmp/fc_ref.fckp /tmp/fc_out.fckp
+./build/examples/quickstart 42 --save /tmp/fc_ref.fckp > /dev/null
+./build/examples/quickstart 42 --checkpoint-dir /tmp/fc_ckpt \
+  --checkpoint-every 2 --save /tmp/fc_out.fckp > /dev/null &
+fc_pid=$!
+while [ ! -f /tmp/fc_ckpt/snapshot-000002.fcrs ]; do
+  kill -0 "$fc_pid" 2>/dev/null || { echo "run finished before the kill"; exit 1; }
+  sleep 0.2
+done
+kill -9 "$fc_pid"
+wait "$fc_pid" || true
+./build/examples/quickstart 42 --checkpoint-dir /tmp/fc_ckpt \
+  --checkpoint-every 2 --resume --save /tmp/fc_out.fckp > /dev/null
+cmp /tmp/fc_ref.fckp /tmp/fc_out.fckp
+
 echo "verify: OK"

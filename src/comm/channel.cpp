@@ -52,4 +52,19 @@ std::size_t Channel::bytes_sent() const {
   return bytes_sent_;
 }
 
+std::vector<Message> Channel::snapshot_queue() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {queue_.begin(), queue_.end()};
+}
+
+void Channel::restore(std::vector<Message> queue, std::size_t bytes_sent) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.assign(std::make_move_iterator(queue.begin()),
+                  std::make_move_iterator(queue.end()));
+    bytes_sent_ = bytes_sent;
+  }
+  cv_.notify_all();
+}
+
 }  // namespace fedcleanse::comm

@@ -29,6 +29,13 @@ class Channel {
   std::size_t pending() const;
   std::size_t bytes_sent() const;
 
+  // Checkpoint support (quiescent wire only — no concurrent senders or
+  // receivers): copy out / replace the queued messages and byte counter.
+  // Counter restoration keeps Network::total_bytes() identical across a
+  // crash-resume, so traffic accounting never forgets the pre-crash rounds.
+  std::vector<Message> snapshot_queue() const;
+  void restore(std::vector<Message> queue, std::size_t bytes_sent);
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;

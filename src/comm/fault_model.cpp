@@ -83,6 +83,21 @@ FaultModel::Fate FaultModel::next_fate(int client, Direction dir, std::uint32_t 
   return fate;
 }
 
+std::vector<common::RngState> FaultModel::stream_states() const {
+  std::vector<common::RngState> states;
+  states.reserve(streams_.size());
+  for (const auto& s : streams_) states.push_back(s.state());
+  return states;
+}
+
+void FaultModel::restore_stream_states(const std::vector<common::RngState>& states) {
+  if (states.size() != streams_.size()) {
+    throw CheckpointError("fault snapshot has " + std::to_string(states.size()) +
+                          " RNG streams, expected " + std::to_string(streams_.size()));
+  }
+  for (std::size_t i = 0; i < streams_.size(); ++i) streams_[i].restore(states[i]);
+}
+
 void FaultModel::corrupt(Message& message, int client, Direction dir) {
   auto& rng = stream(client, dir);
   auto& payload = message.payload;

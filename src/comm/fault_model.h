@@ -118,6 +118,14 @@ class FaultModel {
   // stream. Every mode produces something the receiving side must survive.
   void corrupt(Message& message, int client, Direction dir);
 
+  // Checkpoint support: the per-link RNG stream states, in [2·client + dir]
+  // order. The straggler and crash schedules are pure functions of the
+  // (config, seed) pair and are rebuilt by the constructor, so only the
+  // consumed stream positions need saving. restore_stream_states throws
+  // CheckpointError on a count mismatch (snapshot from a different topology).
+  std::vector<common::RngState> stream_states() const;
+  void restore_stream_states(const std::vector<common::RngState>& states);
+
  private:
   common::Rng& stream(int client, Direction dir);
 

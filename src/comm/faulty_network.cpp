@@ -81,4 +81,55 @@ FaultStats FaultyNetwork::stats() const {
   return total;
 }
 
+void FaultyNetwork::save_state(common::ByteWriter& w) const {
+  Network::save_state(w);
+  w.write_u64(phase_.load(std::memory_order_relaxed));
+  w.write_u32(static_cast<std::uint32_t>(links_.size()));
+  for (const auto& link : links_) {
+    w.write_u64(static_cast<std::uint64_t>(link.stats.dropped));
+    w.write_u64(static_cast<std::uint64_t>(link.stats.corrupted));
+    w.write_u64(static_cast<std::uint64_t>(link.stats.duplicated));
+    w.write_u64(static_cast<std::uint64_t>(link.stats.delayed));
+    w.write_u64(static_cast<std::uint64_t>(link.stats.crashed));
+    w.write_u32(static_cast<std::uint32_t>(link.delayed.size()));
+    for (const auto& d : link.delayed) {
+      w.write_u64(d.phase);
+      write_message_verbatim(w, d.message);
+    }
+  }
+  const auto streams = model_.stream_states();
+  w.write_u32(static_cast<std::uint32_t>(streams.size()));
+  for (const auto& s : streams) common::write_rng_state(w, s);
+}
+
+void FaultyNetwork::restore_state(common::ByteReader& r) {
+  Network::restore_state(r);
+  phase_.store(r.read_u64(), std::memory_order_relaxed);
+  const std::uint32_t n_links = r.read_u32();
+  if (static_cast<std::size_t>(n_links) != links_.size()) {
+    throw CheckpointError("fault snapshot has " + std::to_string(n_links) +
+                          " fault links, expected " + std::to_string(links_.size()));
+  }
+  for (auto& link : links_) {
+    link.stats.dropped = static_cast<std::size_t>(r.read_u64());
+    link.stats.corrupted = static_cast<std::size_t>(r.read_u64());
+    link.stats.duplicated = static_cast<std::size_t>(r.read_u64());
+    link.stats.delayed = static_cast<std::size_t>(r.read_u64());
+    link.stats.crashed = static_cast<std::size_t>(r.read_u64());
+    const std::uint32_t n_delayed = r.read_u32();
+    link.delayed.clear();
+    for (std::uint32_t i = 0; i < n_delayed; ++i) {
+      Delayed d;
+      d.phase = r.read_u64();
+      d.message = read_message_verbatim(r);
+      link.delayed.push_back(std::move(d));
+    }
+  }
+  const std::uint32_t n_streams = r.read_u32();
+  std::vector<common::RngState> streams;
+  streams.reserve(n_streams);
+  for (std::uint32_t i = 0; i < n_streams; ++i) streams.push_back(common::read_rng_state(r));
+  model_.restore_stream_states(streams);
+}
+
 }  // namespace fedcleanse::comm

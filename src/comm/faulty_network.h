@@ -35,6 +35,12 @@ class FaultyNetwork : public Network {
   // Aggregate fault counts across all links (coordinating thread only).
   FaultStats stats() const;
 
+  // Checkpoint support (coordinating thread only): base channels, then the
+  // phase counter, per-link fault stats and delayed queues, and the fault
+  // model's RNG stream states.
+  void save_state(common::ByteWriter& w) const override;
+  void restore_state(common::ByteReader& r) override;
+
  private:
   struct Delayed {
     Message message;

@@ -51,12 +51,7 @@ auto decode_checked(const char* codec, const std::vector<std::uint8_t>& payload,
 }  // namespace
 
 std::uint64_t payload_checksum(const std::vector<std::uint8_t>& payload) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64
-  for (std::uint8_t b : payload) {
-    h ^= b;
-    h *= 0x100000001B3ULL;
-  }
-  return h;
+  return common::fnv1a(payload);
 }
 
 std::vector<std::uint8_t> encode_message(const Message& m) {
@@ -89,6 +84,33 @@ Message decode_message(const std::vector<std::uint8_t>& bytes) {
     }
     return m;
   });
+}
+
+void write_message_verbatim(common::ByteWriter& w, const Message& m) {
+  w.write_u8(static_cast<std::uint8_t>(m.type));
+  w.write_u32(m.round);
+  w.write_i32(m.sender);
+  w.write_u64(m.checksum);  // as stored, not recomputed
+  w.write_u8_vector(m.payload);
+}
+
+Message read_message_verbatim(common::ByteReader& r) {
+  Message m;
+  const std::uint8_t raw_type = r.read_u8();
+  // FaultModel::corrupt only produces valid type bytes, so every message a
+  // snapshot can contain parses; an invalid byte means the snapshot itself
+  // is bad (and should have failed its checksum before reaching us).
+  auto type = parse_message_type(raw_type);
+  if (!type) {
+    throw SerializationError("snapshot message has unknown type byte " +
+                             std::to_string(raw_type));
+  }
+  m.type = *type;
+  m.round = r.read_u32();
+  m.sender = r.read_i32();
+  m.checksum = r.read_u64();
+  m.payload = r.read_u8_vector();
+  return m;
 }
 
 std::vector<std::uint8_t> encode_flat_params(const std::vector<float>& params) {

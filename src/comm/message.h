@@ -77,6 +77,15 @@ struct Message {
 std::vector<std::uint8_t> encode_message(const Message& m);
 Message decode_message(const std::vector<std::uint8_t>& bytes);
 
+// Checkpoint codec: serialize a message *verbatim*, keeping the stored
+// checksum even when it no longer matches the payload. encode_message always
+// re-stamps the true checksum, which would silently heal a fault-corrupted
+// in-flight message across a crash-resume; this pair keeps the wire state
+// bit-exact so the resumed run rejects exactly what the uninterrupted run
+// would have. Only run snapshots use it — never the wire.
+void write_message_verbatim(common::ByteWriter& w, const Message& m);
+Message read_message_verbatim(common::ByteReader& r);
+
 // --- payload codecs ---------------------------------------------------------
 // Every decoder validates the payload end to end and throws DecodeError on
 // anything malformed (truncated, oversized, or with a lying length prefix);

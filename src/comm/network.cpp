@@ -57,4 +57,34 @@ std::size_t Network::uplink_bytes() const {
 
 std::size_t Network::total_bytes() const { return downlink_bytes() + uplink_bytes(); }
 
+void Network::save_state(common::ByteWriter& w) const {
+  w.write_u32(static_cast<std::uint32_t>(links_.size()));
+  for (const auto& l : links_) {
+    for (const Channel* ch : {&l->to_client, &l->to_server}) {
+      w.write_u64(static_cast<std::uint64_t>(ch->bytes_sent()));
+      const auto queue = ch->snapshot_queue();
+      w.write_u32(static_cast<std::uint32_t>(queue.size()));
+      for (const auto& m : queue) write_message_verbatim(w, m);
+    }
+  }
+}
+
+void Network::restore_state(common::ByteReader& r) {
+  const std::uint32_t n = r.read_u32();
+  if (static_cast<int>(n) != n_clients()) {
+    throw CheckpointError("network snapshot has " + std::to_string(n) +
+                          " links, expected " + std::to_string(n_clients()));
+  }
+  for (auto& l : links_) {
+    for (Channel* ch : {&l->to_client, &l->to_server}) {
+      const auto bytes_sent = static_cast<std::size_t>(r.read_u64());
+      const std::uint32_t count = r.read_u32();
+      std::vector<Message> queue;
+      queue.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) queue.push_back(read_message_verbatim(r));
+      ch->restore(std::move(queue), bytes_sent);
+    }
+  }
+}
+
 }  // namespace fedcleanse::comm

@@ -12,6 +12,7 @@
 
 #include "comm/channel.h"
 #include "common/error.h"
+#include "common/serialize.h"
 
 namespace fedcleanse::comm {
 
@@ -44,6 +45,16 @@ class Network {
   std::size_t total_bytes() const;
   std::size_t downlink_bytes() const;  // server → clients
   std::size_t uplink_bytes() const;    // clients → server
+
+  // Checkpoint support (coordinating thread only, no client tasks running):
+  // serialize / restore every channel's queued messages and byte counters.
+  // Messages are written verbatim so a fault-corrupted in-flight message
+  // stays corrupted across a crash-resume. Virtual so FaultyNetwork can
+  // append its delayed queues, fault stats, and RNG stream states.
+  // restore_state expects an identically-configured network (same n_clients)
+  // and throws CheckpointError on mismatch.
+  virtual void save_state(common::ByteWriter& w) const;
+  virtual void restore_state(common::ByteReader& r);
 
  private:
   struct Link {

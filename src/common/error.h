@@ -49,6 +49,15 @@ class QuorumError : public Error {
   explicit QuorumError(const std::string& what) : Error("quorum error: " + what) {}
 };
 
+// Unusable on-disk checkpoint: truncated, bit-flipped, wrong magic/version,
+// failed payload checksum, or inconsistent with the configured experiment.
+// Loaders throw this (never FC_REQUIRE) so callers can fall back to an older
+// snapshot generation instead of dying.
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& what) : Error("checkpoint error: " + what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
                                         const std::string& msg) {

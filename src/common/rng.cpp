@@ -92,6 +92,34 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::siz
   return pool;
 }
 
+RngState Rng::state() const {
+  RngState st;
+  st.s = s_;
+  st.has_cached_normal = has_cached_normal_;
+  st.cached_normal = cached_normal_;
+  return st;
+}
+
+void Rng::restore(const RngState& state) {
+  s_ = state.s;
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
+void write_rng_state(ByteWriter& w, const RngState& state) {
+  for (std::uint64_t word : state.s) w.write_u64(word);
+  w.write_bool(state.has_cached_normal);
+  w.write_f64(state.cached_normal);
+}
+
+RngState read_rng_state(ByteReader& r) {
+  RngState state;
+  for (auto& word : state.s) word = r.read_u64();
+  state.has_cached_normal = r.read_bool();
+  state.cached_normal = r.read_f64();
+  return state;
+}
+
 Rng Rng::split() {
   // Derive a child seed from two draws; xoshiro streams seeded through
   // splitmix64 from independent 64-bit values do not overlap in practice.

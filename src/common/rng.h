@@ -12,10 +12,29 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.h"
+
 namespace fedcleanse::common {
 
 // splitmix64 step — used for seeding and stream splitting.
 std::uint64_t splitmix64(std::uint64_t& state);
+
+// Complete serializable generator state: the xoshiro256** words plus the
+// Box-Muller cache (normal() produces values in pairs; dropping the cached
+// second value would shift every draw after a restore). Copying this out and
+// back reproduces the draw sequence exactly — the foundation of the
+// bit-identical crash-resume guarantee (DESIGN.md §13).
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+
+  bool operator==(const RngState&) const = default;
+};
+
+// RngState ↔ bytes, for the run-snapshot format.
+void write_rng_state(ByteWriter& w, const RngState& state);
+RngState read_rng_state(ByteReader& r);
 
 class Rng {
  public:
@@ -54,6 +73,12 @@ class Rng {
 
   // Derive an independent child generator (for per-client streams).
   Rng split();
+
+  // Snapshot / restore the full generator state (checkpoint support). A
+  // restored generator replays exactly the draws the snapshotted one would
+  // have produced, across every draw kind.
+  RngState state() const;
+  void restore(const RngState& state);
 
  private:
   std::array<std::uint64_t, 4> s_{};

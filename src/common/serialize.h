@@ -15,6 +15,13 @@
 
 namespace fedcleanse::common {
 
+// FNV-1a 64 over a byte range — the integrity check shared by the comm
+// layer's message stamps and the checkpoint formats (model + run snapshots).
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n);
+inline std::uint64_t fnv1a(const std::vector<std::uint8_t>& bytes) {
+  return fnv1a(bytes.data(), bytes.size());
+}
+
 class ByteWriter {
  public:
   void write_u8(std::uint8_t v);

@@ -7,37 +7,68 @@
 
 namespace fedcleanse::defense {
 
-FineTuneOutcome federated_finetune(fl::Simulation& sim, const FineTuneConfig& config) {
+void write_finetune_state(common::ByteWriter& w, const FineTuneState& state) {
+  w.write_i32(state.next_round);
+  w.write_f64(state.best);
+  w.write_f32_vector(state.best_params);
+  w.write_i32(state.stale);
+  w.write_u32(static_cast<std::uint32_t>(state.history.size()));
+  for (const auto& rec : state.history) fl::write_round_record(w, rec);
+}
+
+FineTuneState read_finetune_state(common::ByteReader& r) {
+  FineTuneState state;
+  state.next_round = r.read_i32();
+  state.best = r.read_f64();
+  state.best_params = r.read_f32_vector();
+  state.stale = r.read_i32();
+  const std::uint32_t n = r.read_u32();
+  state.history.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) state.history.push_back(fl::read_round_record(r));
+  return state;
+}
+
+FineTuneOutcome federated_finetune(fl::Simulation& sim, const FineTuneConfig& config,
+                                   const FineTuneState* resume,
+                                   const FineTuneCheckpointHook& checkpoint) {
   FC_REQUIRE(config.max_rounds >= 0 && config.patience >= 1, "bad fine-tune config");
   auto& server = sim.server();
   const auto clients = sim.all_client_ids();
 
-  // Propagate the pruned structure to every client so local training cannot
-  // resurrect pruned neurons, and drop the learning rate for recovery. Masks
-  // have no acknowledgement, so on a faulty wire re-send them once per
-  // configured retry: a client that misses every copy fine-tunes unmasked,
-  // which the server's keep-best loop tolerates.
-  const std::uint32_t mask_round = 2002;  // defense round-tag space
-  const int mask_sends = 1 + std::max(0, sim.config().fault.max_request_retries);
-  for (int s = 0; s < mask_sends; ++s) {
-    server.broadcast_masks(clients, mask_round);
-    sim.dispatch_clients(clients);
-    if (sim.faulty_network() == nullptr) break;  // perfect wire: one send is enough
-  }
-  for (int c : clients) {
-    auto& client = sim.clients()[static_cast<std::size_t>(c)];
-    client.set_lr(client.lr() * config.lr_scale);
+  FineTuneState state;
+  if (resume == nullptr) {
+    // Propagate the pruned structure to every client so local training cannot
+    // resurrect pruned neurons, and drop the learning rate for recovery. Masks
+    // have no acknowledgement, so on a faulty wire re-send them once per
+    // configured retry: a client that misses every copy fine-tunes unmasked,
+    // which the server's keep-best loop tolerates.
+    const std::uint32_t mask_round = 2002;  // defense round-tag space
+    const int mask_sends = 1 + std::max(0, sim.config().fault.max_request_retries);
+    for (int s = 0; s < mask_sends; ++s) {
+      server.broadcast_masks(clients, mask_round);
+      sim.dispatch_clients(clients);
+      if (sim.faulty_network() == nullptr) break;  // perfect wire: one send is enough
+    }
+    for (int c : clients) {
+      auto& client = sim.clients()[static_cast<std::size_t>(c)];
+      client.set_lr(client.lr() * config.lr_scale);
+    }
+    // Keep-best: fine-tuning must never leave the model worse than its best
+    // observed state (attackers participate and can destabilize rounds).
+    state.best = server.validation_accuracy();
+    state.best_params = server.params();
+  } else {
+    // Masks, rescaled learning rates, and the wire all live in the restored
+    // simulation; re-broadcasting would consume fault-RNG draws the
+    // uninterrupted run never made.
+    state = *resume;
   }
 
-  FineTuneOutcome outcome;
-  double best = server.validation_accuracy();
-  // Keep-best: fine-tuning must never leave the model worse than its best
-  // observed state (attackers participate and can destabilize rounds).
-  std::vector<float> best_params = server.params();
-  int stale = 0;
-  for (int r = 0; r < config.max_rounds; ++r) {
+  for (int r = state.next_round; r < config.max_rounds; ++r) {
+    // A snapshot can capture the loop right after the round that exhausted
+    // patience; the resumed run must stop where the uninterrupted one did.
+    if (state.stale >= config.patience) break;
     sim.run_round(static_cast<std::uint32_t>(1000 + r));  // distinct round ids
-    ++outcome.rounds_run;
 
     fl::RoundRecord rec;
     rec.round = r;
@@ -50,7 +81,7 @@ FineTuneOutcome federated_finetune(fl::Simulation& sim, const FineTuneConfig& co
     rec.n_corrupted = ex.n_corrupted;
     rec.n_retried = ex.n_retried;
     rec.quorum_met = ex.quorum_met;
-    outcome.history.push_back(rec);
+    state.history.push_back(rec);
     if (obs::Journal* journal = obs::ambient_journal()) {
       obs::JsonObject entry;
       entry.add("kind", "finetune_round")
@@ -69,15 +100,24 @@ FineTuneOutcome federated_finetune(fl::Simulation& sim, const FineTuneConfig& co
     const double acc = server.validation_accuracy();
     FC_LOG(Debug) << "fine-tune round " << r << " val=" << acc << " TA=" << rec.test_acc
                   << " AA=" << rec.attack_acc;
-    if (acc > best) {
-      best = acc;
-      best_params = server.params();
-      stale = 0;
-    } else if (++stale >= config.patience) {
-      break;
+    if (acc > state.best) {
+      state.best = acc;
+      state.best_params = server.params();
+      state.stale = 0;
+    } else {
+      ++state.stale;
     }
+    state.next_round = r + 1;
+    // Checkpoint after the stop decision is folded into `stale`, so a resume
+    // from this snapshot takes the same branch the uninterrupted run took.
+    if (checkpoint) checkpoint(state);
+    if (state.stale >= config.patience) break;
   }
-  server.set_params(best_params);
+  server.set_params(state.best_params);
+
+  FineTuneOutcome outcome;
+  outcome.rounds_run = static_cast<int>(state.history.size());
+  outcome.history = std::move(state.history);
   outcome.final_accuracy = server.validation_accuracy();
   return outcome;
 }

@@ -6,6 +6,7 @@
 // is why the attack success rate climbs back during this phase.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "fl/simulation.h"
@@ -27,6 +28,31 @@ struct FineTuneOutcome {
   std::vector<fl::RoundRecord> history;
 };
 
-FineTuneOutcome federated_finetune(fl::Simulation& sim, const FineTuneConfig& config);
+// The keep-best loop's full cross-round state, captured at a fine-tune round
+// boundary so a crashed run can resume mid-fine-tuning (DESIGN.md §13). The
+// mask broadcast and learning-rate rescale happen once, before round 0, and
+// live inside the simulation snapshot — a resume must not repeat them.
+struct FineTuneState {
+  int next_round = 0;  // fine-tune round the loop continues at
+  double best = 0.0;
+  std::vector<float> best_params;
+  int stale = 0;
+  std::vector<fl::RoundRecord> history;
+};
+
+// FineTuneState ↔ bytes (embedded in the defense stage snapshot).
+void write_finetune_state(common::ByteWriter& w, const FineTuneState& state);
+FineTuneState read_finetune_state(common::ByteReader& r);
+
+// Invoked after every completed fine-tune round with the current loop state.
+// The defense pipeline installs one that writes a run snapshot when the
+// round is due.
+using FineTuneCheckpointHook = std::function<void(const FineTuneState&)>;
+
+// Run (or, with `resume`, continue) the fine-tuning stage. `resume` must
+// come from a snapshot of a simulation restored into `sim`.
+FineTuneOutcome federated_finetune(fl::Simulation& sim, const FineTuneConfig& config,
+                                   const FineTuneState* resume = nullptr,
+                                   const FineTuneCheckpointHook& checkpoint = {});
 
 }  // namespace fedcleanse::defense

@@ -65,6 +65,83 @@ std::function<double()> make_accuracy_oracle(fl::Simulation& sim,
 
 }  // namespace
 
+namespace {
+
+void write_stage_metrics(common::ByteWriter& w, const StageMetrics& m) {
+  w.write_f64(m.test_acc);
+  w.write_f64(m.attack_acc);
+}
+
+StageMetrics read_stage_metrics(common::ByteReader& r) {
+  StageMetrics m;
+  m.test_acc = r.read_f64();
+  m.attack_acc = r.read_f64();
+  return m;
+}
+
+void write_prune_outcome(common::ByteWriter& w, const PruneOutcome& p) {
+  w.write_i32(p.n_pruned);
+  w.write_f64(p.final_accuracy);
+  w.write_u32(static_cast<std::uint32_t>(p.trace.size()));
+  for (const auto& step : p.trace) {
+    w.write_i32(step.neuron);
+    w.write_f64(step.accuracy);
+    w.write_f64(step.attack_acc);
+  }
+  w.write_u8_vector(p.final_mask);
+}
+
+PruneOutcome read_prune_outcome(common::ByteReader& r) {
+  PruneOutcome p;
+  p.n_pruned = r.read_i32();
+  p.final_accuracy = r.read_f64();
+  const std::uint32_t n = r.read_u32();
+  p.trace.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PruneStep step;
+    step.neuron = r.read_i32();
+    step.accuracy = r.read_f64();
+    step.attack_acc = r.read_f64();
+    p.trace.push_back(step);
+  }
+  p.final_mask = r.read_u8_vector();
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_defense_progress(const DefenseProgress& progress) {
+  common::ByteWriter w;
+  write_stage_metrics(w, progress.training);
+  write_stage_metrics(w, progress.after_fp);
+  w.write_f64(progress.baseline);
+  write_prune_outcome(w, progress.prune);
+  fl::write_exchange_stats(w, progress.fp_exchange);
+  w.write_f64(progress.pruning_seconds);
+  write_finetune_state(w, progress.finetune);
+  return w.take();
+}
+
+DefenseProgress decode_defense_progress(const std::vector<std::uint8_t>& bytes) {
+  try {
+    common::ByteReader r(bytes);
+    DefenseProgress progress;
+    progress.training = read_stage_metrics(r);
+    progress.after_fp = read_stage_metrics(r);
+    progress.baseline = r.read_f64();
+    progress.prune = read_prune_outcome(r);
+    progress.fp_exchange = fl::read_exchange_stats(r);
+    progress.pruning_seconds = r.read_f64();
+    progress.finetune = read_finetune_state(r);
+    if (!r.exhausted()) throw CheckpointError("defense progress has trailing bytes");
+    return progress;
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const Error& e) {
+    throw CheckpointError(std::string("defense progress undecodable: ") + e.what());
+  }
+}
+
 std::vector<int> federated_pruning_order(fl::Simulation& sim, const DefenseConfig& config,
                                          fl::ExchangeStats* stats) {
   auto& server = sim.server();
@@ -104,39 +181,73 @@ std::vector<int> federated_pruning_order(fl::Simulation& sim, const DefenseConfi
   return mvp_pruning_order(ex.values, units, config.vote_prune_rate);
 }
 
-DefenseReport run_defense(fl::Simulation& sim, const DefenseConfig& config) {
+DefenseReport run_defense(fl::Simulation& sim, const DefenseConfig& config,
+                          fl::CheckpointManager* checkpoint,
+                          const fl::RunSnapshot* resume) {
   DefenseReport report;
   auto& server = sim.server();
   auto& model = server.model();
 
-  report.training = snapshot(sim);
-  // One oracle closure for baseline + pruning loop: it tags every
-  // client-accuracy exchange with a strictly increasing round.
-  auto accuracy_oracle = make_accuracy_oracle(sim, config);
-  const double baseline = accuracy_oracle();
-
-  // --- Stage 1: Federated Pruning -------------------------------------------
-  {
-    obs::Span span("defense.pruning", "defense", &report.phase_seconds["pruning"]);
-    auto order = federated_pruning_order(sim, config, &report.fp_exchange);
-    auto& accuracy_eval = accuracy_oracle;
-    std::function<double()> asr_eval;
-    if (config.record_asr_traces) {
-      asr_eval = [&sim] { return sim.attack_success(); };
-    }
-    report.prune = prune_until(model.net, model.last_conv_index, order, accuracy_eval,
-                               baseline - config.prune_acc_drop, asr_eval);
+  // `progress` mirrors everything computed before fine-tuning; fine-tune
+  // snapshots embed it so a resume can skip the oracle and pruning protocol.
+  DefenseProgress progress;
+  const FineTuneState* ft_resume = nullptr;
+  if (resume != nullptr && resume->stage == fl::run_stage::kFinetune) {
+    progress = decode_defense_progress(resume->stage_state);
+    report.training = progress.training;
+    report.after_fp = progress.after_fp;
+    report.prune = progress.prune;
     report.neurons_pruned = report.prune.n_pruned;
+    report.fp_exchange = progress.fp_exchange;
+    report.phase_seconds["pruning"] = progress.pruning_seconds;
+    ft_resume = &progress.finetune;
+  } else {
+    report.training = snapshot(sim);
+    // One oracle closure for baseline + pruning loop: it tags every
+    // client-accuracy exchange with a strictly increasing round.
+    auto accuracy_oracle = make_accuracy_oracle(sim, config);
+    progress.baseline = accuracy_oracle();
+
+    // --- Stage 1: Federated Pruning -----------------------------------------
+    {
+      obs::Span span("defense.pruning", "defense", &report.phase_seconds["pruning"]);
+      auto order = federated_pruning_order(sim, config, &report.fp_exchange);
+      auto& accuracy_eval = accuracy_oracle;
+      std::function<double()> asr_eval;
+      if (config.record_asr_traces) {
+        asr_eval = [&sim] { return sim.attack_success(); };
+      }
+      report.prune = prune_until(model.net, model.last_conv_index, order, accuracy_eval,
+                                 progress.baseline - config.prune_acc_drop, asr_eval);
+      report.neurons_pruned = report.prune.n_pruned;
+    }
+    report.after_fp = snapshot(sim);
+    FC_LOG(Info) << "FP pruned " << report.neurons_pruned << " neurons; TA "
+                 << report.training.test_acc << " -> " << report.after_fp.test_acc << ", AA "
+                 << report.training.attack_acc << " -> " << report.after_fp.attack_acc;
+    progress.training = report.training;
+    progress.after_fp = report.after_fp;
+    progress.prune = report.prune;
+    progress.fp_exchange = report.fp_exchange;
+    progress.pruning_seconds = report.phase_seconds["pruning"];
   }
-  report.after_fp = snapshot(sim);
-  FC_LOG(Info) << "FP pruned " << report.neurons_pruned << " neurons; TA "
-               << report.training.test_acc << " -> " << report.after_fp.test_acc << ", AA "
-               << report.training.attack_acc << " -> " << report.after_fp.attack_acc;
+  const double baseline = progress.baseline;
 
   // --- Stage 2: Fine-tuning (optional) ---------------------------------------
   if (config.enable_finetune) {
     obs::Span span("defense.finetune", "defense", &report.phase_seconds["fine-tuning"]);
-    report.finetune = federated_finetune(sim, config.finetune);
+    FineTuneCheckpointHook hook;
+    if (checkpoint != nullptr && checkpoint->enabled()) {
+      hook = [&](const FineTuneState& state) {
+        if (!checkpoint->due(state.next_round, config.finetune.max_rounds)) return;
+        progress.finetune = state;
+        auto snap =
+            fl::make_run_snapshot(sim, fl::run_stage::kFinetune, state.next_round);
+        snap.stage_state = encode_defense_progress(progress);
+        checkpoint->save(snap);
+      };
+    }
+    report.finetune = federated_finetune(sim, config.finetune, ft_resume, hook);
   }
   report.after_ft = snapshot(sim);
 

@@ -13,6 +13,7 @@
 #include "defense/adjust_weights.h"
 #include "defense/finetune.h"
 #include "defense/pruning.h"
+#include "fl/run_state.h"
 #include "fl/simulation.h"
 
 namespace fedcleanse::defense {
@@ -66,13 +67,42 @@ struct DefenseReport {
   std::map<std::string, double> phase_seconds;
 };
 
+// Everything the pipeline has computed when a fine-tune-stage snapshot is
+// taken: the pre-defense metrics, the whole pruning stage's outcome, and the
+// fine-tune loop's keep-best state. Stored (encoded) in
+// fl::RunSnapshot::stage_state so run_defense can resume after fine-tune
+// round N without repeating the oracle baseline or the pruning protocol.
+struct DefenseProgress {
+  StageMetrics training;
+  StageMetrics after_fp;
+  double baseline = 0.0;  // pre-defense accuracy-oracle reading
+  PruneOutcome prune;
+  fl::ExchangeStats fp_exchange;
+  double pruning_seconds = 0.0;
+  FineTuneState finetune;
+};
+
+// DefenseProgress ↔ bytes. decode throws CheckpointError on malformed input
+// (the enclosing snapshot's checksum normally catches corruption first).
+std::vector<std::uint8_t> encode_defense_progress(const DefenseProgress& progress);
+DefenseProgress decode_defense_progress(const std::vector<std::uint8_t>& bytes);
+
 // Run the configured stages against sim's global model, in place.
 //
 // Unlike training rounds, the defense protocol cannot proceed on a
 // below-quorum collect (a pruning decision from a sliver of clients is worse
 // than no decision): throws QuorumError when, after all retries, fewer than
 // ceil(min_collect_fraction · clients) valid reports arrived.
-DefenseReport run_defense(fl::Simulation& sim, const DefenseConfig& config);
+//
+// With a `checkpoint` manager, each due fine-tune round writes a resumable
+// snapshot (pruning and adjust-weights replay deterministically from the
+// nearest earlier snapshot, so they need none of their own). `resume` is the
+// snapshot the caller already restored into `sim`: a "finetune"-stage
+// snapshot skips straight past the baseline oracle and pruning protocol;
+// a "train"-stage one runs the full defense.
+DefenseReport run_defense(fl::Simulation& sim, const DefenseConfig& config,
+                          fl::CheckpointManager* checkpoint = nullptr,
+                          const fl::RunSnapshot* resume = nullptr);
 
 // Just the federated-pruning stage (used by Table V / Fig 5): returns the
 // pruning order chosen by the configured method without applying it.

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "fl/metrics.h"
+#include "nn/checkpoint.h"
 #include "obs/trace.h"
 #include "nn/activation_stats.h"
 #include "nn/conv2d.h"
@@ -55,6 +56,28 @@ void Client::make_malicious(AttackSpec spec) {
 
 void Client::set_anticipated_masks(std::vector<std::vector<std::uint8_t>> masks) {
   anticipated_masks_ = std::move(masks);
+}
+
+void Client::save_state(common::ByteWriter& w) const {
+  w.write_u8_vector(nn::save_model(model_));
+  common::write_rng_state(w, rng_.state());
+  w.write_f64(config_.lr);
+  w.write_u32(static_cast<std::uint32_t>(anticipated_masks_.size()));
+  for (const auto& m : anticipated_masks_) w.write_u8_vector(m);
+}
+
+void Client::restore_state(common::ByteReader& r) {
+  auto loaded = nn::load_model(r.read_u8_vector());
+  if (loaded.arch != model_.arch) {
+    throw CheckpointError("client " + std::to_string(id_) +
+                          " snapshot holds a different architecture");
+  }
+  model_ = std::move(loaded);
+  rng_.restore(common::read_rng_state(r));
+  config_.lr = r.read_f64();
+  const std::uint32_t n_masks = r.read_u32();
+  anticipated_masks_.assign(n_masks, {});
+  for (auto& m : anticipated_masks_) m = r.read_u8_vector();
 }
 
 void Client::train_locally() {

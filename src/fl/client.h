@@ -87,6 +87,15 @@ class Client {
   // mistyped messages (a faulty wire) are logged and skipped, never fatal.
   void handle_pending(comm::Network& net);
 
+  // Checkpoint support. Everything else a client holds (local data, attack
+  // spec, training config) is rebuilt deterministically from the simulation
+  // seed, so a snapshot only needs the parts that evolve across rounds: the
+  // model replica (params + prune masks), the RNG stream position, the
+  // possibly-rescaled learning rate, and the anticipated prune masks.
+  // restore_state throws CheckpointError on an architecture mismatch.
+  void save_state(common::ByteWriter& w) const;
+  void restore_state(common::ByteReader& r);
+
  private:
   // Decode and answer one server message; throws fedcleanse::Error on
   // anything malformed (handle_pending catches and logs).

@@ -34,6 +34,14 @@ double ReputationAggregator::reputation(int client) const {
   return reputation_[static_cast<std::size_t>(client)];
 }
 
+void ReputationAggregator::restore_scores(const std::vector<double>& scores) {
+  if (scores.size() != reputation_.size()) {
+    throw CheckpointError("reputation snapshot has " + std::to_string(scores.size()) +
+                          " scores, expected " + std::to_string(reputation_.size()));
+  }
+  reputation_ = scores;
+}
+
 std::vector<float> ReputationAggregator::aggregate(
     const std::vector<int>& client_ids, const std::vector<std::vector<float>>& updates) {
   FC_REQUIRE(!updates.empty(), "no updates to aggregate");

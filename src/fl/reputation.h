@@ -31,6 +31,10 @@ class ReputationAggregator {
   double reputation(int client) const;
   const std::vector<double>& reputations() const { return reputation_; }
 
+  // Checkpoint support: overwrite all scores (crash-resume restores the
+  // smoothed history). Throws CheckpointError on a size mismatch.
+  void restore_scores(const std::vector<double>& scores);
+
  private:
   std::vector<double> reputation_;
   double decay_;

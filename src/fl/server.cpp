@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "fl/metrics.h"
+#include "nn/checkpoint.h"
 
 namespace fedcleanse::fl {
 
@@ -93,7 +94,12 @@ Server::Server(nn::ModelSpec model, data::Dataset validation, comm::Network& net
     : model_(std::move(model)),
       validation_(std::move(validation)),
       net_(net),
-      config_(config) {}
+      config_(config) {
+  if (config_.use_reputation) {
+    reputation_ = std::make_unique<ReputationAggregator>(
+        net_.n_clients(), config_.reputation_decay, config_.reputation_penalty_threshold);
+  }
+}
 
 void Server::broadcast_model(const std::vector<int>& clients, std::uint32_t round) {
   const auto payload = comm::encode_flat_params(params());
@@ -118,12 +124,27 @@ std::vector<std::optional<std::vector<float>>> Server::collect_updates(
       config_.recv_timeout_ms, stats);
 }
 
-void Server::apply_aggregate(const std::vector<std::vector<float>>& updates) {
-  auto agg = aggregate(config_.aggregator, updates, config_.byzantine_hint);
-  auto current = params();
-  const float lr = static_cast<float>(config_.global_lr);
+namespace {
+void apply_delta(Server& server, const std::vector<float>& agg, double global_lr) {
+  auto current = server.params();
+  const float lr = static_cast<float>(global_lr);
   for (std::size_t i = 0; i < current.size(); ++i) current[i] += lr * agg[i];
-  set_params(current);
+  server.set_params(current);
+}
+}  // namespace
+
+void Server::apply_aggregate(const std::vector<std::vector<float>>& updates) {
+  apply_delta(*this, aggregate(config_.aggregator, updates, config_.byzantine_hint),
+              config_.global_lr);
+}
+
+void Server::apply_aggregate(const std::vector<int>& client_ids,
+                             const std::vector<std::vector<float>>& updates) {
+  if (reputation_ == nullptr) {
+    apply_aggregate(updates);
+    return;
+  }
+  apply_delta(*this, reputation_->aggregate(client_ids, updates), config_.global_lr);
 }
 
 void Server::request_ranks(const std::vector<int>& clients, std::uint32_t round) {
@@ -192,6 +213,35 @@ std::vector<std::optional<double>> Server::collect_accuracies(
 
 double Server::validation_accuracy() {
   return evaluate_accuracy(model_.net, validation_);
+}
+
+void Server::save_state(common::ByteWriter& w) const {
+  w.write_u8_vector(nn::save_model(model_));
+  w.write_bool(reputation_ != nullptr);
+  if (reputation_ != nullptr) {
+    const auto& scores = reputation_->reputations();
+    w.write_u32(static_cast<std::uint32_t>(scores.size()));
+    for (double s : scores) w.write_f64(s);
+  }
+}
+
+void Server::restore_state(common::ByteReader& r) {
+  auto loaded = nn::load_model(r.read_u8_vector());
+  if (loaded.arch != model_.arch) {
+    throw CheckpointError("server snapshot holds a different architecture");
+  }
+  model_ = std::move(loaded);
+  const bool has_reputation = r.read_bool();
+  if (has_reputation != (reputation_ != nullptr)) {
+    throw CheckpointError("snapshot and configuration disagree on reputation weighting");
+  }
+  if (has_reputation) {
+    const std::uint32_t n = r.read_u32();
+    std::vector<double> scores;
+    scores.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) scores.push_back(r.read_f64());
+    reputation_->restore_scores(scores);
+  }
 }
 
 }  // namespace fedcleanse::fl

@@ -10,12 +10,14 @@
 // up (fl/protocol.h), where the caller can re-drive the request.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "comm/network.h"
 #include "data/dataset.h"
 #include "fl/aggregation.h"
+#include "fl/reputation.h"
 #include "nn/model_zoo.h"
 
 namespace fedcleanse::fl {
@@ -31,6 +33,12 @@ struct ServerConfig {
   // with FaultConfig::recv_timeout_ms; on a perfect wire replies are already
   // queued when the server collects, so the deadline never actually elapses.
   int recv_timeout_ms = 25;
+  // Weight training-round aggregates by cosine-similarity reputation
+  // (fl/reputation.h) instead of the configured aggregator. Reputation
+  // carries state across rounds, so run snapshots include the scores.
+  bool use_reputation = false;
+  double reputation_decay = 0.8;
+  double reputation_penalty_threshold = 0.0;
 };
 
 // What a collect pass observed, from the protocol's point of view.
@@ -63,6 +71,15 @@ class Server {
       const std::vector<int>& clients, std::uint32_t round, CollectStats* stats = nullptr);
   // ω_{t+1} = ω_t + η·aggregate(Δω) over whichever updates arrived.
   void apply_aggregate(const std::vector<std::vector<float>>& updates);
+  // Same, but with the sender ids — required for the reputation path, which
+  // tracks per-client scores. Falls back to the configured aggregator when
+  // reputation weighting is off.
+  void apply_aggregate(const std::vector<int>& client_ids,
+                       const std::vector<std::vector<float>>& updates);
+
+  // The reputation tracker, or nullptr when ServerConfig::use_reputation is
+  // off.
+  const ReputationAggregator* reputation() const { return reputation_.get(); }
 
   // --- defense protocol -----------------------------------------------------
   void request_ranks(const std::vector<int>& clients, std::uint32_t round);
@@ -81,11 +98,18 @@ class Server {
   // Accuracy of the current global model on the server's validation set.
   double validation_accuracy();
 
+  // Checkpoint support: global model plus reputation scores (when enabled).
+  // restore_state expects a server built from the same configuration and
+  // throws CheckpointError on architecture or reputation-shape mismatch.
+  void save_state(common::ByteWriter& w) const;
+  void restore_state(common::ByteReader& r);
+
  private:
   nn::ModelSpec model_;
   data::Dataset validation_;
   comm::Network& net_;
   ServerConfig config_;
+  std::unique_ptr<ReputationAggregator> reputation_;
 };
 
 }  // namespace fedcleanse::fl

@@ -4,6 +4,7 @@
 #include "common/logging.h"
 #include "fl/metrics.h"
 #include "fl/protocol.h"
+#include "fl/run_state.h"
 #include "obs/journal.h"
 #include "obs/trace.h"
 
@@ -157,7 +158,7 @@ std::vector<int> Simulation::run_round(std::uint32_t round) {
       "training round");
   last_round_stats_ = ex.stats;
   if (ex.stats.quorum_met) {
-    server_->apply_aggregate(ex.values);
+    server_->apply_aggregate(ex.clients, ex.values);
   } else {
     // Degraded round: too few valid updates to trust an aggregate. Keep the
     // current global model and move on — training rounds are skippable.
@@ -170,8 +171,9 @@ std::vector<int> Simulation::run_round(std::uint32_t round) {
 
 void Simulation::run(bool record_history) {
   common::Timer timer;
-  for (int r = 0; r < config_.rounds; ++r) {
+  for (int r = next_round_; r < config_.rounds; ++r) {
     run_round(static_cast<std::uint32_t>(r));
+    next_round_ = r + 1;
     if (record_history) {
       RoundRecord rec;
       rec.round = r;
@@ -201,8 +203,98 @@ void Simulation::run(bool record_history) {
       FC_LOG(Debug) << "round " << r << " TA=" << rec.test_acc << " AA=" << rec.attack_acc
                     << " valid=" << rec.n_valid << "/" << rec.n_participants;
     }
+    // Snapshot after the journal line so a resumed journal never misses a
+    // round the snapshot already contains.
+    if (checkpoint_ != nullptr && checkpoint_->enabled() &&
+        checkpoint_->due(next_round_, config_.rounds)) {
+      checkpoint_->save(make_run_snapshot(*this, run_stage::kTrain, next_round_));
+    }
   }
   training_seconds_ += timer.elapsed_seconds();
+}
+
+void write_round_record(common::ByteWriter& w, const RoundRecord& rec) {
+  w.write_i32(rec.round);
+  w.write_f64(rec.test_acc);
+  w.write_f64(rec.attack_acc);
+  w.write_i32(rec.n_participants);
+  w.write_i32(rec.n_valid);
+  w.write_i32(rec.n_dropped);
+  w.write_i32(rec.n_corrupted);
+  w.write_i32(rec.n_retried);
+  w.write_bool(rec.quorum_met);
+}
+
+RoundRecord read_round_record(common::ByteReader& r) {
+  RoundRecord rec;
+  rec.round = r.read_i32();
+  rec.test_acc = r.read_f64();
+  rec.attack_acc = r.read_f64();
+  rec.n_participants = r.read_i32();
+  rec.n_valid = r.read_i32();
+  rec.n_dropped = r.read_i32();
+  rec.n_corrupted = r.read_i32();
+  rec.n_retried = r.read_i32();
+  rec.quorum_met = r.read_bool();
+  return rec;
+}
+
+void write_exchange_stats(common::ByteWriter& w, const ExchangeStats& stats) {
+  w.write_i32(stats.n_participants);
+  w.write_i32(stats.n_valid);
+  w.write_i32(stats.n_dropped);
+  w.write_i32(stats.n_corrupted);
+  w.write_i32(stats.n_retried);
+  w.write_bool(stats.quorum_met);
+}
+
+ExchangeStats read_exchange_stats(common::ByteReader& r) {
+  ExchangeStats stats;
+  stats.n_participants = r.read_i32();
+  stats.n_valid = r.read_i32();
+  stats.n_dropped = r.read_i32();
+  stats.n_corrupted = r.read_i32();
+  stats.n_retried = r.read_i32();
+  stats.quorum_met = r.read_bool();
+  return stats;
+}
+
+void Simulation::save_state(common::ByteWriter& w) const {
+  w.write_i32(next_round_);
+  w.write_f64(training_seconds_);
+  common::write_rng_state(w, rng_.state());
+  write_exchange_stats(w, last_round_stats_);
+  w.write_u32(static_cast<std::uint32_t>(history_.size()));
+  for (const auto& rec : history_) write_round_record(w, rec);
+  server_->save_state(w);
+  w.write_u32(static_cast<std::uint32_t>(clients_.size()));
+  for (const auto& client : clients_) client.save_state(w);
+  const bool faulty = dynamic_cast<const comm::FaultyNetwork*>(net_.get()) != nullptr;
+  w.write_bool(faulty);
+  net_->save_state(w);
+}
+
+void Simulation::restore_state(common::ByteReader& r) {
+  next_round_ = r.read_i32();
+  training_seconds_ = r.read_f64();
+  rng_.restore(common::read_rng_state(r));
+  last_round_stats_ = read_exchange_stats(r);
+  const std::uint32_t n_history = r.read_u32();
+  history_.clear();
+  history_.reserve(n_history);
+  for (std::uint32_t i = 0; i < n_history; ++i) history_.push_back(read_round_record(r));
+  server_->restore_state(r);
+  const std::uint32_t n_clients = r.read_u32();
+  if (n_clients != clients_.size()) {
+    throw CheckpointError("run snapshot has " + std::to_string(n_clients) +
+                          " clients, expected " + std::to_string(clients_.size()));
+  }
+  for (auto& client : clients_) client.restore_state(r);
+  const bool faulty = r.read_bool();
+  if (faulty != (dynamic_cast<comm::FaultyNetwork*>(net_.get()) != nullptr)) {
+    throw CheckpointError("snapshot and configuration disagree on fault injection");
+  }
+  net_->restore_state(r);
 }
 
 double Simulation::test_accuracy() {

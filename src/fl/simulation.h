@@ -82,7 +82,18 @@ struct RoundRecord {
   int n_corrupted = 0;
   int n_retried = 0;
   bool quorum_met = true;
+
+  bool operator==(const RoundRecord&) const = default;
 };
+
+// RoundRecord / ExchangeStats ↔ bytes, for the run-snapshot format
+// (fl/run_state.h).
+void write_round_record(common::ByteWriter& w, const RoundRecord& rec);
+RoundRecord read_round_record(common::ByteReader& r);
+void write_exchange_stats(common::ByteWriter& w, const ExchangeStats& stats);
+ExchangeStats read_exchange_stats(common::ByteReader& r);
+
+class CheckpointManager;
 
 class Simulation {
  public:
@@ -92,7 +103,10 @@ class Simulation {
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  // Run all configured rounds (appends to history; callable once).
+  // Run every remaining configured round, starting at completed_rounds()
+  // (0 on a fresh simulation, the restored position after a resume). Appends
+  // to history and, when a checkpoint manager is installed, writes a run
+  // snapshot at every due round boundary.
   void run(bool record_history = true);
   // Run a single round; returns the participating client ids.
   std::vector<int> run_round(std::uint32_t round);
@@ -131,6 +145,24 @@ class Simulation {
   std::vector<int> all_client_ids() const;
   std::vector<int> attacker_ids() const;
 
+  // --- crash-resume (DESIGN.md §13) ----------------------------------------
+  // Install a checkpoint manager (not owned; may be nullptr to detach). While
+  // installed, run() snapshots the whole run at every due round boundary, and
+  // the defense stages snapshot their own progress through the same manager.
+  void set_checkpoint_manager(CheckpointManager* manager) { checkpoint_ = manager; }
+  CheckpointManager* checkpoint_manager() { return checkpoint_; }
+  // Training rounds finished so far (== the next round index run() will run).
+  int completed_rounds() const { return next_round_; }
+
+  // Serialize / restore everything that evolves after construction: round
+  // position, RNG stream, round history, exchange stats, server (model +
+  // reputation), every client, and the network (queues, fault state). Must be
+  // called at a round boundary — no client tasks running, wire quiescent.
+  // restore_state expects a Simulation built from the *same* config and
+  // throws CheckpointError on any structural mismatch.
+  void save_state(common::ByteWriter& w) const;
+  void restore_state(common::ByteReader& r);
+
  private:
   SimulationConfig config_;
   std::unique_ptr<common::ThreadPool> pool_;
@@ -143,6 +175,8 @@ class Simulation {
   std::vector<RoundRecord> history_;
   ExchangeStats last_round_stats_;
   double training_seconds_ = 0.0;
+  int next_round_ = 0;
+  CheckpointManager* checkpoint_ = nullptr;
 };
 
 }  // namespace fedcleanse::fl

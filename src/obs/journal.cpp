@@ -89,7 +89,9 @@ JsonObject& JsonObject::add_raw(const std::string& k, const std::string& json) {
 
 std::string JsonObject::str() const { return "{" + body_ + "}"; }
 
-Journal::Journal(const std::string& path) : path_(path), out_(path) {
+Journal::Journal(const std::string& path, bool append)
+    : path_(path),
+      out_(path, append ? std::ios::out | std::ios::app : std::ios::out) {
   ok_ = static_cast<bool>(out_);
 }
 

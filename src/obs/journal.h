@@ -48,9 +48,11 @@ std::string json_escape(const std::string& s);
 
 class Journal {
  public:
-  // Opens (truncates) `path`. Check ok() — a bad path disables the journal
-  // rather than throwing (telemetry must never kill a run).
-  explicit Journal(const std::string& path);
+  // Opens `path`: truncated by default, appended to when `append` is true
+  // (a resumed run continues its journal; a {"kind":"resume"} line marks the
+  // boundary). Check ok() — a bad path disables the journal rather than
+  // throwing (telemetry must never kill a run).
+  explicit Journal(const std::string& path, bool append = false);
 
   bool ok() const { return ok_; }
   const std::string& path() const { return path_; }

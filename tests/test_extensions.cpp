@@ -61,6 +61,35 @@ TEST(Checkpoint, MissingFileThrows) {
   EXPECT_THROW(nn::load_model_file("/nonexistent/path.fckp"), Error);
 }
 
+TEST(Checkpoint, PayloadChecksumCatchesBitFlips) {
+  common::Rng rng(6);
+  auto bytes = nn::save_model(nn::make_small_nn(rng));
+  // Flip a sample of payload bytes (exhaustive flipping lives in the run
+  // snapshot suite; the format is the same header-checksum pattern).
+  for (std::size_t i = 0; i < bytes.size(); i += bytes.size() / 37 + 1) {
+    auto corrupt = bytes;
+    corrupt[i] ^= 0x10;
+    EXPECT_THROW(nn::load_model(corrupt), CheckpointError) << "flip at byte " << i;
+  }
+}
+
+TEST(Checkpoint, TruncationThrowsCheckpointError) {
+  common::Rng rng(7);
+  auto bytes = nn::save_model(nn::make_small_nn(rng));
+  for (std::size_t len : {std::size_t{0}, std::size_t{3}, std::size_t{15},
+                          bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + static_cast<long>(len));
+    EXPECT_THROW(nn::load_model(cut), CheckpointError) << "truncated to " << len;
+  }
+}
+
+TEST(Checkpoint, UnsupportedVersionRejected) {
+  common::Rng rng(8);
+  auto bytes = nn::save_model(nn::make_small_nn(rng));
+  bytes[4] = 0x7F;  // version field follows the 4-byte magic
+  EXPECT_THROW(nn::load_model(bytes), CheckpointError);
+}
+
 // --- input normalization ----------------------------------------------------------
 
 TEST(Normalize, ClampBoundsPixels) {

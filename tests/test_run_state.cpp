@@ -1,0 +1,213 @@
+// Run-snapshot format and CheckpointManager durability (DESIGN.md §13).
+//
+// The corruption tests are deliberately exhaustive: every single-byte flip
+// and every truncation length of an encoded snapshot must surface as a
+// CheckpointError — never a garbage decode — because load_latest's
+// generation fallback only works if corruption is always detected.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "fl/run_state.h"
+
+namespace fs = std::filesystem;
+using fedcleanse::CheckpointError;
+using fedcleanse::fl::CheckpointManager;
+using fedcleanse::fl::RunSnapshot;
+
+namespace {
+
+RunSnapshot sample_snapshot() {
+  RunSnapshot snap;
+  snap.stage = fedcleanse::fl::run_stage::kFinetune;
+  snap.next_round = 7;
+  for (int i = 0; i < 200; ++i) snap.sim_state.push_back(static_cast<std::uint8_t>(i * 7));
+  for (int i = 0; i < 40; ++i) snap.stage_state.push_back(static_cast<std::uint8_t>(255 - i));
+  return snap;
+}
+
+// A fresh directory under the gtest temp root, unique per test.
+std::string fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("fedcleanse_rs_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+void write_bytes(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+TEST(RunSnapshotCodec, RoundTrip) {
+  const RunSnapshot snap = sample_snapshot();
+  const auto bytes = fedcleanse::fl::encode_run_snapshot(snap);
+  const RunSnapshot back = fedcleanse::fl::decode_run_snapshot(bytes);
+  EXPECT_EQ(back.stage, snap.stage);
+  EXPECT_EQ(back.next_round, snap.next_round);
+  EXPECT_EQ(back.sim_state, snap.sim_state);
+  EXPECT_EQ(back.stage_state, snap.stage_state);
+}
+
+TEST(RunSnapshotCodec, EmptyStageStateRoundTrips) {
+  RunSnapshot snap;
+  snap.stage = fedcleanse::fl::run_stage::kTrain;
+  snap.next_round = 0;
+  const RunSnapshot back =
+      fedcleanse::fl::decode_run_snapshot(fedcleanse::fl::encode_run_snapshot(snap));
+  EXPECT_EQ(back.stage, snap.stage);
+  EXPECT_TRUE(back.stage_state.empty());
+}
+
+TEST(RunSnapshotCodec, EveryByteFlipIsDetected) {
+  const auto bytes = fedcleanse::fl::encode_run_snapshot(sample_snapshot());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (std::uint8_t flip : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      auto corrupt = bytes;
+      corrupt[i] ^= flip;
+      EXPECT_THROW(fedcleanse::fl::decode_run_snapshot(corrupt), CheckpointError)
+          << "flip 0x" << std::hex << int(flip) << " at byte " << std::dec << i
+          << " decoded without error";
+    }
+  }
+}
+
+TEST(RunSnapshotCodec, EveryTruncationIsDetected) {
+  const auto bytes = fedcleanse::fl::encode_run_snapshot(sample_snapshot());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + static_cast<long>(len));
+    EXPECT_THROW(fedcleanse::fl::decode_run_snapshot(cut), CheckpointError)
+        << "truncation to " << len << " bytes decoded without error";
+  }
+}
+
+TEST(RunSnapshotCodec, TrailingBytesRejected) {
+  auto bytes = fedcleanse::fl::encode_run_snapshot(sample_snapshot());
+  bytes.push_back(0);
+  EXPECT_THROW(fedcleanse::fl::decode_run_snapshot(bytes), CheckpointError);
+}
+
+TEST(RunSnapshotCodec, LoadSnapshotFileMissingThrows) {
+  EXPECT_THROW(fedcleanse::fl::load_snapshot_file("/nonexistent/dir/x.fcrs"),
+               CheckpointError);
+}
+
+TEST(CheckpointManager, DisabledWhenEveryNonPositive) {
+  CheckpointManager manager("/nonexistent/never/created", 0);
+  EXPECT_FALSE(manager.enabled());
+  EXPECT_FALSE(manager.due(4, 8));
+  // The directory must not have been created for a disabled manager.
+  EXPECT_FALSE(fs::exists("/nonexistent/never/created"));
+}
+
+TEST(CheckpointManager, DueEveryNRoundsAndAtStageEnd) {
+  CheckpointManager manager(fresh_dir("due"), 3);
+  EXPECT_FALSE(manager.due(0, 10));  // nothing completed yet
+  EXPECT_FALSE(manager.due(1, 10));
+  EXPECT_FALSE(manager.due(2, 10));
+  EXPECT_TRUE(manager.due(3, 10));
+  EXPECT_TRUE(manager.due(6, 10));
+  EXPECT_FALSE(manager.due(7, 10));
+  EXPECT_TRUE(manager.due(10, 10));  // stage end, even though 10 % 3 != 0
+}
+
+TEST(CheckpointManager, EmptyDirectoryLoadsNothing) {
+  CheckpointManager manager(fresh_dir("empty"), 2);
+  EXPECT_EQ(manager.load_latest(), std::nullopt);
+}
+
+TEST(CheckpointManager, RotationKeepsNewestGenerations) {
+  const std::string dir = fresh_dir("rotate");
+  CheckpointManager manager(dir, 2, /*keep=*/2);
+  RunSnapshot snap = sample_snapshot();
+  for (int i = 0; i < 5; ++i) {
+    snap.next_round = i;
+    manager.save(snap);
+  }
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 2u);
+  const auto latest = manager.load_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->next_round, 4);
+}
+
+TEST(CheckpointManager, FallsBackPastCorruptNewestGeneration) {
+  const std::string dir = fresh_dir("fallback");
+  CheckpointManager manager(dir, 2, /*keep=*/3);
+  RunSnapshot snap = sample_snapshot();
+  snap.next_round = 1;
+  manager.save(snap);
+  snap.next_round = 2;
+  const std::string newest = manager.save(snap);
+
+  // Tear the newest file the way a crash mid-write would (publish is atomic,
+  // but disks rot): keep only the first half.
+  const auto full = [&] {
+    std::ifstream in(newest, std::ios::binary);
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in), {});
+  }();
+  write_bytes(newest, {full.begin(), full.begin() + static_cast<long>(full.size() / 2)});
+
+  const auto latest = manager.load_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->next_round, 1);
+}
+
+TEST(CheckpointManager, AllGenerationsCorruptThrows) {
+  const std::string dir = fresh_dir("allcorrupt");
+  CheckpointManager manager(dir, 2, /*keep=*/3);
+  RunSnapshot snap = sample_snapshot();
+  std::vector<std::string> paths;
+  paths.push_back(manager.save(snap));
+  paths.push_back(manager.save(snap));
+  for (const auto& path : paths) write_bytes(path, {0xDE, 0xAD});
+  EXPECT_THROW(manager.load_latest(), CheckpointError);
+}
+
+TEST(CheckpointManager, NumberingContinuesAcrossManagers) {
+  const std::string dir = fresh_dir("renumber");
+  RunSnapshot snap = sample_snapshot();
+  std::string first;
+  {
+    CheckpointManager manager(dir, 2, /*keep=*/4);
+    snap.next_round = 1;
+    first = manager.save(snap);
+  }
+  // A second manager (the resumed process) must not overwrite the crashed
+  // run's generations — they are the resume source until rotation prunes them.
+  CheckpointManager manager(dir, 2, /*keep=*/4);
+  snap.next_round = 2;
+  const std::string second = manager.save(snap);
+  EXPECT_NE(first, second);
+  EXPECT_TRUE(fs::exists(first));
+  const auto latest = manager.load_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->next_round, 2);
+}
+
+TEST(CheckpointManager, IgnoresTmpAndForeignFiles) {
+  const std::string dir = fresh_dir("foreign");
+  CheckpointManager manager(dir, 2);
+  RunSnapshot snap = sample_snapshot();
+  snap.next_round = 3;
+  manager.save(snap);
+  // A crash between write and rename leaves a .tmp; stray files happen too.
+  write_bytes(dir + "/snapshot-999999.fcrs.tmp", {1, 2, 3});
+  write_bytes(dir + "/notes.txt", {4, 5, 6});
+  write_bytes(dir + "/snapshot-abc.fcrs", {7, 8, 9});
+  const auto latest = manager.load_latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->next_round, 3);
+}
