@@ -1,0 +1,118 @@
+// Million-client scale bench: rounds/sec and peak RSS versus population size.
+//
+// One process walks an ascending ladder of client counts (default 1k → 1M,
+// trimmable via FEDCLEANSE_SCALE_MAX_CLIENTS), running a few rounds at each
+// rung with the virtual-client engine and a fixed small cohort. Because
+// VmHWM is a process-lifetime high-water mark, a flat peak_rss_bytes column
+// across the *ascending* ladder is direct evidence that memory is
+// O(model + cohort), not O(population): if residency leaked with n_clients,
+// the later (larger) rungs would push the high-water mark up.
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/sysinfo.h"
+#include "common/timer.h"
+#include "fl/simulation.h"
+
+namespace {
+
+struct ScaleRecord {
+  int n_clients = 0;
+  int clients_per_round = 0;
+  int rounds = 0;
+  double seconds = 0.0;
+  std::uint64_t peak_rss_bytes = 0;
+  std::size_t resident_clients = 0;
+  double rounds_per_sec() const { return seconds > 0.0 ? rounds / seconds : 0.0; }
+};
+
+fedcleanse::fl::SimulationConfig scale_config(int n_clients, std::uint64_t seed) {
+  fedcleanse::fl::SimulationConfig cfg;
+  cfg.arch = fedcleanse::nn::Architecture::kSmallNn;
+  cfg.dataset = fedcleanse::data::SynthKind::kDigits;
+  cfg.n_clients = n_clients;
+  cfg.n_attackers = n_clients / 100;  // 1% malicious population
+  cfg.clients_per_round = 10;
+  cfg.rounds = 3;
+  cfg.labels_per_client = 3;
+  cfg.samples_per_class_train = 8;
+  cfg.samples_per_class_test = 4;
+  cfg.samples_per_client = 4;
+  cfg.train.local_epochs = 1;
+  cfg.train.batch_size = 16;
+  cfg.attack.pattern = fedcleanse::data::make_pixel_pattern(3);
+  cfg.attack.victim_label = 9;
+  cfg.attack.attack_label = 1;
+  cfg.residency = fedcleanse::fl::ClientResidency::kVirtual;
+  cfg.defense_clients = 16;
+  cfg.seed = seed;
+  return cfg;
+}
+
+long long env_ll(const char* name, long long fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long long v = std::strtoll(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+void write_json(const std::string& path, const std::vector<ScaleRecord>& records) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"fl_scale\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out << "    {\"op\": \"fl_round\", \"n_clients\": " << r.n_clients
+        << ", \"clients_per_round\": " << r.clients_per_round << ", \"rounds\": " << r.rounds
+        << ", \"seconds\": " << r.seconds << ", \"rounds_per_sec\": " << r.rounds_per_sec()
+        << ", \"peak_rss_bytes\": " << r.peak_rss_bytes
+        << ", \"resident_clients\": " << r.resident_clients << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace fedcleanse;
+  bench::init_env();
+
+  const long long max_clients = env_ll("FEDCLEANSE_SCALE_MAX_CLIENTS", 1000000);
+  std::vector<int> ladder;
+  for (int n : {1000, 10000, 100000, 1000000})
+    if (n <= max_clients) ladder.push_back(n);
+  if (ladder.empty()) ladder.push_back(static_cast<int>(max_clients));
+
+  std::printf("fl_scale: virtual-client rounds/sec and peak RSS vs population\n");
+  bench::print_rule();
+  std::printf("%10s %8s %7s %12s %14s %9s\n", "clients", "cohort", "rounds", "rounds/sec",
+              "peak RSS (MB)", "resident");
+  std::vector<ScaleRecord> records;
+  for (int n : ladder) {
+    fl::Simulation sim(scale_config(n, 42));
+    common::Timer timer;
+    sim.run(false);
+    ScaleRecord rec;
+    rec.n_clients = n;
+    rec.clients_per_round = sim.config().clients_per_round;
+    rec.rounds = sim.config().rounds;
+    rec.seconds = timer.elapsed_seconds();
+    rec.peak_rss_bytes = static_cast<std::uint64_t>(common::peak_rss_bytes());
+    rec.resident_clients = sim.resident_clients();
+    records.push_back(rec);
+    std::printf("%10d %8d %7d %12.2f %14.1f %9zu\n", rec.n_clients, rec.clients_per_round,
+                rec.rounds, rec.rounds_per_sec(), rec.peak_rss_bytes / (1024.0 * 1024.0),
+                rec.resident_clients);
+  }
+  bench::print_rule();
+
+  const std::string path = "BENCH_fl_scale.json";
+  write_json(path, records);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

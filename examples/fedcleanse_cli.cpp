@@ -38,6 +38,10 @@ void usage(const char* argv0) {
       "  --rounds N         training rounds (default 25)\n"
       "  --labels K         labels per client, non-IID (default 3)\n"
       "  --select N         clients sampled per round (default: all)\n"
+      "  --samples-per-client N  local dataset size (default: even split)\n"
+      "  --residency auto|materialized|virtual  client storage engine\n"
+      "                     (auto = virtual for sampled populations >= 4096;\n"
+      "                     e.g. --clients 1000000 --select 10 stays O(cohort))\n"
       "  --gamma G          model replacement amplification (default 5)\n"
       "  --victim L         victim label (default 9)\n"
       "  --target L         attack label (default 1)\n"
@@ -117,6 +121,20 @@ int main(int argc, char** argv) {
       cfg.labels_per_client = std::atoi(next());
     } else if (arg == "--select") {
       cfg.clients_per_round = std::atoi(next());
+    } else if (arg == "--samples-per-client") {
+      cfg.samples_per_client = std::atoi(next());
+    } else if (arg == "--residency") {
+      const std::string v = next();
+      if (v == "auto") {
+        cfg.residency = fl::ClientResidency::kAuto;
+      } else if (v == "materialized") {
+        cfg.residency = fl::ClientResidency::kMaterialized;
+      } else if (v == "virtual") {
+        cfg.residency = fl::ClientResidency::kVirtual;
+      } else {
+        std::fprintf(stderr, "unknown residency %s\n", v.c_str());
+        return 2;
+      }
     } else if (arg == "--gamma") {
       cfg.attack.gamma = std::atof(next());
     } else if (arg == "--victim") {

@@ -7,9 +7,16 @@
 // fine-tuning, and adjusting extreme weights — and print the test accuracy
 // (TA) and attack success rate (AA) after every stage.
 //
-// Usage: quickstart [seed] [--journal-out run.jsonl] [--trace-out trace.json]
+// Usage: quickstart [seed] [--clients N] [--select K]
+//                   [--journal-out run.jsonl] [--trace-out trace.json]
 //                   [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //                   [--save model.fckp]
+//
+// --clients scales the population (--clients 1000000 is a valid, memory-flat
+// run: large populations switch to the virtual-client engine, which keeps
+// only the sampled cohort resident — DESIGN.md §14). --select sets the
+// per-round cohort size; when omitted for a scaled population, 10 clients
+// are sampled per round.
 //
 // Telemetry is opt-in and never changes the run: with --journal-out a JSONL
 // run journal (one line per round; validate/tabulate with
@@ -48,9 +55,15 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir;
   std::string save_path;
   int checkpoint_every = 5;
+  int clients = 0;  // 0 = the default 10-client demo
+  int select = -1;  // per-round cohort; -1 = derive from the population
   bool resume = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--journal-out") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--select") == 0 && i + 1 < argc) {
+      select = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--journal-out") == 0 && i + 1 < argc) {
       journal_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       obs::set_trace_path(argv[++i]);
@@ -99,10 +112,24 @@ int main(int argc, char** argv) {
   cfg.attack.gamma = 5.0;
   cfg.attack.poison_copies = 2;
   cfg.seed = seed;
+  if (clients > 0) cfg.n_clients = clients;
+  if (cfg.n_clients > 10) {
+    // Scaled population: 1% malicious, fixed-size local datasets (the even
+    // split would starve a million clients), sampled cohorts.
+    cfg.n_attackers = std::max(1, cfg.n_clients / 100);
+    cfg.samples_per_client = 32;
+    cfg.clients_per_round = 10;
+  }
+  if (select >= 0) cfg.clients_per_round = select;
 
-  std::printf("Training 10-client federated model (1 attacker, trigger: %s)...\n",
+  std::printf("Training %d-client federated model (%d attacker%s, trigger: %s)...\n",
+              cfg.n_clients, cfg.n_attackers, cfg.n_attackers == 1 ? "" : "s",
               cfg.attack.pattern.name.c_str());
   fl::Simulation sim(cfg);
+  if (sim.virtual_clients()) {
+    std::printf("  virtual clients: %d of %d sampled per round, slab-resident cohort only\n",
+                cfg.clients_per_round, cfg.n_clients);
+  }
   std::unique_ptr<fl::CheckpointManager> manager;
   std::optional<fl::RunSnapshot> resumed;
   if (!checkpoint_dir.empty()) {

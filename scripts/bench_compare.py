@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_micro_ops.json files and flag perf regressions.
+"""Compare two bench JSON files and flag perf regressions.
 
 Usage: bench_compare.py BASELINE.json CANDIDATE.json [--tolerance 0.10]
 
-Records are matched on (op, size, kernel). A record whose candidate
-serial_ns_per_iter exceeds the baseline by more than the tolerance is a
-regression; the exit code is 1 if any regression is found, so a CI step can
-gate on it. Records present on only one side are reported but never fail the
-comparison (benches come and go across commits).
+Handles both BENCH_micro_ops.json (serial_ns_per_iter per kernel record)
+and BENCH_fl_scale.json (rounds_per_sec per population rung, compared as
+ns-per-round so lower is uniformly better). Records are matched on
+(op, size-or-n_clients, kernel). A record whose candidate time exceeds the
+baseline by more than the tolerance is a regression; the exit code is 1 if
+any regression is found, so a CI step can gate on it. Records present on
+only one side are reported but never fail the comparison (benches come and
+go across commits). A missing baseline file is a notice, not an error: the
+first run on a branch has nothing to compare against, so CI proceeds and
+uploads the candidate as the next baseline.
 
 Only serial times are compared: pooled times depend on the runner's core
 count, which differs between the machine that produced the baseline and CI.
@@ -24,9 +29,20 @@ def load(path: str) -> dict[tuple[str, str, str], dict]:
         doc = json.load(f)
     out = {}
     for rec in doc.get("results", []):
-        key = (rec.get("op", ""), rec.get("size", ""), rec.get("kernel", ""))
+        size = rec.get("size", rec.get("n_clients", ""))
+        key = (rec.get("op", ""), str(size), rec.get("kernel", ""))
         out[key] = rec
     return out
+
+
+def metric_ns(rec: dict) -> float | None:
+    """A record's comparable cost in nanoseconds (lower is better)."""
+    if "serial_ns_per_iter" in rec:
+        return rec["serial_ns_per_iter"]
+    rps = rec.get("rounds_per_sec")
+    if isinstance(rps, (int, float)) and rps > 0:
+        return 1e9 / rps
+    return None
 
 
 def fmt_key(key: tuple[str, str, str]) -> str:
@@ -46,15 +62,23 @@ def main() -> int:
     )
     args = ap.parse_args()
 
-    base = load(args.baseline)
+    try:
+        base = load(args.baseline)
+    except FileNotFoundError:
+        print(f"notice: baseline {args.baseline} not found; nothing to compare "
+              "(first run on this branch?) — passing")
+        return 0
     cand = load(args.candidate)
 
     regressions = []
     print(f"{'record':<40} {'base ns':>14} {'cand ns':>14} {'ratio':>8}")
     print("-" * 80)
     for key in sorted(base.keys() & cand.keys()):
-        b = base[key]["serial_ns_per_iter"]
-        c = cand[key]["serial_ns_per_iter"]
+        b = metric_ns(base[key])
+        c = metric_ns(cand[key])
+        if b is None or c is None:
+            print(f"{fmt_key(key):<40} (no comparable metric)")
+            continue
         ratio = c / b if b > 0 else float("inf")
         marker = ""
         if ratio > 1.0 + args.tolerance:

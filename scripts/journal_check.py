@@ -14,6 +14,10 @@ Checks enforced here:
   * rounds are monotonically increasing within each kind (journals append
     in execution order; out-of-order rounds mean interleaved writers)
   * a "defense" line carries the stage accuracies and phase_seconds
+  * "train_round" and "defense" lines carry peak_rss (the process's VmHWM
+    in bytes), and the values never decrease within one process — VmHWM is
+    a lifetime high-water mark, so a drop means interleaved writers. The
+    monotonicity window restarts at a resume marker (a new process).
 
 Crash-resume journals (DESIGN.md §13): a resumed run appends to the crashed
 run's journal after a {"kind": "resume", "stage": ..., "round": R} marker.
@@ -66,6 +70,7 @@ def check(path: str) -> tuple[list[dict], list[str]]:
     torn: list[int] = []      # line numbers that failed to parse as JSON
     resumes: list[int] = []   # line numbers of resume markers
     last_round: dict[str, int] = {}
+    last_peak = 0             # VmHWM floor for the current process
     with open(path) as f:
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -99,6 +104,7 @@ def check(path: str) -> tuple[list[dict], list[str]]:
                     last_round["train_round"] = rnd - 1
                 else:
                     last_round["finetune_round"] = rnd - 1
+                last_peak = 0  # the resumed process has its own VmHWM
                 continue
             required = ROUND_KEYS if kind in ROUND_KINDS else DEFENSE_KEYS
             missing = [k for k in required if k not in entry]
@@ -109,6 +115,17 @@ def check(path: str) -> tuple[list[dict], list[str]]:
                 v = entry[k]
                 if not isinstance(v, (int, float)) or not (0.0 <= v <= 1.0):
                     errors.append((lineno, f"{where}: {k}={v!r} outside [0, 1]"))
+            if kind in ("train_round", "defense"):
+                rss = entry.get("peak_rss")
+                if not isinstance(rss, int) or isinstance(rss, bool) or rss < 0:
+                    errors.append(
+                        (lineno, f"{where}: {kind} peak_rss={rss!r} missing or invalid"))
+                elif rss < last_peak:
+                    errors.append(
+                        (lineno, f"{where}: peak_rss {rss} below earlier {last_peak} "
+                                 "(VmHWM never decreases within one process)"))
+                else:
+                    last_peak = rss
             if kind in ROUND_KINDS:
                 r = entry["round"]
                 if not isinstance(r, int) or r < 0:

@@ -7,6 +7,13 @@
 
 namespace fedcleanse::comm {
 
+namespace {
+// splitmix64's additive constant. The walk state after k outputs is
+// seed + k·γ (the mix never feeds back), which is what makes the per-link
+// streams lazily derivable.
+constexpr std::uint64_t kSplitMixGamma = 0x9E3779B97F4A7C15ULL;
+}  // namespace
+
 void FaultConfig::validate(int n_clients) const {
   auto in01 = [](double v) { return v >= 0.0 && v <= 1.0; };
   if (!in01(dropout_rate) || !in01(corrupt_rate) || !in01(duplicate_rate) ||
@@ -25,20 +32,17 @@ void FaultConfig::validate(int n_clients) const {
 }
 
 FaultModel::FaultModel(FaultConfig config, int n_clients, std::uint64_t seed)
-    : config_(std::move(config)) {
+    : config_(std::move(config)), n_clients_(n_clients), seed_(seed) {
   FC_REQUIRE(n_clients > 0, "fault model needs at least one client");
   config_.validate(n_clients);
   const auto n = static_cast<std::size_t>(n_clients);
 
-  // All per-link streams and the straggler draw derive from one splitmix64
-  // walk over the fault seed: fully reproducible, independent per link.
-  std::uint64_t state = seed;
-  streams_.reserve(2 * n);
-  for (std::size_t i = 0; i < 2 * n; ++i) streams_.emplace_back(common::splitmix64(state));
-
-  straggler_.assign(n, 0);
   if (config_.straggler_fraction > 0.0) {
+    // The pick seed sits where the old eager walk left it: after the 2n
+    // per-link stream seeds, i.e. at offset 2n·γ.
+    std::uint64_t state = seed + 2 * static_cast<std::uint64_t>(n) * kSplitMixGamma;
     common::Rng pick(common::splitmix64(state));
+    straggler_.assign(n, 0);
     const auto k = std::min<std::size_t>(
         n, static_cast<std::size_t>(
                std::lround(config_.straggler_fraction * static_cast<double>(n))));
@@ -47,24 +51,33 @@ FaultModel::FaultModel(FaultConfig config, int n_clients, std::uint64_t seed)
     }
   }
 
-  crash_round_.assign(n, std::nullopt);
   for (const auto& cp : config_.crash_schedule) {
-    auto& slot = crash_round_[static_cast<std::size_t>(cp.client)];
-    slot = slot ? std::min(*slot, cp.round) : cp.round;
+    auto [it, inserted] = crash_round_.try_emplace(cp.client, cp.round);
+    if (!inserted) it->second = std::min(it->second, cp.round);
   }
 }
 
 common::Rng& FaultModel::stream(int client, Direction dir) {
-  return streams_[2 * static_cast<std::size_t>(client) + static_cast<std::size_t>(dir)];
+  const int key = 2 * client + static_cast<int>(dir);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    // Lazy equivalent of the old eager loop `for k: splitmix64(state)`: the
+    // k-th output of a walk from seed_ is one splitmix64 step at offset k·γ.
+    std::uint64_t state = seed_ + static_cast<std::uint64_t>(key) * kSplitMixGamma;
+    it = streams_.emplace(key, common::Rng(common::splitmix64(state))).first;
+  }
+  return it->second;
 }
 
 bool FaultModel::crashed(int client, std::uint32_t round) const {
-  const auto& slot = crash_round_[static_cast<std::size_t>(client)];
-  return slot && round >= *slot;
+  if (crash_round_.empty()) return false;
+  const auto it = crash_round_.find(client);
+  return it != crash_round_.end() && round >= it->second;
 }
 
 bool FaultModel::straggler(int client) const {
-  return straggler_[static_cast<std::size_t>(client)] != 0;
+  return !straggler_.empty() && straggler_[static_cast<std::size_t>(client)] != 0;
 }
 
 FaultModel::Fate FaultModel::next_fate(int client, Direction dir, std::uint32_t round) {
@@ -83,19 +96,27 @@ FaultModel::Fate FaultModel::next_fate(int client, Direction dir, std::uint32_t 
   return fate;
 }
 
-std::vector<common::RngState> FaultModel::stream_states() const {
-  std::vector<common::RngState> states;
+std::vector<std::pair<int, common::RngState>> FaultModel::stream_states() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<int, common::RngState>> states;
   states.reserve(streams_.size());
-  for (const auto& s : streams_) states.push_back(s.state());
+  for (const auto& [key, s] : streams_) states.emplace_back(key, s.state());
   return states;
 }
 
-void FaultModel::restore_stream_states(const std::vector<common::RngState>& states) {
-  if (states.size() != streams_.size()) {
-    throw CheckpointError("fault snapshot has " + std::to_string(states.size()) +
-                          " RNG streams, expected " + std::to_string(streams_.size()));
+void FaultModel::restore_stream_states(
+    const std::vector<std::pair<int, common::RngState>>& states) {
+  std::lock_guard<std::mutex> lock(mu_);
+  streams_.clear();
+  for (const auto& [key, state] : states) {
+    if (key < 0 || key >= 2 * n_clients_) {
+      throw CheckpointError("fault snapshot names stream " + std::to_string(key) +
+                            " outside [0, " + std::to_string(2 * n_clients_) + ")");
+    }
+    common::Rng rng(0);
+    rng.restore(state);
+    streams_.insert_or_assign(key, rng);
   }
-  for (std::size_t i = 0; i < streams_.size(); ++i) streams_[i].restore(states[i]);
 }
 
 void FaultModel::corrupt(Message& message, int client, Direction dir) {

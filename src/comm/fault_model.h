@@ -7,10 +7,20 @@
 // of a link depends only on the seed and that link's own send order — never
 // on thread scheduling. That is what keeps fault-injected runs bit-identical
 // across thread counts (DESIGN.md §7).
+//
+// Streams are materialized lazily on first use: the k-th stream seed of the
+// original eager splitmix64 walk is recoverable in O(1) as splitmix64 applied
+// at offset k·γ (the mix never feeds back into the walk state), so a
+// million-client population costs nothing until a link actually carries a
+// message — and the lazily-derived fate sequences are bit-identical to the
+// eager ones.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "comm/message.h"
@@ -118,21 +128,28 @@ class FaultModel {
   // stream. Every mode produces something the receiving side must survive.
   void corrupt(Message& message, int client, Direction dir);
 
-  // Checkpoint support: the per-link RNG stream states, in [2·client + dir]
-  // order. The straggler and crash schedules are pure functions of the
-  // (config, seed) pair and are rebuilt by the constructor, so only the
-  // consumed stream positions need saving. restore_stream_states throws
-  // CheckpointError on a count mismatch (snapshot from a different topology).
-  std::vector<common::RngState> stream_states() const;
-  void restore_stream_states(const std::vector<common::RngState>& states);
+  // Checkpoint support: the RNG states of every stream touched so far, as
+  // (2·client + dir, state) pairs in key order. Untouched streams are pure
+  // functions of the seed and need no saving; the straggler and crash
+  // schedules are likewise rebuilt by the constructor.
+  // restore_stream_states throws CheckpointError on an out-of-range key
+  // (snapshot from a different topology).
+  std::vector<std::pair<int, common::RngState>> stream_states() const;
+  void restore_stream_states(const std::vector<std::pair<int, common::RngState>>& states);
 
  private:
+  // Find-or-create; thread-safe (client tasks race on uplink streams of
+  // different clients). Draws on the returned stream stay single-threaded
+  // per link under the FaultyNetwork threading contract.
   common::Rng& stream(int client, Direction dir);
 
   FaultConfig config_;
-  std::vector<common::Rng> streams_;  // 2 per client: [downlink, uplink]
-  std::vector<char> straggler_;
-  std::vector<std::optional<std::uint32_t>> crash_round_;
+  int n_clients_ = 0;
+  std::uint64_t seed_ = 0;
+  mutable std::mutex mu_;
+  std::map<int, common::Rng> streams_;  // key = 2·client + dir, lazily seeded
+  std::vector<char> straggler_;         // empty unless straggler_fraction > 0
+  std::map<int, std::uint32_t> crash_round_;
 };
 
 }  // namespace fedcleanse::comm

@@ -5,12 +5,12 @@
 namespace fedcleanse::comm {
 
 FaultyNetwork::FaultyNetwork(int n_clients, FaultConfig config, std::uint64_t seed)
-    : Network(n_clients),
-      model_(std::move(config), n_clients, seed),
-      links_(2 * static_cast<std::size_t>(n_clients)) {}
+    : Network(n_clients), model_(std::move(config), n_clients, seed) {}
 
 FaultyNetwork::LinkState& FaultyNetwork::state(int client, FaultModel::Direction dir) {
-  return links_[2 * static_cast<std::size_t>(client) + static_cast<std::size_t>(dir)];
+  const int key = 2 * client + static_cast<int>(dir);
+  std::lock_guard<std::mutex> lock(mu_);
+  return links_[key];
 }
 
 void FaultyNetwork::deliver(int client, FaultModel::Direction dir, Message message) {
@@ -63,29 +63,33 @@ void FaultyNetwork::send_to_server(int client, Message message) {
 
 void FaultyNetwork::flush_delayed() {
   const std::uint64_t now = phase_.load(std::memory_order_relaxed);
-  for (int c = 0; c < n_clients(); ++c) {
-    for (auto dir : {FaultModel::Direction::kDownlink, FaultModel::Direction::kUplink}) {
-      auto& st = state(c, dir);
-      while (!st.delayed.empty() && st.delayed.front().phase < now) {
-        deliver(c, dir, std::move(st.delayed.front().message));
-        st.delayed.pop_front();
-      }
+  // Key order is (client asc, downlink before uplink) — the same order the
+  // dense implementation walked.
+  for (auto& [key, st] : links_) {
+    const int c = key / 2;
+    const auto dir = static_cast<FaultModel::Direction>(key % 2);
+    while (!st.delayed.empty() && st.delayed.front().phase < now) {
+      deliver(c, dir, std::move(st.delayed.front().message));
+      st.delayed.pop_front();
     }
   }
   phase_.store(now + 1, std::memory_order_relaxed);
 }
 
 FaultStats FaultyNetwork::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
   FaultStats total;
-  for (const auto& link : links_) total += link.stats;
+  for (const auto& [key, link] : links_) total += link.stats;
   return total;
 }
 
 void FaultyNetwork::save_state(common::ByteWriter& w) const {
   Network::save_state(w);
   w.write_u64(phase_.load(std::memory_order_relaxed));
+  std::lock_guard<std::mutex> lock(mu_);
   w.write_u32(static_cast<std::uint32_t>(links_.size()));
-  for (const auto& link : links_) {
+  for (const auto& [key, link] : links_) {
+    w.write_i32(key);
     w.write_u64(static_cast<std::uint64_t>(link.stats.dropped));
     w.write_u64(static_cast<std::uint64_t>(link.stats.corrupted));
     w.write_u64(static_cast<std::uint64_t>(link.stats.duplicated));
@@ -99,36 +103,48 @@ void FaultyNetwork::save_state(common::ByteWriter& w) const {
   }
   const auto streams = model_.stream_states();
   w.write_u32(static_cast<std::uint32_t>(streams.size()));
-  for (const auto& s : streams) common::write_rng_state(w, s);
+  for (const auto& [key, s] : streams) {
+    w.write_i32(key);
+    common::write_rng_state(w, s);
+  }
 }
 
 void FaultyNetwork::restore_state(common::ByteReader& r) {
   Network::restore_state(r);
   phase_.store(r.read_u64(), std::memory_order_relaxed);
   const std::uint32_t n_links = r.read_u32();
-  if (static_cast<std::size_t>(n_links) != links_.size()) {
-    throw CheckpointError("fault snapshot has " + std::to_string(n_links) +
-                          " fault links, expected " + std::to_string(links_.size()));
-  }
-  for (auto& link : links_) {
-    link.stats.dropped = static_cast<std::size_t>(r.read_u64());
-    link.stats.corrupted = static_cast<std::size_t>(r.read_u64());
-    link.stats.duplicated = static_cast<std::size_t>(r.read_u64());
-    link.stats.delayed = static_cast<std::size_t>(r.read_u64());
-    link.stats.crashed = static_cast<std::size_t>(r.read_u64());
-    const std::uint32_t n_delayed = r.read_u32();
-    link.delayed.clear();
-    for (std::uint32_t i = 0; i < n_delayed; ++i) {
-      Delayed d;
-      d.phase = r.read_u64();
-      d.message = read_message_verbatim(r);
-      link.delayed.push_back(std::move(d));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    links_.clear();
+    for (std::uint32_t i = 0; i < n_links; ++i) {
+      const int key = r.read_i32();
+      if (key < 0 || key >= 2 * n_clients()) {
+        throw CheckpointError("fault snapshot names link " + std::to_string(key) +
+                              " outside [0, " + std::to_string(2 * n_clients()) + ")");
+      }
+      LinkState& link = links_[key];
+      link.stats.dropped = static_cast<std::size_t>(r.read_u64());
+      link.stats.corrupted = static_cast<std::size_t>(r.read_u64());
+      link.stats.duplicated = static_cast<std::size_t>(r.read_u64());
+      link.stats.delayed = static_cast<std::size_t>(r.read_u64());
+      link.stats.crashed = static_cast<std::size_t>(r.read_u64());
+      const std::uint32_t n_delayed = r.read_u32();
+      link.delayed.clear();
+      for (std::uint32_t j = 0; j < n_delayed; ++j) {
+        Delayed d;
+        d.phase = r.read_u64();
+        d.message = read_message_verbatim(r);
+        link.delayed.push_back(std::move(d));
+      }
     }
   }
   const std::uint32_t n_streams = r.read_u32();
-  std::vector<common::RngState> streams;
+  std::vector<std::pair<int, common::RngState>> streams;
   streams.reserve(n_streams);
-  for (std::uint32_t i = 0; i < n_streams; ++i) streams.push_back(common::read_rng_state(r));
+  for (std::uint32_t i = 0; i < n_streams; ++i) {
+    const int key = r.read_i32();
+    streams.emplace_back(key, common::read_rng_state(r));
+  }
   model_.restore_stream_states(streams);
 }
 

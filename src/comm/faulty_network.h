@@ -6,13 +6,20 @@
 // state only by client c's worker task. flush_delayed() and stats() must be
 // called from the coordinating thread while no client tasks run (the
 // simulation calls them at phase boundaries, after the pool barrier). Under
-// that contract no lock is needed beyond the Channels' own mutexes, and the
-// per-link RNG streams make every fault decision independent of thread
-// scheduling.
+// that contract the only lock needed beyond the Channels' own mutexes is the
+// short one guarding lazy per-link state creation, and the per-link RNG
+// streams make every fault decision independent of thread scheduling.
+//
+// Like the base Network, per-link fault state is sparse and keyed by
+// 2·client + direction, so only links that actually carry traffic cost
+// memory — the map's key order is (client asc, downlink first), preserving
+// the eager implementation's flush order exactly.
 #pragma once
 
 #include <atomic>
 #include <deque>
+#include <map>
+#include <mutex>
 
 #include "comm/fault_model.h"
 #include "comm/network.h"
@@ -36,8 +43,9 @@ class FaultyNetwork : public Network {
   FaultStats stats() const;
 
   // Checkpoint support (coordinating thread only): base channels, then the
-  // phase counter, per-link fault stats and delayed queues, and the fault
-  // model's RNG stream states.
+  // phase counter, the touched links' fault stats and delayed queues, and
+  // the fault model's touched RNG stream states — all sparse, keyed by
+  // 2·client + direction.
   void save_state(common::ByteWriter& w) const override;
   void restore_state(common::ByteReader& r) override;
 
@@ -53,10 +61,13 @@ class FaultyNetwork : public Network {
 
   void inject(int client, FaultModel::Direction dir, Message message);
   void deliver(int client, FaultModel::Direction dir, Message message);
+  // Find-or-create; thread-safe creation, per-link mutation under the
+  // threading contract above.
   LinkState& state(int client, FaultModel::Direction dir);
 
   FaultModel model_;
-  std::vector<LinkState> links_;  // 2 per client: [downlink, uplink]
+  mutable std::mutex mu_;
+  std::map<int, LinkState> links_;  // key = 2·client + dir, lazily created
   std::atomic<std::uint64_t> phase_{0};
 };
 

@@ -2,20 +2,21 @@
 
 namespace fedcleanse::comm {
 
-Network::Network(int n_clients) {
+Network::Network(int n_clients) : n_clients_(n_clients) {
   FC_REQUIRE(n_clients > 0, "network needs at least one client");
-  links_.reserve(static_cast<std::size_t>(n_clients));
-  for (int i = 0; i < n_clients; ++i) links_.push_back(std::make_unique<Link>());
 }
 
 Network::Link& Network::link(int client) {
-  FC_REQUIRE(client >= 0 && client < n_clients(), "client id out of range");
-  return *links_[static_cast<std::size_t>(client)];
+  FC_REQUIRE(client >= 0 && client < n_clients_, "client id out of range");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = links_[client];
+  if (!slot) slot = std::make_unique<Link>();
+  return *slot;
 }
 
-const Network::Link& Network::link(int client) const {
-  FC_REQUIRE(client >= 0 && client < n_clients(), "client id out of range");
-  return *links_[static_cast<std::size_t>(client)];
+std::size_t Network::n_active_links() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return links_.size();
 }
 
 void Network::send_to_client(int client, Message message) {
@@ -44,22 +45,27 @@ std::optional<Message> Network::client_try_recv(int client) {
 Message Network::client_recv(int client) { return link(client).to_client.recv(); }
 
 std::size_t Network::downlink_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t total = 0;
-  for (const auto& l : links_) total += l->to_client.bytes_sent();
+  for (const auto& [id, l] : links_) total += l->to_client.bytes_sent();
   return total;
 }
 
 std::size_t Network::uplink_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t total = 0;
-  for (const auto& l : links_) total += l->to_server.bytes_sent();
+  for (const auto& [id, l] : links_) total += l->to_server.bytes_sent();
   return total;
 }
 
 std::size_t Network::total_bytes() const { return downlink_bytes() + uplink_bytes(); }
 
 void Network::save_state(common::ByteWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.write_u32(static_cast<std::uint32_t>(n_clients_));
   w.write_u32(static_cast<std::uint32_t>(links_.size()));
-  for (const auto& l : links_) {
+  for (const auto& [id, l] : links_) {
+    w.write_i32(id);
     for (const Channel* ch : {&l->to_client, &l->to_server}) {
       w.write_u64(static_cast<std::uint64_t>(ch->bytes_sent()));
       const auto queue = ch->snapshot_queue();
@@ -71,17 +77,28 @@ void Network::save_state(common::ByteWriter& w) const {
 
 void Network::restore_state(common::ByteReader& r) {
   const std::uint32_t n = r.read_u32();
-  if (static_cast<int>(n) != n_clients()) {
+  if (static_cast<int>(n) != n_clients_) {
     throw CheckpointError("network snapshot has " + std::to_string(n) +
-                          " links, expected " + std::to_string(n_clients()));
+                          " clients, expected " + std::to_string(n_clients_));
   }
-  for (auto& l : links_) {
-    for (Channel* ch : {&l->to_client, &l->to_server}) {
+  const std::uint32_t present = r.read_u32();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    links_.clear();
+  }
+  for (std::uint32_t i = 0; i < present; ++i) {
+    const int id = r.read_i32();
+    if (id < 0 || id >= n_clients_) {
+      throw CheckpointError("network snapshot names client " + std::to_string(id) +
+                            " outside [0, " + std::to_string(n_clients_) + ")");
+    }
+    Link& l = link(id);
+    for (Channel* ch : {&l.to_client, &l.to_server}) {
       const auto bytes_sent = static_cast<std::size_t>(r.read_u64());
       const std::uint32_t count = r.read_u32();
       std::vector<Message> queue;
       queue.reserve(count);
-      for (std::uint32_t i = 0; i < count; ++i) queue.push_back(read_message_verbatim(r));
+      for (std::uint32_t j = 0; j < count; ++j) queue.push_back(read_message_verbatim(r));
       ch->restore(std::move(queue), bytes_sent);
     }
   }

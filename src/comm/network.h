@@ -4,10 +4,19 @@
 // The send paths are virtual so a fault-injection layer (FaultyNetwork) can
 // wrap the wire without either endpoint knowing: server and clients only ever
 // hold a Network&.
+//
+// Links are materialized lazily on first use and keyed by client id, so a
+// million-client population costs nothing until a client actually appears in
+// a round's cohort. Creation is guarded by a mutex (client tasks may race on
+// first contact when the server's broadcast was dropped by the fault layer);
+// Link storage is a unique_ptr behind an ordered map, so references stay
+// stable for the lifetime of the network and iteration is id-ordered.
 #pragma once
 
 #include <chrono>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "comm/channel.h"
@@ -21,7 +30,9 @@ class Network {
   explicit Network(int n_clients);
   virtual ~Network() = default;
 
-  int n_clients() const { return static_cast<int>(links_.size()); }
+  int n_clients() const { return n_clients_; }
+  // Links that have carried (or queued) at least one message.
+  std::size_t n_active_links() const;
 
   // Server side.
   virtual void send_to_client(int client, Message message);
@@ -47,12 +58,12 @@ class Network {
   std::size_t uplink_bytes() const;    // clients → server
 
   // Checkpoint support (coordinating thread only, no client tasks running):
-  // serialize / restore every channel's queued messages and byte counters.
-  // Messages are written verbatim so a fault-corrupted in-flight message
-  // stays corrupted across a crash-resume. Virtual so FaultyNetwork can
-  // append its delayed queues, fault stats, and RNG stream states.
-  // restore_state expects an identically-configured network (same n_clients)
-  // and throws CheckpointError on mismatch.
+  // serialize / restore the materialized links' queued messages and byte
+  // counters, keyed by client id. Messages are written verbatim so a
+  // fault-corrupted in-flight message stays corrupted across a crash-resume.
+  // Virtual so FaultyNetwork can append its delayed queues, fault stats, and
+  // RNG stream states. restore_state expects an identically-configured
+  // network (same n_clients) and throws CheckpointError on mismatch.
   virtual void save_state(common::ByteWriter& w) const;
   virtual void restore_state(common::ByteReader& r);
 
@@ -61,11 +72,13 @@ class Network {
     Channel to_client;
     Channel to_server;
   };
+  // Find-or-create; thread-safe, O(log links) under a short lock.
   Link& link(int client);
-  const Link& link(int client) const;
-  // deque-free storage: Channel is not movable (mutex member), so links are
-  // held by unique_ptr.
-  std::vector<std::unique_ptr<Link>> links_;
+  int n_clients_;
+  mutable std::mutex mu_;
+  // Channel is not movable (mutex member), so links are held by unique_ptr;
+  // element pointers survive map growth.
+  std::map<int, std::unique_ptr<Link>> links_;
 };
 
 }  // namespace fedcleanse::comm

@@ -1,0 +1,35 @@
+#include "common/sysinfo.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace fedcleanse::common {
+
+namespace {
+
+// Reads a "Vm...:  <kB> kB" line from /proc/self/status; 0 if absent.
+std::size_t status_field_bytes(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::size_t bytes = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) != 0) continue;
+    unsigned long long kb = 0;
+    if (std::sscanf(line + field_len, ": %llu", &kb) == 1) {
+      bytes = static_cast<std::size_t>(kb) * 1024;
+    }
+    break;
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+}  // namespace
+
+std::size_t peak_rss_bytes() { return status_field_bytes("VmHWM"); }
+
+std::size_t current_rss_bytes() { return status_field_bytes("VmRSS"); }
+
+}  // namespace fedcleanse::common

@@ -1,0 +1,16 @@
+// Process-level system introspection.
+#pragma once
+
+#include <cstddef>
+
+namespace fedcleanse::common {
+
+// Peak resident set size (high-water mark) of this process in bytes, read
+// from /proc/self/status (VmHWM). Monotone non-decreasing over the process
+// lifetime by definition. Returns 0 where procfs is unavailable.
+std::size_t peak_rss_bytes();
+
+// Current resident set size in bytes (VmRSS); 0 where unavailable.
+std::size_t current_rss_bytes();
+
+}  // namespace fedcleanse::common

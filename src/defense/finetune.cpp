@@ -33,7 +33,9 @@ FineTuneOutcome federated_finetune(fl::Simulation& sim, const FineTuneConfig& co
                                    const FineTuneCheckpointHook& checkpoint) {
   FC_REQUIRE(config.max_rounds >= 0 && config.patience >= 1, "bad fine-tune config");
   auto& server = sim.server();
-  const auto clients = sim.all_client_ids();
+  // Every client when materialized; the deterministic defense committee in
+  // virtual mode (the population is too large to mask-and-rescale wholesale).
+  const auto clients = sim.protocol_client_ids();
 
   FineTuneState state;
   if (resume == nullptr) {
@@ -50,7 +52,7 @@ FineTuneOutcome federated_finetune(fl::Simulation& sim, const FineTuneConfig& co
       if (sim.faulty_network() == nullptr) break;  // perfect wire: one send is enough
     }
     for (int c : clients) {
-      auto& client = sim.clients()[static_cast<std::size_t>(c)];
+      auto& client = sim.client(c);
       client.set_lr(client.lr() * config.lr_scale);
     }
     // Keep-best: fine-tuning must never leave the model worse than its best
@@ -68,7 +70,13 @@ FineTuneOutcome federated_finetune(fl::Simulation& sim, const FineTuneConfig& co
     // A snapshot can capture the loop right after the round that exhausted
     // patience; the resumed run must stop where the uninterrupted one did.
     if (state.stale >= config.patience) break;
-    sim.run_round(static_cast<std::uint32_t>(1000 + r));  // distinct round ids
+    if (sim.virtual_clients()) {
+      // Fine-tune on the committee that holds the masks and rescaled rates;
+      // a population draw would mostly hit unmasked clients.
+      sim.run_round(static_cast<std::uint32_t>(1000 + r), clients);
+    } else {
+      sim.run_round(static_cast<std::uint32_t>(1000 + r));  // distinct round ids
+    }
 
     fl::RoundRecord rec;
     rec.round = r;

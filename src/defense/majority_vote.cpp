@@ -48,4 +48,34 @@ std::vector<int> mvp_pruning_order(const std::vector<std::vector<std::uint8_t>>&
   return pruning_order_from_dormancy(mvp_aggregate(reports, n_neurons, prune_rate));
 }
 
+StreamingVoteAggregator::StreamingVoteAggregator(int n_neurons, double prune_rate)
+    : n_neurons_(n_neurons), quota_(expected_votes(n_neurons, prune_rate)) {
+  sums_.assign(static_cast<std::size_t>(n_neurons), 0.0);
+}
+
+void StreamingVoteAggregator::accept(const std::vector<std::uint8_t>& ballot) {
+  if (static_cast<int>(ballot.size()) != n_neurons_) return;
+  std::size_t votes = 0;
+  for (std::uint8_t v : ballot) {
+    if (v > 1) return;
+    votes += v;
+  }
+  if (votes != quota_) return;  // protocol violation → discard
+  for (int i = 0; i < n_neurons_; ++i) {
+    sums_[static_cast<std::size_t>(i)] += ballot[static_cast<std::size_t>(i)];
+  }
+  ++valid_;
+}
+
+std::vector<double> StreamingVoteAggregator::shares() const {
+  if (valid_ == 0) throw ConfigError("no valid vote ballots to aggregate");
+  std::vector<double> shares = sums_;
+  for (auto& s : shares) s /= static_cast<double>(valid_);
+  return shares;
+}
+
+std::vector<int> StreamingVoteAggregator::pruning_order() const {
+  return pruning_order_from_dormancy(shares());
+}
+
 }  // namespace fedcleanse::defense

@@ -8,6 +8,7 @@
 // minority attacker's influence to 1/N per neuron.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -23,5 +24,33 @@ std::vector<int> mvp_pruning_order(const std::vector<std::vector<std::uint8_t>>&
 
 // Number of votes a valid ballot must contain for rate p over P neurons.
 std::size_t expected_votes(int n_neurons, double prune_rate);
+
+// Streaming counterpart of mvp_aggregate: ballots fold into a per-neuron
+// vote histogram as they clear the exchange (integer sums in doubles —
+// exact, order-free). Validation is identical ballot for ballot; shares()
+// equals mvp_aggregate() over the same ballots to the last bit.
+class StreamingVoteAggregator {
+ public:
+  StreamingVoteAggregator(int n_neurons, double prune_rate);
+
+  // Folds the ballot if it has the right length, only 0/1 entries, and
+  // exactly the agreed vote quota; silently discards it otherwise.
+  void accept(const std::vector<std::uint8_t>& ballot);
+
+  std::size_t valid() const { return valid_; }
+
+  // Prune-vote share per neuron; throws ConfigError if nothing valid was
+  // accepted.
+  std::vector<double> shares() const;
+  // Neuron indices ordered by descending prune-vote share
+  // (== mvp_pruning_order).
+  std::vector<int> pruning_order() const;
+
+ private:
+  int n_neurons_;
+  std::size_t quota_;
+  std::vector<double> sums_;
+  std::size_t valid_ = 0;
+};
 
 }  // namespace fedcleanse::defense

@@ -4,10 +4,12 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/sysinfo.h"
 #include "defense/majority_vote.h"
 #include "defense/rank_aggregation.h"
 #include "fl/protocol.h"
 #include "obs/journal.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace fedcleanse::defense {
@@ -45,7 +47,7 @@ std::function<double()> make_accuracy_oracle(fl::Simulation& sim,
     return [&sim] { return sim.server().validation_accuracy(); };
   }
   return [&sim, round = round_tag::kAccuracyBase]() mutable {
-    const auto clients = sim.all_client_ids();
+    const auto clients = sim.protocol_client_ids();
     auto ex = fl::exchange_with_retries<double>(
         sim, clients,
         [&](const std::vector<int>& ids) { sim.server().request_accuracies(ids, round); },
@@ -145,7 +147,7 @@ DefenseProgress decode_defense_progress(const std::vector<std::uint8_t>& bytes) 
 std::vector<int> federated_pruning_order(fl::Simulation& sim, const DefenseConfig& config,
                                          fl::ExchangeStats* stats) {
   auto& server = sim.server();
-  const auto clients = sim.all_client_ids();
+  const auto clients = sim.protocol_client_ids();
   const int units = server.model().net.layer(server.model().last_conv_index).prunable_units();
 
   auto below_quorum = [&](const fl::ExchangeStats& st) {
@@ -154,20 +156,27 @@ std::vector<int> federated_pruning_order(fl::Simulation& sim, const DefenseConfi
                        " valid reports after " + std::to_string(st.n_retried) + " retries");
   };
 
+  // Reports stream into O(neurons) rank/vote histograms as they clear the
+  // exchange — never a buffered report list. Rank and vote sums are integers
+  // carried in doubles, so the fold order cannot change the aggregate and the
+  // result matches the materialized rap/mvp_pruning_order bit for bit.
   obs::Span span("defense.fp_scan", "defense");
   if (config.method == PruneMethod::kRAP) {
-    auto ex = fl::exchange_with_retries<std::vector<std::uint32_t>>(
+    StreamingRankAggregator agg(units);
+    auto ex = fl::exchange_streaming<std::vector<std::uint32_t>>(
         sim, clients,
         [&](const std::vector<int>& ids) { server.request_ranks(ids, round_tag::kRanks); },
         [&](const std::vector<int>& ids, fl::CollectStats* cs) {
           return server.collect_ranks(ids, round_tag::kRanks, cs);
         },
+        [&agg](std::size_t, std::vector<std::uint32_t>&& report) { agg.accept(report); },
         "FP rank collection");
     if (stats != nullptr) *stats = ex.stats;
     if (!ex.stats.quorum_met) throw below_quorum(ex.stats);
-    return rap_pruning_order(ex.values, units);
+    return agg.pruning_order();
   }
-  auto ex = fl::exchange_with_retries<std::vector<std::uint8_t>>(
+  StreamingVoteAggregator agg(units, config.vote_prune_rate);
+  auto ex = fl::exchange_streaming<std::vector<std::uint8_t>>(
       sim, clients,
       [&](const std::vector<int>& ids) {
         server.request_votes(ids, config.vote_prune_rate, round_tag::kVotes);
@@ -175,10 +184,11 @@ std::vector<int> federated_pruning_order(fl::Simulation& sim, const DefenseConfi
       [&](const std::vector<int>& ids, fl::CollectStats* cs) {
         return server.collect_votes(ids, round_tag::kVotes, cs);
       },
+      [&agg](std::size_t, std::vector<std::uint8_t>&& ballot) { agg.accept(ballot); },
       "FP vote collection");
   if (stats != nullptr) *stats = ex.stats;
   if (!ex.stats.quorum_met) throw below_quorum(ex.stats);
-  return mvp_pruning_order(ex.values, units, config.vote_prune_rate);
+  return agg.pruning_order();
 }
 
 DefenseReport run_defense(fl::Simulation& sim, const DefenseConfig& config,
@@ -300,9 +310,11 @@ DefenseReport run_defense(fl::Simulation& sim, const DefenseConfig& config,
         .add("n_dropped", report.fp_exchange.n_dropped)
         .add("n_corrupted", report.fp_exchange.n_corrupted)
         .add("n_retried", report.fp_exchange.n_retried)
+        .add("peak_rss", static_cast<std::uint64_t>(common::peak_rss_bytes()))
         .add_raw("phase_seconds", phases_json.str());
     journal->write(entry);
   }
+  FC_METRIC(peak_rss_bytes().set(static_cast<double>(common::peak_rss_bytes())));
   return report;
 }
 

@@ -29,4 +29,28 @@ std::vector<int> rap_pruning_order(const std::vector<std::vector<std::uint32_t>>
   return pruning_order_from_dormancy(rap_aggregate(reports, n_neurons));
 }
 
+StreamingRankAggregator::StreamingRankAggregator(int n_neurons) : n_neurons_(n_neurons) {
+  FC_REQUIRE(n_neurons > 0, "need at least one neuron");
+  sums_.assign(static_cast<std::size_t>(n_neurons), 0.0);
+}
+
+void StreamingRankAggregator::accept(const std::vector<std::uint32_t>& report) {
+  if (!is_valid_rank_report(report, n_neurons_)) return;
+  for (int i = 0; i < n_neurons_; ++i) {
+    sums_[static_cast<std::size_t>(i)] += report[static_cast<std::size_t>(i)];
+  }
+  ++valid_;
+}
+
+std::vector<double> StreamingRankAggregator::mean_ranks() const {
+  if (valid_ == 0) throw ConfigError("no valid rank reports to aggregate");
+  std::vector<double> means = sums_;
+  for (auto& s : means) s /= static_cast<double>(valid_);
+  return means;
+}
+
+std::vector<int> StreamingRankAggregator::pruning_order() const {
+  return pruning_order_from_dormancy(mean_ranks());
+}
+
 }  // namespace fedcleanse::defense

@@ -7,6 +7,7 @@
 // Byzantine client cannot crash or trivially skew the aggregation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -20,5 +21,32 @@ std::vector<double> rap_aggregate(const std::vector<std::vector<std::uint32_t>>&
 // Neuron indices ordered most-dormant-first (largest mean rank first).
 std::vector<int> rap_pruning_order(const std::vector<std::vector<std::uint32_t>>& reports,
                                    int n_neurons);
+
+// Streaming counterpart of rap_aggregate: reports are folded into a per-
+// neuron rank histogram (double sums of integer ranks — exact, so the fold
+// order cannot matter) as they clear the exchange, instead of being buffered
+// per client. Validation is identical report for report; mean_ranks() equals
+// rap_aggregate() over the same reports to the last bit.
+class StreamingRankAggregator {
+ public:
+  explicit StreamingRankAggregator(int n_neurons);
+
+  // Folds the report if it is a valid permutation of 1..P; silently discards
+  // it otherwise (mirroring rap_aggregate).
+  void accept(const std::vector<std::uint32_t>& report);
+
+  std::size_t valid() const { return valid_; }
+
+  // Mean rank position per neuron; throws ConfigError if nothing valid
+  // was accepted.
+  std::vector<double> mean_ranks() const;
+  // Neuron indices ordered most-dormant-first (== rap_pruning_order).
+  std::vector<int> pruning_order() const;
+
+ private:
+  int n_neurons_;
+  std::vector<double> sums_;
+  std::size_t valid_ = 0;
+};
 
 }  // namespace fedcleanse::defense

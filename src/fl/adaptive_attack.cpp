@@ -16,8 +16,8 @@ std::vector<std::vector<std::uint8_t>> anticipate_prune_masks(Simulation& sim,
   // Average the activation means over every client (attacker's best estimate
   // of the global dormancy ordering).
   std::vector<double> totals(static_cast<std::size_t>(units), 0.0);
-  for (auto& client : sim.clients()) {
-    auto means = client.activation_means(params);
+  for (int c : sim.protocol_client_ids()) {
+    auto means = sim.client(c).activation_means(params);
     FC_REQUIRE(static_cast<int>(means.size()) == units, "activation width mismatch");
     for (std::size_t i = 0; i < totals.size(); ++i) totals[i] += means[i];
   }
@@ -38,7 +38,7 @@ std::vector<std::vector<std::uint8_t>> anticipate_prune_masks(Simulation& sim,
 void arm_prune_aware_attackers(Simulation& sim, double prune_rate) {
   auto masks = anticipate_prune_masks(sim, prune_rate);
   for (int a : sim.attacker_ids()) {
-    sim.clients()[static_cast<std::size_t>(a)].set_anticipated_masks(masks);
+    sim.client(a).set_anticipated_masks(masks);
   }
 }
 

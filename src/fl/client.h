@@ -54,6 +54,14 @@ class Client {
   // attacker trains with these masks applied so the backdoor moves into
   // essential neurons.
   void set_anticipated_masks(std::vector<std::vector<std::uint8_t>> masks);
+  const std::vector<std::vector<std::uint8_t>>& anticipated_masks() const {
+    return anticipated_masks_;
+  }
+
+  // The evolving state a virtual-client ledger must carry across eviction
+  // (everything else re-derives from (run_seed, id) or the global model).
+  common::RngState rng_state() const { return rng_.state(); }
+  void restore_rng(const common::RngState& state) { rng_.restore(state); }
 
   // --- round protocol -------------------------------------------------------
   // Sync to the global parameters, train locally, and return the update

@@ -36,15 +36,23 @@ struct Exchange {
   ExchangeStats stats;
 };
 
+// Streaming exchange: identical retry/backoff/quorum mechanics, but every
+// valid reply is handed to `sink(position, T&&)` the moment it clears the
+// collect phase instead of being buffered — the returned Exchange carries
+// the reporting clients and stats only, `values` stays empty. `position` is
+// the reply's index into `clients`; a position is sunk at most once. Used by
+// the O(model) aggregation paths (fl::StreamingAggregator, the defense's
+// streaming rank/vote histograms).
+//
 // `request(ids)` re-sends the phase's request to the given clients;
 // `collect(ids, &stats)` returns one std::optional<T> per id. The recv
 // deadline doubles per retry attempt, capped at 8× (capped backoff), and is
 // restored afterwards. Does NOT throw below quorum — the caller decides
 // whether a thin round is skippable (training) or fatal (defense).
-template <typename T, typename RequestFn, typename CollectFn>
-Exchange<T> exchange_with_retries(Simulation& sim, const std::vector<int>& clients,
-                                  RequestFn request, CollectFn collect,
-                                  const char* what) {
+template <typename T, typename RequestFn, typename CollectFn, typename SinkFn>
+Exchange<T> exchange_streaming(Simulation& sim, const std::vector<int>& clients,
+                               RequestFn request, CollectFn collect, SinkFn sink,
+                               const char* what) {
   const comm::FaultConfig& fc = sim.config().fault;
   // `what` is a string literal at every call site, so it can name the span.
   obs::Span exchange_span(what, "protocol");
@@ -52,7 +60,7 @@ Exchange<T> exchange_with_retries(Simulation& sim, const std::vector<int>& clien
   Exchange<T> result;
   result.stats.n_participants = static_cast<int>(clients.size());
 
-  std::vector<std::optional<T>> got(clients.size());
+  std::vector<char> have(clients.size(), 0);
   std::vector<std::size_t> pending(clients.size());
   for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
 
@@ -86,7 +94,8 @@ Exchange<T> exchange_with_retries(Simulation& sim, const std::vector<int>& clien
     std::vector<std::size_t> still_pending;
     for (std::size_t k = 0; k < pending.size(); ++k) {
       if (replies[k].has_value()) {
-        got[pending[k]] = std::move(replies[k]);
+        have[pending[k]] = 1;
+        sink(pending[k], std::move(*replies[k]));
       } else {
         still_pending.push_back(pending[k]);
       }
@@ -95,21 +104,41 @@ Exchange<T> exchange_with_retries(Simulation& sim, const std::vector<int>& clien
   }
   sim.server().set_recv_timeout_ms(base_timeout);
 
-  for (std::size_t i = 0; i < got.size(); ++i) {
-    if (got[i].has_value()) {
+  int n_valid = 0;
+  for (std::size_t i = 0; i < have.size(); ++i) {
+    if (have[i]) {
       result.clients.push_back(clients[i]);
-      result.values.push_back(std::move(*got[i]));
+      ++n_valid;
     }
   }
-  result.stats.n_valid = static_cast<int>(result.values.size());
+  result.stats.n_valid = n_valid;
   result.stats.n_dropped = static_cast<int>(pending.size());
   FC_METRIC(exchange_drops().add(pending.size()));
-  result.stats.quorum_met =
-      result.values.size() >= quorum_count(clients.size(), fc.min_collect_fraction);
+  result.stats.quorum_met = static_cast<std::size_t>(n_valid) >=
+                            quorum_count(clients.size(), fc.min_collect_fraction);
   if (!result.stats.quorum_met) {
     FC_LOG(Warn) << what << ": quorum not met — " << result.stats.n_valid << "/"
                  << clients.size() << " valid reports (need "
                  << quorum_count(clients.size(), fc.min_collect_fraction) << ")";
+  }
+  return result;
+}
+
+// Buffered exchange: the classic materialize-everything variant, expressed
+// over the streaming core with a buffering sink. `values` comes back aligned
+// with `clients` (position order), exactly as before the streaming refactor.
+template <typename T, typename RequestFn, typename CollectFn>
+Exchange<T> exchange_with_retries(Simulation& sim, const std::vector<int>& clients,
+                                  RequestFn request, CollectFn collect,
+                                  const char* what) {
+  std::vector<std::optional<T>> got(clients.size());
+  Exchange<T> result = exchange_streaming<T>(
+      sim, clients, request, collect,
+      [&got](std::size_t position, T&& value) { got[position] = std::move(value); },
+      what);
+  result.values.reserve(result.clients.size());
+  for (auto& slot : got) {
+    if (slot.has_value()) result.values.push_back(std::move(*slot));
   }
   return result;
 }

@@ -138,6 +138,10 @@ void Server::apply_aggregate(const std::vector<std::vector<float>>& updates) {
               config_.global_lr);
 }
 
+void Server::apply_update(const std::vector<float>& aggregated) {
+  apply_delta(*this, aggregated, config_.global_lr);
+}
+
 void Server::apply_aggregate(const std::vector<int>& client_ids,
                              const std::vector<std::vector<float>>& updates) {
   if (reputation_ == nullptr) {

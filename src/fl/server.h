@@ -71,6 +71,11 @@ class Server {
       const std::vector<int>& clients, std::uint32_t round, CollectStats* stats = nullptr);
   // ω_{t+1} = ω_t + η·aggregate(Δω) over whichever updates arrived.
   void apply_aggregate(const std::vector<std::vector<float>>& updates);
+  // Apply an already-aggregated update (fl::StreamingAggregator's fold
+  // output): ω_{t+1} = ω_t + η·aggregated. Bit-identical to apply_aggregate
+  // over the same updates because the streaming fold replicates mean_update's
+  // accumulation order exactly.
+  void apply_update(const std::vector<float>& aggregated);
   // Same, but with the sender ids — required for the reputation path, which
   // tracks per-client scores. Falls back to the configured aggregator when
   // reputation weighting is off.

@@ -1,14 +1,27 @@
 #include "fl/simulation.h"
 
+#include <algorithm>
+#include <set>
+
 #include "comm/faulty_network.h"
 #include "common/logging.h"
+#include "common/sysinfo.h"
+#include "fl/client_factory.h"
 #include "fl/metrics.h"
 #include "fl/protocol.h"
 #include "fl/run_state.h"
+#include "fl/streaming.h"
 #include "obs/journal.h"
 #include "obs/trace.h"
 
 namespace fedcleanse::fl {
+
+namespace {
+// kAuto flips to the virtual engine only at this population size and above:
+// below it the eager engine is cheap, and keeping it the default preserves
+// byte-identical results for every pre-existing configuration.
+constexpr int kVirtualAutoThreshold = 4096;
+}  // namespace
 
 Simulation::Simulation(SimulationConfig config)
     : config_(std::move(config)),
@@ -26,6 +39,28 @@ Simulation::Simulation(SimulationConfig config)
   // The server's recv deadline is a fault-protocol knob; keep them in sync.
   config_.server.recv_timeout_ms = config_.fault.recv_timeout_ms;
 
+  const bool sampled_rounds = config_.clients_per_round > 0 &&
+                              config_.clients_per_round < config_.n_clients;
+  switch (config_.residency) {
+    case ClientResidency::kMaterialized:
+      virtual_mode_ = false;
+      break;
+    case ClientResidency::kVirtual:
+      virtual_mode_ = true;
+      break;
+    case ClientResidency::kAuto:
+      virtual_mode_ = config_.n_clients >= kVirtualAutoThreshold && sampled_rounds;
+      break;
+  }
+  if (virtual_mode_) {
+    FC_REQUIRE(sampled_rounds,
+               "virtual clients need 0 < clients_per_round < n_clients");
+    FC_REQUIRE(config_.defense_clients > 0,
+               "virtual clients need a positive defense_clients committee");
+    FC_REQUIRE(config_.max_resident_clients >= 0,
+               "max_resident_clients must be non-negative");
+  }
+
   // --- data ------------------------------------------------------------------
   data::SynthConfig train_cfg{config_.samples_per_class_train, rng_.next_u64(),
                               config_.data_noise};
@@ -39,16 +74,20 @@ Simulation::Simulation(SimulationConfig config)
                                     config_.attack.victim_label, config_.attack.attack_label);
   }
 
-  data::PartitionConfig part;
-  part.n_clients = config_.n_clients;
-  part.labels_per_client = config_.labels_per_client;
-  part.samples_per_client = config_.samples_per_client;
-  part.seed = rng_.next_u64();
-  // Attackers must hold victim-label data to poison it.
-  for (int a = 0; a < config_.n_attackers; ++a) {
-    part.forced_labels.emplace_back(a, config_.attack.victim_label);
+  const std::uint64_t part_seed = rng_.next_u64();
+  std::vector<data::Dataset> locals;
+  if (!virtual_mode_) {
+    data::PartitionConfig part;
+    part.n_clients = config_.n_clients;
+    part.labels_per_client = config_.labels_per_client;
+    part.samples_per_client = config_.samples_per_client;
+    part.seed = part_seed;
+    // Attackers must hold victim-label data to poison it.
+    for (int a = 0; a < config_.n_attackers; ++a) {
+      part.forced_labels.emplace_back(a, config_.attack.victim_label);
+    }
+    locals = data::partition_k_label(full_train, part);
   }
-  auto locals = data::partition_k_label(full_train, part);
 
   // --- network, server, clients ----------------------------------------------
   if (config_.fault.any_faults() || config_.fault.force_faulty_network) {
@@ -76,6 +115,23 @@ Simulation::Simulation(SimulationConfig config)
   auto validation = data::make_synth(config_.dataset, val_cfg);
   server_ = std::make_unique<Server>(std::move(server_model), std::move(validation), *net_,
                                      config_.server);
+
+  if (virtual_mode_) {
+    // One template replica carries the architecture; per-client weights are
+    // irrelevant (every protocol step syncs to the global parameters first).
+    auto template_model = nn::make_model(config_.arch, rng_);
+    if (config_.last_conv_weight_decay > 0.0) {
+      template_model.net.layer(template_model.last_conv_index).weight_decay =
+          config_.last_conv_weight_decay;
+    }
+    const std::uint64_t label_root = rng_.next_u64();
+    const std::uint64_t data_root = rng_.next_u64();
+    const std::uint64_t seed_root = rng_.next_u64();
+    factory_ = std::make_unique<ClientFactory>(config_, std::move(full_train),
+                                               std::move(template_model), part_seed,
+                                               label_root, data_root, seed_root);
+    return;
+  }
 
   // DBA: split the global trigger across the attackers.
   std::vector<data::BackdoorPattern> local_patterns;
@@ -111,6 +167,111 @@ comm::FaultyNetwork* Simulation::faulty_network() {
   return dynamic_cast<comm::FaultyNetwork*>(net_.get());
 }
 
+std::size_t Simulation::resident_clients() const {
+  return virtual_mode_ ? resident_.size() : clients_.size();
+}
+
+Client& Simulation::resident_client(int id) {
+  if (!virtual_mode_) return clients_[static_cast<std::size_t>(id)];
+  auto it = resident_.find(id);
+  FC_REQUIRE(it != resident_.end(), "client is not resident");
+  return *slab_[it->second];
+}
+
+Client& Simulation::client(int id) {
+  FC_REQUIRE(id >= 0 && id < config_.n_clients, "client id out of range");
+  if (virtual_mode_ && resident_.find(id) == resident_.end()) {
+    ensure_resident({id});
+  }
+  return resident_client(id);
+}
+
+std::size_t Simulation::resident_capacity(std::size_t needed) const {
+  std::size_t cap = static_cast<std::size_t>(config_.max_resident_clients);
+  if (config_.max_resident_clients <= 0) {
+    // Room for two cohorts (the protocol may touch last round's stragglers
+    // while this round's cohort trains) and the defense committee.
+    const std::size_t cohort =
+        config_.clients_per_round > 0
+            ? 2 * static_cast<std::size_t>(config_.clients_per_round)
+            : 0;
+    const std::size_t committee =
+        static_cast<std::size_t>(std::min(config_.defense_clients, config_.n_clients));
+    cap = std::max({std::size_t{2}, cohort, committee});
+  }
+  return std::max(cap, needed);
+}
+
+void Simulation::evict(int id) {
+  auto it = resident_.find(id);
+  Client& client = *slab_[it->second];
+  ClientPersist persist;
+  persist.rng = client.rng_state();
+  persist.lr = client.lr();
+  persist.prune_masks = client.model().net.prune_masks();
+  persist.anticipated_masks = client.anticipated_masks();
+  ledger_.insert_or_assign(id, std::move(persist));
+  slab_[it->second].reset();
+  free_slots_.push_back(it->second);
+  resident_.erase(it);
+}
+
+void Simulation::materialize(int id) {
+  Client client = factory_->make_client(id);
+  auto it = ledger_.find(id);
+  if (it != ledger_.end()) {
+    ClientPersist& persist = it->second;
+    client.restore_rng(persist.rng);
+    client.set_lr(persist.lr);
+    if (!persist.prune_masks.empty()) {
+      client.model().net.set_prune_masks(persist.prune_masks);
+    }
+    if (!persist.anticipated_masks.empty()) {
+      client.set_anticipated_masks(std::move(persist.anticipated_masks));
+    }
+    ledger_.erase(it);
+  }
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slab_[slot].emplace(std::move(client));
+  } else {
+    slot = slab_.size();
+    slab_.emplace_back(std::move(client));
+  }
+  resident_.insert_or_assign(id, slot);
+}
+
+void Simulation::ensure_resident(const std::vector<int>& ids) {
+  for (int id : ids) {
+    FC_REQUIRE(id >= 0 && id < config_.n_clients, "client id out of range");
+  }
+  if (!virtual_mode_) return;
+  const std::set<int> wanted(ids.begin(), ids.end());
+  std::vector<int> missing;
+  for (int id : wanted) {
+    if (resident_.find(id) == resident_.end()) missing.push_back(id);
+  }
+  if (missing.empty()) return;
+  // Capacity-based eviction only (never evict just because an id is absent
+  // from this call): sequential per-client phases like the fine-tune lr scan
+  // would otherwise thrash the slab one client at a time.
+  const std::size_t capacity = resident_capacity(wanted.size());
+  if (resident_.size() + missing.size() > capacity) {
+    std::vector<int> evictable;
+    for (const auto& [id, slot] : resident_) {
+      (void)slot;
+      if (wanted.find(id) == wanted.end()) evictable.push_back(id);
+    }
+    std::size_t excess = resident_.size() + missing.size() - capacity;
+    for (std::size_t i = 0; i < evictable.size() && excess > 0; ++i, --excess) {
+      evict(evictable[i]);
+    }
+  }
+  for (int id : missing) materialize(id);
+}
+
 void Simulation::dispatch_clients(const std::vector<int>& ids) {
   // Open a new delivery phase first: messages delayed during an earlier phase
   // surface now (stale, overtaken by newer traffic), while messages delayed
@@ -118,10 +279,13 @@ void Simulation::dispatch_clients(const std::vector<int>& ids) {
   // always misses at least one collect deadline. Called only from the
   // coordinating thread, never inside pool tasks.
   net_->flush_delayed();
+  // Materialize the cohort before fanning out: pool tasks read the resident
+  // map concurrently but never mutate it.
+  ensure_resident(ids);
   pool_->parallel_for(ids.size(), [&](std::size_t i) {
     obs::Span span("client.dispatch", "fl");
     span.set_arg("client", ids[i]);
-    clients_[static_cast<std::size_t>(ids[i])].handle_pending(*net_);
+    resident_client(ids[i]).handle_pending(*net_);
   });
 }
 
@@ -137,31 +301,92 @@ std::vector<int> Simulation::attacker_ids() const {
   return ids;
 }
 
+std::vector<int> Simulation::protocol_client_ids() const {
+  if (!virtual_mode_) return all_client_ids();
+  // Deterministic strided committee over the population: id_k = ⌊k·n/m⌋,
+  // strictly increasing, covers the id range evenly, consumes no RNG (so
+  // defense phases stay resume-neutral).
+  const std::int64_t n = config_.n_clients;
+  const std::int64_t m = std::min<std::int64_t>(config_.defense_clients, n);
+  std::vector<int> ids(static_cast<std::size_t>(m));
+  for (std::int64_t k = 0; k < m; ++k) {
+    ids[static_cast<std::size_t>(k)] = static_cast<int>((k * n) / m);
+  }
+  return ids;
+}
+
 std::vector<int> Simulation::run_round(std::uint32_t round) {
-  obs::Span span("fl.round", "fl");
-  span.set_arg("round", round);
   std::vector<int> participants;
   if (config_.clients_per_round <= 0 || config_.clients_per_round >= config_.n_clients) {
     participants = all_client_ids();
+  } else if (virtual_mode_) {
+    // Floyd's algorithm: a uniform k-subset in O(k) draws — never touches a
+    // population-sized pool. Sorted ascending so pool sharding works over
+    // contiguous client-id blocks and the streaming fold order is the fixed
+    // client-id order.
+    std::set<int> picked;
+    const int n = config_.n_clients;
+    const int k = config_.clients_per_round;
+    for (int j = n - k; j < n; ++j) {
+      const int t = static_cast<int>(rng_.index(static_cast<std::size_t>(j) + 1));
+      if (!picked.insert(t).second) picked.insert(j);
+    }
+    participants.assign(picked.begin(), picked.end());
   } else {
     auto sampled = rng_.sample_without_replacement(
         static_cast<std::size_t>(config_.n_clients),
         static_cast<std::size_t>(config_.clients_per_round));
     participants.assign(sampled.begin(), sampled.end());
   }
-  auto ex = exchange_with_retries<std::vector<float>>(
-      *this, participants,
-      [&](const std::vector<int>& ids) { server_->broadcast_model(ids, round); },
-      [&](const std::vector<int>& ids, CollectStats* cs) {
-        return server_->collect_updates(ids, round, cs);
+  return run_round(round, participants);
+}
+
+std::vector<int> Simulation::run_round(std::uint32_t round,
+                                       const std::vector<int>& participants) {
+  obs::Span span("fl.round", "fl");
+  span.set_arg("round", round);
+
+  auto request = [&](const std::vector<int>& ids) {
+    server_->broadcast_model(ids, round);
+  };
+  auto collect = [&](const std::vector<int>& ids, CollectStats* cs) {
+    return server_->collect_updates(ids, round, cs);
+  };
+  if (config_.buffered_aggregation) {
+    // Legacy buffer-everything reference path (kept for the streaming
+    // equivalence tests): O(cohort · model) memory.
+    auto ex = exchange_with_retries<std::vector<float>>(*this, participants, request,
+                                                        collect, "training round");
+    last_round_stats_ = ex.stats;
+    if (ex.stats.quorum_met) {
+      server_->apply_aggregate(ex.clients, ex.values);
+    } else {
+      // Degraded round: too few valid updates to trust an aggregate. Keep the
+      // current global model and move on — training rounds are skippable.
+      FC_LOG(Warn) << "round " << round << ": aggregation skipped ("
+                   << ex.stats.n_valid << "/" << participants.size()
+                   << " valid updates)";
+    }
+    return participants;
+  }
+
+  StreamingAggregator agg(
+      StreamingAggregator::mode_for(config_.server.aggregator, config_.server.use_reputation),
+      participants.size());
+  auto ex = exchange_streaming<std::vector<float>>(
+      *this, participants, request, collect,
+      [&agg](std::size_t position, std::vector<float>&& update) {
+        agg.accept(position, std::move(update));
       },
       "training round");
   last_round_stats_ = ex.stats;
   if (ex.stats.quorum_met) {
-    server_->apply_aggregate(ex.clients, ex.values);
+    if (agg.mode() == StreamingAggregator::Mode::kFold) {
+      server_->apply_update(agg.finalize_mean());
+    } else {
+      server_->apply_aggregate(ex.clients, agg.finalize_retained());
+    }
   } else {
-    // Degraded round: too few valid updates to trust an aggregate. Keep the
-    // current global model and move on — training rounds are skippable.
     FC_LOG(Warn) << "round " << round << ": aggregation skipped ("
                  << ex.stats.n_valid << "/" << participants.size()
                  << " valid updates)";
@@ -186,6 +411,8 @@ void Simulation::run(bool record_history) {
       rec.n_retried = last_round_stats_.n_retried;
       rec.quorum_met = last_round_stats_.quorum_met;
       history_.push_back(rec);
+      const std::uint64_t peak_rss = static_cast<std::uint64_t>(common::peak_rss_bytes());
+      FC_METRIC(peak_rss_bytes().set(static_cast<double>(peak_rss)));
       if (obs::Journal* journal = obs::ambient_journal()) {
         obs::JsonObject entry;
         entry.add("kind", "train_round")
@@ -197,7 +424,8 @@ void Simulation::run(bool record_history) {
             .add("n_dropped", rec.n_dropped)
             .add("n_corrupted", rec.n_corrupted)
             .add("n_retried", rec.n_retried)
-            .add("quorum_met", rec.quorum_met);
+            .add("quorum_met", rec.quorum_met)
+            .add("peak_rss", peak_rss);
         journal->write(entry);
       }
       FC_LOG(Debug) << "round " << r << " TA=" << rec.test_acc << " AA=" << rec.attack_acc
@@ -267,8 +495,29 @@ void Simulation::save_state(common::ByteWriter& w) const {
   w.write_u32(static_cast<std::uint32_t>(history_.size()));
   for (const auto& rec : history_) write_round_record(w, rec);
   server_->save_state(w);
-  w.write_u32(static_cast<std::uint32_t>(clients_.size()));
-  for (const auto& client : clients_) client.save_state(w);
+  w.write_u8(virtual_mode_ ? 1 : 0);
+  if (!virtual_mode_) {
+    w.write_u32(static_cast<std::uint32_t>(clients_.size()));
+    for (const auto& client : clients_) client.save_state(w);
+  } else {
+    // Resident cohort in full; everyone else is a pure function of the
+    // factory roots plus (at most) a small ledger record.
+    w.write_u32(static_cast<std::uint32_t>(resident_.size()));
+    for (const auto& [id, slot] : resident_) {
+      w.write_i32(id);
+      slab_[slot]->save_state(w);
+    }
+    w.write_u32(static_cast<std::uint32_t>(ledger_.size()));
+    for (const auto& [id, persist] : ledger_) {
+      w.write_i32(id);
+      common::write_rng_state(w, persist.rng);
+      w.write_f64(persist.lr);
+      w.write_u32(static_cast<std::uint32_t>(persist.prune_masks.size()));
+      for (const auto& mask : persist.prune_masks) w.write_u8_vector(mask);
+      w.write_u32(static_cast<std::uint32_t>(persist.anticipated_masks.size()));
+      for (const auto& mask : persist.anticipated_masks) w.write_u8_vector(mask);
+    }
+  }
   const bool faulty = dynamic_cast<const comm::FaultyNetwork*>(net_.get()) != nullptr;
   w.write_bool(faulty);
   net_->save_state(w);
@@ -284,12 +533,55 @@ void Simulation::restore_state(common::ByteReader& r) {
   history_.reserve(n_history);
   for (std::uint32_t i = 0; i < n_history; ++i) history_.push_back(read_round_record(r));
   server_->restore_state(r);
-  const std::uint32_t n_clients = r.read_u32();
-  if (n_clients != clients_.size()) {
-    throw CheckpointError("run snapshot has " + std::to_string(n_clients) +
-                          " clients, expected " + std::to_string(clients_.size()));
+  const bool snapshot_virtual = r.read_u8() != 0;
+  if (snapshot_virtual != virtual_mode_) {
+    throw CheckpointError("snapshot and configuration disagree on client residency");
   }
-  for (auto& client : clients_) client.restore_state(r);
+  if (!virtual_mode_) {
+    const std::uint32_t n_clients = r.read_u32();
+    if (n_clients != clients_.size()) {
+      throw CheckpointError("run snapshot has " + std::to_string(n_clients) +
+                            " clients, expected " + std::to_string(clients_.size()));
+    }
+    for (auto& client : clients_) client.restore_state(r);
+  } else {
+    slab_.clear();
+    free_slots_.clear();
+    resident_.clear();
+    ledger_.clear();
+    const std::uint32_t n_resident = r.read_u32();
+    for (std::uint32_t i = 0; i < n_resident; ++i) {
+      const int id = r.read_i32();
+      if (id < 0 || id >= config_.n_clients) {
+        throw CheckpointError("run snapshot names client " + std::to_string(id) +
+                              " outside the population");
+      }
+      materialize(id);
+      resident_client(id).restore_state(r);
+    }
+    const std::uint32_t n_ledger = r.read_u32();
+    for (std::uint32_t i = 0; i < n_ledger; ++i) {
+      const int id = r.read_i32();
+      if (id < 0 || id >= config_.n_clients) {
+        throw CheckpointError("run snapshot ledger names client " + std::to_string(id) +
+                              " outside the population");
+      }
+      ClientPersist persist;
+      persist.rng = common::read_rng_state(r);
+      persist.lr = r.read_f64();
+      const std::uint32_t n_prune = r.read_u32();
+      persist.prune_masks.reserve(n_prune);
+      for (std::uint32_t m = 0; m < n_prune; ++m) {
+        persist.prune_masks.push_back(r.read_u8_vector());
+      }
+      const std::uint32_t n_anticipated = r.read_u32();
+      persist.anticipated_masks.reserve(n_anticipated);
+      for (std::uint32_t m = 0; m < n_anticipated; ++m) {
+        persist.anticipated_masks.push_back(r.read_u8_vector());
+      }
+      ledger_.insert_or_assign(id, std::move(persist));
+    }
+  }
   const bool faulty = r.read_bool();
   if (faulty != (dynamic_cast<comm::FaultyNetwork*>(net_.get()) != nullptr)) {
     throw CheckpointError("snapshot and configuration disagree on fault injection");

@@ -3,12 +3,24 @@
 // network, runs the round protocol (with attackers), and records per-round
 // test accuracy and attack success rate.
 //
+// Two client-residency engines share one protocol (DESIGN.md §14):
+//  - materialized (small populations, the default): every client is built
+//    eagerly at construction, exactly as before the virtual-client refactor,
+//    so existing runs stay byte-identical.
+//  - virtual (million-client scale): clients are derived lazily from
+//    (run_seed, client_id) by fl::ClientFactory when sampled into a cohort;
+//    only the resident cohort lives in memory, recycled through a pooled
+//    slab, with evicted clients' evolving state (RNG position, learning
+//    rate, masks) parked in a small per-id ledger.
+//
 // The defense pipeline (defense/pipeline.h) operates on a finished
 // Simulation: it reuses the same clients for the pruning protocol and
 // fine-tuning rounds.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "comm/fault_model.h"
@@ -24,6 +36,13 @@ class FaultyNetwork;
 }
 
 namespace fedcleanse::fl {
+
+class ClientFactory;
+
+// Client storage policy. kAuto picks kVirtual only for large populations
+// (≥ 4096 clients) with per-round sampling — every small-population config
+// keeps the materialized engine and its exact historical numerics.
+enum class ClientResidency { kAuto, kMaterialized, kVirtual };
 
 struct SimulationConfig {
   nn::Architecture arch = nn::Architecture::kMnistCnn;
@@ -51,6 +70,20 @@ struct SimulationConfig {
   // zero (the default) the plain Network is used and results are
   // byte-identical to a build without the fault layer.
   comm::FaultConfig fault;
+  // Client storage engine; see ClientResidency.
+  ClientResidency residency = ClientResidency::kAuto;
+  // Virtual mode: resident-slab capacity (0 = derived from the cohort and
+  // defense committee sizes). The per-round memory bound is
+  // O(model · max_resident_clients), independent of n_clients.
+  int max_resident_clients = 0;
+  // Virtual mode: size of the deterministic strided committee that stands in
+  // for "all clients" in the defense protocol (pruning reports, mask
+  // broadcast, accuracy oracle). Materialized mode always uses all clients.
+  int defense_clients = 64;
+  // Aggregate round updates through the legacy buffer-everything path
+  // instead of fl::StreamingAggregator. The two are bit-identical (tested);
+  // the buffered path survives only as the equivalence-test reference.
+  bool buffered_aggregation = false;
   std::uint64_t seed = 42;
   // Worker threads for the per-client round work and the batch-parallel
   // tensor kernels. 0 = hardware concurrency; the FEDCLEANSE_THREADS
@@ -110,22 +143,44 @@ class Simulation {
   void run(bool record_history = true);
   // Run a single round; returns the participating client ids.
   std::vector<int> run_round(std::uint32_t round);
+  // Run a single round over an explicit cohort (no selection draw) — the
+  // defense's fine-tune stage uses this in virtual mode to keep cleansing on
+  // the committee that actually received masks and rescaled learning rates.
+  std::vector<int> run_round(std::uint32_t round, const std::vector<int>& participants);
 
   Server& server() { return *server_; }
-  std::vector<Client>& clients() { return clients_; }
   comm::Network& network() { return *net_; }
   // The fault-injection wrapper, or nullptr when running on a perfect wire.
   comm::FaultyNetwork* faulty_network();
   const SimulationConfig& config() const { return config_; }
+
+  // --- clients --------------------------------------------------------------
+  // Configured population size (NOT the number in memory; see
+  // resident_clients()).
+  int n_clients() const { return config_.n_clients; }
+  // True when clients are derived lazily and only the sampled cohort is
+  // resident.
+  bool virtual_clients() const { return virtual_mode_; }
+  // Clients currently materialized (== n_clients() in materialized mode).
+  std::size_t resident_clients() const;
+  // Access one client, materializing it first in virtual mode. The reference
+  // stays valid until the next ensure_resident()/dispatch — do not hold it
+  // across rounds in virtual mode.
+  Client& client(int id);
+  // Make every listed client resident (coordinating thread only). In virtual
+  // mode this may evict unneeded residents — their RNG position, learning
+  // rate, and masks persist in the ledger and survive re-materialization.
+  void ensure_resident(const std::vector<int>& ids);
 
   // The simulation's execution context (also installed as the process-wide
   // ambient pool for the tensor kernels while this Simulation is alive).
   common::ThreadPool& pool() { return *pool_; }
 
   // Drain each listed client's pending server messages, one client per pool
-  // task. Clients share no mutable state (own model, data, RNG, channel), and
-  // the server's collect loops fix the aggregation order afterwards, so the
-  // result is identical to a serial drain.
+  // task, sharded over contiguous blocks of the (sorted) cohort. Clients
+  // share no mutable state (own model, data, RNG, channel), and the server's
+  // collect loops fix the aggregation order afterwards, so the result is
+  // identical to a serial drain.
   void dispatch_clients(const std::vector<int>& ids);
 
   const data::Dataset& test_set() const { return test_; }
@@ -144,6 +199,10 @@ class Simulation {
   // Ids of all / malicious clients.
   std::vector<int> all_client_ids() const;
   std::vector<int> attacker_ids() const;
+  // The client set the defense protocol addresses: every client when
+  // materialized; a deterministic strided committee of defense_clients ids
+  // in virtual mode (no RNG consumed — resume-neutral).
+  std::vector<int> protocol_client_ids() const;
 
   // --- crash-resume (DESIGN.md §13) ----------------------------------------
   // Install a checkpoint manager (not owned; may be nullptr to detach). While
@@ -156,7 +215,9 @@ class Simulation {
 
   // Serialize / restore everything that evolves after construction: round
   // position, RNG stream, round history, exchange stats, server (model +
-  // reputation), every client, and the network (queues, fault state). Must be
+  // reputation), the clients (every client when materialized; only the
+  // resident cohort + eviction ledger in virtual mode — the rest re-derive
+  // from the factory roots), and the network (queues, fault state). Must be
   // called at a round boundary — no client tasks running, wire quiescent.
   // restore_state expects a Simulation built from the *same* config and
   // throws CheckpointError on any structural mismatch.
@@ -164,6 +225,24 @@ class Simulation {
   void restore_state(common::ByteReader& r);
 
  private:
+  // Evicted-client state that must survive re-materialization. Everything
+  // else a virtual client holds is a pure function of (run_seed, id) or is
+  // re-synced from the global model at the next protocol step.
+  struct ClientPersist {
+    common::RngState rng{};
+    double lr = 0.0;
+    std::vector<std::vector<std::uint8_t>> prune_masks;
+    std::vector<std::vector<std::uint8_t>> anticipated_masks;
+  };
+
+  // Direct storage access; the id must already be resident in virtual mode.
+  Client& resident_client(int id);
+  // Move client `id` out of the slab into the ledger (virtual mode).
+  void evict(int id);
+  // Build client `id` from the factory, re-applying any ledger state.
+  void materialize(int id);
+  std::size_t resident_capacity(std::size_t needed) const;
+
   SimulationConfig config_;
   std::unique_ptr<common::ThreadPool> pool_;
   common::Rng rng_;
@@ -171,7 +250,15 @@ class Simulation {
   data::Dataset backdoor_test_;
   std::unique_ptr<comm::Network> net_;
   std::unique_ptr<Server> server_;
+  // Materialized engine: the whole population, indexed by id.
   std::vector<Client> clients_;
+  // Virtual engine: factory + pooled slab of resident clients + ledger.
+  bool virtual_mode_ = false;
+  std::unique_ptr<ClientFactory> factory_;
+  std::vector<std::optional<Client>> slab_;
+  std::vector<std::size_t> free_slots_;
+  std::map<int, std::size_t> resident_;  // client id → slab slot
+  std::map<int, ClientPersist> ledger_;
   std::vector<RoundRecord> history_;
   ExchangeStats last_round_stats_;
   double training_seconds_ = 0.0;

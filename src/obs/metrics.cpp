@@ -93,4 +93,9 @@ Counter& exchange_corrupted() {
   return c;
 }
 
+Gauge& peak_rss_bytes() {
+  static Gauge& g = Registry::global().gauge("process.peak_rss_bytes");
+  return g;
+}
+
 }  // namespace fedcleanse::obs::metrics

@@ -55,4 +55,7 @@ Counter& exchange_retries();    // request retransmissions issued
 Counter& exchange_drops();      // clients with no valid report after retries
 Counter& exchange_corrupted();  // malformed/stale replies skipped
 
+// --- process -----------------------------------------------------------------
+Gauge& peak_rss_bytes();  // VmHWM high-water mark (common::peak_rss_bytes)
+
 }  // namespace fedcleanse::obs::metrics

@@ -100,20 +100,20 @@ TEST(FineTune, BroadcastsMasksAndKeepsBest) {
   EXPECT_EQ(outcome.history.size(), static_cast<std::size_t>(outcome.rounds_run));
   // Pruned unit stayed dead through fine-tuning, on server and clients.
   EXPECT_FALSE(model.net.layer(model.last_conv_index).unit_active(1));
-  for (auto& client : sim.clients()) {
-    EXPECT_FALSE(client.model().net.layer(model.last_conv_index).unit_active(1));
+  for (int c : sim.all_client_ids()) {
+    EXPECT_FALSE(sim.client(c).model().net.layer(model.last_conv_index).unit_active(1));
   }
 }
 
 TEST(FineTune, ScalesClientLearningRate) {
   fl::Simulation sim(pipeline_config(27));
   sim.run(false);
-  const double lr_before = sim.clients()[1].lr();
+  const double lr_before = sim.client(1).lr();
   FineTuneConfig cfg;
   cfg.max_rounds = 1;
   cfg.lr_scale = 0.25;
   federated_finetune(sim, cfg);
-  EXPECT_NEAR(sim.clients()[1].lr(), lr_before * 0.25, 1e-12);
+  EXPECT_NEAR(sim.client(1).lr(), lr_before * 0.25, 1e-12);
 }
 
 // --- adaptive attacks -----------------------------------------------------------
@@ -137,9 +137,9 @@ TEST(AdaptiveAttack, ArmingSetsAttackerMasks) {
   // A pruning-aware attacker trains with the mask applied; its update for
   // masked channels is therefore zero.
   auto global = sim.server().params();
-  auto update = sim.clients()[0].compute_update(global);
+  auto update = sim.client(0).compute_update(global);
   // The masked conv channels contribute zero delta: spot-check via model.
-  const auto& model = sim.clients()[0].model();
+  const auto& model = sim.client(0).model();
   auto& layer = model.net.layer(model.last_conv_index);
   int masked = 0;
   for (int u = 0; u < layer.prunable_units(); ++u) masked += layer.unit_active(u) ? 0 : 1;
@@ -154,7 +154,7 @@ TEST(AdaptiveAttack, RankManipulationPromotesBackdoorNeurons) {
   sim.run(false);
   auto global = sim.server().params();
 
-  auto& attacker = sim.clients()[0];
+  auto& attacker = sim.client(0);
   auto honest_votes = attacker.vote_report(global, 0.5);
 
   // Same client, adaptive mode: ballots still meet the quota.
@@ -163,7 +163,7 @@ TEST(AdaptiveAttack, RankManipulationPromotesBackdoorNeurons) {
   cfg2.attack.adaptive = fl::AdaptiveMode::kRankManipulation;
   fl::Simulation sim2(cfg2);
   sim2.run(false);
-  auto votes = sim2.clients()[0].vote_report(sim2.server().params(), 0.5);
+  auto votes = sim2.client(0).vote_report(sim2.server().params(), 0.5);
   std::size_t cast = 0;
   for (auto v : votes) cast += v;
   EXPECT_EQ(cast, defense::expected_votes(static_cast<int>(votes.size()), 0.5));

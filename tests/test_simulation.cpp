@@ -14,15 +14,17 @@ using namespace fedcleanse::fl;
 
 TEST(Simulation, ConstructsClientsAndAttackers) {
   Simulation sim(testutil::tiny_sim_config());
-  EXPECT_EQ(sim.clients().size(), 4u);
+  EXPECT_EQ(sim.n_clients(), 4);
+  EXPECT_EQ(sim.resident_clients(), 4u);
+  EXPECT_FALSE(sim.virtual_clients());
   EXPECT_EQ(sim.attacker_ids(), (std::vector<int>{0}));
-  EXPECT_TRUE(sim.clients()[0].malicious());
-  EXPECT_FALSE(sim.clients()[1].malicious());
+  EXPECT_TRUE(sim.client(0).malicious());
+  EXPECT_FALSE(sim.client(1).malicious());
 }
 
 TEST(Simulation, AttackerHoldsVictimLabel) {
   Simulation sim(testutil::tiny_sim_config());
-  const auto& data = sim.clients()[0].local_data();
+  const auto& data = sim.client(0).local_data();
   EXPECT_FALSE(data.indices_of_label(9).empty());
 }
 
@@ -94,7 +96,7 @@ TEST(Simulation, DbaSplitsPatternAcrossAttackers) {
   Simulation sim(cfg);
   std::size_t total_pixels = 0;
   for (int a : sim.attacker_ids()) {
-    const auto* spec = sim.clients()[static_cast<std::size_t>(a)].attack();
+    const auto* spec = sim.client(a).attack();
     ASSERT_NE(spec, nullptr);
     total_pixels += spec->pattern.pixels.size();
     EXPECT_LT(spec->pattern.pixels.size(), cfg.attack.pattern.pixels.size());
@@ -122,7 +124,7 @@ TEST(Client, HonestUpdateIsLocalMinusGlobal) {
   auto cfg = testutil::tiny_sim_config();
   cfg.n_attackers = 0;
   Simulation sim(cfg);
-  auto& client = sim.clients()[1];
+  auto& client = sim.client(1);
   auto global = sim.server().params();
   auto update = client.compute_update(global);
   auto local = client.model().net.get_flat();
@@ -134,7 +136,7 @@ TEST(Client, HonestUpdateIsLocalMinusGlobal) {
 
 TEST(Client, MaliciousUpdateIsAmplified) {
   Simulation sim(testutil::tiny_sim_config());
-  auto& attacker = sim.clients()[0];
+  auto& attacker = sim.client(0);
   const double gamma = attacker.attack()->gamma;
   auto global = sim.server().params();
   auto update = attacker.compute_update(global);
@@ -149,8 +151,8 @@ TEST(Client, RankReportIsValidPermutation) {
   auto global = sim.server().params();
   const int units =
       sim.server().model().net.layer(sim.server().model().last_conv_index).prunable_units();
-  for (auto& client : sim.clients()) {
-    auto report = client.rank_report(global);
+  for (int c : sim.all_client_ids()) {
+    auto report = sim.client(c).rank_report(global);
     ASSERT_EQ(static_cast<int>(report.size()), units);
     std::set<std::uint32_t> unique(report.begin(), report.end());
     EXPECT_EQ(unique.size(), report.size());
@@ -165,7 +167,7 @@ TEST(Client, VoteReportHonorsQuota) {
   const int units =
       sim.server().model().net.layer(sim.server().model().last_conv_index).prunable_units();
   for (double rate : {0.25, 0.5, 0.75}) {
-    auto votes = sim.clients()[1].vote_report(global, rate);
+    auto votes = sim.client(1).vote_report(global, rate);
     ASSERT_EQ(static_cast<int>(votes.size()), units);
     std::size_t cast = 0;
     for (auto v : votes) cast += v;
@@ -176,8 +178,8 @@ TEST(Client, VoteReportHonorsQuota) {
 TEST(Client, AccuracyReportInRange) {
   Simulation sim(testutil::tiny_sim_config());
   auto global = sim.server().params();
-  for (auto& client : sim.clients()) {
-    const double acc = client.report_accuracy(global);
+  for (int c : sim.all_client_ids()) {
+    const double acc = sim.client(c).report_accuracy(global);
     EXPECT_GE(acc, 0.0);
     EXPECT_LE(acc, 1.0);
   }
@@ -191,9 +193,9 @@ TEST(Client, MasksPropagateThroughMessages) {
 
   const auto clients = sim.all_client_ids();
   server.broadcast_masks(clients, 0);
-  for (int c : clients) sim.clients()[static_cast<std::size_t>(c)].handle_pending(sim.network());
-  for (auto& client : sim.clients()) {
-    EXPECT_FALSE(client.model().net.layer(model.last_conv_index).unit_active(2));
+  for (int c : clients) sim.client(c).handle_pending(sim.network());
+  for (int c : clients) {
+    EXPECT_FALSE(sim.client(c).model().net.layer(model.last_conv_index).unit_active(2));
   }
 }
 
