@@ -1,0 +1,114 @@
+// Deployment client: one federated participant as its own process
+// (DESIGN.md §15).
+//
+// The process builds the *same* Simulation the server builds (identical
+// flags → identical RNG draws → identical local dataset, model replica, and
+// training stream for every id), discovers the server through the scheduler,
+// and then answers whatever protocol messages arrive on the wire by routing
+// them through the ordinary Client::handle_pending — the same code path the
+// in-process simulation exercises. It exits when the server broadcasts
+// kShutdown.
+//
+// Robustness: the transport's io thread owns the link. If the connection
+// drops (server restart, transient network failure) it reconnects and
+// reregisters with capped exponential backoff while this loop keeps waiting;
+// a reply that raced the outage is lost and the server's retry layer
+// re-drives the request. Killing this process mid-round (SIGKILL) is the
+// chaos test's bread and butter: the server detects the EOF, declares the
+// client dead, and finishes the round under its quorum gate.
+//
+// Usage: fedcleanse_client --id N --scheduler-port P
+//                          [--wait-timeout-ms N]
+//                          [shared deployment flags — see deploy_common.h]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "comm/socket_network.h"
+#include "common/logging.h"
+#include "deploy_common.h"
+#include "fl/simulation.h"
+#include "obs/journal.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+using namespace fedcleanse;
+
+int main(int argc, char** argv) {
+  common::init_log_level_from_env();
+  obs::init_from_env();
+  deploy::Options opt;
+  int id = -1;
+  int wait_timeout_ms = 120000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--id") == 0 && i + 1 < argc) {
+      id = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--wait-timeout-ms") == 0 && i + 1 < argc) {
+      wait_timeout_ms = std::atoi(argv[++i]);
+    } else if (deploy::parse_deploy_flag(argc, argv, i, opt)) {
+      continue;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nflags:\n  --id N --wait-timeout-ms N\n%s",
+                   argv[i], deploy::deploy_flag_help());
+      return 2;
+    }
+  }
+  if (id < 0 || id >= opt.clients) {
+    std::fprintf(stderr, "--id must be in [0, %d)\n", opt.clients);
+    return 2;
+  }
+  if (opt.scheduler_port <= 0) {
+    std::fprintf(stderr, "--scheduler-port is required\n");
+    return 2;
+  }
+
+  std::unique_ptr<obs::Journal> journal;
+  if (!opt.journal_path.empty()) {
+    journal = std::make_unique<obs::Journal>(opt.journal_path, false);
+    if (!journal->ok()) {
+      std::fprintf(stderr, "cannot open journal %s\n", opt.journal_path.c_str());
+      return 2;
+    }
+    obs::set_ambient_journal(journal.get());
+    obs::set_metrics_enabled(true);
+  }
+
+  const auto cfg = deploy::make_simulation_config(opt);
+  int rc = 0;
+  try {
+    // Register first (the server's barrier counts registrations), then build
+    // the replica population while the server builds its own.
+    comm::SocketClientNetwork net(cfg.n_clients, id, opt.transport, opt.scheduler_host,
+                                  static_cast<std::uint16_t>(opt.scheduler_port));
+    fl::Simulation sim(cfg);
+    if (!net.wait_connected(wait_timeout_ms)) {
+      std::fprintf(stderr, "client %d: no server registration within %d ms\n", id,
+                   wait_timeout_ms);
+      return 1;
+    }
+    std::printf("client %d: registered%s\n", id,
+                sim.client(id).malicious() ? " (malicious)" : "");
+    std::fflush(stdout);
+
+    while (!net.shutdown_received()) {
+      if (!net.client_wait_for_message(id, std::chrono::milliseconds(200))) continue;
+      try {
+        sim.client(id).handle_pending(net);
+      } catch (const comm::TransportError& e) {
+        // The link died mid-reply; the io thread is already reconnecting and
+        // the server's retry layer will re-drive the request.
+        FC_LOG(Warn) << "client " << id << ": reply lost to a link failure: " << e.what();
+      }
+    }
+    std::printf("client %d: shutdown received, exiting\n", id);
+  } catch (const comm::TransportError& e) {
+    std::fprintf(stderr, "client %d: transport failure: %s\n", id, e.what());
+    rc = 1;
+  }
+  if (journal) obs::set_ambient_journal(nullptr);
+  return rc;
+}

@@ -1,0 +1,96 @@
+// Deployment scheduler node (DESIGN.md §15): the registration and heartbeat
+// endpoint every other process finds first.
+//
+// The server registers its ephemeral data port here; clients poll until the
+// registration ack carries the server's address, then connect to the server
+// directly. The scheduler never sees model traffic — it is discovery plus
+// observability (registrations, reconnects, and heartbeat-detected deaths
+// land in its journal).
+//
+// Usage: fedcleanse_scheduler [--port P] [--port-file PATH]
+//                             [--journal-out run.jsonl] [transport flags]
+//
+// With --port 0 (the default) the OS picks the port; --port-file publishes
+// whatever was bound (written atomically, so launch scripts can poll for the
+// file and read a complete value). The process exits when the server sends
+// kShutdown at the end of its run.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "comm/scheduler.h"
+#include "common/logging.h"
+#include "deploy_common.h"
+#include "obs/journal.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+using namespace fedcleanse;
+
+namespace {
+
+bool write_port_file(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%u\n", static_cast<unsigned>(port));
+  std::fclose(f);
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::init_log_level_from_env();
+  obs::init_from_env();
+  deploy::Options opt;
+  int port = 0;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (deploy::parse_deploy_flag(argc, argv, i, opt)) {
+      continue;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\nflags:\n  --port P --port-file PATH\n%s",
+                   argv[i], deploy::deploy_flag_help());
+      return 2;
+    }
+  }
+
+  std::unique_ptr<obs::Journal> journal;
+  if (!opt.journal_path.empty()) {
+    journal = std::make_unique<obs::Journal>(opt.journal_path, false);
+    if (!journal->ok()) {
+      std::fprintf(stderr, "cannot open journal %s\n", opt.journal_path.c_str());
+      return 2;
+    }
+    obs::set_ambient_journal(journal.get());
+    obs::set_metrics_enabled(true);
+  }
+
+  try {
+    comm::Scheduler scheduler(opt.transport, "127.0.0.1",
+                              static_cast<std::uint16_t>(port));
+    if (!port_file.empty() && !write_port_file(port_file, scheduler.port())) {
+      std::fprintf(stderr, "cannot write port file %s\n", port_file.c_str());
+      return 2;
+    }
+    std::printf("scheduler: listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(scheduler.port()));
+    std::fflush(stdout);
+    scheduler.run_until_shutdown();
+    std::printf("scheduler: run complete (server %s, %d distinct clients registered)\n",
+                scheduler.server_known() ? "seen" : "never registered",
+                scheduler.n_clients_seen());
+  } catch (const comm::TransportError& e) {
+    std::fprintf(stderr, "scheduler: transport failure: %s\n", e.what());
+    return 1;
+  }
+  if (journal) obs::set_ambient_journal(nullptr);
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Deployment server: drives federated training and the defense pipeline over
+// real TCP connections to client processes (DESIGN.md §15).
+//
+// Remote mode (default): register the data port with the scheduler, wait for
+// the full population to register on the data plane, then run the identical
+// round protocol the in-process simulation runs — the Simulation is
+// constructed with the socket transport, so Server::collect_* and the defense
+// stages run unchanged. The run ends by broadcasting kShutdown to the clients
+// and notifying the scheduler.
+//
+// --local runs the in-process reference instead: the same flags, the same
+// config, no sockets. A no-fault socket run and the --local run save
+// byte-identical models (scripts/multiproc_identity.sh asserts this with
+// cmp) — that equivalence is the transport's correctness contract.
+//
+// Usage: fedcleanse_server --scheduler-port P [--save model.fckp]
+//                          [--local] [--no-defense] [--wait-timeout-ms N]
+//                          [shared deployment flags — see deploy_common.h]
+//
+// Degradation: if clients die mid-run (SIGKILL, network loss), training
+// rounds proceed while the quorum gate holds and skip aggregation below it;
+// the defense protocol instead refuses to cleanse from a sliver of reports
+// and the run exits nonzero after still shutting the deployment down.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "comm/scheduler.h"
+#include "comm/socket_network.h"
+#include "common/logging.h"
+#include "defense/pipeline.h"
+#include "deploy_common.h"
+#include "fl/simulation.h"
+#include "nn/checkpoint.h"
+#include "obs/journal.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+using namespace fedcleanse;
+
+namespace {
+
+void print_report(const defense::DefenseReport& report) {
+  std::printf("  stage          TA      AA\n");
+  std::printf("  training     %.3f   %.3f\n", report.training.test_acc,
+              report.training.attack_acc);
+  std::printf("  after FP     %.3f   %.3f   (%d neurons pruned)\n",
+              report.after_fp.test_acc, report.after_fp.attack_acc, report.neurons_pruned);
+  std::printf("  after FT     %.3f   %.3f   (%d rounds)\n", report.after_ft.test_acc,
+              report.after_ft.attack_acc, report.finetune.rounds_run);
+  std::printf("  after AW     %.3f   %.3f   (%d weights zeroed)\n",
+              report.after_aw.test_acc, report.after_aw.attack_acc, report.weights_zeroed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::init_log_level_from_env();
+  obs::init_from_env();
+  deploy::Options opt;
+  bool local = false;
+  bool with_defense = true;
+  std::string save_path;
+  int wait_timeout_ms = 120000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--local") == 0) {
+      local = true;
+    } else if (std::strcmp(argv[i], "--no-defense") == 0) {
+      with_defense = false;
+    } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+      save_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--wait-timeout-ms") == 0 && i + 1 < argc) {
+      wait_timeout_ms = std::atoi(argv[++i]);
+    } else if (deploy::parse_deploy_flag(argc, argv, i, opt)) {
+      continue;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nflags:\n"
+                   "  --local --no-defense --save PATH --wait-timeout-ms N\n%s",
+                   argv[i], deploy::deploy_flag_help());
+      return 2;
+    }
+  }
+  if (!local && opt.scheduler_port <= 0) {
+    std::fprintf(stderr, "--scheduler-port is required (or pass --local)\n");
+    return 2;
+  }
+
+  std::unique_ptr<obs::Journal> journal;
+  if (!opt.journal_path.empty()) {
+    journal = std::make_unique<obs::Journal>(opt.journal_path, false);
+    if (!journal->ok()) {
+      std::fprintf(stderr, "cannot open journal %s\n", opt.journal_path.c_str());
+      return 2;
+    }
+    obs::set_ambient_journal(journal.get());
+    obs::set_metrics_enabled(true);
+  }
+
+  const auto cfg = deploy::make_simulation_config(opt);
+  const auto dcfg = deploy::make_defense_config(opt);
+
+  int rc = 0;
+  try {
+    if (local) {
+      // In-process reference: the byte-identity baseline for the socket path.
+      std::printf("server: local reference run (%d clients, %d rounds)\n",
+                  cfg.n_clients, cfg.rounds);
+      fl::Simulation sim(cfg);
+      sim.run();
+      std::printf("  after training: TA=%.3f  AA=%.3f\n", sim.test_accuracy(),
+                  sim.attack_success());
+      if (with_defense) print_report(defense::run_defense(sim, dcfg));
+      if (!save_path.empty()) {
+        nn::save_model_file(sim.server().model(), save_path);
+        std::printf("saved model to %s\n", save_path.c_str());
+      }
+      return 0;
+    }
+
+    comm::SocketServerNetwork net(cfg.n_clients, opt.transport);
+    comm::RegisterInfo info;
+    info.role = comm::NodeRole::kServer;
+    info.port = net.port();
+    comm::SchedulerSession session(opt.scheduler_host,
+                                   static_cast<std::uint16_t>(opt.scheduler_port), info,
+                                   opt.transport);
+    std::printf("server: data port %u registered, waiting for %d clients...\n",
+                static_cast<unsigned>(net.port()), cfg.n_clients);
+    std::fflush(stdout);
+    if (!net.wait_for_clients(cfg.n_clients, wait_timeout_ms)) {
+      std::fprintf(stderr, "server: only %d of %d clients registered within %d ms\n",
+                   net.n_alive(), cfg.n_clients, wait_timeout_ms);
+      net.broadcast_shutdown();
+      session.notify_shutdown();
+      return 1;
+    }
+    std::printf("server: all %d clients registered, training %d rounds\n", cfg.n_clients,
+                cfg.rounds);
+    std::fflush(stdout);
+
+    fl::Simulation sim(cfg, &net);
+    try {
+      sim.run();
+      std::printf("  after training: TA=%.3f  AA=%.3f  (%d clients alive)\n",
+                  sim.test_accuracy(), sim.attack_success(), net.n_alive());
+      if (with_defense) print_report(defense::run_defense(sim, dcfg));
+      if (!save_path.empty()) {
+        nn::save_model_file(sim.server().model(), save_path);
+        std::printf("saved model to %s\n", save_path.c_str());
+      }
+    } catch (const QuorumError& e) {
+      // Too few live clients to trust a protocol decision: shut the
+      // deployment down cleanly rather than hang or crash.
+      std::fprintf(stderr, "server: below quorum, abandoning run: %s\n", e.what());
+      rc = 1;
+    }
+    net.broadcast_shutdown();
+    session.notify_shutdown();
+    std::printf("server: run %s (%d of %d clients alive at shutdown)\n",
+                rc == 0 ? "complete" : "abandoned", net.n_alive(), cfg.n_clients);
+  } catch (const comm::TransportError& e) {
+    std::fprintf(stderr, "server: transport failure: %s\n", e.what());
+    rc = 1;
+  }
+  if (journal) obs::set_ambient_journal(nullptr);
+  return rc;
+}

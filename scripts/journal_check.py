@@ -8,7 +8,9 @@ federated_finetune, and run_defense (see DESIGN.md "Observability").
 Checks enforced here:
 
   * every line parses as a JSON object with a known "kind"
-    (train_round | finetune_round | defense | resume)
+    (train_round | finetune_round | defense | resume, plus the socket
+    transport's control-plane events: client_register | reconnect |
+    client_dead | server_register)
   * round-bearing kinds carry round / ta / asr / n_participants / n_valid,
     with ta and asr in [0, 1]
   * rounds are monotonically increasing within each kind (journals append
@@ -38,10 +40,16 @@ import json
 import sys
 
 ROUND_KINDS = ("train_round", "finetune_round")
-KNOWN_KINDS = ROUND_KINDS + ("defense", "resume")
+# Socket-transport control-plane events (DESIGN.md §15): registrations,
+# reconnect-and-reregister, and liveness deaths, written by whichever node
+# observed them ("node": server | scheduler | client).
+TRANSPORT_KINDS = ("client_register", "reconnect", "client_dead", "server_register")
+KNOWN_KINDS = ROUND_KINDS + ("defense", "resume") + TRANSPORT_KINDS
 ROUND_KEYS = ("round", "ta", "asr", "n_participants", "n_valid")
 DEFENSE_KEYS = ("method", "ta", "asr", "ta_before", "asr_before",
                 "neurons_pruned", "weights_zeroed", "phase_seconds")
+TRANSPORT_NODES = ("server", "scheduler", "client")
+DEAD_REASONS = ("eof", "heartbeat", "send", "decode")
 
 
 def apply_resume(entries: list[dict], stage: str, rnd: int) -> None:
@@ -105,6 +113,22 @@ def check(path: str) -> tuple[list[dict], list[str]]:
                 else:
                     last_round["finetune_round"] = rnd - 1
                 last_peak = 0  # the resumed process has its own VmHWM
+                continue
+            if kind in TRANSPORT_KINDS:
+                node = entry.get("node")
+                if node not in TRANSPORT_NODES:
+                    errors.append((lineno, f"{where}: {kind} node={node!r} unknown"))
+                if not isinstance(entry.get("client"), int):
+                    errors.append((lineno, f"{where}: {kind} missing client id"))
+                if kind == "client_dead" and entry.get("reason") not in DEAD_REASONS:
+                    errors.append(
+                        (lineno, f"{where}: client_dead reason={entry.get('reason')!r} "
+                                 f"not in {DEAD_REASONS}"))
+                if kind == "reconnect" and "generation" not in entry:
+                    errors.append((lineno, f"{where}: reconnect missing generation"))
+                if kind == "server_register" and "port" not in entry:
+                    errors.append((lineno, f"{where}: server_register missing port"))
+                entries.append(entry)
                 continue
             required = ROUND_KEYS if kind in ROUND_KINDS else DEFENSE_KEYS
             missing = [k for k in required if k not in entry]

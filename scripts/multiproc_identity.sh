@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Byte-identity gate for the socket transport (DESIGN.md §15).
+#
+# Runs the deployment demo twice with identical flags:
+#   1. fedcleanse_server --local        — the in-process reference
+#   2. scheduler + server + 5 clients   — real processes over TCP
+# and asserts with cmp(1) that the two saved models are byte-identical.
+# Framing, registration, heartbeats, and the socket recv paths must be
+# invisible to the protocol: any divergence (a retransmit that retrained a
+# client, a reordered message, a corrupted frame) changes the model bytes.
+#
+# Usage: scripts/multiproc_identity.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$REPO_ROOT/build}"
+WORK="$(mktemp -d)"
+cleanup() {
+  local pids
+  pids=$(jobs -p)
+  [ -n "$pids" ] && kill $pids 2>/dev/null
+  wait 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+FLAGS=(--clients 5 --rounds 3 --samples-train 60 --ft-rounds 3)
+
+echo "[1/3] in-process reference run"
+"$BUILD/examples/fedcleanse_server" --local "${FLAGS[@]}" \
+  --save "$WORK/reference.fckp" >"$WORK/local.log" 2>&1
+
+echo "[2/3] socket deployment: scheduler + server + 5 client processes"
+"$BUILD/examples/fedcleanse_scheduler" --port-file "$WORK/sched.port" \
+  --journal-out "$WORK/sched.jsonl" >"$WORK/sched.log" 2>&1 &
+for _ in $(seq 100); do [ -s "$WORK/sched.port" ] && break; sleep 0.1; done
+[ -s "$WORK/sched.port" ] || { echo "scheduler never published its port" >&2; exit 1; }
+PORT="$(cat "$WORK/sched.port")"
+
+for id in 0 1 2 3 4; do
+  "$BUILD/examples/fedcleanse_client" --id "$id" "${FLAGS[@]}" \
+    --scheduler-port "$PORT" >"$WORK/client$id.log" 2>&1 &
+done
+"$BUILD/examples/fedcleanse_server" "${FLAGS[@]}" --scheduler-port "$PORT" \
+  --save "$WORK/socket.fckp" --journal-out "$WORK/server.jsonl" >"$WORK/server.log" 2>&1
+wait
+
+echo "[3/3] comparing models and validating journals"
+if ! cmp "$WORK/reference.fckp" "$WORK/socket.fckp"; then
+  echo "FAIL: socket-run model diverges from the in-process reference" >&2
+  sed -e 's/^/  server: /' "$WORK/server.log" >&2
+  exit 1
+fi
+python3 "$REPO_ROOT/scripts/journal_check.py" --quiet "$WORK/server.jsonl"
+python3 "$REPO_ROOT/scripts/journal_check.py" --quiet "$WORK/sched.jsonl"
+echo "multiproc identity: OK (socket model byte-identical to the in-process reference)"

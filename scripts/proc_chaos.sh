@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Process-level chaos for the socket deployment (DESIGN.md §15).
+#
+# Launches scheduler + server + 8 client processes, SIGKILLs two clients
+# mid-run, restarts one of them, and asserts:
+#   * the server finishes the whole run (training + defense) with exit 0 —
+#     the quorum gate absorbs the dead clients instead of hanging or crashing
+#   * the server journal records both deaths (kind=client_dead) and the
+#     restarted client's reregistration (kind=reconnect)
+#   * every journal still validates under scripts/journal_check.py
+#
+# The collect deadline is lowered to 3 s (vs the no-fault default of 60 s):
+# retransmit-driven divergence is irrelevant here — no identity is claimed,
+# only liveness and bookkeeping.
+#
+# Usage: scripts/proc_chaos.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$REPO_ROOT/build}"
+WORK="$(mktemp -d)"
+cleanup() {
+  local pids
+  pids=$(jobs -p)
+  [ -n "$pids" ] && kill $pids 2>/dev/null
+  wait 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+N=8
+FLAGS=(--clients "$N" --rounds 4 --samples-train 40 --ft-rounds 2
+       --recv-timeout-ms 3000 --heartbeat-interval-ms 100 --heartbeat-timeout-ms 2000)
+
+echo "[1/4] launching scheduler + server + $N clients"
+"$BUILD/examples/fedcleanse_scheduler" --port-file "$WORK/sched.port" \
+  --journal-out "$WORK/sched.jsonl" >"$WORK/sched.log" 2>&1 &
+for _ in $(seq 100); do [ -s "$WORK/sched.port" ] && break; sleep 0.1; done
+[ -s "$WORK/sched.port" ] || { echo "scheduler never published its port" >&2; exit 1; }
+PORT="$(cat "$WORK/sched.port")"
+
+declare -a CPID
+for id in $(seq 0 $((N - 1))); do
+  "$BUILD/examples/fedcleanse_client" --id "$id" "${FLAGS[@]}" \
+    --scheduler-port "$PORT" >"$WORK/client$id.log" 2>&1 &
+  CPID[$id]=$!
+done
+"$BUILD/examples/fedcleanse_server" "${FLAGS[@]}" --scheduler-port "$PORT" \
+  --journal-out "$WORK/server.jsonl" >"$WORK/server.log" 2>&1 &
+SERVER=$!
+
+# Wait until round 0 lands in the journal, so the kills hit a running round
+# protocol rather than the registration barrier.
+for _ in $(seq 600); do
+  grep -q '"kind":"train_round"' "$WORK/server.jsonl" 2>/dev/null && break
+  kill -0 "$SERVER" 2>/dev/null || { echo "server died before round 0" >&2; exit 1; }
+  sleep 0.1
+done
+grep -q '"kind":"train_round"' "$WORK/server.jsonl" || {
+  echo "round 0 never completed" >&2; exit 1; }
+
+echo "[2/4] SIGKILL clients 3 and 5 mid-run; restarting client 3"
+kill -9 "${CPID[3]}" "${CPID[5]}"
+sleep 1
+"$BUILD/examples/fedcleanse_client" --id 3 "${FLAGS[@]}" \
+  --scheduler-port "$PORT" >"$WORK/client3-restarted.log" 2>&1 &
+
+echo "[3/4] waiting for the server to finish"
+rc=0
+wait "$SERVER" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: server exited $rc — the quorum gate should have absorbed 2 dead clients" >&2
+  sed -e 's/^/  server: /' "$WORK/server.log" >&2
+  exit 1
+fi
+
+echo "[4/4] checking the journal's death and reconnect bookkeeping"
+dead=$(grep -c '"kind":"client_dead"' "$WORK/server.jsonl" || true)
+if [ "$dead" -lt 2 ]; then
+  echo "FAIL: expected >= 2 client_dead events, found $dead" >&2
+  exit 1
+fi
+if ! grep -q '"kind":"reconnect"' "$WORK/server.jsonl"; then
+  echo "FAIL: restarted client produced no reconnect event" >&2
+  exit 1
+fi
+python3 "$REPO_ROOT/scripts/journal_check.py" --quiet "$WORK/server.jsonl"
+python3 "$REPO_ROOT/scripts/journal_check.py" --quiet "$WORK/sched.jsonl"
+echo "proc chaos: OK (run completed under quorum; $dead deaths and a reregistration journaled)"

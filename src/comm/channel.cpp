@@ -35,11 +35,20 @@ Message Channel::recv() {
 }
 
 std::optional<Message> Channel::recv_for(std::chrono::milliseconds timeout) {
+  // wait_until against a precomputed deadline: a spurious wakeup re-waits only
+  // the remaining time, where wait_for would restart the full timeout.
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock<std::mutex> lock(mu_);
-  if (!cv_.wait_for(lock, timeout, [this] { return !queue_.empty(); })) return std::nullopt;
+  if (!cv_.wait_until(lock, deadline, [this] { return !queue_.empty(); })) return std::nullopt;
   Message m = std::move(queue_.front());
   queue_.pop_front();
   return m;
+}
+
+bool Channel::wait_nonempty(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_until(lock, deadline, [this] { return !queue_.empty(); });
 }
 
 std::size_t Channel::pending() const {

@@ -23,8 +23,15 @@ class Channel {
   Message recv();
   // Blocking receive with a deadline: returns the next message, or nullopt if
   // none arrived within `timeout`. The degraded-mode round protocol uses this
-  // so a crashed or straggling peer can never wedge the server.
+  // so a crashed or straggling peer can never wedge the server. The deadline
+  // is absolute (computed once up front), so spurious wakeups cannot stretch
+  // the wait beyond `timeout`.
   std::optional<Message> recv_for(std::chrono::milliseconds timeout);
+
+  // Block until the queue is non-empty or the deadline passes, without
+  // consuming anything. Lets a client main loop sleep between server messages
+  // while leaving the actual drain to try_recv-based handlers.
+  bool wait_nonempty(std::chrono::milliseconds timeout);
 
   std::size_t pending() const;
   std::size_t bytes_sent() const;

@@ -1,0 +1,87 @@
+#include "comm/frame.h"
+
+#include <cstring>
+
+namespace fedcleanse::comm {
+
+std::vector<std::uint8_t> encode_frame(const Message& m) {
+  const std::vector<std::uint8_t> body = encode_message(m);
+  std::vector<std::uint8_t> frame(kFrameLengthBytes + body.size());
+  const auto len = static_cast<std::uint32_t>(body.size());
+  frame[0] = static_cast<std::uint8_t>(len & 0xff);
+  frame[1] = static_cast<std::uint8_t>((len >> 8) & 0xff);
+  frame[2] = static_cast<std::uint8_t>((len >> 16) & 0xff);
+  frame[3] = static_cast<std::uint8_t>((len >> 24) & 0xff);
+  std::memcpy(frame.data() + kFrameLengthBytes, body.data(), body.size());
+  return frame;
+}
+
+void send_frame(Socket& socket, const Message& m) {
+  const std::vector<std::uint8_t> frame = encode_frame(m);
+  socket.send_all(frame.data(), frame.size());
+}
+
+std::optional<Message> recv_frame(Socket& socket, FrameDecoder& decoder, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::uint8_t buf[4096];
+  for (;;) {
+    if (auto m = decoder.next()) return m;
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) return std::nullopt;
+    std::size_t n = 0;
+    const auto status =
+        socket.recv_some(buf, sizeof(buf), static_cast<int>(remaining.count()), &n);
+    if (status == Socket::RecvStatus::kEof) {
+      throw TransportError("peer closed before completing a frame");
+    }
+    if (status == Socket::RecvStatus::kData) decoder.feed(buf, n);
+  }
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  if (n == 0) return;
+  // Compact the consumed prefix before growing — keeps the buffer bounded by
+  // one frame plus one read, instead of the whole connection history.
+  if (pos_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Message> FrameDecoder::next() {
+  if (poisoned_) {
+    throw TransportError("frame decoder poisoned by earlier framing error");
+  }
+  if (buffered() < kFrameLengthBytes) return std::nullopt;
+  const std::uint8_t* p = buf_.data() + pos_;
+  const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                            (static_cast<std::uint32_t>(p[1]) << 8) |
+                            (static_cast<std::uint32_t>(p[2]) << 16) |
+                            (static_cast<std::uint32_t>(p[3]) << 24);
+  if (len < kMessageHeaderBytes) {
+    poisoned_ = true;
+    throw TransportError("frame length " + std::to_string(len) +
+                         " below message header size");
+  }
+  if (len > max_frame_bytes_) {
+    poisoned_ = true;
+    throw TransportError("frame length " + std::to_string(len) + " exceeds limit " +
+                         std::to_string(max_frame_bytes_));
+  }
+  if (buffered() < kFrameLengthBytes + len) return std::nullopt;
+  std::vector<std::uint8_t> body(p + kFrameLengthBytes, p + kFrameLengthBytes + len);
+  Message m;
+  try {
+    m = decode_message(body);  // DecodeError propagates: stream is desynced
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+  pos_ += kFrameLengthBytes + len;
+  return m;
+}
+
+}  // namespace fedcleanse::comm

@@ -1,0 +1,68 @@
+// Length-prefixed TCP framing over the PR 2 checksummed wire format.
+//
+// A frame is a u32 little-endian length followed by exactly that many bytes
+// of encode_message() output (type + round + sender + payload checksum +
+// payload). The length prefix is validated before any allocation: a prefix
+// smaller than one message header or larger than max_frame_bytes throws
+// TransportError, and anything wrong *inside* the frame (garbage type byte,
+// lying payload length, checksum mismatch) surfaces as the existing
+// DecodeError from decode_message. Either way the decoder never hands out a
+// partially-read Message — a frame is decoded only once it is complete.
+//
+// A framing error on a TCP stream means the two ends have lost byte
+// alignment; the connection must be dropped, so FrameDecoder refuses further
+// use after a throw.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "comm/message.h"
+#include "comm/transport.h"
+
+namespace fedcleanse::comm {
+
+inline constexpr std::size_t kFrameLengthBytes = 4;
+
+// Message → one wire frame (length prefix + encode_message bytes).
+std::vector<std::uint8_t> encode_frame(const Message& m);
+
+// Frame + send_all in one call.
+void send_frame(Socket& socket, const Message& m);
+
+class FrameDecoder;
+
+// Read one complete frame within the deadline (handshake helper): nullopt on
+// timeout, TransportError on EOF, with framing/decode errors propagating.
+std::optional<Message> recv_frame(Socket& socket, FrameDecoder& decoder, int timeout_ms);
+
+// Incremental decoder for a TCP byte stream: feed() whatever recv returned,
+// then drain next() until it yields nullopt (incomplete trailing frame).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = TransportConfig{}.max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  // The next complete message, or nullopt if the buffered bytes end mid-
+  // frame. Throws TransportError on an invalid length prefix and DecodeError
+  // on undecodable frame contents; after any throw the stream is desynced
+  // and every further call rethrows.
+  std::optional<Message> next();
+
+  // Bytes buffered but not yet consumed by a complete frame.
+  std::size_t buffered() const { return buf_.size() - pos_; }
+  // True when the buffered bytes stop partway through a frame — what a
+  // connection torn by SIGKILL leaves behind.
+  bool mid_frame() const { return buffered() > 0; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_, compacted lazily
+  bool poisoned_ = false;
+};
+
+}  // namespace fedcleanse::comm

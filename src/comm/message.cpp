@@ -13,13 +13,19 @@ const char* message_type_name(MessageType t) {
     case MessageType::kMaskBroadcast: return "MaskBroadcast";
     case MessageType::kAccuracyRequest: return "AccuracyRequest";
     case MessageType::kAccuracyReport: return "AccuracyReport";
+    case MessageType::kLrScale: return "LrScale";
+    case MessageType::kShutdown: return "Shutdown";
+    case MessageType::kRegister: return "Register";
+    case MessageType::kRegisterAck: return "RegisterAck";
+    case MessageType::kHeartbeat: return "Heartbeat";
+    case MessageType::kHeartbeatAck: return "HeartbeatAck";
   }
   return "?";
 }
 
 std::optional<MessageType> parse_message_type(std::uint8_t raw) {
   if (raw < static_cast<std::uint8_t>(MessageType::kModelBroadcast) ||
-      raw > static_cast<std::uint8_t>(MessageType::kAccuracyReport)) {
+      raw > static_cast<std::uint8_t>(MessageType::kHeartbeatAck)) {
     return std::nullopt;
   }
   return static_cast<MessageType>(raw);
@@ -187,6 +193,67 @@ std::vector<std::uint8_t> encode_accuracy(double accuracy) {
 double decode_accuracy(const std::vector<std::uint8_t>& payload) {
   return decode_checked("accuracy", payload,
                         [](common::ByteReader& r) { return r.read_f64(); });
+}
+
+std::vector<std::uint8_t> encode_lr_scale(double factor) {
+  common::ByteWriter w;
+  w.write_f64(factor);
+  return w.take();
+}
+
+double decode_lr_scale(const std::vector<std::uint8_t>& payload) {
+  return decode_checked("lr_scale", payload,
+                        [](common::ByteReader& r) { return r.read_f64(); });
+}
+
+std::vector<std::uint8_t> encode_register(const RegisterInfo& info) {
+  common::ByteWriter w;
+  w.write_u8(static_cast<std::uint8_t>(info.role));
+  w.write_i32(info.node_id);
+  w.write_u32(info.port);
+  w.write_u32(info.generation);
+  return w.take();
+}
+
+RegisterInfo decode_register(const std::vector<std::uint8_t>& payload) {
+  return decode_checked("register", payload, [](common::ByteReader& r) {
+    RegisterInfo info;
+    const std::uint8_t raw_role = r.read_u8();
+    if (raw_role > static_cast<std::uint8_t>(NodeRole::kClient)) {
+      throw DecodeError("register: unknown role " + std::to_string(raw_role));
+    }
+    info.role = static_cast<NodeRole>(raw_role);
+    info.node_id = r.read_i32();
+    const std::uint32_t port = r.read_u32();
+    if (port > 65535) throw DecodeError("register: port " + std::to_string(port));
+    info.port = static_cast<std::uint16_t>(port);
+    info.generation = r.read_u32();
+    return info;
+  });
+}
+
+std::vector<std::uint8_t> encode_register_ack(const RegisterAck& ack) {
+  common::ByteWriter w;
+  w.write_bool(ack.accepted);
+  w.write_bool(ack.server_known);
+  w.write_string(ack.server_host);
+  w.write_u32(ack.server_port);
+  w.write_i32(ack.n_clients_registered);
+  return w.take();
+}
+
+RegisterAck decode_register_ack(const std::vector<std::uint8_t>& payload) {
+  return decode_checked("register_ack", payload, [](common::ByteReader& r) {
+    RegisterAck ack;
+    ack.accepted = r.read_bool();
+    ack.server_known = r.read_bool();
+    ack.server_host = r.read_string();
+    const std::uint32_t port = r.read_u32();
+    if (port > 65535) throw DecodeError("register_ack: port " + std::to_string(port));
+    ack.server_port = static_cast<std::uint16_t>(port);
+    ack.n_clients_registered = r.read_i32();
+    return ack;
+  });
 }
 
 }  // namespace fedcleanse::comm

@@ -27,6 +27,13 @@ enum class MessageType : std::uint8_t {
   kMaskBroadcast = 7,   // server → client: prune masks per layer
   kAccuracyRequest = 8, // server → client: request local accuracy
   kAccuracyReport = 9,  // client → server: local accuracy value
+  // Control-plane protocol (multi-process deployment, DESIGN.md §15).
+  kLrScale = 10,        // server → client: multiply local learning rate
+  kShutdown = 11,       // server → client / scheduler → node: run is over
+  kRegister = 12,       // node → scheduler, client → server: join the cohort
+  kRegisterAck = 13,    // reply to kRegister: accepted + topology info
+  kHeartbeat = 14,      // node → peer: liveness beacon
+  kHeartbeatAck = 15,   // peer → node: beacon echo
 };
 
 const char* message_type_name(MessageType t);
@@ -108,5 +115,36 @@ std::vector<std::vector<std::uint8_t>> decode_masks(const std::vector<std::uint8
 
 std::vector<std::uint8_t> encode_accuracy(double accuracy);
 double decode_accuracy(const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_lr_scale(double factor);
+double decode_lr_scale(const std::vector<std::uint8_t>& payload);
+
+// --- deployment control-plane payloads --------------------------------------
+
+enum class NodeRole : std::uint8_t { kServer = 0, kClient = 1 };
+
+// kRegister payload: who is joining and where it can be reached.
+struct RegisterInfo {
+  NodeRole role = NodeRole::kClient;
+  std::int32_t node_id = -1;      // client id, or -1 for the server
+  std::uint16_t port = 0;         // listening port (server only; 0 for clients)
+  std::uint32_t generation = 0;   // bumped on each reconnect-and-reregister
+};
+
+std::vector<std::uint8_t> encode_register(const RegisterInfo& info);
+RegisterInfo decode_register(const std::vector<std::uint8_t>& payload);
+
+// kRegisterAck payload: registration verdict plus server discovery info (the
+// scheduler tells clients where the server listens once it has registered).
+struct RegisterAck {
+  bool accepted = false;
+  bool server_known = false;
+  std::string server_host;
+  std::uint16_t server_port = 0;
+  std::int32_t n_clients_registered = 0;
+};
+
+std::vector<std::uint8_t> encode_register_ack(const RegisterAck& ack);
+RegisterAck decode_register_ack(const std::vector<std::uint8_t>& payload);
 
 }  // namespace fedcleanse::comm

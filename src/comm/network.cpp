@@ -44,6 +44,14 @@ std::optional<Message> Network::client_try_recv(int client) {
 
 Message Network::client_recv(int client) { return link(client).to_client.recv(); }
 
+bool Network::client_wait_for_message(int client, std::chrono::milliseconds timeout) {
+  return link(client).to_client.wait_nonempty(timeout);
+}
+
+Channel& Network::downlink(int client) { return link(client).to_client; }
+
+Channel& Network::uplink(int client) { return link(client).to_server; }
+
 std::size_t Network::downlink_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t total = 0;

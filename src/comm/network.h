@@ -34,17 +34,24 @@ class Network {
   // Links that have carried (or queued) at least one message.
   std::size_t n_active_links() const;
 
-  // Server side.
+  // Server side. The receive paths are virtual alongside the sends so a
+  // socket transport (SocketServerNetwork) can route them over TCP while
+  // reusing the base channels as its receive queues — and so a dead peer can
+  // short-circuit a deadline wait instead of burning the full timeout.
   virtual void send_to_client(int client, Message message);
-  std::optional<Message> try_recv_from_client(int client);
-  Message recv_from_client(int client);
+  virtual std::optional<Message> try_recv_from_client(int client);
+  virtual Message recv_from_client(int client);
   // Deadline-bounded receive: nullopt if the client sent nothing in time.
-  std::optional<Message> recv_from_client_for(int client, std::chrono::milliseconds timeout);
+  virtual std::optional<Message> recv_from_client_for(int client,
+                                                      std::chrono::milliseconds timeout);
 
   // Client side.
   virtual void send_to_server(int client, Message message);
-  std::optional<Message> client_try_recv(int client);
-  Message client_recv(int client);
+  virtual std::optional<Message> client_try_recv(int client);
+  virtual Message client_recv(int client);
+  // Block until a server message is queued for `client` (or the deadline
+  // passes) without consuming it — the remote client main-loop idle wait.
+  virtual bool client_wait_for_message(int client, std::chrono::milliseconds timeout);
 
   // Release any fault-delayed messages into their channels (no-op on a
   // perfect wire). The simulation calls this at phase boundaries, from the
@@ -66,6 +73,13 @@ class Network {
   // network (same n_clients) and throws CheckpointError on mismatch.
   virtual void save_state(common::ByteWriter& w) const;
   virtual void restore_state(common::ByteReader& r);
+
+ protected:
+  // Channel accessors for transport subclasses: a socket network's reader
+  // threads enqueue decoded frames here, so every recv path (and the byte
+  // accounting) flows through the same channels as the in-process reference.
+  Channel& downlink(int client);  // server → client queue
+  Channel& uplink(int client);    // client → server queue
 
  private:
   struct Link {

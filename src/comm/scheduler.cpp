@@ -1,0 +1,274 @@
+#include "comm/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+
+namespace fedcleanse::comm {
+
+namespace {
+
+Message control_message(MessageType type, std::int32_t sender,
+                        std::vector<std::uint8_t> payload = {}) {
+  Message m;
+  m.type = type;
+  m.round = 0;
+  m.sender = sender;
+  m.payload = std::move(payload);
+  m.stamp();
+  return m;
+}
+
+void journal_event(const char* kind, const char* node, std::int32_t client,
+                   const char* extra_key = nullptr, const std::string& extra = "") {
+  obs::Journal* journal = obs::ambient_journal();
+  if (journal == nullptr) return;
+  obs::JsonObject entry;
+  entry.add("kind", kind).add("node", node).add("client", client);
+  if (extra_key != nullptr) entry.add(extra_key, extra);
+  journal->write(entry);
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const TransportConfig& config, const std::string& host,
+                     std::uint16_t port)
+    : config_(config), listener_(host, port) {
+  config_.validate();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+Scheduler::~Scheduler() {
+  stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    conn->sock.shutdown_both();
+    if (conn->th.joinable()) conn->th.join();
+  }
+}
+
+bool Scheduler::server_known() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return server_port_ != 0;
+}
+
+int Scheduler::n_clients_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(clients_seen_.size());
+}
+
+void Scheduler::run_until_shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return shutdown_ || stop_.load(); });
+}
+
+void Scheduler::stop() {
+  stop_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& conn : conns_) conn->sock.shutdown_both();
+  }
+  cv_.notify_all();
+}
+
+void Scheduler::accept_loop() {
+  while (!stop_.load()) {
+    std::optional<Socket> sock;
+    try {
+      sock = listener_.accept_for(config_.accept_timeout_ms);
+    } catch (const TransportError& e) {
+      if (stop_.load()) return;
+      FC_LOG(Warn) << "scheduler: accept failed — " << e.what();
+      continue;
+    }
+    if (!sock) continue;
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::move(*sock);
+    Conn* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->th = std::thread([this, raw] { conn_loop(raw); });
+  }
+}
+
+void Scheduler::handle_register(Conn* conn, const Message& m) {
+  const RegisterInfo info = decode_register(m.payload);  // DecodeError → caller
+  RegisterAck ack;
+  ack.accepted = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (info.role == NodeRole::kServer) {
+      // The server's reachable address is the connection's source IP plus the
+      // data port it registered.
+      server_host_ = conn->sock.peer_ip();
+      if (server_host_ == "?") server_host_ = "127.0.0.1";
+      server_port_ = info.port;
+    } else if (std::find(clients_seen_.begin(), clients_seen_.end(), info.node_id) ==
+               clients_seen_.end()) {
+      clients_seen_.push_back(info.node_id);
+    }
+    ack.server_known = server_port_ != 0;
+    ack.server_host = server_host_;
+    ack.server_port = server_port_;
+    ack.n_clients_registered = static_cast<std::int32_t>(clients_seen_.size());
+  }
+  if (info.role == NodeRole::kServer) {
+    journal_event("server_register", "scheduler", info.node_id, "port",
+                  std::to_string(info.port));
+  } else {
+    journal_event(info.generation > 0 ? "reconnect" : "client_register", "scheduler",
+                  info.node_id);
+  }
+  send_frame(conn->sock, control_message(MessageType::kRegisterAck, -1,
+                                         encode_register_ack(ack)));
+}
+
+void Scheduler::conn_loop(Conn* conn) {
+  FrameDecoder decoder(config_.max_frame_bytes);
+  std::uint8_t buf[4096];
+  auto last_seen = std::chrono::steady_clock::now();
+  bool heartbeating = false;  // liveness is judged only for beaconing links
+  std::int32_t peer_id = -2;  // last registered sender on this connection
+  try {
+    while (!stop_.load()) {
+      std::size_t n = 0;
+      const auto status =
+          conn->sock.recv_some(buf, sizeof(buf), config_.accept_timeout_ms, &n);
+      if (status == Socket::RecvStatus::kEof) return;
+      const auto now = std::chrono::steady_clock::now();
+      if (status == Socket::RecvStatus::kTimeout) {
+        if (heartbeating &&
+            now - last_seen > std::chrono::milliseconds(config_.heartbeat_timeout_ms)) {
+          FC_METRIC(transport_dead_clients().inc());
+          journal_event("client_dead", "scheduler", peer_id, "reason", "heartbeat");
+          return;
+        }
+        continue;
+      }
+      last_seen = now;
+      decoder.feed(buf, n);
+      while (auto m = decoder.next()) {
+        switch (m->type) {
+          case MessageType::kRegister:
+            peer_id = m->sender;
+            handle_register(conn, *m);
+            break;
+          case MessageType::kHeartbeat:
+            heartbeating = true;
+            FC_METRIC(transport_heartbeats().inc());
+            send_frame(conn->sock, control_message(MessageType::kHeartbeatAck, -1));
+            break;
+          case MessageType::kShutdown: {
+            std::lock_guard<std::mutex> lock(mu_);
+            shutdown_ = true;
+          }
+            cv_.notify_all();
+            return;
+          default:
+            FC_LOG(Warn) << "scheduler: unexpected " << message_type_name(m->type)
+                         << " from node " << m->sender << " — ignored";
+            break;
+        }
+      }
+    }
+  } catch (const Error& e) {
+    if (!stop_.load()) {
+      FC_LOG(Warn) << "scheduler: connection to node " << peer_id << " failed — "
+                   << e.what();
+    }
+  }
+}
+
+RegisterAck scheduler_register_once(const std::string& host, std::uint16_t port,
+                                    const RegisterInfo& info,
+                                    const TransportConfig& config) {
+  Socket sock = connect_to(host, port, config.connect_timeout_ms);
+  send_frame(sock, control_message(MessageType::kRegister, info.node_id,
+                                   encode_register(info)));
+  FrameDecoder decoder(config.max_frame_bytes);
+  auto reply = recv_frame(sock, decoder, config.connect_timeout_ms);
+  if (!reply) {
+    throw TransportError("scheduler sent no RegisterAck within " +
+                         std::to_string(config.connect_timeout_ms) + "ms");
+  }
+  if (reply->type != MessageType::kRegisterAck) {
+    throw TransportError(std::string("scheduler replied ") +
+                         message_type_name(reply->type) + " to a Register");
+  }
+  return decode_register_ack(reply->payload);
+}
+
+SchedulerSession::SchedulerSession(const std::string& host, std::uint16_t port,
+                                   const RegisterInfo& info, const TransportConfig& config)
+    : config_(config), info_(info) {
+  sock_ = connect_to(host, port, config_.connect_timeout_ms);
+  send_frame(sock_, control_message(MessageType::kRegister, info_.node_id,
+                                    encode_register(info_)));
+  FrameDecoder decoder(config_.max_frame_bytes);
+  auto reply = recv_frame(sock_, decoder, config_.connect_timeout_ms);
+  if (!reply || reply->type != MessageType::kRegisterAck) {
+    throw TransportError("scheduler registration handshake failed");
+  }
+  if (!decode_register_ack(reply->payload).accepted) {
+    throw TransportError("scheduler rejected registration");
+  }
+  heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+}
+
+SchedulerSession::~SchedulerSession() {
+  stop_.store(true);
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+}
+
+void SchedulerSession::notify_shutdown() {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  try {
+    send_frame(sock_, control_message(MessageType::kShutdown, info_.node_id));
+  } catch (const TransportError& e) {
+    FC_LOG(Warn) << "scheduler shutdown notice failed — " << e.what();
+  }
+}
+
+void SchedulerSession::heartbeat_loop() {
+  // The ack stream is drained lazily right here — the session never carries
+  // anything but beacons, so the reader and sender can share one thread.
+  FrameDecoder decoder(config_.max_frame_bytes);
+  std::uint8_t buf[1024];
+  while (!stop_.load()) {
+    {
+      std::lock_guard<std::mutex> lock(send_mu_);
+      try {
+        send_frame(sock_, control_message(MessageType::kHeartbeat, info_.node_id));
+      } catch (const TransportError&) {
+        return;  // scheduler gone; nothing to beacon at
+      }
+    }
+    const auto next_beat = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(config_.heartbeat_interval_ms);
+    while (!stop_.load() && std::chrono::steady_clock::now() < next_beat) {
+      std::size_t n = 0;
+      try {
+        const auto status = sock_.recv_some(buf, sizeof(buf), 20, &n);
+        if (status == Socket::RecvStatus::kEof) return;
+        if (status == Socket::RecvStatus::kData) {
+          decoder.feed(buf, n);
+          while (decoder.next()) {
+          }
+        }
+      } catch (const Error&) {
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace fedcleanse::comm

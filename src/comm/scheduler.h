@@ -1,0 +1,97 @@
+// Scheduler node: the deployment's registration and heartbeat endpoint
+// (DESIGN.md §15), in the shape of mindspore's scheduler_node.
+//
+// The scheduler is discovery + observability, not a data plane: the server
+// registers its listening port here, clients ask where the server is, and
+// long-lived links (the server's) beacon heartbeats so node death lands in
+// the journal even when no round is in flight. Model traffic always flows
+// directly between server and clients.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/frame.h"
+#include "comm/transport.h"
+
+namespace fedcleanse::comm {
+
+class Scheduler {
+ public:
+  Scheduler(const TransportConfig& config, const std::string& host = "127.0.0.1",
+            std::uint16_t port = 0);
+  ~Scheduler();
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  // True once a server has registered its data port.
+  bool server_known() const;
+  // Distinct client ids that have registered so far.
+  int n_clients_seen() const;
+
+  // Block until a kShutdown arrives (the server announcing end of run) or
+  // stop() is called from another thread.
+  void run_until_shutdown();
+  void stop();
+
+ private:
+  struct Conn {
+    Socket sock;
+    std::thread th;
+  };
+
+  void accept_loop();
+  void conn_loop(Conn* conn);
+  void handle_register(Conn* conn, const Message& m);
+
+  TransportConfig config_;
+  Listener listener_;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  std::string server_host_;
+  std::uint16_t server_port_ = 0;
+  std::vector<int> clients_seen_;  // distinct registered client ids
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+// One registration round-trip with the scheduler (connect → kRegister →
+// kRegisterAck → close). Clients poll this until the ack carries the server's
+// address; throws TransportError when the scheduler is unreachable and
+// DecodeError on a malformed ack.
+RegisterAck scheduler_register_once(const std::string& host, std::uint16_t port,
+                                    const RegisterInfo& info, const TransportConfig& config);
+
+// The server's persistent scheduler link: registers the data port, then
+// beacons kHeartbeat in a background thread so the scheduler's journal can
+// tell a finished run from a dead server. notify_shutdown() tells the
+// scheduler the run is over (it exits run_until_shutdown).
+class SchedulerSession {
+ public:
+  SchedulerSession(const std::string& host, std::uint16_t port, const RegisterInfo& info,
+                   const TransportConfig& config);
+  ~SchedulerSession();
+
+  void notify_shutdown();
+
+ private:
+  void heartbeat_loop();
+
+  TransportConfig config_;
+  RegisterInfo info_;
+  std::atomic<bool> stop_{false};
+  std::mutex send_mu_;
+  Socket sock_;
+  std::thread heartbeat_thread_;
+};
+
+}  // namespace fedcleanse::comm

@@ -1,0 +1,497 @@
+#include "comm/socket_network.h"
+
+#include <algorithm>
+
+#include "comm/scheduler.h"
+#include "common/logging.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+
+namespace fedcleanse::comm {
+
+namespace {
+
+constexpr std::chrono::milliseconds kRecvPollSlice{50};
+
+Message control_message(MessageType type, std::int32_t sender,
+                        std::vector<std::uint8_t> payload = {}) {
+  Message m;
+  m.type = type;
+  m.round = 0;
+  m.sender = sender;
+  m.payload = std::move(payload);
+  m.stamp();
+  return m;
+}
+
+void journal_event(const char* kind, const char* node, std::int32_t client,
+                   const char* extra_key = nullptr, const std::string& extra = "") {
+  obs::Journal* journal = obs::ambient_journal();
+  if (journal == nullptr) return;
+  obs::JsonObject entry;
+  entry.add("kind", kind).add("node", node).add("client", client);
+  if (extra_key != nullptr) entry.add(extra_key, extra);
+  journal->write(entry);
+}
+
+}  // namespace
+
+// --- SocketServerNetwork -----------------------------------------------------
+
+SocketServerNetwork::SocketServerNetwork(int n_clients, const TransportConfig& config,
+                                         const std::string& host, std::uint16_t port)
+    : Network(n_clients), config_(config), listener_(host, port) {
+  config_.validate();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  monitor_thread_ = std::thread([this] { monitor_loop(); });
+}
+
+SocketServerNetwork::~SocketServerNetwork() {
+  stop_.store(true);
+  peers_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+  for (auto& [id, peer] : peers_) {
+    peer->sock.shutdown_both();
+    if (peer->reader.joinable()) peer->reader.join();
+  }
+}
+
+SocketServerNetwork::Peer* SocketServerNetwork::peer_ptr(int client) {
+  auto it = peers_.find(client);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+int SocketServerNetwork::n_alive() const {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  int n = 0;
+  for (const auto& [id, peer] : peers_) n += peer->alive ? 1 : 0;
+  return n;
+}
+
+bool SocketServerNetwork::is_alive(int client) const {
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  auto it = peers_.find(client);
+  return it != peers_.end() && it->second->alive;
+}
+
+bool SocketServerNetwork::wait_for_clients(int n, int timeout_ms) {
+  const auto count_alive = [this] {
+    int alive = 0;
+    for (const auto& [id, peer] : peers_) alive += peer->alive ? 1 : 0;
+    return alive;
+  };
+  std::unique_lock<std::mutex> lock(peers_mu_);
+  peers_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                     [&] { return stop_.load() || count_alive() >= n; });
+  return count_alive() >= n;
+}
+
+void SocketServerNetwork::accept_loop() {
+  while (!stop_.load()) {
+    std::optional<Socket> sock;
+    try {
+      sock = listener_.accept_for(config_.accept_timeout_ms);
+    } catch (const TransportError& e) {
+      if (stop_.load()) return;
+      FC_LOG(Warn) << "server transport: accept failed — " << e.what();
+      continue;
+    }
+    if (sock) handle_registration(std::move(*sock));
+  }
+}
+
+void SocketServerNetwork::handle_registration(Socket sock) {
+  RegisterInfo info;
+  try {
+    FrameDecoder decoder(config_.max_frame_bytes);
+    auto hello = recv_frame(sock, decoder, config_.connect_timeout_ms);
+    if (!hello || hello->type != MessageType::kRegister) {
+      FC_LOG(Warn) << "server transport: connection did not register — dropped";
+      return;
+    }
+    info = decode_register(hello->payload);
+  } catch (const Error& e) {
+    FC_LOG(Warn) << "server transport: registration handshake failed — " << e.what();
+    return;
+  }
+  if (info.role != NodeRole::kClient || info.node_id < 0 || info.node_id >= n_clients()) {
+    FC_LOG(Warn) << "server transport: rejecting registration of node " << info.node_id;
+    RegisterAck nack;
+    try {
+      send_frame(sock, control_message(MessageType::kRegisterAck, -1,
+                                       encode_register_ack(nack)));
+    } catch (const TransportError&) {
+    }
+    return;
+  }
+
+  const int client = info.node_id;
+  Peer* peer = nullptr;
+  bool reconnect = false;
+  std::uint32_t generation = 0;
+  {
+    std::unique_lock<std::mutex> lock(peers_mu_);
+    auto& slot = peers_[client];
+    if (!slot) slot = std::make_unique<Peer>();
+    peer = slot.get();
+    if (peer->reader.joinable()) {
+      // Replace the stale connection: wake its reader, join it outside the
+      // lock (the reader's death path takes peers_mu_), then swap sockets.
+      reconnect = true;
+      peer->sock.shutdown_both();
+      std::thread old_reader = std::move(peer->reader);
+      lock.unlock();
+      old_reader.join();
+      lock.lock();
+    }
+    {
+      std::lock_guard<std::mutex> send_lock(peer->send_mu);
+      peer->sock = std::move(sock);
+    }
+    peer->generation += 1;
+    generation = peer->generation;
+    peer->alive = true;
+    peer->last_seen = std::chrono::steady_clock::now();
+    peer->reader = std::thread([this, client, generation] { reader_loop(client, generation); });
+  }
+  peers_cv_.notify_all();
+
+  RegisterAck ack;
+  ack.accepted = true;
+  ack.server_known = true;
+  ack.server_port = listener_.port();
+  ack.n_clients_registered = n_alive();
+  {
+    std::lock_guard<std::mutex> send_lock(peer->send_mu);
+    try {
+      send_frame(peer->sock, control_message(MessageType::kRegisterAck, -1,
+                                             encode_register_ack(ack)));
+    } catch (const TransportError& e) {
+      FC_LOG(Warn) << "server transport: RegisterAck to client " << client
+                   << " failed — " << e.what();
+    }
+  }
+  if (reconnect) {
+    FC_METRIC(transport_reconnects().inc());
+    journal_event("reconnect", "server", client, "generation", std::to_string(generation));
+    FC_LOG(Info) << "client " << client << " reconnected (generation " << generation << ")";
+  } else {
+    journal_event("client_register", "server", client);
+    FC_LOG(Info) << "client " << client << " registered";
+  }
+}
+
+void SocketServerNetwork::mark_dead(int client, std::uint32_t generation,
+                                    const char* reason) {
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    Peer* peer = peer_ptr(client);
+    if (peer == nullptr || peer->generation != generation || !peer->alive) return;
+    peer->alive = false;
+    peer->sock.shutdown_both();
+  }
+  peers_cv_.notify_all();
+  FC_METRIC(transport_dead_clients().inc());
+  journal_event("client_dead", "server", client, "reason", reason);
+  FC_LOG(Warn) << "client " << client << " declared dead (" << reason << ")";
+}
+
+void SocketServerNetwork::monitor_loop() {
+  while (!stop_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.heartbeat_interval_ms));
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::pair<int, std::uint32_t>> stale;
+    {
+      std::lock_guard<std::mutex> lock(peers_mu_);
+      for (const auto& [id, peer] : peers_) {
+        if (peer->alive &&
+            now - peer->last_seen >
+                std::chrono::milliseconds(config_.heartbeat_timeout_ms)) {
+          stale.emplace_back(id, peer->generation);
+        }
+      }
+    }
+    for (const auto& [id, generation] : stale) mark_dead(id, generation, "heartbeat");
+  }
+}
+
+void SocketServerNetwork::reader_loop(int client, std::uint32_t generation) {
+  Peer* peer = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    peer = peer_ptr(client);
+  }
+  if (peer == nullptr) return;
+  FrameDecoder decoder(config_.max_frame_bytes);
+  std::uint8_t buf[65536];
+  while (!stop_.load()) {
+    std::size_t n = 0;
+    Socket::RecvStatus status;
+    try {
+      status = peer->sock.recv_some(buf, sizeof(buf), config_.accept_timeout_ms, &n);
+    } catch (const TransportError&) {
+      mark_dead(client, generation, "eof");
+      return;
+    }
+    if (status == Socket::RecvStatus::kTimeout) continue;
+    if (status == Socket::RecvStatus::kEof) {
+      mark_dead(client, generation, "eof");
+      return;
+    }
+    try {
+      decoder.feed(buf, n);
+      while (auto m = decoder.next()) {
+        {
+          std::lock_guard<std::mutex> lock(peers_mu_);
+          if (peer->generation != generation) return;  // superseded mid-drain
+          peer->last_seen = std::chrono::steady_clock::now();
+        }
+        FC_METRIC(transport_frames_recv().inc());
+        if (m->type == MessageType::kHeartbeat) {
+          FC_METRIC(transport_heartbeats().inc());
+          std::lock_guard<std::mutex> send_lock(peer->send_mu);
+          try {
+            send_frame(peer->sock, control_message(MessageType::kHeartbeatAck, -1));
+          } catch (const TransportError&) {
+            // The broken pipe surfaces as EOF on the next recv.
+          }
+          continue;
+        }
+        if (m->type == MessageType::kRegister) continue;  // already registered
+        Network::send_to_server(client, std::move(*m));
+      }
+    } catch (const Error& e) {
+      // Framing/decode failure means the byte stream is desynced — the
+      // connection is unusable, exactly like an EOF.
+      FC_LOG(Warn) << "client " << client << " stream failed — " << e.what();
+      mark_dead(client, generation, "decode");
+      return;
+    }
+  }
+}
+
+void SocketServerNetwork::send_to_client(int client, Message message) {
+  Peer* peer = nullptr;
+  std::uint32_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    Peer* p = peer_ptr(client);
+    if (p == nullptr || !p->alive) {
+      FC_LOG(Debug) << "send to dead client " << client << " dropped ("
+                    << message_type_name(message.type) << ")";
+      return;  // the retry/quorum layer owns recovery
+    }
+    peer = p;
+    generation = p->generation;
+  }
+  const std::size_t size = message.wire_size();
+  try {
+    std::lock_guard<std::mutex> send_lock(peer->send_mu);
+    send_frame(peer->sock, message);
+  } catch (const TransportError& e) {
+    FC_LOG(Warn) << "send to client " << client << " failed — " << e.what();
+    mark_dead(client, generation, "send");
+    return;
+  }
+  FC_METRIC(transport_frames_sent().inc());
+  FC_METRIC(transport_bytes_sent().add(size + kFrameLengthBytes));
+}
+
+std::optional<Message> SocketServerNetwork::recv_from_client_for(
+    int client, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (auto m = Network::try_recv_from_client(client)) return m;
+    // Queue drained: a dead client can send nothing more, so give the retry
+    // layer its answer now instead of sitting out the full deadline.
+    if (!is_alive(client)) return std::nullopt;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    uplink(client).wait_nonempty(std::min(remaining, kRecvPollSlice));
+  }
+}
+
+void SocketServerNetwork::broadcast_shutdown() {
+  std::vector<int> targets;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    for (const auto& [id, peer] : peers_) {
+      if (peer->alive) targets.push_back(id);
+    }
+  }
+  for (int c : targets) send_to_client(c, control_message(MessageType::kShutdown, -1));
+}
+
+// --- SocketClientNetwork -----------------------------------------------------
+
+SocketClientNetwork::SocketClientNetwork(int n_clients, int client_id,
+                                         const TransportConfig& config,
+                                         const std::string& scheduler_host,
+                                         std::uint16_t scheduler_port)
+    : Network(n_clients),
+      client_id_(client_id),
+      config_(config),
+      scheduler_host_(scheduler_host),
+      scheduler_port_(scheduler_port) {
+  config_.validate();
+  FC_REQUIRE(client_id >= 0 && client_id < n_clients, "client id out of range");
+  io_thread_ = std::thread([this] { io_loop(); });
+  heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+}
+
+SocketClientNetwork::~SocketClientNetwork() {
+  stop_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(link_mu_);
+    sock_.shutdown_both();
+  }
+  link_cv_.notify_all();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  if (io_thread_.joinable()) io_thread_.join();
+}
+
+bool SocketClientNetwork::connected() const {
+  std::lock_guard<std::mutex> lock(link_mu_);
+  return registered_;
+}
+
+bool SocketClientNetwork::wait_connected(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(link_mu_);
+  return link_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           [this] { return registered_ || stop_.load(); }) &&
+         registered_;
+}
+
+std::optional<Socket> SocketClientNetwork::establish(std::uint32_t generation) {
+  RegisterInfo info;
+  info.role = NodeRole::kClient;
+  info.node_id = client_id_;
+  info.generation = generation;
+  try {
+    const RegisterAck from_scheduler =
+        scheduler_register_once(scheduler_host_, scheduler_port_, info, config_);
+    if (!from_scheduler.accepted || !from_scheduler.server_known) {
+      FC_LOG(Debug) << "client " << client_id_
+                    << ": scheduler has no server yet — will retry";
+      return std::nullopt;
+    }
+    const std::string host =
+        from_scheduler.server_host.empty() ? "127.0.0.1" : from_scheduler.server_host;
+    Socket sock = connect_to(host, from_scheduler.server_port, config_.connect_timeout_ms);
+    send_frame(sock, control_message(MessageType::kRegister, client_id_,
+                                     encode_register(info)));
+    FrameDecoder decoder(config_.max_frame_bytes);
+    auto reply = recv_frame(sock, decoder, config_.connect_timeout_ms);
+    if (!reply || reply->type != MessageType::kRegisterAck ||
+        !decode_register_ack(reply->payload).accepted) {
+      FC_LOG(Warn) << "client " << client_id_ << ": server rejected registration";
+      return std::nullopt;
+    }
+    return sock;
+  } catch (const Error& e) {
+    FC_LOG(Debug) << "client " << client_id_ << ": connect attempt failed — " << e.what();
+    return std::nullopt;
+  }
+}
+
+void SocketClientNetwork::io_loop() {
+  std::uint32_t generation = 0;
+  int attempt = 0;
+  while (!stop_.load() && !shutdown_.load()) {
+    auto sock = establish(generation);
+    if (!sock) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoff_delay_ms(config_, attempt)));
+      attempt = std::min(attempt + 1, config_.max_connect_retries);
+      continue;
+    }
+    attempt = 0;
+    {
+      std::lock_guard<std::mutex> lock(link_mu_);
+      sock_ = std::move(*sock);
+      registered_ = true;
+      generation_ = generation;
+    }
+    link_cv_.notify_all();
+    if (generation > 0) {
+      FC_METRIC(transport_reconnects().inc());
+      journal_event("reconnect", "client", client_id_, "generation",
+                    std::to_string(generation));
+    }
+    FC_LOG(Info) << "client " << client_id_ << " registered with server (generation "
+                 << generation << ")";
+
+    FrameDecoder decoder(config_.max_frame_bytes);
+    std::uint8_t buf[65536];
+    bool link_up = true;
+    while (link_up && !stop_.load() && !shutdown_.load()) {
+      std::size_t n = 0;
+      try {
+        const auto status = sock_.recv_some(buf, sizeof(buf), config_.accept_timeout_ms, &n);
+        if (status == Socket::RecvStatus::kTimeout) continue;
+        if (status == Socket::RecvStatus::kEof) break;
+        decoder.feed(buf, n);
+        while (auto m = decoder.next()) {
+          FC_METRIC(transport_frames_recv().inc());
+          switch (m->type) {
+            case MessageType::kShutdown:
+              shutdown_.store(true);
+              link_up = false;
+              break;
+            case MessageType::kHeartbeatAck:
+              break;
+            default:
+              Network::send_to_client(client_id_, std::move(*m));
+              break;
+          }
+        }
+      } catch (const Error& e) {
+        FC_LOG(Warn) << "client " << client_id_ << ": server link failed — " << e.what();
+        break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(link_mu_);
+      registered_ = false;
+      sock_.close();
+    }
+    link_cv_.notify_all();
+    generation += 1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(link_mu_);
+    registered_ = false;
+  }
+  link_cv_.notify_all();
+}
+
+void SocketClientNetwork::heartbeat_loop() {
+  while (!stop_.load() && !shutdown_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.heartbeat_interval_ms));
+    std::lock_guard<std::mutex> lock(link_mu_);
+    if (!registered_) continue;
+    try {
+      send_frame(sock_, control_message(MessageType::kHeartbeat, client_id_));
+      FC_METRIC(transport_frames_sent().inc());
+    } catch (const TransportError&) {
+      // The io thread sees the same broken pipe as EOF and reconnects.
+    }
+  }
+}
+
+void SocketClientNetwork::send_to_server(int client, Message message) {
+  FC_REQUIRE(client == client_id_, "socket client can only send as itself");
+  const std::size_t size = message.wire_size();
+  std::lock_guard<std::mutex> lock(link_mu_);
+  if (!registered_) {
+    throw TransportError("server link down (reconnect in progress)");
+  }
+  send_frame(sock_, message);  // TransportError propagates; io thread reconnects
+  FC_METRIC(transport_frames_sent().inc());
+  FC_METRIC(transport_bytes_sent().add(size + kFrameLengthBytes));
+}
+
+}  // namespace fedcleanse::comm

@@ -1,0 +1,141 @@
+// TCP transports behind the Network interface (DESIGN.md §15).
+//
+// SocketServerNetwork and SocketClientNetwork put the federated protocol on a
+// real wire while reusing the in-process Network's channels as their receive
+// queues: reader threads decode frames off the sockets and enqueue them
+// through the base class, so Server::collect_* and Client::handle_pending run
+// unchanged against either transport. Sends bypass the channels and go
+// straight to the peer's socket.
+//
+// Liveness (server side): every data connection starts with a kRegister
+// handshake; after that the client beacons kHeartbeat at a configured
+// interval. A client is declared dead on connection EOF (a SIGKILLed process
+// closes instantly) or when its last traffic is older than
+// heartbeat_timeout_ms (a hung process). Dead clients short-circuit
+// recv_from_client_for, so the round protocol's quorum gate sees the loss
+// within one deadline instead of burning full timeouts per retry. A restarted
+// client reconnects and reregisters with a bumped generation; the stale
+// connection's reader learns its generation is old and exits silently.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "comm/frame.h"
+#include "comm/network.h"
+#include "comm/transport.h"
+
+namespace fedcleanse::comm {
+
+// Server-side data plane: one Listener, one accept thread, one reader thread
+// per registered client, and a monitor thread enforcing heartbeat staleness.
+class SocketServerNetwork : public Network {
+ public:
+  // Binds host:port (port 0 = ephemeral, see port()) and starts the accept
+  // and monitor threads. Clients connect directly; scheduler registration is
+  // the binary's job (comm/scheduler.h).
+  SocketServerNetwork(int n_clients, const TransportConfig& config,
+                      const std::string& host = "127.0.0.1", std::uint16_t port = 0);
+  ~SocketServerNetwork() override;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  // Block until at least `n` clients are registered and alive. Called before
+  // round 0 so the first broadcast never races registration.
+  bool wait_for_clients(int n, int timeout_ms);
+
+  // Registered-and-alive peers right now.
+  int n_alive() const;
+  bool is_alive(int client) const;
+
+  // Send kShutdown to every live client (end of run).
+  void broadcast_shutdown();
+
+  // Network overrides: sends frame onto the client's socket (silently dropped
+  // when the client is dead — the retry/quorum layer owns recovery); receives
+  // drain the base channels that the reader threads fill, with a dead-client
+  // early exit on the deadline path.
+  void send_to_client(int client, Message message) override;
+  std::optional<Message> recv_from_client_for(int client,
+                                              std::chrono::milliseconds timeout) override;
+
+ private:
+  struct Peer {
+    Socket sock;
+    std::mutex send_mu;  // serializes writes to sock (reader replies + sends)
+    std::thread reader;
+    std::uint32_t generation = 0;
+    bool alive = false;
+    std::chrono::steady_clock::time_point last_seen{};
+  };
+
+  void accept_loop();
+  void monitor_loop();
+  void reader_loop(int client, std::uint32_t generation);
+  // Registration handshake on a fresh connection (accept thread).
+  void handle_registration(Socket sock);
+  // Declare `client` dead if `generation` is still current.
+  void mark_dead(int client, std::uint32_t generation, const char* reason);
+  Peer* peer_ptr(int client);
+
+  TransportConfig config_;
+  Listener listener_;
+  std::atomic<bool> stop_{false};
+  mutable std::mutex peers_mu_;
+  std::condition_variable peers_cv_;
+  std::map<int, std::unique_ptr<Peer>> peers_;
+  std::thread accept_thread_;
+  std::thread monitor_thread_;
+};
+
+// Client-side data plane: an io thread that discovers the server through the
+// scheduler, maintains the registered connection (reconnect-and-reregister
+// with capped backoff after any failure), and pumps inbound frames into the
+// base downlink channel; plus a heartbeat thread beaconing liveness.
+class SocketClientNetwork : public Network {
+ public:
+  SocketClientNetwork(int n_clients, int client_id, const TransportConfig& config,
+                      const std::string& scheduler_host, std::uint16_t scheduler_port);
+  ~SocketClientNetwork() override;
+
+  int client_id() const { return client_id_; }
+
+  // Block until the first registration with the server succeeds.
+  bool wait_connected(int timeout_ms);
+  bool connected() const;
+  // True once the server sent kShutdown — the main loop's exit condition.
+  bool shutdown_received() const { return shutdown_.load(); }
+
+  // Network overrides. send_to_server throws TransportError while the link is
+  // down (the caller's reply is lost; the server's retry re-drives it after
+  // the reconnect). Receive paths are the base implementations over the
+  // downlink channel the io thread fills.
+  void send_to_server(int client, Message message) override;
+
+ private:
+  void io_loop();
+  void heartbeat_loop();
+  // One full discover → connect → register pass. Returns the registered
+  // socket or nullopt (retry after backoff).
+  std::optional<Socket> establish(std::uint32_t generation);
+
+  int client_id_;
+  TransportConfig config_;
+  std::string scheduler_host_;
+  std::uint16_t scheduler_port_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> shutdown_{false};
+  mutable std::mutex link_mu_;
+  std::condition_variable link_cv_;
+  Socket sock_;            // valid only while registered_ (guarded by link_mu_)
+  bool registered_ = false;
+  std::uint32_t generation_ = 0;
+  std::thread io_thread_;
+  std::thread heartbeat_thread_;
+};
+
+}  // namespace fedcleanse::comm

@@ -1,0 +1,256 @@
+#include "comm/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+namespace fedcleanse::comm {
+
+namespace {
+
+std::string with_errno(const std::string& what, int err) {
+  if (err == 0) return what;
+  return what + ": " + std::strerror(err) + " (errno " + std::to_string(err) + ")";
+}
+
+// IPv4 resolution without DNS: numeric literals plus the one name every
+// deployment script uses. Anything else is a config error, not a lookup.
+in_addr resolve_host(const std::string& host) {
+  in_addr addr{};
+  const std::string target = (host.empty() || host == "localhost") ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, target.c_str(), &addr) != 1) {
+    throw TransportError("cannot parse host '" + host + "' (IPv4 literal or localhost)");
+  }
+  return addr;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  // Best-effort: latency tuning, never fatal.
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw TransportError("fcntl(F_GETFL)", errno);
+  const int wanted = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (fcntl(fd, F_SETFL, wanted) < 0) throw TransportError("fcntl(F_SETFL)", errno);
+}
+
+}  // namespace
+
+TransportError::TransportError(const std::string& what, int sys_errno)
+    : CommError("transport: " + with_errno(what, sys_errno)), errno_(sys_errno) {}
+
+void TransportConfig::validate() const {
+  if (connect_timeout_ms <= 0 || accept_timeout_ms <= 0) {
+    throw ConfigError("transport timeouts must be positive");
+  }
+  if (max_connect_retries < 0 || backoff_base_ms <= 0 || backoff_cap_ms < backoff_base_ms) {
+    throw ConfigError("transport backoff: need retries >= 0, 0 < base <= cap");
+  }
+  if (heartbeat_interval_ms <= 0 || heartbeat_timeout_ms < heartbeat_interval_ms) {
+    throw ConfigError("heartbeat: need 0 < interval <= timeout");
+  }
+  if (max_frame_bytes < 64) {
+    throw ConfigError("max_frame_bytes too small to carry any message");
+  }
+}
+
+int backoff_delay_ms(const TransportConfig& config, int attempt) {
+  if (attempt < 0) attempt = 0;
+  // 1 << 20 ms is already ~17 minutes; beyond that the shift would overflow
+  // long before the cap stops mattering.
+  const int shift = attempt > 20 ? 20 : attempt;
+  const long long delay = static_cast<long long>(config.backoff_base_ms) << shift;
+  return static_cast<int>(delay > config.backoff_cap_ms ? config.backoff_cap_ms : delay);
+}
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() {
+  // Best-effort: ENOTCONN on an already-dead connection is expected.
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::send_all(const std::uint8_t* data, std::size_t n) {
+  if (fd_ < 0) throw TransportError("send on closed socket");
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError("send", errno);
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+Socket::RecvStatus Socket::recv_some(std::uint8_t* buf, std::size_t cap, int timeout_ms,
+                                     std::size_t* n_read) {
+  *n_read = 0;
+  if (fd_ < 0) throw TransportError("recv on closed socket");
+  pollfd pfd{fd_, POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError("poll", errno);
+    }
+    if (rc == 0) return RecvStatus::kTimeout;
+    break;
+  }
+  for (;;) {
+    const ssize_t r = ::recv(fd_, buf, cap, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      // The peer being SIGKILLed surfaces as ECONNRESET — that is EOF for
+      // our purposes (the reader declares the peer dead either way), but the
+      // errno is preserved for diagnostics via the thrown path elsewhere.
+      if (errno == ECONNRESET) return RecvStatus::kEof;
+      throw TransportError("recv", errno);
+    }
+    if (r == 0) return RecvStatus::kEof;
+    *n_read = static_cast<std::size_t>(r);
+    return RecvStatus::kData;
+  }
+}
+
+std::string Socket::peer_ip() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (fd_ < 0 || getpeername(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return "?";
+  }
+  char buf[INET_ADDRSTRLEN] = {0};
+  if (inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf)) == nullptr) return "?";
+  return buf;
+}
+
+Listener::Listener(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw TransportError("socket", errno);
+  int one = 1;
+  (void)setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = resolve_host(host.empty() ? "0.0.0.0" : host);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    close();
+    throw TransportError("bind port " + std::to_string(port), err);
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int err = errno;
+    close();
+    throw TransportError("listen", err);
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int err = errno;
+    close();
+    throw TransportError("getsockname", err);
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<Socket> Listener::accept_for(int timeout_ms) {
+  if (fd_ < 0) throw TransportError("accept on closed listener");
+  pollfd pfd{fd_, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return std::nullopt;
+    throw TransportError("poll(listener)", errno);
+  }
+  if (rc == 0) return std::nullopt;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN) return std::nullopt;
+    throw TransportError("accept", errno);
+  }
+  set_nodelay(client);
+  return Socket(client);
+}
+
+Socket connect_to(const std::string& host, std::uint16_t port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw TransportError("socket", errno);
+  Socket sock(fd);  // owns the fd from here; any throw below closes it
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = resolve_host(host);
+  addr.sin_port = htons(port);
+  set_nonblocking(fd, true);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      throw TransportError("connect " + host + ":" + std::to_string(port), errno);
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) throw TransportError("poll(connect)", errno);
+    if (rc == 0) {
+      throw TransportError("connect " + host + ":" + std::to_string(port) + " timed out",
+                           ETIMEDOUT);
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      throw TransportError("getsockopt(SO_ERROR)", errno);
+    }
+    if (err != 0) {
+      throw TransportError("connect " + host + ":" + std::to_string(port), err);
+    }
+  }
+  set_nonblocking(fd, false);
+  set_nodelay(fd);
+  return sock;
+}
+
+Socket connect_with_backoff(const std::string& host, std::uint16_t port,
+                            const TransportConfig& config,
+                            const std::function<bool()>& cancelled) {
+  const int attempts = 1 + config.max_connect_retries;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (cancelled && cancelled()) throw TransportError("connect cancelled");
+    try {
+      return connect_to(host, port, config.connect_timeout_ms);
+    } catch (const TransportError&) {
+      if (attempt + 1 >= attempts) throw;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_delay_ms(config, attempt)));
+  }
+  throw TransportError("connect " + host + ":" + std::to_string(port) +
+                       ": retries exhausted");
+}
+
+}  // namespace fedcleanse::comm

@@ -1,0 +1,134 @@
+// POSIX TCP primitives for the multi-process deployment (DESIGN.md §15).
+//
+// Everything here is deliberately thin: RAII file descriptors, deadline-
+// bounded connect/accept/recv, capped exponential backoff, and one typed
+// error. The framing (comm/frame.h) and node roles (comm/socket_network.h,
+// comm/scheduler.h) layer on top; nothing above this header touches a raw
+// syscall, so errno is captured exactly once — at the syscall site — and
+// travels inside TransportError.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/error.h"
+
+namespace fedcleanse::comm {
+
+// Socket or framing failure. Mirrors the DecodeError pattern: everything the
+// transport can throw derives from one type, so callers that only care about
+// "the wire broke" catch TransportError while CommError stays the layer-wide
+// base. `sys_errno` is the errno observed at the failing syscall (0 for
+// protocol-level failures like an oversized frame length).
+class TransportError : public CommError {
+ public:
+  explicit TransportError(const std::string& what, int sys_errno = 0);
+  int sys_errno() const { return errno_; }
+
+ private:
+  int errno_;
+};
+
+// Deployment knobs shared by every node role. fl::ProtocolConfig embeds this
+// struct, and the scheduler/server/client binaries expose each field as a
+// flag — no hardcoded caps (ISSUE 7 satellite).
+struct TransportConfig {
+  // Deadline for one connect() / registration handshake attempt.
+  int connect_timeout_ms = 5000;
+  // Poll granularity of accept loops (also the stop-flag latency bound).
+  int accept_timeout_ms = 200;
+  // connect_with_backoff: attempts before giving up, and the capped
+  // exponential delay between them: min(base << attempt, cap).
+  int max_connect_retries = 10;
+  int backoff_base_ms = 50;
+  int backoff_cap_ms = 2000;
+  // Liveness: every node beacons at interval; a peer silent for timeout is
+  // declared dead and its round contribution is dropped under quorum rules.
+  int heartbeat_interval_ms = 250;
+  int heartbeat_timeout_ms = 5000;
+  // Upper bound a frame length prefix may claim (a Byzantine peer must not
+  // be able to force a giant allocation).
+  std::size_t max_frame_bytes = 64ull << 20;
+
+  void validate() const;  // throws ConfigError on nonsensical knobs
+};
+
+// Delay before retry `attempt` (0-based): min(base << attempt, cap), clamped
+// against shift overflow. Pure, so the backoff curve is unit-testable.
+int backoff_delay_ms(const TransportConfig& config, int attempt);
+
+// Move-only RAII wrapper over a connected TCP socket.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+  // Shut both directions down without closing the fd: a reader blocked in
+  // recv/poll on another thread wakes with EOF, while the fd number stays
+  // owned (no close/reuse race). Safe to call from any thread.
+  void shutdown_both();
+
+  // Write the entire buffer (retrying partial writes); throws TransportError
+  // on any failure, EPIPE included (SIGPIPE is suppressed via MSG_NOSIGNAL).
+  void send_all(const std::uint8_t* data, std::size_t n);
+
+  enum class RecvStatus { kData, kEof, kTimeout };
+  // Deadline-bounded read of up to `cap` bytes. kData sets *n_read > 0; kEof
+  // means the peer closed cleanly; kTimeout means nothing arrived in time.
+  // Throws TransportError on a socket error.
+  RecvStatus recv_some(std::uint8_t* buf, std::size_t cap, int timeout_ms,
+                       std::size_t* n_read);
+
+  // Peer address as "a.b.c.d" (diagnostics / scheduler registration).
+  std::string peer_ip() const;
+
+ private:
+  int fd_ = -1;
+};
+
+// Listening TCP socket bound to host:port (port 0 = ephemeral; port() reports
+// the actual choice). SO_REUSEADDR is set so chaos-test restarts rebind fast.
+class Listener {
+ public:
+  Listener(const std::string& host, std::uint16_t port);
+  ~Listener() { close(); }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+  // Accept one connection within the deadline; nullopt on timeout. Throws
+  // TransportError on listener failure. The accepted socket has TCP_NODELAY.
+  std::optional<Socket> accept_for(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+// One bounded connect attempt (non-blocking connect + poll); TCP_NODELAY on
+// success, TransportError on refusal/timeout. Host may be an IPv4 literal or
+// "localhost".
+Socket connect_to(const std::string& host, std::uint16_t port, int timeout_ms);
+
+// Retry connect_to with capped exponential backoff until it succeeds, the
+// attempts are exhausted (throws the last TransportError), or `cancelled`
+// returns true (throws TransportError "cancelled").
+Socket connect_with_backoff(const std::string& host, std::uint16_t port,
+                            const TransportConfig& config,
+                            const std::function<bool()>& cancelled = {});
+
+}  // namespace fedcleanse::comm

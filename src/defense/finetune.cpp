@@ -51,9 +51,15 @@ FineTuneOutcome federated_finetune(fl::Simulation& sim, const FineTuneConfig& co
       sim.dispatch_clients(clients);
       if (sim.faulty_network() == nullptr) break;  // perfect wire: one send is enough
     }
-    for (int c : clients) {
-      auto& client = sim.client(c);
-      client.set_lr(client.lr() * config.lr_scale);
+    if (sim.remote()) {
+      // The cohort lives in other processes: deliver the rescale over the
+      // wire (kLrScale, no ack — same degradation contract as the masks).
+      server.broadcast_lr_scale(clients, config.lr_scale, 2003);
+    } else {
+      for (int c : clients) {
+        auto& client = sim.client(c);
+        client.set_lr(client.lr() * config.lr_scale);
+      }
     }
     // Keep-best: fine-tuning must never leave the model worse than its best
     // observed state (attackers participate and can destabilize rounds).

@@ -302,6 +302,10 @@ void Client::handle_message(comm::Network& net, const comm::Message& msg) {
       apply_prune_masks(comm::decode_masks(msg.payload));
       break;  // no reply
     }
+    case comm::MessageType::kLrScale: {
+      set_lr(lr() * comm::decode_lr_scale(msg.payload));
+      break;  // no reply
+    }
     case comm::MessageType::kAccuracyRequest: {
       obs::Span span("client.eval", "client");
       span.set_arg("client", id_);

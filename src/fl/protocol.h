@@ -46,8 +46,9 @@ struct Exchange {
 //
 // `request(ids)` re-sends the phase's request to the given clients;
 // `collect(ids, &stats)` returns one std::optional<T> per id. The recv
-// deadline doubles per retry attempt, capped at 8× (capped backoff), and is
-// restored afterwards. Does NOT throw below quorum — the caller decides
+// deadline doubles per retry attempt, capped at
+// 2^ProtocolConfig::max_backoff_shift × (capped backoff), and is restored
+// afterwards. Does NOT throw below quorum — the caller decides
 // whether a thin round is skippable (training) or fatal (defense).
 template <typename T, typename RequestFn, typename CollectFn, typename SinkFn>
 Exchange<T> exchange_streaming(Simulation& sim, const std::vector<int>& clients,
@@ -73,7 +74,8 @@ Exchange<T> exchange_streaming(Simulation& sim, const std::vector<int>& clients,
     if (attempt > 0) {
       result.stats.n_retried += static_cast<int>(ids.size());
       FC_METRIC(exchange_retries().add(ids.size()));
-      sim.server().set_recv_timeout_ms(base_timeout << std::min(attempt, 3));
+      sim.server().set_recv_timeout_ms(
+          base_timeout << std::min(attempt, sim.config().protocol.max_backoff_shift));
       FC_LOG(Info) << what << ": retry " << attempt << " for " << ids.size()
                    << " client(s)";
     }

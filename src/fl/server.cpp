@@ -192,6 +192,14 @@ void Server::broadcast_masks(const std::vector<int>& clients, std::uint32_t roun
   }
 }
 
+void Server::broadcast_lr_scale(const std::vector<int>& clients, double factor,
+                                std::uint32_t round) {
+  const auto payload = comm::encode_lr_scale(factor);
+  for (int c : clients) {
+    net_.send_to_client(c, server_message(comm::MessageType::kLrScale, round, payload));
+  }
+}
+
 void Server::request_accuracies(const std::vector<int>& clients, std::uint32_t round) {
   const auto payload = comm::encode_flat_params(params());
   for (int c : clients) {

@@ -95,6 +95,11 @@ class Server {
   std::vector<std::optional<std::vector<std::uint8_t>>> collect_votes(
       const std::vector<int>& clients, std::uint32_t round, CollectStats* stats = nullptr);
   void broadcast_masks(const std::vector<int>& clients, std::uint32_t round);
+  // Tell the clients to multiply their local learning rate by `factor` (the
+  // defense's fine-tune rescale, delivered over the wire in remote mode). No
+  // acknowledgement — like masks, a lost copy degrades rather than blocks.
+  void broadcast_lr_scale(const std::vector<int>& clients, double factor,
+                          std::uint32_t round);
   void request_accuracies(const std::vector<int>& clients, std::uint32_t round);
   std::vector<std::optional<double>> collect_accuracies(const std::vector<int>& clients,
                                                         std::uint32_t round,

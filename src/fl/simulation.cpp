@@ -23,8 +23,9 @@ namespace {
 constexpr int kVirtualAutoThreshold = 4096;
 }  // namespace
 
-Simulation::Simulation(SimulationConfig config)
+Simulation::Simulation(SimulationConfig config, comm::Network* remote_net)
     : config_(std::move(config)),
+      remote_net_(remote_net),
       pool_(std::make_unique<common::ThreadPool>(
           common::resolve_n_threads(static_cast<std::size_t>(
               config_.n_threads < 0 ? 0 : config_.n_threads)))),
@@ -36,6 +37,17 @@ Simulation::Simulation(SimulationConfig config)
   FC_REQUIRE(!config_.attack.pattern.empty() || config_.n_attackers == 0,
              "attackers configured without a trigger pattern");
   config_.fault.validate(config_.n_clients);
+  config_.protocol.transport.validate();
+  FC_REQUIRE(config_.protocol.max_backoff_shift >= 0,
+             "max_backoff_shift must be non-negative");
+  if (remote_net_ != nullptr) {
+    // Real processes supply the faults; the injection layer would desync the
+    // fate streams between the server's and clients' Simulation replicas.
+    FC_REQUIRE(!config_.fault.any_faults() && !config_.fault.force_faulty_network,
+               "remote transport excludes the fault-injection layer");
+    FC_REQUIRE(remote_net_->n_clients() == config_.n_clients,
+               "remote transport sized for a different population");
+  }
   // The server's recv deadline is a fault-protocol knob; keep them in sync.
   config_.server.recv_timeout_ms = config_.fault.recv_timeout_ms;
 
@@ -52,6 +64,8 @@ Simulation::Simulation(SimulationConfig config)
       virtual_mode_ = config_.n_clients >= kVirtualAutoThreshold && sampled_rounds;
       break;
   }
+  FC_REQUIRE(remote_net_ == nullptr || !virtual_mode_,
+             "remote transport requires the materialized client engine");
   if (virtual_mode_) {
     FC_REQUIRE(sampled_rounds,
                "virtual clients need 0 < clients_per_round < n_clients");
@@ -90,7 +104,10 @@ Simulation::Simulation(SimulationConfig config)
   }
 
   // --- network, server, clients ----------------------------------------------
-  if (config_.fault.any_faults() || config_.fault.force_faulty_network) {
+  if (remote_net_ != nullptr) {
+    // The round protocol runs over the caller's transport; no in-process
+    // wire exists (and no fault layer — checked above).
+  } else if (config_.fault.any_faults() || config_.fault.force_faulty_network) {
     // The fault seed is derived from the experiment seed but NOT drawn from
     // rng_: enabling faults must not shift the data/init/selection streams,
     // so a zero-rate faulty run stays byte-identical to the plain network.
@@ -113,7 +130,8 @@ Simulation::Simulation(SimulationConfig config)
   data::SynthConfig val_cfg{config_.samples_per_class_test, rng_.next_u64(),
                             config_.data_noise};
   auto validation = data::make_synth(config_.dataset, val_cfg);
-  server_ = std::make_unique<Server>(std::move(server_model), std::move(validation), *net_,
+  server_ = std::make_unique<Server>(std::move(server_model), std::move(validation),
+                                     remote_net_ != nullptr ? *remote_net_ : *net_,
                                      config_.server);
 
   if (virtual_mode_) {
@@ -273,6 +291,10 @@ void Simulation::ensure_resident(const std::vector<int>& ids) {
 }
 
 void Simulation::dispatch_clients(const std::vector<int>& ids) {
+  // Remote deployment: the cohort trains in other processes, driven by the
+  // frames the request phase already put on the wire. The local replicas are
+  // RNG stand-ins and must never consume (or answer) protocol traffic.
+  if (remote_net_ != nullptr) return;
   // Open a new delivery phase first: messages delayed during an earlier phase
   // surface now (stale, overtaken by newer traffic), while messages delayed
   // from here on are held until the *next* dispatch — so a delayed reply
@@ -488,6 +510,8 @@ ExchangeStats read_exchange_stats(common::ByteReader& r) {
 }
 
 void Simulation::save_state(common::ByteWriter& w) const {
+  FC_REQUIRE(remote_net_ == nullptr,
+             "run snapshots cover the in-process wire only, not a live transport");
   w.write_i32(next_round_);
   w.write_f64(training_seconds_);
   common::write_rng_state(w, rng_.state());
@@ -524,6 +548,8 @@ void Simulation::save_state(common::ByteWriter& w) const {
 }
 
 void Simulation::restore_state(common::ByteReader& r) {
+  FC_REQUIRE(remote_net_ == nullptr,
+             "run snapshots cover the in-process wire only, not a live transport");
   next_round_ = r.read_i32();
   training_seconds_ = r.read_f64();
   rng_.restore(common::read_rng_state(r));

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "comm/fault_model.h"
+#include "comm/transport.h"
 #include "common/threadpool.h"
 #include "common/timer.h"
 #include "data/partition.h"
@@ -43,6 +44,17 @@ class ClientFactory;
 // (≥ 4096 clients) with per-round sampling — every small-population config
 // keeps the materialized engine and its exact historical numerics.
 enum class ClientResidency { kAuto, kMaterialized, kVirtual };
+
+// Round-protocol robustness knobs (retry backoff + the socket transport's
+// timeouts/heartbeats). Both deployment binaries expose every field as a
+// flag — nothing here is a hardcoded cap.
+struct ProtocolConfig {
+  // exchange_streaming's retry deadline grows as base << min(attempt, shift).
+  int max_backoff_shift = 3;
+  // Connect/accept/heartbeat/backoff knobs for the socket transport; unused
+  // (but harmless) on the in-process wire.
+  comm::TransportConfig transport;
+};
 
 struct SimulationConfig {
   nn::Architecture arch = nn::Architecture::kMnistCnn;
@@ -70,6 +82,9 @@ struct SimulationConfig {
   // zero (the default) the plain Network is used and results are
   // byte-identical to a build without the fault layer.
   comm::FaultConfig fault;
+  // Retry/backoff/heartbeat knobs shared by the in-process retry protocol and
+  // the socket transport.
+  ProtocolConfig protocol;
   // Client storage engine; see ClientResidency.
   ClientResidency residency = ClientResidency::kAuto;
   // Virtual mode: resident-slab capacity (0 = derived from the cohort and
@@ -130,7 +145,19 @@ class CheckpointManager;
 
 class Simulation {
  public:
-  explicit Simulation(SimulationConfig config);
+  // In-process simulation (the deterministic reference): every client lives
+  // in this address space, wired over an in-memory Network.
+  //
+  // `remote_net` switches the server role to a remote deployment: the round
+  // protocol runs over the given transport (not owned; typically a
+  // SocketServerNetwork) and dispatch_clients is a no-op — the cohort trains
+  // in other processes. The constructor still builds the full local client
+  // population so the RNG draw sequence (data → server model → validation →
+  // per-client models/seeds) matches the in-process reference draw for draw;
+  // the replicas are simply never dispatched. Remote mode requires the
+  // materialized engine, a fault-free config (real processes provide the
+  // faults), and excludes checkpointing.
+  explicit Simulation(SimulationConfig config, comm::Network* remote_net = nullptr);
   ~Simulation();
 
   Simulation(const Simulation&) = delete;
@@ -149,9 +176,12 @@ class Simulation {
   std::vector<int> run_round(std::uint32_t round, const std::vector<int>& participants);
 
   Server& server() { return *server_; }
-  comm::Network& network() { return *net_; }
+  comm::Network& network() { return remote_net_ != nullptr ? *remote_net_ : *net_; }
   // The fault-injection wrapper, or nullptr when running on a perfect wire.
   comm::FaultyNetwork* faulty_network();
+  // True when the round protocol runs over an external transport and the
+  // local client replicas are RNG stand-ins only.
+  bool remote() const { return remote_net_ != nullptr; }
   const SimulationConfig& config() const { return config_; }
 
   // --- clients --------------------------------------------------------------
@@ -244,6 +274,7 @@ class Simulation {
   std::size_t resident_capacity(std::size_t needed) const;
 
   SimulationConfig config_;
+  comm::Network* remote_net_ = nullptr;  // not owned; null = in-process
   std::unique_ptr<common::ThreadPool> pool_;
   common::Rng rng_;
   data::Dataset test_;

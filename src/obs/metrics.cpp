@@ -93,6 +93,35 @@ Counter& exchange_corrupted() {
   return c;
 }
 
+Counter& transport_frames_sent() {
+  static Counter& c = counter("comm.transport.frames_sent");
+  return c;
+}
+Counter& transport_frames_recv() {
+  static Counter& c = counter("comm.transport.frames_recv");
+  return c;
+}
+Counter& transport_bytes_sent() {
+  static Counter& c = counter("comm.transport.bytes_sent");
+  return c;
+}
+Counter& transport_bytes_recv() {
+  static Counter& c = counter("comm.transport.bytes_recv");
+  return c;
+}
+Counter& transport_heartbeats() {
+  static Counter& c = counter("comm.transport.heartbeats");
+  return c;
+}
+Counter& transport_reconnects() {
+  static Counter& c = counter("comm.transport.reconnects");
+  return c;
+}
+Counter& transport_dead_clients() {
+  static Counter& c = counter("comm.transport.dead_clients");
+  return c;
+}
+
 Gauge& peak_rss_bytes() {
   static Gauge& g = Registry::global().gauge("process.peak_rss_bytes");
   return g;

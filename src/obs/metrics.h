@@ -55,6 +55,15 @@ Counter& exchange_retries();    // request retransmissions issued
 Counter& exchange_drops();      // clients with no valid report after retries
 Counter& exchange_corrupted();  // malformed/stale replies skipped
 
+// --- socket transport --------------------------------------------------------
+Counter& transport_frames_sent();
+Counter& transport_frames_recv();
+Counter& transport_bytes_sent();
+Counter& transport_bytes_recv();
+Counter& transport_heartbeats();    // beacons observed (server + scheduler)
+Counter& transport_reconnects();    // successful reregistrations
+Counter& transport_dead_clients();  // peers declared dead (EOF or heartbeat)
+
 // --- process -----------------------------------------------------------------
 Gauge& peak_rss_bytes();  // VmHWM high-water mark (common::peak_rss_bytes)
 

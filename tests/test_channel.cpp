@@ -109,3 +109,60 @@ TEST(ChannelTimeout, ZeroTimeoutActsAsTryRecv) {
   ASSERT_TRUE(m.has_value());
   EXPECT_EQ(m->round, 5u);
 }
+
+TEST(ChannelTimeout, RecvForDeadlineIsAbsoluteNotPerWakeup) {
+  // The deadline is computed once up front: a stream of wakeups (sends that
+  // other consumers… here, sends drained between waits) must not stretch the
+  // total wait. Producer sends nothing; the wait must end within ~timeout
+  // even under heavy notify traffic on the same condition variable from
+  // parallel send+drain pairs.
+  Channel ch;
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    // Each send notifies the waiting receiver; the immediate try_recv keeps
+    // the queue empty so the receiver's predicate stays false — every wakeup
+    // is effectively spurious from its point of view.
+    while (!stop.load()) {
+      ch.send(tagged(1));
+      (void)ch.try_recv();
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+  const auto start = std::chrono::steady_clock::now();
+  (void)ch.recv_for(80ms);  // may or may not catch a message; timing matters
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  stop.store(true);
+  churn.join();
+  // With a drifting (relative re-wait) implementation every wakeup restarts
+  // the clock and this wait approaches forever; absolute deadline keeps it
+  // near the requested 80 ms.
+  EXPECT_LT(elapsed, 2s);
+}
+
+TEST(ChannelWait, WaitNonemptyDoesNotConsume) {
+  Channel ch;
+  ch.send(tagged(9));
+  EXPECT_TRUE(ch.wait_nonempty(0ms));
+  EXPECT_EQ(ch.pending(), 1u);  // still queued — wait_nonempty only peeks
+  auto m = ch.try_recv();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->round, 9u);
+}
+
+TEST(ChannelWait, WaitNonemptyExpiresOnSilence) {
+  Channel ch;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.wait_nonempty(30ms));
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 25ms);
+}
+
+TEST(ChannelWait, WaitNonemptyWokenByLateSend) {
+  Channel ch;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(15ms);
+    ch.send(tagged(13));
+  });
+  EXPECT_TRUE(ch.wait_nonempty(10s));
+  producer.join();
+  EXPECT_EQ(ch.pending(), 1u);
+}

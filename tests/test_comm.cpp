@@ -149,11 +149,11 @@ TEST(Wire, ChecksumDetectsPayloadTampering) {
 }
 
 TEST(Wire, ParseMessageTypeValidatesRange) {
-  for (std::uint8_t raw = 1; raw <= 9; ++raw) {
+  for (std::uint8_t raw = 1; raw <= 15; ++raw) {
     ASSERT_TRUE(parse_message_type(raw).has_value()) << int(raw);
   }
   EXPECT_FALSE(parse_message_type(0).has_value());
-  EXPECT_FALSE(parse_message_type(10).has_value());
+  EXPECT_FALSE(parse_message_type(16).has_value());
   EXPECT_FALSE(parse_message_type(255).has_value());
 }
 
@@ -162,7 +162,10 @@ TEST(MessageNames, AllNamed) {
                  MessageType::kRankRequest, MessageType::kRankReport,
                  MessageType::kVoteRequest, MessageType::kVoteReport,
                  MessageType::kMaskBroadcast, MessageType::kAccuracyRequest,
-                 MessageType::kAccuracyReport}) {
+                 MessageType::kAccuracyReport, MessageType::kLrScale,
+                 MessageType::kShutdown, MessageType::kRegister,
+                 MessageType::kRegisterAck, MessageType::kHeartbeat,
+                 MessageType::kHeartbeatAck}) {
     EXPECT_STRNE(message_type_name(t), "?");
   }
 }

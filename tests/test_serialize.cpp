@@ -189,3 +189,149 @@ TEST(CodecFuzz, DecodeErrorIsSerializationError) {
   const std::vector<std::uint8_t> garbage{9, 9};
   EXPECT_THROW(fedcleanse::comm::decode_ranks(garbage), SerializationError);
 }
+
+// ---------------------------------------------------------------------------
+// Frame-decoding fuzz: the socket transport's length-prefixed framing must
+// reject truncated, oversized, and garbage length prefixes with typed errors,
+// surface in-frame corruption (checksum mismatch) as DecodeError, poison
+// itself after any framing error (a desynced TCP stream is dead), and never
+// hand out a Message assembled from a partial read.
+// ---------------------------------------------------------------------------
+
+#include "comm/frame.h"
+
+namespace {
+
+fedcleanse::comm::Message frame_msg(std::uint32_t round,
+                                    std::vector<std::uint8_t> payload) {
+  fedcleanse::comm::Message m;
+  m.type = fedcleanse::comm::MessageType::kModelUpdate;
+  m.round = round;
+  m.sender = 3;
+  m.payload = std::move(payload);
+  m.stamp();
+  return m;
+}
+
+std::vector<std::uint8_t> length_prefix(std::uint32_t len) {
+  return {static_cast<std::uint8_t>(len & 0xff),
+          static_cast<std::uint8_t>((len >> 8) & 0xff),
+          static_cast<std::uint8_t>((len >> 16) & 0xff),
+          static_cast<std::uint8_t>((len >> 24) & 0xff)};
+}
+
+}  // namespace
+
+TEST(FrameFuzz, ByteAtATimeFeedNeverYieldsPartialMessage) {
+  using namespace fedcleanse::comm;
+  const std::vector<Message> sent = {
+      frame_msg(1, {1, 2, 3}), frame_msg(2, {}),
+      frame_msg(3, std::vector<std::uint8_t>(257, 0xAB))};
+  std::vector<std::uint8_t> stream;
+  std::vector<std::size_t> boundaries;  // stream offset where each frame ends
+  for (const auto& m : sent) {
+    const auto frame = encode_frame(m);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+    boundaries.push_back(stream.size());
+  }
+  FrameDecoder dec;
+  std::size_t decoded = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    dec.feed(&stream[i], 1);
+    auto m = dec.next();
+    const bool at_boundary =
+        decoded < boundaries.size() && i + 1 == boundaries[decoded];
+    if (at_boundary) {
+      ASSERT_TRUE(m.has_value()) << "frame " << decoded << " complete but not decoded";
+      EXPECT_EQ(m->round, sent[decoded].round);
+      EXPECT_EQ(m->payload, sent[decoded].payload);
+      EXPECT_TRUE(m->checksum_ok());
+      ++decoded;
+    } else {
+      ASSERT_FALSE(m.has_value()) << "message produced from a partial frame at byte " << i;
+    }
+  }
+  EXPECT_EQ(decoded, sent.size());
+  EXPECT_FALSE(dec.mid_frame());
+}
+
+TEST(FrameFuzz, EveryTruncationStaysPendingNotPartial) {
+  using namespace fedcleanse::comm;
+  const auto frame = encode_frame(frame_msg(7, {9, 9, 9}));
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    FrameDecoder dec;
+    dec.feed(frame.data(), cut);
+    EXPECT_FALSE(dec.next().has_value()) << "cut at " << cut;
+    EXPECT_EQ(dec.buffered(), cut);
+  }
+}
+
+TEST(FrameFuzz, UndersizedLengthPrefixThrowsTransportError) {
+  using namespace fedcleanse::comm;
+  // A frame body can never be smaller than one message header.
+  for (std::uint32_t len : {0u, 1u, static_cast<std::uint32_t>(kMessageHeaderBytes) - 1}) {
+    FrameDecoder dec;
+    const auto prefix = length_prefix(len);
+    dec.feed(prefix.data(), prefix.size());
+    EXPECT_THROW(dec.next(), TransportError) << "len=" << len;
+  }
+}
+
+TEST(FrameFuzz, OversizedLengthPrefixThrowsBeforeBuffering) {
+  using namespace fedcleanse::comm;
+  // A Byzantine peer claiming a 4 GiB frame must be rejected from the prefix
+  // alone — before any frame-sized allocation or further buffering.
+  FrameDecoder dec(/*max_frame_bytes=*/1024);
+  const auto prefix = length_prefix(0xFFFFFFFFu);
+  dec.feed(prefix.data(), prefix.size());
+  EXPECT_THROW(dec.next(), TransportError);
+  // The framing error is terminal: even a pristine frame is refused now.
+  const auto good = encode_frame(frame_msg(1, {4, 2}));
+  dec.feed(good.data(), good.size());
+  EXPECT_THROW(dec.next(), TransportError);
+}
+
+TEST(FrameFuzz, ChecksumMismatchIsDecodeErrorAndPoisons) {
+  using namespace fedcleanse::comm;
+  auto frame = encode_frame(frame_msg(5, {10, 20, 30, 40}));
+  frame.back() ^= 0x01;  // corrupt the last payload byte inside the frame
+  FrameDecoder dec;
+  dec.feed(frame.data(), frame.size());
+  EXPECT_THROW(dec.next(), DecodeError);
+  const auto good = encode_frame(frame_msg(6, {1}));
+  dec.feed(good.data(), good.size());
+  EXPECT_THROW(dec.next(), TransportError);  // poisoned: stream is desynced
+}
+
+TEST(FrameFuzz, RandomGarbageNeverCrashesOrLoops) {
+  using namespace fedcleanse::comm;
+  // Deterministic LCG (no ambient RNG in tests): arbitrary junk fed in
+  // arbitrary chunk sizes must always end in a typed error or a pending
+  // partial frame — never a crash, hang, or fabricated Message.
+  std::uint64_t s = 0x9E3779B97F4A7C15ull;
+  const auto rnd = [&s]() {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(s >> 33);
+  };
+  for (int iter = 0; iter < 200; ++iter) {
+    FrameDecoder dec(/*max_frame_bytes=*/4096);
+    std::vector<std::uint8_t> junk(1 + rnd() % 512);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rnd() & 0xff);
+    bool dead = false;
+    std::size_t off = 0;
+    while (off < junk.size() && !dead) {
+      std::size_t chunk = 1 + rnd() % 64;
+      if (chunk > junk.size() - off) chunk = junk.size() - off;
+      dec.feed(junk.data() + off, chunk);
+      off += chunk;
+      try {
+        while (dec.next().has_value()) {
+          // A junk buffer that happens to frame-align into a valid message is
+          // astronomically unlikely but legal; keep draining.
+        }
+      } catch (const fedcleanse::CommError&) {
+        dead = true;  // TransportError or DecodeError — both acceptable
+      }
+    }
+  }
+}
