@@ -252,7 +252,9 @@ struct MicroRecord {
 inline MicroRecord time_serial_vs_threaded(std::string op, std::string size,
                                            common::ThreadPool& pool,
                                            const std::function<void()>& body) {
-  MicroRecord rec{std::move(op), std::move(size), 0.0, 0.0};
+  MicroRecord rec;
+  rec.op = std::move(op);
+  rec.size = std::move(size);
   common::ThreadPool* previous = common::ambient_pool();
   common::set_ambient_pool(nullptr);
   rec.serial_ns = time_ns_per_iter(body);

@@ -26,6 +26,8 @@ struct ScaleRecord {
   int rounds = 0;
   double seconds = 0.0;
   std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t wire_bytes = 0;  // client→server uplink over the whole run
+  std::string update_codec;
   std::size_t resident_clients = 0;
   double rounds_per_sec() const { return seconds > 0.0 ? rounds / seconds : 0.0; }
 };
@@ -50,6 +52,13 @@ fedcleanse::fl::SimulationConfig scale_config(int n_clients, std::uint64_t seed)
   cfg.residency = fedcleanse::fl::ClientResidency::kVirtual;
   cfg.defense_clients = 16;
   cfg.seed = seed;
+  // FEDCLEANSE_UPDATE_CODEC=int8 reruns the ladder with quantized uplink
+  // payloads so the wire_bytes column shows the codec's ~4x shrink at scale.
+  if (const char* env = std::getenv("FEDCLEANSE_UPDATE_CODEC")) {
+    if (const auto codec = fedcleanse::comm::parse_update_codec(env)) {
+      cfg.train.update_codec = *codec;
+    }
+  }
   return cfg;
 }
 
@@ -70,7 +79,8 @@ void write_json(const std::string& path, const std::vector<ScaleRecord>& records
         << ", \"clients_per_round\": " << r.clients_per_round << ", \"rounds\": " << r.rounds
         << ", \"seconds\": " << r.seconds << ", \"rounds_per_sec\": " << r.rounds_per_sec()
         << ", \"peak_rss_bytes\": " << r.peak_rss_bytes
-        << ", \"resident_clients\": " << r.resident_clients << "}"
+        << ", \"wire_bytes\": " << r.wire_bytes << ", \"update_codec\": \""
+        << r.update_codec << "\", \"resident_clients\": " << r.resident_clients << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -90,8 +100,8 @@ int main() {
 
   std::printf("fl_scale: virtual-client rounds/sec and peak RSS vs population\n");
   bench::print_rule();
-  std::printf("%10s %8s %7s %12s %14s %9s\n", "clients", "cohort", "rounds", "rounds/sec",
-              "peak RSS (MB)", "resident");
+  std::printf("%10s %8s %7s %12s %14s %12s %9s\n", "clients", "cohort", "rounds",
+              "rounds/sec", "peak RSS (MB)", "wire (KB)", "resident");
   std::vector<ScaleRecord> records;
   for (int n : ladder) {
     fl::Simulation sim(scale_config(n, 42));
@@ -103,10 +113,13 @@ int main() {
     rec.rounds = sim.config().rounds;
     rec.seconds = timer.elapsed_seconds();
     rec.peak_rss_bytes = static_cast<std::uint64_t>(common::peak_rss_bytes());
+    rec.wire_bytes = static_cast<std::uint64_t>(sim.network().uplink_bytes());
+    rec.update_codec = comm::update_codec_name(sim.config().train.update_codec);
     rec.resident_clients = sim.resident_clients();
     records.push_back(rec);
-    std::printf("%10d %8d %7d %12.2f %14.1f %9zu\n", rec.n_clients, rec.clients_per_round,
-                rec.rounds, rec.rounds_per_sec(), rec.peak_rss_bytes / (1024.0 * 1024.0),
+    std::printf("%10d %8d %7d %12.2f %14.1f %12.1f %9zu\n", rec.n_clients,
+                rec.clients_per_round, rec.rounds, rec.rounds_per_sec(),
+                rec.peak_rss_bytes / (1024.0 * 1024.0), rec.wire_bytes / 1024.0,
                 rec.resident_clients);
   }
   bench::print_rule();

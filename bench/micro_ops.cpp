@@ -4,6 +4,7 @@
 // writes BENCH_micro_ops.json for machine consumption.
 #include <cstdio>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "bench_common.h"
@@ -12,10 +13,29 @@
 #include "fl/aggregation.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 
 using namespace fedcleanse;
 
 namespace {
+
+std::string qgemm_size(int m, int k, int n) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "m%d_k%d_n%d", m, k, n);
+  return buf;
+}
+
+std::string matmul_size(int n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "n%d", n);
+  return buf;
+}
+
+std::string batch_size(int batch, int channels) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "b%d_c%d", batch, channels);
+  return buf;
+}
 
 std::vector<std::vector<float>> make_updates(int n, int dim) {
   common::Rng rng(7);
@@ -41,7 +61,7 @@ bench::MicroRecord conv_forward(common::ThreadPool& pool, int batch, int channel
   tensor::Conv2dSpec spec{1, 1};
   std::vector<float> cache;
   auto rec = bench::time_serial_vs_threaded(
-      "conv2d_forward", "b" + std::to_string(batch) + "_c" + std::to_string(channels), pool,
+      "conv2d_forward", batch_size(batch, channels), pool,
       [&] {
         auto y = tensor::conv2d_forward_cached(x, w, b, spec, cache);
         bench::do_not_optimize(y.data().data());
@@ -60,7 +80,7 @@ bench::MicroRecord conv_backward(common::ThreadPool& pool, int batch, int channe
   std::vector<float> cache;
   auto y = tensor::conv2d_forward_cached(x, w, b, spec, cache);
   auto rec = bench::time_serial_vs_threaded(
-      "conv2d_backward", "b" + std::to_string(batch) + "_c" + std::to_string(channels), pool,
+      "conv2d_backward", batch_size(batch, channels), pool,
       [&] {
         auto g = tensor::conv2d_backward_cached(x, w, y, spec, cache);
         bench::do_not_optimize(g.grad_weight.data().data());
@@ -74,7 +94,7 @@ bench::MicroRecord matmul(common::ThreadPool& pool, int n) {
   common::Rng rng(1);
   auto a = tensor::Tensor::randn({n, n}, rng);
   auto b = tensor::Tensor::randn({n, n}, rng);
-  auto rec = bench::time_serial_vs_threaded("matmul", "n" + std::to_string(n), pool, [&] {
+  auto rec = bench::time_serial_vs_threaded("matmul", matmul_size(n), pool, [&] {
     auto c = tensor::matmul(a, b);
     bench::do_not_optimize(c.data().data());
   });
@@ -90,13 +110,99 @@ bench::MicroRecord matmul_legacy(common::ThreadPool& pool, int n) {
   auto a = tensor::Tensor::randn({n, n}, rng);
   auto b = tensor::Tensor::randn({n, n}, rng);
   tensor::Tensor c(tensor::Shape{n, n});
-  auto rec = bench::time_serial_vs_threaded("matmul", "n" + std::to_string(n), pool, [&] {
+  auto rec = bench::time_serial_vs_threaded("matmul", matmul_size(n), pool, [&] {
     tensor::gemm_reference(false, false, n, n, n, a.data().data(), n, b.data().data(), n,
                            c.data().data(), n, /*accumulate=*/false);
     bench::do_not_optimize(c.data().data());
   });
   rec.kernel = "legacy_scalar";
   rec.flops_per_iter = 2.0 * n * n * double(n);
+  return rec;
+}
+
+// Quantized GEMM rows at convolution-shaped problems (m=cout, k=cin·kh·kw,
+// n=ho·wo). The f32/int8/f16 triple shares op+size so bench_compare.py can
+// track the quantized speedup row-for-row. The int8 row times the real scan
+// path: the weight operand is packed+quantized once (as conv2d_forward_quant
+// does per batch), the activation operand quantizes inside the call.
+bench::MicroRecord qgemm_f32(common::ThreadPool& pool, int m, int k, int n) {
+  common::Rng rng(3);
+  auto a = tensor::Tensor::randn({m, k}, rng, 0.0f, 0.5f);
+  auto b = tensor::Tensor::randn({k, n}, rng, 0.0f, 0.5f);
+  tensor::Tensor c(tensor::Shape{m, n});
+  const std::string size = qgemm_size(m, k, n);
+  auto rec = bench::time_serial_vs_threaded("qgemm", size, pool, [&] {
+    tensor::gemm(false, false, m, n, k, a.data().data(), k, b.data().data(), n,
+                 c.data().data(), n, /*accumulate=*/false);
+    bench::do_not_optimize(c.data().data());
+  });
+  rec.kernel = "f32_packed";
+  rec.flops_per_iter = 2.0 * m * n * double(k);
+  return rec;
+}
+
+bench::MicroRecord qgemm_int8(common::ThreadPool& pool, int m, int k, int n) {
+  common::Rng rng(3);
+  auto a = tensor::Tensor::randn({m, k}, rng, 0.0f, 0.5f);
+  auto b = tensor::Tensor::randn({k, n}, rng, 0.0f, 0.5f);
+  tensor::Tensor c(tensor::Shape{m, n});
+  const auto pa = tensor::pack_a_int8(a.data().data(), k, m, k, /*per_channel=*/true);
+  const std::string size = qgemm_size(m, k, n);
+  auto rec = bench::time_serial_vs_threaded("qgemm", size, pool, [&] {
+    tensor::gemm_s8(pa, n, b.data().data(), n, c.data().data(), n, /*accumulate=*/false);
+    bench::do_not_optimize(c.data().data());
+  });
+  rec.kernel = "int8_prepacked";
+  rec.flops_per_iter = 2.0 * m * n * double(k);
+  return rec;
+}
+
+bench::MicroRecord qgemm_f16(common::ThreadPool& pool, int m, int k, int n) {
+  common::Rng rng(3);
+  auto a = tensor::Tensor::randn({m, k}, rng, 0.0f, 0.5f);
+  auto b = tensor::Tensor::randn({k, n}, rng, 0.0f, 0.5f);
+  tensor::Tensor c(tensor::Shape{m, n});
+  std::vector<std::uint16_t> ah(a.data().size()), bh(b.data().size());
+  tensor::f32_to_f16_n(a.data().data(), ah.size(), ah.data());
+  tensor::f32_to_f16_n(b.data().data(), bh.size(), bh.data());
+  const std::string size = qgemm_size(m, k, n);
+  auto rec = bench::time_serial_vs_threaded("qgemm", size, pool, [&] {
+    tensor::gemm_f16(m, n, k, ah.data(), k, bh.data(), n, c.data().data(), n,
+                     /*accumulate=*/false);
+    bench::do_not_optimize(c.data().data());
+  });
+  rec.kernel = "f16_packed";
+  rec.flops_per_iter = 2.0 * m * n * double(k);
+  return rec;
+}
+
+// conv+bias+ReLU as one GEMM epilogue versus the pre-fusion layer pipeline:
+// conv, then a separate ReLU pass that (like nn::ReLU::forward) writes a
+// fresh output tensor. Same op+size, distinct kernel tags.
+bench::MicroRecord conv_relu(common::ThreadPool& pool, int batch, int channels,
+                             bool fused) {
+  common::Rng rng(1);
+  auto x = tensor::Tensor::randn({batch, 16, 10, 10}, rng);
+  auto w = tensor::Tensor::randn({channels, 16, 3, 3}, rng, 0.0f, 0.1f);
+  auto b = tensor::Tensor::zeros({channels});
+  tensor::Conv2dSpec spec{1, 1};
+  std::vector<float> cache;
+  auto rec = bench::time_serial_vs_threaded(
+      "conv2d_relu", batch_size(batch, channels), pool,
+      [&] {
+        auto y = tensor::conv2d_forward_cached(x, w, b, spec, cache, nullptr, fused);
+        if (!fused) {
+          tensor::Tensor out(y.shape());
+          const auto& src = y.storage();
+          auto& dst = out.storage();
+          for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i] < 0.0f ? 0.0f : src[i];
+          bench::do_not_optimize(dst.data());
+          return;
+        }
+        bench::do_not_optimize(y.data().data());
+      });
+  rec.kernel = fused ? "fused_epilogue" : "unfused";
+  rec.flops_per_iter = conv_gemm_flops(batch, channels);
   return rec;
 }
 
@@ -114,6 +220,15 @@ int main() {
   records.push_back(conv_backward(pool, 8, 32));
   for (int n : {64, 256, 512}) records.push_back(matmul(pool, n));
   for (int n : {256, 512}) records.push_back(matmul_legacy(pool, n));
+
+  // Quantized kernels at conv-shaped GEMMs (m=cout, k=cin·kh·kw, n=ho·wo).
+  for (const auto& [m, k, n] :
+       {std::tuple{32, 144, 100}, std::tuple{64, 576, 64}, std::tuple{50, 500, 16}}) {
+    records.push_back(qgemm_f32(pool, m, k, n));
+    records.push_back(qgemm_int8(pool, m, k, n));
+    records.push_back(qgemm_f16(pool, m, k, n));
+  }
+  for (bool fused : {false, true}) records.push_back(conv_relu(pool, 32, 32, fused));
 
   // Aggregation rules have no parallel path (yet); timed serially for the
   // trajectory, with both columns reporting the same configuration.

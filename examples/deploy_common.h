@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -40,6 +41,12 @@ struct Options {
   int scheduler_port = 0;
   std::string journal_path;
   fedcleanse::comm::TransportConfig transport;
+  // Quantization knobs. Must match on every node: the server accepts both
+  // update codecs on the wire, but the in-process reference replica only
+  // stays byte-identical when the clients it mirrors use the same codec.
+  fedcleanse::tensor::ComputeKernel scan_kernel =
+      fedcleanse::tensor::ComputeKernel::kF32;
+  fedcleanse::comm::UpdateCodec update_codec = fedcleanse::comm::UpdateCodec::kF32;
 };
 
 // Every tunable the transport and retry layers expose, as flags shared by
@@ -51,7 +58,8 @@ inline const char* deploy_flag_help() {
          "  --recv-timeout-ms N --max-backoff-shift N\n"
          "  --connect-timeout-ms N --accept-timeout-ms N --max-connect-retries N\n"
          "  --backoff-base-ms N --backoff-cap-ms N\n"
-         "  --heartbeat-interval-ms N --heartbeat-timeout-ms N\n";
+         "  --heartbeat-interval-ms N --heartbeat-timeout-ms N\n"
+         "  --scan-quant f32|f16|int8 --update-codec f32|int8\n";
 }
 
 // Try to consume argv[i] (and its value) as a shared deployment flag.
@@ -96,6 +104,20 @@ inline bool parse_deploy_flag(int argc, char** argv, int& i, Options& opt) {
     opt.transport.heartbeat_interval_ms = std::atoi(argv[++i]);
   } else if (has_value("--heartbeat-timeout-ms")) {
     opt.transport.heartbeat_timeout_ms = std::atoi(argv[++i]);
+  } else if (has_value("--scan-quant")) {
+    const auto kernel = fedcleanse::tensor::parse_compute_kernel(argv[++i]);
+    if (!kernel) {
+      std::fprintf(stderr, "unknown scan kernel %s (want f32|f16|int8)\n", argv[i]);
+      std::exit(2);
+    }
+    opt.scan_kernel = *kernel;
+  } else if (has_value("--update-codec")) {
+    const auto codec = fedcleanse::comm::parse_update_codec(argv[++i]);
+    if (!codec) {
+      std::fprintf(stderr, "unknown update codec %s (want f32|int8)\n", argv[i]);
+      std::exit(2);
+    }
+    opt.update_codec = *codec;
   } else {
     return false;
   }
@@ -125,6 +147,8 @@ inline fedcleanse::fl::SimulationConfig make_simulation_config(const Options& op
   cfg.fault.recv_timeout_ms = opt.recv_timeout_ms;
   cfg.protocol.max_backoff_shift = opt.max_backoff_shift;
   cfg.protocol.transport = opt.transport;
+  cfg.train.scan_kernel = opt.scan_kernel;
+  cfg.train.update_codec = opt.update_codec;
   return cfg;
 }
 

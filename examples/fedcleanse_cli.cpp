@@ -5,7 +5,7 @@
 // cleansed model to disk.
 //
 // Examples:
-//   fedcleanse_cli --dataset digits --rounds 25 --attackers 1 --gamma 5 \
+//   fedcleanse_cli --dataset digits --rounds 25 --attackers 1 --gamma 5
 //                  --victim 9 --target 1 --pixels 5 --method mvp
 //   fedcleanse_cli --dataset objects --dba --attackers 4 --save model.fckp
 //   fedcleanse_cli --dataset fashion --no-finetune --rap
@@ -51,6 +51,10 @@ void usage(const char* argv0) {
       "  --prune-rate P     MVP vote rate (default 0.5)\n"
       "  --no-finetune      skip the fine-tuning stage\n"
       "  --no-aw            skip adjusting extreme weights\n"
+      "  --scan-quant f32|f16|int8  GEMM kernel for defense activation scans\n"
+      "                     (default f32; reduced precision speeds profiling)\n"
+      "  --update-codec f32|int8    wire codec for client model updates\n"
+      "                     (int8 shrinks uplink ~4x; aggregation stays fp32)\n"
       "  --save PATH        checkpoint the cleansed model\n"
       "  --seed S           RNG seed (default 42)\n"
       "  --journal-out PATH write a JSONL run journal (one line per round)\n"
@@ -155,6 +159,22 @@ int main(int argc, char** argv) {
       dcfg.enable_finetune = false;
     } else if (arg == "--no-aw") {
       dcfg.enable_adjust_weights = false;
+    } else if (arg == "--scan-quant") {
+      const std::string v = next();
+      const auto kernel = tensor::parse_compute_kernel(v);
+      if (!kernel) {
+        std::fprintf(stderr, "unknown scan kernel %s (want f32|f16|int8)\n", v.c_str());
+        return 2;
+      }
+      cfg.train.scan_kernel = *kernel;
+    } else if (arg == "--update-codec") {
+      const std::string v = next();
+      const auto codec = comm::parse_update_codec(v);
+      if (!codec) {
+        std::fprintf(stderr, "unknown update codec %s (want f32|int8)\n", v.c_str());
+        return 2;
+      }
+      cfg.train.update_codec = *codec;
     } else if (arg == "--save") {
       save_path = next();
     } else if (arg == "--seed") {

@@ -8,6 +8,7 @@
 // (TA) and attack success rate (AA) after every stage.
 //
 // Usage: quickstart [seed] [--clients N] [--select K]
+//                   [--scan-quant f32|f16|int8] [--update-codec f32|int8]
 //                   [--journal-out run.jsonl] [--trace-out trace.json]
 //                   [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //                   [--save model.fckp]
@@ -29,6 +30,12 @@
 // --checkpoint-every rounds (DESIGN.md §13); kill the process at any point
 // and rerun with --resume added to continue from the newest snapshot — the
 // final model is byte-identical to the uninterrupted run.
+//
+// --scan-quant runs the defense's activation-profiling scans under a
+// reduced-precision GEMM kernel (training math stays fp32). --update-codec
+// int8 quantizes client→server update payloads on the wire (~4x smaller
+// uplink); the server dequantizes before aggregation. EXPERIMENTS.md records
+// the measured TA/AA deltas for both knobs.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,9 +65,25 @@ int main(int argc, char** argv) {
   int clients = 0;  // 0 = the default 10-client demo
   int select = -1;  // per-round cohort; -1 = derive from the population
   bool resume = false;
+  tensor::ComputeKernel scan_kernel = tensor::ComputeKernel::kF32;
+  comm::UpdateCodec update_codec = comm::UpdateCodec::kF32;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
       clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--scan-quant") == 0 && i + 1 < argc) {
+      const auto kernel = tensor::parse_compute_kernel(argv[++i]);
+      if (!kernel) {
+        std::fprintf(stderr, "unknown scan kernel %s (want f32|f16|int8)\n", argv[i]);
+        return 2;
+      }
+      scan_kernel = *kernel;
+    } else if (std::strcmp(argv[i], "--update-codec") == 0 && i + 1 < argc) {
+      const auto codec = comm::parse_update_codec(argv[++i]);
+      if (!codec) {
+        std::fprintf(stderr, "unknown update codec %s (want f32|int8)\n", argv[i]);
+        return 2;
+      }
+      update_codec = *codec;
     } else if (std::strcmp(argv[i], "--select") == 0 && i + 1 < argc) {
       select = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--journal-out") == 0 && i + 1 < argc) {
@@ -112,6 +135,8 @@ int main(int argc, char** argv) {
   cfg.attack.gamma = 5.0;
   cfg.attack.poison_copies = 2;
   cfg.seed = seed;
+  cfg.train.scan_kernel = scan_kernel;
+  cfg.train.update_codec = update_codec;
   if (clients > 0) cfg.n_clients = clients;
   if (cfg.n_clients > 10) {
     // Scaled population: 1% malicious, fixed-size local datasets (the even

@@ -16,6 +16,13 @@ uploads the candidate as the next baseline.
 
 Only serial times are compared: pooled times depend on the runner's core
 count, which differs between the machine that produced the baseline and CI.
+
+Two informational summaries follow the regression table (neither gates):
+  * quantized-kernel speedups within the candidate — for every (op, size)
+    carrying an f32 row plus int8/f16/fused siblings, the ratio of the f32
+    (or unfused) serial time to the sibling's;
+  * wire-bytes deltas for fl_scale rungs that report wire_bytes, so a codec
+    change shows its uplink shrink next to the perf numbers.
 """
 from __future__ import annotations
 
@@ -48,6 +55,53 @@ def metric_ns(rec: dict) -> float | None:
 def fmt_key(key: tuple[str, str, str]) -> str:
     op, size, kernel = key
     return f"{op}/{size}" + (f"[{kernel}]" if kernel else "")
+
+
+# Reference-kernel tag per sibling tag: quantized/fused rows are compared
+# against the plain fp32 row that shares their (op, size).
+QUANT_PAIRS = {
+    "int8_prepacked": "f32_packed",
+    "f16_packed": "f32_packed",
+    "fused_epilogue": "unfused",
+}
+
+
+def summarize_quant(records: dict[tuple[str, str, str], dict]) -> None:
+    lines = []
+    for (op, size, kernel), rec in sorted(records.items()):
+        ref_kernel = QUANT_PAIRS.get(kernel)
+        if ref_kernel is None:
+            continue
+        ref = records.get((op, size, ref_kernel))
+        if ref is None:
+            continue
+        b, c = metric_ns(ref), metric_ns(rec)
+        if not b or not c:
+            continue
+        lines.append(f"  {op}/{size}: {kernel} is {b / c:.2f}x vs {ref_kernel}")
+    if lines:
+        print("\nquantized-kernel speedups (candidate, serial):")
+        for line in lines:
+            print(line)
+
+
+def summarize_wire_bytes(base: dict[tuple[str, str, str], dict],
+                         cand: dict[tuple[str, str, str], dict]) -> None:
+    lines = []
+    for key in sorted(base.keys() & cand.keys()):
+        b, c = base[key].get("wire_bytes"), cand[key].get("wire_bytes")
+        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)) or c <= 0:
+            continue
+        codec = cand[key].get("update_codec", "")
+        tag = f" [{codec}]" if codec else ""
+        lines.append(f"  {fmt_key(key)}: {b:.0f} -> {c:.0f} bytes "
+                     f"({b / c:.2f}x smaller){tag}" if b >= c else
+                     f"  {fmt_key(key)}: {b:.0f} -> {c:.0f} bytes "
+                     f"({c / b:.2f}x larger){tag}")
+    if lines:
+        print("\nwire bytes (baseline -> candidate):")
+        for line in lines:
+            print(line)
 
 
 def main() -> int:
@@ -90,6 +144,9 @@ def main() -> int:
         print(f"{fmt_key(key):<40} (only in baseline)")
     for key in sorted(cand.keys() - base.keys()):
         print(f"{fmt_key(key):<40} (only in candidate)")
+
+    summarize_quant(cand)
+    summarize_wire_bytes(base, cand)
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond {args.tolerance:.0%}:")

@@ -16,6 +16,8 @@ Checks enforced here:
   * rounds are monotonically increasing within each kind (journals append
     in execution order; out-of-order rounds mean interleaved writers)
   * a "defense" line carries the stage accuracies and phase_seconds
+  * "train_round" lines carry wire_bytes (client→server uplink for that
+    round, a non-negative integer) and update_codec ("f32" or "int8")
   * "train_round" and "defense" lines carry peak_rss (the process's VmHWM
     in bytes), and the values never decrease within one process — VmHWM is
     a lifetime high-water mark, so a drop means interleaved writers. The
@@ -50,6 +52,7 @@ DEFENSE_KEYS = ("method", "ta", "asr", "ta_before", "asr_before",
                 "neurons_pruned", "weights_zeroed", "phase_seconds")
 TRANSPORT_NODES = ("server", "scheduler", "client")
 DEAD_REASONS = ("eof", "heartbeat", "send", "decode")
+UPDATE_CODECS = ("f32", "int8")
 
 
 def apply_resume(entries: list[dict], stage: str, rnd: int) -> None:
@@ -150,6 +153,16 @@ def check(path: str) -> tuple[list[dict], list[str]]:
                                  "(VmHWM never decreases within one process)"))
                 else:
                     last_peak = rss
+            if kind == "train_round":
+                wire = entry.get("wire_bytes")
+                if not isinstance(wire, int) or isinstance(wire, bool) or wire < 0:
+                    errors.append(
+                        (lineno, f"{where}: wire_bytes={wire!r} missing or invalid"))
+                codec = entry.get("update_codec")
+                if codec not in UPDATE_CODECS:
+                    errors.append(
+                        (lineno, f"{where}: update_codec={codec!r} "
+                                 f"not in {UPDATE_CODECS}"))
             if kind in ROUND_KINDS:
                 r = entry["round"]
                 if not isinstance(r, int) or r < 0:

@@ -1,5 +1,9 @@
 #include "comm/message.h"
 
+#include <cmath>
+
+#include "tensor/quant.h"
+
 namespace fedcleanse::comm {
 
 const char* message_type_name(MessageType t) {
@@ -19,16 +23,31 @@ const char* message_type_name(MessageType t) {
     case MessageType::kRegisterAck: return "RegisterAck";
     case MessageType::kHeartbeat: return "Heartbeat";
     case MessageType::kHeartbeatAck: return "HeartbeatAck";
+    case MessageType::kModelUpdateQuantized: return "ModelUpdateQuantized";
   }
   return "?";
 }
 
 std::optional<MessageType> parse_message_type(std::uint8_t raw) {
   if (raw < static_cast<std::uint8_t>(MessageType::kModelBroadcast) ||
-      raw > static_cast<std::uint8_t>(MessageType::kHeartbeatAck)) {
+      raw > static_cast<std::uint8_t>(MessageType::kModelUpdateQuantized)) {
     return std::nullopt;
   }
   return static_cast<MessageType>(raw);
+}
+
+const char* update_codec_name(UpdateCodec codec) {
+  switch (codec) {
+    case UpdateCodec::kF32: return "f32";
+    case UpdateCodec::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
+std::optional<UpdateCodec> parse_update_codec(const std::string& name) {
+  if (name == "f32") return UpdateCodec::kF32;
+  if (name == "int8") return UpdateCodec::kInt8;
+  return std::nullopt;
 }
 
 namespace {
@@ -128,6 +147,31 @@ std::vector<std::uint8_t> encode_flat_params(const std::vector<float>& params) {
 std::vector<float> decode_flat_params(const std::vector<std::uint8_t>& payload) {
   return decode_checked("flat_params", payload,
                         [](common::ByteReader& r) { return r.read_f32_vector(); });
+}
+
+std::vector<std::uint8_t> encode_flat_params_q8(const std::vector<float>& params) {
+  const float scale = tensor::int8_scale(tensor::max_abs(params.data(), params.size()));
+  std::vector<std::uint8_t> q(params.size());
+  tensor::quantize_s8(params.data(), params.size(), scale,
+                      reinterpret_cast<std::int8_t*>(q.data()));
+  common::ByteWriter w;
+  w.write_f32(scale);
+  w.write_u8_vector(q);
+  return w.take();
+}
+
+std::vector<float> decode_flat_params_q8(const std::vector<std::uint8_t>& payload) {
+  return decode_checked("flat_params_q8", payload, [](common::ByteReader& r) {
+    const float scale = r.read_f32();
+    if (!std::isfinite(scale) || scale <= 0.0f) {
+      throw DecodeError("flat_params_q8: bad scale " + std::to_string(scale));
+    }
+    const auto q = r.read_u8_vector();
+    std::vector<float> params(q.size());
+    tensor::dequantize_s8(reinterpret_cast<const std::int8_t*>(q.data()), q.size(), scale,
+                          params.data());
+    return params;
+  });
 }
 
 std::vector<std::uint8_t> encode_ranks(const std::vector<std::uint32_t>& ranks) {

@@ -34,6 +34,8 @@ enum class MessageType : std::uint8_t {
   kRegisterAck = 13,    // reply to kRegister: accepted + topology info
   kHeartbeat = 14,      // node → peer: liveness beacon
   kHeartbeatAck = 15,   // peer → node: beacon echo
+  // Quantized-wire training protocol (DESIGN.md §16).
+  kModelUpdateQuantized = 16,  // client → server: int8 parameter delta
 };
 
 const char* message_type_name(MessageType t);
@@ -100,6 +102,22 @@ Message read_message_verbatim(common::ByteReader& r);
 
 std::vector<std::uint8_t> encode_flat_params(const std::vector<float>& params);
 std::vector<float> decode_flat_params(const std::vector<std::uint8_t>& payload);
+
+// Codec for the client→server update payload. kF32 sends raw floats
+// (kModelUpdate, byte-identical to the original wire); kInt8 sends a
+// per-tensor scale plus int8 quantized values (kModelUpdateQuantized) at
+// ~3.9× fewer bytes, dequantized at the server before aggregation.
+enum class UpdateCodec : std::uint8_t { kF32 = 0, kInt8 = 1 };
+
+const char* update_codec_name(UpdateCodec codec);
+std::optional<UpdateCodec> parse_update_codec(const std::string& name);
+
+// kModelUpdateQuantized payload: [f32 scale][u8-vector of int8 values].
+// decode throws DecodeError on truncation, trailing bytes, or a non-finite /
+// non-positive scale (a corrupted scale would silently rescale the whole
+// update).
+std::vector<std::uint8_t> encode_flat_params_q8(const std::vector<float>& params);
+std::vector<float> decode_flat_params_q8(const std::vector<std::uint8_t>& payload);
 
 std::vector<std::uint8_t> encode_ranks(const std::vector<std::uint32_t>& ranks);
 std::vector<std::uint32_t> decode_ranks(const std::vector<std::uint8_t>& payload);

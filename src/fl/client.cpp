@@ -93,8 +93,10 @@ void Client::train_locally() {
     for (const auto& batch_indices : train_data_.shuffled_batches(config_.batch_size, rng_)) {
       auto batch = train_data_.make_batch(batch_indices);
       model_.net.zero_grad();
-      auto logits = model_.net.forward(batch.images);
-      loss.forward(logits, batch.labels);
+      // Fused forward: conv+ReLU pairs collapse into GEMM epilogues and the
+      // classifier head emits softmax probabilities directly — bit-identical
+      // to the layer-by-layer forward + softmax_rows pipeline.
+      loss.forward_probs(model_.net.forward_probs(batch.images), batch.labels);
       model_.net.backward(loss.backward());
       sgd.step();
     }
@@ -130,7 +132,7 @@ std::vector<double> Client::activation_means(std::span<const float> global_param
   tensor::Tensor tapped;
   for (const auto& batch_indices : data_.shuffled_batches(config_.batch_size, rng_)) {
     auto batch = data_.make_batch(batch_indices);
-    model_.net.forward_with_tap(batch.images, model_.tap_index, tapped);
+    model_.net.forward_with_tap(batch.images, model_.tap_index, tapped, config_.scan_kernel);
     acc.add_batch(tapped);
   }
   return acc.means();
@@ -156,7 +158,7 @@ std::vector<double> Client::backdoor_neuron_scores() {
     tensor::Tensor tapped;
     for (const auto& batch_indices : ds.shuffled_batches(config_.batch_size, rng_)) {
       auto batch = ds.make_batch(batch_indices);
-      model_.net.forward_with_tap(batch.images, model_.tap_index, tapped);
+      model_.net.forward_with_tap(batch.images, model_.tap_index, tapped, config_.scan_kernel);
       acc.add_batch(tapped);
     }
     return acc.means();
@@ -270,8 +272,14 @@ void Client::handle_message(comm::Network& net, const comm::Message& msg) {
       obs::Span span("client.train", "client");
       span.set_arg("client", id_);
       auto global = comm::decode_flat_params(msg.payload);
-      reply.type = comm::MessageType::kModelUpdate;
-      reply.payload = comm::encode_flat_params(compute_update(global));
+      auto update = compute_update(global);
+      if (config_.update_codec == comm::UpdateCodec::kInt8) {
+        reply.type = comm::MessageType::kModelUpdateQuantized;
+        reply.payload = comm::encode_flat_params_q8(update);
+      } else {
+        reply.type = comm::MessageType::kModelUpdate;
+        reply.payload = comm::encode_flat_params(update);
+      }
       reply.stamp();
       net.send_to_server(id_, std::move(reply));
       break;

@@ -11,10 +11,12 @@
 #include <span>
 #include <vector>
 
+#include "comm/message.h"
 #include "comm/network.h"
 #include "data/dataset.h"
 #include "fl/attack.h"
 #include "nn/model_zoo.h"
+#include "tensor/quant.h"
 
 namespace fedcleanse::fl {
 
@@ -27,6 +29,13 @@ struct TrainConfig {
   // weight_decay set by the experiment, e.g. Fig 10, takes precedence when
   // larger).
   double weight_decay = 0.0;
+  // Compute kernel for the defense's activation-profiling scans (rank/vote
+  // reports). Training always runs fp32; the scans only feed rank order, so
+  // the quantized kernels trade tiny activation error for throughput.
+  tensor::ComputeKernel scan_kernel = tensor::ComputeKernel::kF32;
+  // Wire codec for the client→server model update. kF32 keeps the original
+  // byte-identical float wire; kInt8 quantizes the delta before sending.
+  comm::UpdateCodec update_codec = comm::UpdateCodec::kF32;
 };
 
 class Client {

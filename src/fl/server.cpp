@@ -27,12 +27,17 @@ comm::Message server_message(comm::MessageType type, std::uint32_t round,
 // received) and skipped — a degraded round must be debuggable from the log
 // alone. `decode` parses *and validates* the payload, throwing
 // comm::DecodeError on anything unacceptable.
+// `expected_alt` admits a second message type for protocols with two wire
+// encodings of the same reply (float vs quantized model updates); the decode
+// callback dispatches on msg.type.
 template <typename T, typename Decode>
 std::vector<std::optional<T>> collect_typed(comm::Network& net,
                                             const std::vector<int>& clients,
                                             std::uint32_t round,
                                             comm::MessageType expected, Decode decode,
-                                            int timeout_ms, CollectStats* stats) {
+                                            int timeout_ms, CollectStats* stats,
+                                            std::optional<comm::MessageType> expected_alt =
+                                                std::nullopt) {
   using Clock = std::chrono::steady_clock;
   std::vector<std::optional<T>> out(clients.size());
   CollectStats local;
@@ -50,7 +55,7 @@ std::vector<std::optional<T>> collect_typed(comm::Network& net,
                       << c << " sent no reply before the deadline (round " << round << ")";
         break;
       }
-      if (msg->type != expected || msg->round != round) {
+      if ((msg->type != expected && msg->type != expected_alt) || msg->round != round) {
         ++local.n_malformed;
         FC_LOG(Warn) << "collect " << comm::message_type_name(expected) << " (round "
                      << round << "): client " << c << " sent "
@@ -111,17 +116,22 @@ void Server::broadcast_model(const std::vector<int>& clients, std::uint32_t roun
 std::vector<std::optional<std::vector<float>>> Server::collect_updates(
     const std::vector<int>& clients, std::uint32_t round, CollectStats* stats) {
   const std::size_t n_params = model_.net.num_params();
+  // Clients pick their wire codec; the server accepts either and folds the
+  // dequantized floats into the same aggregation path (the fp32 wire stays
+  // byte-identical to the pre-codec protocol).
   return collect_typed<std::vector<float>>(
       net_, clients, round, comm::MessageType::kModelUpdate,
       [n_params](const comm::Message& msg) {
-        auto update = comm::decode_flat_params(msg.payload);
+        auto update = msg.type == comm::MessageType::kModelUpdateQuantized
+                          ? comm::decode_flat_params_q8(msg.payload)
+                          : comm::decode_flat_params(msg.payload);
         if (update.size() != n_params) {
           throw comm::DecodeError("update has " + std::to_string(update.size()) +
                                   " params, model has " + std::to_string(n_params));
         }
         return update;
       },
-      config_.recv_timeout_ms, stats);
+      config_.recv_timeout_ms, stats, comm::MessageType::kModelUpdateQuantized);
 }
 
 namespace {

@@ -419,7 +419,10 @@ std::vector<int> Simulation::run_round(std::uint32_t round,
 void Simulation::run(bool record_history) {
   common::Timer timer;
   for (int r = next_round_; r < config_.rounds; ++r) {
+    const std::size_t uplink_before = network().uplink_bytes();
     run_round(static_cast<std::uint32_t>(r));
+    const std::uint64_t round_wire_bytes =
+        static_cast<std::uint64_t>(network().uplink_bytes() - uplink_before);
     next_round_ = r + 1;
     if (record_history) {
       RoundRecord rec;
@@ -432,6 +435,7 @@ void Simulation::run(bool record_history) {
       rec.n_corrupted = last_round_stats_.n_corrupted;
       rec.n_retried = last_round_stats_.n_retried;
       rec.quorum_met = last_round_stats_.quorum_met;
+      rec.wire_bytes = round_wire_bytes;
       history_.push_back(rec);
       const std::uint64_t peak_rss = static_cast<std::uint64_t>(common::peak_rss_bytes());
       FC_METRIC(peak_rss_bytes().set(static_cast<double>(peak_rss)));
@@ -447,6 +451,8 @@ void Simulation::run(bool record_history) {
             .add("n_corrupted", rec.n_corrupted)
             .add("n_retried", rec.n_retried)
             .add("quorum_met", rec.quorum_met)
+            .add("wire_bytes", rec.wire_bytes)
+            .add("update_codec", comm::update_codec_name(config_.train.update_codec))
             .add("peak_rss", peak_rss);
         journal->write(entry);
       }
@@ -473,6 +479,7 @@ void write_round_record(common::ByteWriter& w, const RoundRecord& rec) {
   w.write_i32(rec.n_corrupted);
   w.write_i32(rec.n_retried);
   w.write_bool(rec.quorum_met);
+  w.write_u64(rec.wire_bytes);
 }
 
 RoundRecord read_round_record(common::ByteReader& r) {
@@ -486,6 +493,7 @@ RoundRecord read_round_record(common::ByteReader& r) {
   rec.n_corrupted = r.read_i32();
   rec.n_retried = r.read_i32();
   rec.quorum_met = r.read_bool();
+  rec.wire_bytes = r.read_u64();
   return rec;
 }
 

@@ -130,6 +130,9 @@ struct RoundRecord {
   int n_corrupted = 0;
   int n_retried = 0;
   bool quorum_met = true;
+  // Client→server bytes this round's exchanges put on the wire (uplink
+  // delta across run_round) — the observable the int8 update codec shrinks.
+  std::uint64_t wire_bytes = 0;
 
   bool operator==(const RoundRecord&) const = default;
 };

@@ -9,6 +9,10 @@ class ReLU : public Layer {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  // When the preceding layer fused this ReLU into its epilogue, the post-relu
+  // output stands in for the cached input: gating grad on y = relu(x) instead
+  // of x is bit-identical (x > 0 ⇔ y > 0, and both ±0 block the gradient).
+  void adopt_output(const Tensor& y) { input_cache_ = y; }
   std::unique_ptr<Layer> clone() const override { return std::make_unique<ReLU>(*this); }
   std::string name() const override { return "ReLU"; }
 

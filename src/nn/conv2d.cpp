@@ -24,11 +24,15 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, common::Rng& rng, 
 }
 
 Tensor Conv2d::forward(const Tensor& x) {
+  return forward_conv(x, /*fuse_relu=*/false, tensor::ComputeKernel::kF32);
+}
+
+Tensor Conv2d::forward_conv(const Tensor& x, bool fuse_relu, tensor::ComputeKernel kernel) {
   input_cache_ = x;
   // Pruned channels are skipped inside the packed GEMM (and written as exact
   // zeros) rather than zeroed in a second pass over the output.
-  return tensor::conv2d_forward_cached(x, weight_, bias_, spec_, col_cache_,
-                                       any_pruned_ ? active_.data() : nullptr);
+  return tensor::conv2d_forward_quant(x, weight_, bias_, spec_, col_cache_, kernel,
+                                      fuse_relu, any_pruned_ ? active_.data() : nullptr);
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {

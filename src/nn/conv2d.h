@@ -16,6 +16,10 @@ class Conv2d : public Layer {
          int padding = 0);
 
   Tensor forward(const Tensor& x) override;
+  // Forward with an optional fused ReLU epilogue (bit-identical to a
+  // trailing nn::ReLU) and a per-call compute kernel for the quantized
+  // scan paths. forward(x) ≡ forward_conv(x, false, kF32).
+  Tensor forward_conv(const Tensor& x, bool fuse_relu, tensor::ComputeKernel kernel);
   Tensor backward(const Tensor& grad_out) override;
   std::vector<ParamRef> params() override;
   std::unique_ptr<Layer> clone() const override;

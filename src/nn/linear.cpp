@@ -1,5 +1,7 @@
 #include "nn/linear.h"
 
+#include <algorithm>
+
 #include "nn/init.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
@@ -24,8 +26,17 @@ Tensor Linear::forward(const Tensor& x) {
              "Linear forward expects [N," + std::to_string(in_features_) + "], got " +
                  x.shape().to_string());
   input_cache_ = x;
+  const int n = x.shape()[0];
+  if (!any_pruned_) {
+    // Bias rides in the GEMM's col_bias epilogue — the same c + b[j] float
+    // add the explicit loop below performs, without re-reading the output.
+    Tensor y(tensor::Shape{n, out_features_});
+    tensor::gemm(false, true, n, out_features_, in_features_, x.data().data(), in_features_,
+                 weight_.data().data(), in_features_, y.data().data(), out_features_,
+                 /*accumulate=*/false, {}, tensor::GemmEpilogue{nullptr, bias_.data().data()});
+    return y;
+  }
   Tensor y = tensor::matmul_t(x, false, weight_, true);  // [N, out]
-  const int n = y.shape()[0];
   auto yv = y.data();
   const auto bv = bias_.data();
   for (int i = 0; i < n; ++i) {
@@ -34,6 +45,23 @@ Tensor Linear::forward(const Tensor& x) {
       cell = active_[static_cast<std::size_t>(j)] ? cell + bv[j] : 0.0f;
     }
   }
+  return y;
+}
+
+Tensor Linear::forward_softmax(const Tensor& x) {
+  if (any_pruned_ || out_features_ > tensor::kGemmNC) {
+    return tensor::softmax_rows(forward(x));
+  }
+  FC_REQUIRE(x.shape().rank() == 2 && x.shape()[1] == in_features_,
+             "Linear forward expects [N," + std::to_string(in_features_) + "], got " +
+                 x.shape().to_string());
+  input_cache_ = x;
+  const int n = x.shape()[0];
+  Tensor y(tensor::Shape{n, out_features_});
+  tensor::gemm(false, true, n, out_features_, in_features_, x.data().data(), in_features_,
+               weight_.data().data(), in_features_, y.data().data(), out_features_,
+               /*accumulate=*/false, {},
+               tensor::GemmEpilogue{nullptr, bias_.data().data(), false, true});
   return y;
 }
 
@@ -78,6 +106,7 @@ std::unique_ptr<Layer> Linear::clone() const {
 void Linear::set_unit_active(int unit, bool active) {
   FC_REQUIRE(unit >= 0 && unit < out_features_, "Linear unit index out of range");
   active_[static_cast<std::size_t>(unit)] = active ? 1 : 0;
+  any_pruned_ = std::find(active_.begin(), active_.end(), std::uint8_t{0}) != active_.end();
   if (!active) {
     auto wv = weight_.data();
     for (int j = 0; j < in_features_; ++j) {

@@ -12,6 +12,10 @@ class Linear : public Layer {
   Linear(int in_features, int out_features, common::Rng& rng);
 
   Tensor forward(const Tensor& x) override;
+  // Forward fused with row softmax: returns softmax(x·Wᵀ + b), bit-identical
+  // to forward() followed by tensor::softmax_rows. Used by the classifier
+  // head so logits never round-trip through memory.
+  Tensor forward_softmax(const Tensor& x);
   Tensor backward(const Tensor& grad_out) override;
   std::vector<ParamRef> params() override;
   std::unique_ptr<Layer> clone() const override;
@@ -37,6 +41,9 @@ class Linear : public Layer {
   Tensor grad_weight_;
   Tensor grad_bias_;
   std::vector<std::uint8_t> active_;
+  // True iff any entry of active_ is 0; the fused-epilogue forward requires
+  // the fully-active case (pruned units force the explicit masked bias loop).
+  bool any_pruned_ = false;
   Tensor input_cache_;  // [N, in]
 };
 

@@ -10,9 +10,14 @@ namespace fedcleanse::nn {
 float SoftmaxCrossEntropy::forward(const tensor::Tensor& logits,
                                    const std::vector<int>& labels) {
   FC_REQUIRE(logits.shape().rank() == 2, "loss expects [N,K] logits");
-  const int n = logits.shape()[0], k = logits.shape()[1];
+  return forward_probs(tensor::softmax_rows(logits), labels);
+}
+
+float SoftmaxCrossEntropy::forward_probs(tensor::Tensor probs, const std::vector<int>& labels) {
+  FC_REQUIRE(probs.shape().rank() == 2, "loss expects [N,K] probabilities");
+  const int n = probs.shape()[0], k = probs.shape()[1];
   FC_REQUIRE(static_cast<int>(labels.size()) == n, "labels size must match batch");
-  probs_ = tensor::softmax_rows(logits);
+  probs_ = std::move(probs);
   labels_ = labels;
   double loss = 0.0;
   const auto pv = probs_.data();

@@ -13,6 +13,11 @@ class SoftmaxCrossEntropy {
   // Returns the mean cross-entropy loss and caches softmax probabilities.
   float forward(const tensor::Tensor& logits, const std::vector<int>& labels);
 
+  // Same loss when the caller already holds softmax probabilities (the
+  // classifier head fused the softmax into its GEMM epilogue). Bit-identical
+  // to forward() on the corresponding logits.
+  float forward_probs(tensor::Tensor probs, const std::vector<int>& labels);
+
   // dLoss/dLogits for the cached forward: (softmax − one_hot) / N.
   tensor::Tensor backward() const;
 

@@ -1,5 +1,10 @@
 #include "nn/sequential.h"
 
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+
 namespace fedcleanse::nn {
 
 int Sequential::add(std::unique_ptr<Layer> layer) {
@@ -8,20 +13,59 @@ int Sequential::add(std::unique_ptr<Layer> layer) {
   return static_cast<int>(layers_.size()) - 1;
 }
 
-Tensor Sequential::forward(const Tensor& x) {
+Tensor Sequential::run_forward(const Tensor& x, int tap_index, Tensor* tap_out,
+                               tensor::ComputeKernel kernel, bool fuse_softmax) {
   Tensor cur = x;
-  for (auto& layer : layers_) cur = layer->forward(cur);
-  return cur;
+  const int n = size();
+  int i = 0;
+  while (i < n) {
+    Layer* layer = layers_[static_cast<std::size_t>(i)].get();
+    if (auto* conv = dynamic_cast<Conv2d*>(layer)) {
+      // Conv2d+ReLU peephole: run the ReLU as the conv GEMM's epilogue and
+      // hand the ReLU its output for backward. Suppressed when the tap wants
+      // this conv's pre-activation values.
+      auto* relu = i + 1 < n && tap_index != i
+                       ? dynamic_cast<ReLU*>(layers_[static_cast<std::size_t>(i) + 1].get())
+                       : nullptr;
+      cur = conv->forward_conv(cur, relu != nullptr, kernel);
+      if (relu != nullptr) {
+        relu->adopt_output(cur);
+        if (tap_index == i + 1 && tap_out != nullptr) *tap_out = cur;
+        i += 2;
+        continue;
+      }
+    } else {
+      if (fuse_softmax && i == n - 1) {
+        if (auto* lin = dynamic_cast<Linear*>(layer)) return lin->forward_softmax(cur);
+      }
+      cur = layer->forward(cur);
+    }
+    if (tap_index == i && tap_out != nullptr) *tap_out = cur;
+    ++i;
+  }
+  return fuse_softmax ? tensor::softmax_rows(cur) : cur;
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  return run_forward(x, -1, nullptr, tensor::ComputeKernel::kF32, false);
+}
+
+Tensor Sequential::forward(const Tensor& x, tensor::ComputeKernel kernel) {
+  return run_forward(x, -1, nullptr, kernel, false);
 }
 
 Tensor Sequential::forward_with_tap(const Tensor& x, int tap_index, Tensor& tap_out) {
+  return forward_with_tap(x, tap_index, tap_out, tensor::ComputeKernel::kF32);
+}
+
+Tensor Sequential::forward_with_tap(const Tensor& x, int tap_index, Tensor& tap_out,
+                                    tensor::ComputeKernel kernel) {
   FC_REQUIRE(tap_index >= 0 && tap_index < size(), "tap index out of range");
-  Tensor cur = x;
-  for (int i = 0; i < size(); ++i) {
-    cur = layers_[static_cast<std::size_t>(i)]->forward(cur);
-    if (i == tap_index) tap_out = cur;
-  }
-  return cur;
+  return run_forward(x, tap_index, &tap_out, kernel, false);
+}
+
+Tensor Sequential::forward_probs(const Tensor& x) {
+  return run_forward(x, -1, nullptr, tensor::ComputeKernel::kF32, true);
 }
 
 Tensor Sequential::backward(const Tensor& grad_out) {

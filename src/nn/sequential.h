@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "tensor/quant.h"
 
 namespace fedcleanse::nn {
 
@@ -29,10 +30,23 @@ class Sequential {
   Layer& layer(int i) { return *layers_[static_cast<std::size_t>(i)]; }
   const Layer& layer(int i) const { return *layers_[static_cast<std::size_t>(i)]; }
 
+  // Forward fuses Conv2d+ReLU pairs into a single GEMM-with-epilogue step
+  // (bit-identical to running the layers separately). The ComputeKernel
+  // overloads run convolutions under a reduced-precision kernel — opt-in,
+  // used only by the defense's activation-profiling scans.
   Tensor forward(const Tensor& x);
+  Tensor forward(const Tensor& x, tensor::ComputeKernel kernel);
   // Forward that additionally copies the output of layer `tap_index` into
-  // `tap_out` (used to record activations at the pruning layer).
+  // `tap_out` (used to record activations at the pruning layer). A tap on a
+  // Conv2d whose ReLU would be fused suppresses that fusion so the tapped
+  // values stay pre-activation.
   Tensor forward_with_tap(const Tensor& x, int tap_index, Tensor& tap_out);
+  Tensor forward_with_tap(const Tensor& x, int tap_index, Tensor& tap_out,
+                          tensor::ComputeKernel kernel);
+  // Forward with the classifier head's softmax fused into its GEMM: returns
+  // row probabilities, bit-identical to softmax_rows over forward()'s
+  // logits. The training loop pairs it with SoftmaxCrossEntropy::forward_probs.
+  Tensor forward_probs(const Tensor& x);
   // Backpropagate from dLoss/dOutput; returns dLoss/dInput.
   Tensor backward(const Tensor& grad_out);
 
@@ -51,6 +65,11 @@ class Sequential {
   Sequential clone() const;
 
  private:
+  // Shared driver behind every forward variant: optional tap, per-call conv
+  // kernel, optional fused-softmax head.
+  Tensor run_forward(const Tensor& x, int tap_index, Tensor* tap_out,
+                     tensor::ComputeKernel kernel, bool fuse_softmax);
+
   std::vector<std::unique_ptr<Layer>> layers_;
 };
 

@@ -3,13 +3,20 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "common/error.h"
 #include "common/threadpool.h"
 #include "obs/metrics.h"
+#include "tensor/gemm_internal.h"
 #include "tensor/workspace.h"
 
 namespace fedcleanse::tensor {
 
 namespace {
+
+using detail::epilogue_cols;
+using detail::epilogue_softmax;
+using detail::micro_edge;
+using detail::micro_full;
 
 // Row blocks only pay for pool dispatch above this many multiply-accumulates
 // (m·k·n); smaller products run inline (same threshold as the old matmul).
@@ -55,67 +62,16 @@ void pack_a_strip(const float* a, int lda, bool ta, int k0, int kc, const int* k
   }
 }
 
-// The register tile: a full MR×NR block of C accumulated over kc packed
-// depths. Every trip count except kc is a compile-time constant and the
-// unroll pragmas flatten both tile loops, so the j dimension vectorizes
-// (two 8-lane FMAs per row on AVX2) and `acc` is scalar-replaced into
-// registers across the whole k sweep. The store loops must also have
-// constant bounds — a runtime-bounded read of `acc` would force the whole
-// block onto the stack — which is why edges go through micro_edge instead.
-template <bool Accumulate>
-inline void micro_full(int kc, const float* __restrict ap, const float* __restrict bp,
-                       float* __restrict c, int ldc) {
-  float acc[kGemmMR][kGemmNR] = {};
-  for (int p = 0; p < kc; ++p) {
-    const float* __restrict arow = ap + static_cast<std::size_t>(p) * kGemmMR;
-    const float* __restrict brow = bp + static_cast<std::size_t>(p) * kGemmNR;
-#pragma GCC unroll 16
-    for (int i = 0; i < kGemmMR; ++i) {
-      const float ai = arow[i];
-#pragma GCC unroll 32
-      for (int j = 0; j < kGemmNR; ++j) acc[i][j] += ai * brow[j];
-    }
-  }
-#pragma GCC unroll 16
-  for (int i = 0; i < kGemmMR; ++i) {
-    float* crow = c + static_cast<std::size_t>(i) * ldc;
-#pragma GCC unroll 32
-    for (int j = 0; j < kGemmNR; ++j) {
-      if constexpr (Accumulate) {
-        crow[j] += acc[i][j];
-      } else {
-        crow[j] = acc[i][j];
-      }
-    }
-  }
-}
-
-// Edge / masked tiles: run the full kernel into a stack tile (the packs are
-// zero-padded, so the extra lanes compute exact zeros), then copy out only
-// the live m_sub×n_sub sub-block, honoring the row mask. The extra copy is
-// confined to ragged borders and pruned strips.
-void micro_edge(int kc, const float* __restrict ap, const float* __restrict bp,
-                float* __restrict c, int ldc, int m_sub, int n_sub, bool accumulate,
-                const std::uint8_t* row_active) {
-  float tmp[kGemmMR][kGemmNR];
-  micro_full<false>(kc, ap, bp, &tmp[0][0], kGemmNR);
-  for (int i = 0; i < m_sub; ++i) {
-    if (row_active != nullptr && row_active[i] == 0) continue;
-    float* crow = c + static_cast<std::size_t>(i) * ldc;
-    if (accumulate) {
-      for (int j = 0; j < n_sub; ++j) crow[j] += tmp[i][j];
-    } else {
-      for (int j = 0; j < n_sub; ++j) crow[j] = tmp[i][j];
-    }
-  }
-}
-
 }  // namespace
 
 void gemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a, int lda,
           const float* b, int ldb, float* c, int ldc, bool accumulate,
-          const GemmMask& mask) {
+          const GemmMask& mask, const GemmEpilogue& epi) {
   if (m <= 0 || n <= 0) return;
+  FC_REQUIRE(epi.row_bias == nullptr || !accumulate,
+             "gemm row_bias epilogue requires accumulate == false");
+  FC_REQUIRE(!epi.softmax || n <= kGemmNC,
+             "gemm softmax epilogue requires a row to finish in one column block");
 
   Workspace& cws = Workspace::tls();
   const Workspace::Mark outer = cws.mark();
@@ -143,13 +99,17 @@ void gemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a, int l
 
   if (keff == 0) {
     // Empty contraction contributes nothing; overwrite mode still owns the
-    // active rows of C.
+    // active rows of C (filled with the row bias, or zero), and the
+    // post-accumulation epilogue still applies.
     if (!accumulate) {
       for (int i = 0; i < m; ++i) {
         if (row_active != nullptr && row_active[i] == 0) continue;
-        std::fill_n(c + static_cast<std::size_t>(i) * ldc, n, 0.0f);
+        std::fill_n(c + static_cast<std::size_t>(i) * ldc, n,
+                    epi.row_bias != nullptr ? epi.row_bias[i] : 0.0f);
       }
     }
+    epilogue_cols(c, ldc, 0, m, 0, n, row_active, epi);
+    if (epi.softmax) epilogue_softmax(c, ldc, 0, m, n, row_active);
     cws.release(outer);
     return;
   }
@@ -167,6 +127,10 @@ void gemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a, int l
     for (int pc = 0, pcn = 0; pc < keff; pc += kGemmKC, ++pcn) {
       const int kc = std::min(kGemmKC, keff - pc);
       const bool acc_block = accumulate || pcn > 0;
+      const bool last_kblock = pc + kc == keff;
+      // The row bias rides on the first k block's overwrite store; the rest
+      // of the epilogue waits for the last block to finish the columns.
+      const float* rb = !acc_block ? epi.row_bias : nullptr;
       const int* kslice = kidx != nullptr ? kidx + pc : nullptr;
 
       // B panel packed once per (jc, pc) on the calling thread; row blocks
@@ -181,7 +145,8 @@ void gemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a, int l
 
       // Each MC-row block owns its rows of C exclusively and sweeps k in the
       // same order no matter which thread runs it → bit-identical results
-      // for every thread count.
+      // for every thread count. The epilogue runs inside the block for the
+      // same reason: the rows it touches belong to exactly one task.
       auto run_mblock = [&](std::size_t blk) {
         const int i0 = static_cast<int>(blk) * kGemmMC;
         const int mc = std::min(kGemmMC, m - i0);
@@ -219,15 +184,22 @@ void gemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a, int l
             float* csl = c + static_cast<std::size_t>(r0) * ldc + j0;
             if (m_sub == kGemmMR && n_sub == kGemmNR && row_active == nullptr) {
               if (acc_block) {
-                micro_full<true>(kc, asl, bsl, csl, ldc);
+                micro_full<true, false>(kc, asl, bsl, csl, ldc);
+              } else if (rb != nullptr) {
+                micro_full<false, true>(kc, asl, bsl, csl, ldc, rb + r0);
               } else {
-                micro_full<false>(kc, asl, bsl, csl, ldc);
+                micro_full<false, false>(kc, asl, bsl, csl, ldc);
               }
             } else {
               micro_edge(kc, asl, bsl, csl, ldc, m_sub, n_sub, acc_block,
-                         row_active != nullptr ? row_active + r0 : nullptr);
+                         row_active != nullptr ? row_active + r0 : nullptr,
+                         rb != nullptr ? rb + r0 : nullptr);
             }
           }
+        }
+        if (last_kblock) {
+          epilogue_cols(c, ldc, i0, mc, jc, nc, row_active, epi);
+          if (epi.softmax) epilogue_softmax(c, ldc, i0, mc, n, row_active);
         }
         ws.release(amark);
       };

@@ -46,6 +46,31 @@ struct GemmMask {
   const std::uint8_t* k_active = nullptr;
 };
 
+// Fused epilogue, applied while the C tile is still cache-hot instead of in
+// a separate pass over memory. Each piece is placed so the floating-point
+// operation order matches the unfused pipeline bit for bit:
+//   row_bias — added when the first k block *stores* its tile
+//     (bias + acc == acc + bias, so this equals pre-filling C with the bias
+//     and accumulating into it, which is what conv2d_forward_cached did).
+//     Requires accumulate == false.
+//   col_bias — added after the last k block finishes a column range
+//     (equals nn::Linear's post-GEMM `y[i][j] += bias[j]` sweep; adding at
+//     the first block would NOT match once k spans multiple KC blocks).
+//   relu — clamped after the last k block, `v < 0 ? 0 : v` (preserves -0.0f
+//     exactly like nn::ReLU::forward). Runs after col_bias.
+//   softmax — row softmax over the finished row after the last k block,
+//     replicating ops.cpp's softmax_rows element for element. Requires
+//     n <= kGemmNC so a row is finished within a single column block.
+struct GemmEpilogue {
+  const float* row_bias = nullptr;  // [m]
+  const float* col_bias = nullptr;  // [n]
+  bool relu = false;
+  bool softmax = false;
+  bool any() const {
+    return row_bias != nullptr || col_bias != nullptr || relu || softmax;
+  }
+};
+
 // C is row-major with leading dimension ldc; A/B are row-major as *stored*
 // (lda/ldb are the stored row strides; the transpose flags select how they
 // are read). accumulate=false overwrites C, accumulate=true adds to it.
@@ -53,7 +78,7 @@ struct GemmMask {
 // blocks; see the determinism note above.
 void gemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a, int lda,
           const float* b, int ldb, float* c, int ldc, bool accumulate,
-          const GemmMask& mask = {});
+          const GemmMask& mask = {}, const GemmEpilogue& epi = {});
 
 // The legacy scalar i-k-j kernel (with its `aik == 0` skip), kept as the
 // correctness oracle for tests and the baseline for bench comparisons.

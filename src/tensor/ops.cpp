@@ -87,7 +87,7 @@ ConvDims conv_dims(const Tensor& input, const Tensor& weight, const Conv2dSpec& 
 
 Tensor conv2d_forward_cached(const Tensor& input, const Tensor& weight, const Tensor& bias,
                              const Conv2dSpec& spec, std::vector<float>& col_cache,
-                             const std::uint8_t* channel_active) {
+                             const std::uint8_t* channel_active, bool fuse_relu) {
   const ConvDims d = conv_dims(input, weight, spec);
   FC_REQUIRE(bias.shape().rank() == 1 && bias.shape()[0] == d.cout, "conv2d bias mismatch");
   col_cache.resize(static_cast<std::size_t>(d.n) * d.kdim * d.pdim);
@@ -106,16 +106,79 @@ Tensor conv2d_forward_cached(const Tensor& input, const Tensor& weight, const Te
     float* col = &col_cache[static_cast<std::size_t>(b) * d.kdim * d.pdim];
     im2col(&in[static_cast<std::size_t>(b) * d.cin * d.h * d.w], d.cin, d.h, d.w, d.kh, d.kw,
            spec, d.ho, d.wo, col);
-    // GEMM: out[oc, :] = bias[oc] + weight[oc, :] · col; pruned channels are
-    // skipped by the row mask and stay at the exact zero written here.
     float* osample = &ov[static_cast<std::size_t>(b) * d.cout * d.pdim];
-    for (int oc = 0; oc < d.cout; ++oc) {
-      const bool active = channel_active == nullptr || channel_active[oc] != 0;
-      std::fill_n(osample + static_cast<std::size_t>(oc) * d.pdim, d.pdim,
-                  active ? bs[oc] : 0.0f);
+    if (channel_active == nullptr) {
+      // out[oc, :] = bias[oc] + weight[oc, :] · col, bias carried in as the
+      // GEMM's row_bias epilogue (bit-identical to prefill + accumulate).
+      gemm(false, false, d.cout, d.pdim, d.kdim, wt.data(), d.kdim, col, d.pdim, osample,
+           d.pdim, /*accumulate=*/false, mask, GemmEpilogue{bs.data(), nullptr, fuse_relu});
+    } else {
+      // Masked path keeps the explicit prefill: pruned channels are skipped
+      // by the row mask (including the relu pass) and stay at the exact zero
+      // written here.
+      for (int oc = 0; oc < d.cout; ++oc) {
+        std::fill_n(osample + static_cast<std::size_t>(oc) * d.pdim, d.pdim,
+                    channel_active[oc] != 0 ? bs[oc] : 0.0f);
+      }
+      gemm(false, false, d.cout, d.pdim, d.kdim, wt.data(), d.kdim, col, d.pdim, osample,
+           d.pdim, /*accumulate=*/true, mask, GemmEpilogue{nullptr, nullptr, fuse_relu});
     }
-    gemm(false, false, d.cout, d.pdim, d.kdim, wt.data(), d.kdim, col, d.pdim, osample,
-         d.pdim, /*accumulate=*/true, mask);
+  });
+  return out;
+}
+
+Tensor conv2d_forward_quant(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                            const Conv2dSpec& spec, std::vector<float>& col_cache,
+                            ComputeKernel kernel, bool fuse_relu,
+                            const std::uint8_t* channel_active) {
+  const ConvDims d = conv_dims(input, weight, spec);
+  if (kernel == ComputeKernel::kF32 || d.pdim > kGemmNC) {
+    return conv2d_forward_cached(input, weight, bias, spec, col_cache, channel_active,
+                                 fuse_relu);
+  }
+  FC_REQUIRE(bias.shape().rank() == 1 && bias.shape()[0] == d.cout, "conv2d bias mismatch");
+  col_cache.resize(static_cast<std::size_t>(d.n) * d.kdim * d.pdim);
+
+  Tensor out(Shape{d.n, d.cout, d.ho, d.wo});
+  const auto in = input.data();
+  const auto wt = weight.data();
+  const auto bs = bias.data();
+  auto ov = out.data();
+  const GemmEpilogue epi{bs.data(), nullptr, fuse_relu};
+
+  // Weights quantize/convert once per call and are shared read-only by every
+  // sample; the quantized GEMMs are serial, so the batch loop provides the
+  // parallelism (disjoint outputs, deterministic per-sample float sequences).
+  if (kernel == ComputeKernel::kInt8) {
+    const PackedInt8A pa = pack_a_int8(wt.data(), d.kdim, d.cout, d.kdim,
+                                       /*per_channel=*/true);
+    common::ambient_parallel_for(static_cast<std::size_t>(d.n), [&](std::size_t sample) {
+      const int b = static_cast<int>(sample);
+      float* col = &col_cache[static_cast<std::size_t>(b) * d.kdim * d.pdim];
+      im2col(&in[static_cast<std::size_t>(b) * d.cin * d.h * d.w], d.cin, d.h, d.w, d.kh,
+             d.kw, spec, d.ho, d.wo, col);
+      gemm_s8(pa, d.pdim, col, d.pdim, &ov[static_cast<std::size_t>(b) * d.cout * d.pdim],
+              d.pdim, /*accumulate=*/false, epi);
+    });
+    return out;
+  }
+
+  std::vector<std::uint16_t> wq(static_cast<std::size_t>(d.cout) * d.kdim);
+  f32_to_f16_n(wt.data(), wq.size(), wq.data());
+  common::ambient_parallel_for(static_cast<std::size_t>(d.n), [&](std::size_t sample) {
+    const int b = static_cast<int>(sample);
+    float* col = &col_cache[static_cast<std::size_t>(b) * d.kdim * d.pdim];
+    im2col(&in[static_cast<std::size_t>(b) * d.cin * d.h * d.w], d.cin, d.h, d.w, d.kh, d.kw,
+           spec, d.ho, d.wo, col);
+    Workspace& ws = Workspace::tls();
+    const Workspace::Mark mark = ws.mark();
+    const std::size_t col_elems = static_cast<std::size_t>(d.kdim) * d.pdim;
+    auto* colq = static_cast<std::uint16_t*>(ws.alloc_bytes(col_elems * sizeof(std::uint16_t)));
+    f32_to_f16_n(col, col_elems, colq);
+    gemm_f16(d.cout, d.pdim, d.kdim, wq.data(), d.kdim, colq, d.pdim,
+             &ov[static_cast<std::size_t>(b) * d.cout * d.pdim], d.pdim,
+             /*accumulate=*/false, epi);
+    ws.release(mark);
   });
   return out;
 }

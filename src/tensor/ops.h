@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 
 namespace fedcleanse::tensor {
@@ -47,9 +48,24 @@ void im2col(const float* image, int cin, int h, int w, int kh, int kw,
 // marks pruned output channels: inactive channels are skipped in the packed
 // GEMMs — forward writes exact zeros for them, backward produces exact-zero
 // grad_weight/grad_bias rows and drops them from the grad_input contraction.
+// `fuse_relu` applies max(0, ·) inside the GEMM epilogue — bit-identical to
+// running nn::ReLU over the returned tensor (including -0.0f preservation),
+// but without the extra pass over memory.
 Tensor conv2d_forward_cached(const Tensor& input, const Tensor& weight, const Tensor& bias,
                              const Conv2dSpec& spec, std::vector<float>& col_cache,
-                             const std::uint8_t* channel_active = nullptr);
+                             const std::uint8_t* channel_active = nullptr,
+                             bool fuse_relu = false);
+// Reduced-precision conv forward for activation-profiling scans: kF32
+// delegates to conv2d_forward_cached; kInt8/kF16 run the quantized GEMMs
+// (weights packed once per call, activations quantized inside the pack).
+// Pruned channels need no mask support here — set_unit_active zeroes their
+// weights and bias, so they quantize to zero rows and stay exact zeros.
+// Falls back to fp32 when the spatial extent exceeds the quantized kernels'
+// single-pass column limit (kGemmNC).
+Tensor conv2d_forward_quant(const Tensor& input, const Tensor& weight, const Tensor& bias,
+                            const Conv2dSpec& spec, std::vector<float>& col_cache,
+                            ComputeKernel kernel, bool fuse_relu = false,
+                            const std::uint8_t* channel_active = nullptr);
 Conv2dGrads conv2d_backward_cached(const Tensor& input, const Tensor& weight,
                                    const Tensor& grad_output, const Conv2dSpec& spec,
                                    const std::vector<float>& col_cache,

@@ -1,0 +1,87 @@
+// Reduced-precision compute primitives (DESIGN.md §16).
+//
+// Two storage formats ride on the same blocked-GEMM skeleton as the fp32
+// kernel, both strictly opt-in — fp32 stays the determinism reference:
+//
+//   int8  — symmetric linear quantization (zero-point 0). Weights quantize
+//           per output channel (scale_i = max|row_i| / 127), activations
+//           per tensor; products accumulate in int32 (a KC=256 depth of
+//           127·127 pair-sums peaks at ~4.2e6, far inside int32) and
+//           dequantize into fp32 C with a single fused multiply.
+//   fp16  — IEEE binary16 storage with fp32 accumulation: operands convert
+//           on pack, every arithmetic op is fp32, so the only error is the
+//           storage rounding of A and B.
+//
+// Quantized GEMMs are serial by design: conv callers parallelize across
+// batch samples, which keeps per-element work deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/gemm.h"
+
+namespace fedcleanse::tensor {
+
+// Per-call kernel selector for forward paths that tolerate reduced
+// precision (the defense's activation-profiling scans).
+enum class ComputeKernel : std::uint8_t { kF32 = 0, kF16 = 1, kInt8 = 2 };
+
+const char* compute_kernel_name(ComputeKernel kernel);
+std::optional<ComputeKernel> parse_compute_kernel(const std::string& name);
+
+// max |x[i]| over n entries (0 for n == 0). Written so GCC vectorizes the
+// reduction without -ffast-math.
+float max_abs(const float* x, std::size_t n);
+
+// Symmetric int8 scale for a tensor whose magnitudes reach `maxabs`:
+// q = round(x / scale) spans [-127, 127]. A zero tensor gets scale 1 so
+// dequantization stays exact (0 * 1 == 0) and nothing divides by zero.
+float int8_scale(float maxabs);
+
+// q[i] = clamp(round(x[i] / scale), -127, 127), round-to-nearest-even.
+void quantize_s8(const float* x, std::size_t n, float scale, std::int8_t* q);
+void dequantize_s8(const std::int8_t* q, std::size_t n, float scale, float* x);
+
+// IEEE binary16 <-> binary32, round-to-nearest-even. Hardware F16C when the
+// compiler provides _Float16, portable bit manipulation otherwise.
+std::uint16_t f32_to_f16(float v);
+float f16_to_f32(std::uint16_t h);
+void f32_to_f16_n(const float* x, std::size_t n, std::uint16_t* out);
+void f16_to_f32_n(const std::uint16_t* x, std::size_t n, float* out);
+
+// A (the weight operand) quantized and packed once per scan: row-major
+// [m, k] source laid out as KC-depth blocks of MR-row strips, each depth
+// *pair* interleaved as int16 (the AVX2 vpmaddwd / AVX-VNNI vpdpwssd
+// contract multiplies int16 pairs into int32 lanes). Odd k and ragged m
+// pad with zeros; padded rows carry scale 0 so they dequantize to 0.
+struct PackedInt8A {
+  std::vector<std::int16_t> data;
+  std::vector<float> scales;  // [m] per-row dequant scales
+  int m = 0;
+  int k = 0;
+  int kc_blocks = 0;
+  std::size_t strip_stride = 0;  // int16 entries per (strip, k block)
+  std::size_t block_stride = 0;  // int16 entries per k block
+};
+
+// per_channel=true gives every row its own scale (weights); false derives
+// one scale from max|A| and replicates it (per-tensor).
+PackedInt8A pack_a_int8(const float* a, int lda, int m, int k, bool per_channel);
+
+// C[m,n] (+)= dequant(Aq · quant(B)): B quantizes per tensor on the fly
+// (fused into its pack step), products accumulate in int32 per KC block and
+// fold into fp32 C. Supports the full GemmEpilogue; requires n <= kGemmNC.
+void gemm_s8(const PackedInt8A& a, int n, const float* b, int ldb, float* c, int ldc,
+             bool accumulate, const GemmEpilogue& epi = {});
+
+// C[m,n] (+)= A·B with fp16 storage and fp32 accumulation. A is [m,k] and
+// B is [k,n], both row-major binary16; requires n <= kGemmNC.
+void gemm_f16(int m, int n, int k, const std::uint16_t* a, int lda,
+              const std::uint16_t* b, int ldb, float* c, int ldc, bool accumulate,
+              const GemmEpilogue& epi = {});
+
+}  // namespace fedcleanse::tensor

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <thread>
 
 #include "comm/network.h"
@@ -100,6 +104,64 @@ TEST(Codecs, MalformedPayloadThrows) {
   EXPECT_THROW(decode_masks(garbage), SerializationError);
 }
 
+TEST(Codecs, QuantizedParamsRoundTripWithinHalfStep) {
+  std::vector<float> params(1000);
+  std::uint32_t state = 0x9E3779B9u;
+  float maxabs = 0.0f;
+  for (auto& p : params) {
+    state = state * 1664525u + 1013904223u;
+    p = (static_cast<float>(state >> 8) / 8388608.0f - 1.0f) * 0.05f;
+    maxabs = std::max(maxabs, std::fabs(p));
+  }
+  const auto decoded = decode_flat_params_q8(encode_flat_params_q8(params));
+  ASSERT_EQ(decoded.size(), params.size());
+  // Symmetric int8: worst-case error is half a quantization step.
+  const float step = maxabs / 127.0f;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_NEAR(decoded[i], params[i], 0.5f * step * 1.0001f) << i;
+  }
+}
+
+TEST(Codecs, QuantizedParamsShrinkWire) {
+  const std::vector<float> params(10000, 0.25f);
+  const auto f32 = encode_flat_params(params);
+  const auto q8 = encode_flat_params_q8(params);
+  // 4 bytes/param down to 1 (plus the fixed scale+length overhead).
+  EXPECT_GE(static_cast<double>(f32.size()) / static_cast<double>(q8.size()), 3.5);
+}
+
+TEST(Codecs, QuantizedParamsEmptyAndZeroSafe) {
+  EXPECT_TRUE(decode_flat_params_q8(encode_flat_params_q8({})).empty());
+  const std::vector<float> zeros(17, 0.0f);
+  EXPECT_EQ(decode_flat_params_q8(encode_flat_params_q8(zeros)), zeros);
+}
+
+TEST(Codecs, QuantizedParamsRejectsBadScale) {
+  auto payload = encode_flat_params_q8({1.0f, -1.0f});
+  // Overwrite the leading f32 scale with NaN, then with zero.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::memcpy(payload.data(), &nan, sizeof(nan));
+  EXPECT_THROW(decode_flat_params_q8(payload), DecodeError);
+  const float zero = 0.0f;
+  std::memcpy(payload.data(), &zero, sizeof(zero));
+  EXPECT_THROW(decode_flat_params_q8(payload), DecodeError);
+}
+
+TEST(Codecs, QuantizedParamsTruncationFuzz) {
+  const std::vector<float> params(64, 0.5f);
+  const auto payload = encode_flat_params_q8(params);
+  // Every proper prefix must throw, never crash or decode silently.
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    std::vector<std::uint8_t> cut(payload.begin(),
+                                  payload.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(decode_flat_params_q8(cut), SerializationError) << "prefix " << len;
+  }
+  // Trailing garbage is as malformed as truncation.
+  auto extended = payload;
+  extended.push_back(0xAB);
+  EXPECT_THROW(decode_flat_params_q8(extended), DecodeError);
+}
+
 TEST(Wire, EncodeIsExactlyWireSize) {
   // wire_size() and encode_message must agree byte for byte — the traffic
   // accounting is only honest if they share the same header definition.
@@ -149,11 +211,11 @@ TEST(Wire, ChecksumDetectsPayloadTampering) {
 }
 
 TEST(Wire, ParseMessageTypeValidatesRange) {
-  for (std::uint8_t raw = 1; raw <= 15; ++raw) {
+  for (std::uint8_t raw = 1; raw <= 16; ++raw) {
     ASSERT_TRUE(parse_message_type(raw).has_value()) << int(raw);
   }
   EXPECT_FALSE(parse_message_type(0).has_value());
-  EXPECT_FALSE(parse_message_type(16).has_value());
+  EXPECT_FALSE(parse_message_type(17).has_value());
   EXPECT_FALSE(parse_message_type(255).has_value());
 }
 
@@ -165,7 +227,7 @@ TEST(MessageNames, AllNamed) {
                  MessageType::kAccuracyReport, MessageType::kLrScale,
                  MessageType::kShutdown, MessageType::kRegister,
                  MessageType::kRegisterAck, MessageType::kHeartbeat,
-                 MessageType::kHeartbeatAck}) {
+                 MessageType::kHeartbeatAck, MessageType::kModelUpdateQuantized}) {
     EXPECT_STRNE(message_type_name(t), "?");
   }
 }

@@ -1,11 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
 #include "common/rng.h"
 #include "nn/activations.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
+#include "nn/loss.h"
 #include "nn/model_zoo.h"
+#include "nn/optimizer.h"
 #include "nn/pooling.h"
+#include "tensor/ops.h"
 #include "test_util.h"
 
 using namespace fedcleanse;
@@ -240,4 +248,114 @@ TEST(ModelGradient, HoldsUnderPruning) {
   spec.net.layer(spec.last_conv_index).set_unit_active(7, false);
   auto x = tensor::Tensor::rand_uniform(tensor::Shape{2, 1, 20, 20}, rng, 0.0f, 1.0f);
   testutil::check_gradients(spec.net, x, {0, 9});
+}
+
+// --- fused-epilogue model equivalence ---------------------------------------
+// Sequential::forward collapses Conv2d+ReLU pairs into GEMM epilogues and
+// forward_probs additionally fuses the classifier head's softmax; both are
+// contractually BIT-IDENTICAL to the layer-by-layer pipeline.
+
+namespace {
+
+// The fusion-free reference: every layer through its virtual forward.
+tensor::Tensor forward_unfused(Sequential& net, const tensor::Tensor& x) {
+  tensor::Tensor cur = x;
+  for (int i = 0; i < net.size(); ++i) cur = net.layer(i).forward(cur);
+  return cur;
+}
+
+}  // namespace
+
+TEST(FusedModel, ForwardMatchesUnfusedBitwise) {
+  Rng rng(11);
+  auto fused = make_small_nn(rng);
+  auto ref = fused.clone();
+  auto x = tensor::Tensor::rand_uniform(tensor::Shape{3, 1, 20, 20}, rng, 0.0f, 1.0f);
+  const auto y_fused = fused.net.forward(x);
+  const auto y_ref = forward_unfused(ref.net, x);
+  EXPECT_EQ(y_fused.storage(), y_ref.storage());
+}
+
+TEST(FusedModel, ForwardProbsMatchesSoftmaxRowsBitwise) {
+  Rng rng(12);
+  auto fused = make_small_nn(rng);
+  auto ref = fused.clone();
+  auto x = tensor::Tensor::rand_uniform(tensor::Shape{5, 1, 20, 20}, rng, 0.0f, 1.0f);
+  const auto probs = fused.net.forward_probs(x);
+  const auto expected = tensor::softmax_rows(forward_unfused(ref.net, x));
+  EXPECT_EQ(probs.storage(), expected.storage());
+}
+
+TEST(FusedModel, TrainingStepMatchesUnfusedBitwise) {
+  Rng rng(13);
+  auto fused = make_small_nn(rng);
+  auto ref = fused.clone();
+  auto x = tensor::Tensor::rand_uniform(tensor::Shape{4, 1, 20, 20}, rng, 0.0f, 1.0f);
+  const std::vector<int> labels{0, 3, 7, 9};
+
+  Sgd sgd_fused(fused.net, {0.1, 0.9});
+  Sgd sgd_ref(ref.net, {0.1, 0.9});
+  for (int step = 0; step < 3; ++step) {
+    SoftmaxCrossEntropy loss_fused, loss_ref;
+    fused.net.zero_grad();
+    const float lf = loss_fused.forward_probs(fused.net.forward_probs(x), labels);
+    fused.net.backward(loss_fused.backward());
+    sgd_fused.step();
+
+    ref.net.zero_grad();
+    const float lr = loss_ref.forward(forward_unfused(ref.net, x), labels);
+    ref.net.backward(loss_ref.backward());
+    sgd_ref.step();
+
+    ASSERT_EQ(lf, lr) << "step " << step;
+  }
+  EXPECT_EQ(fused.net.get_flat(), ref.net.get_flat());
+}
+
+TEST(FusedModel, ForwardMatchesUnfusedUnderPruning) {
+  Rng rng(14);
+  auto fused = make_small_nn(rng);
+  fused.net.layer(fused.last_conv_index).set_unit_active(2, false);
+  fused.net.layer(fused.last_conv_index).set_unit_active(5, false);
+  auto ref = fused.clone();
+  auto x = tensor::Tensor::rand_uniform(tensor::Shape{3, 1, 20, 20}, rng, 0.0f, 1.0f);
+  EXPECT_EQ(fused.net.forward(x).storage(), forward_unfused(ref.net, x).storage());
+}
+
+TEST(FusedModel, TapOnFusedReluMatchesUnfused) {
+  Rng rng(15);
+  auto fused = make_small_nn(rng);
+  auto ref = fused.clone();
+  auto x = tensor::Tensor::rand_uniform(tensor::Shape{2, 1, 20, 20}, rng, 0.0f, 1.0f);
+  tensor::Tensor tap_fused;
+  fused.net.forward_with_tap(x, fused.tap_index, tap_fused);
+  tensor::Tensor cur = x;
+  tensor::Tensor tap_ref;
+  for (int i = 0; i < ref.net.size(); ++i) {
+    cur = ref.net.layer(i).forward(cur);
+    if (i == ref.tap_index) tap_ref = cur;
+  }
+  EXPECT_EQ(tap_fused.storage(), tap_ref.storage());
+}
+
+TEST(FusedModel, QuantizedScanStaysCloseToF32) {
+  Rng rng(16);
+  auto model = make_small_nn(rng);
+  auto x = tensor::Tensor::rand_uniform(tensor::Shape{4, 1, 20, 20}, rng, 0.0f, 1.0f);
+  tensor::Tensor tap_f32, tap_i8, tap_f16;
+  model.net.forward_with_tap(x, model.tap_index, tap_f32);
+  model.net.forward_with_tap(x, model.tap_index, tap_i8, tensor::ComputeKernel::kInt8);
+  model.net.forward_with_tap(x, model.tap_index, tap_f16, tensor::ComputeKernel::kF16);
+  ASSERT_EQ(tap_i8.shape(), tap_f32.shape());
+  ASSERT_EQ(tap_f16.shape(), tap_f32.shape());
+  float ref_max = 0.0f;
+  for (float v : tap_f32.storage()) ref_max = std::max(ref_max, std::fabs(v));
+  ASSERT_GT(ref_max, 0.0f);
+  const auto& rv = tap_f32.storage();
+  const auto& iv = tap_i8.storage();
+  const auto& hv = tap_f16.storage();
+  for (std::size_t i = 0; i < rv.size(); ++i) {
+    EXPECT_NEAR(iv[i], rv[i], 0.05f * ref_max) << i;
+    EXPECT_NEAR(hv[i], rv[i], 0.01f * ref_max) << i;
+  }
 }

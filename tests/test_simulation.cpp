@@ -2,6 +2,7 @@
 // the comm layer, attack wiring, determinism, selection.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 
 #include "fl/metrics.h"
@@ -204,4 +205,47 @@ TEST(ServerAggregators, RobustRuleCanBeConfigured) {
   cfg.server.aggregator = AggregatorKind::kMedian;
   Simulation sim(cfg);
   EXPECT_NO_THROW(sim.run_round(0));
+}
+
+TEST(Simulation, QuantizedUpdateCodecShrinksUplink) {
+  auto cfg = testutil::tiny_sim_config(31);
+  Simulation f32(cfg);
+  f32.run(true);
+  cfg.train.update_codec = comm::UpdateCodec::kInt8;
+  Simulation q8(cfg);
+  q8.run(true);
+
+  ASSERT_EQ(f32.history().size(), q8.history().size());
+  std::uint64_t bytes_f32 = 0, bytes_q8 = 0;
+  for (const auto& rec : f32.history()) bytes_f32 += rec.wire_bytes;
+  for (const auto& rec : q8.history()) bytes_q8 += rec.wire_bytes;
+  ASSERT_GT(bytes_q8, 0u);
+  // int8 payloads are 1 byte/param vs 4 (plus fixed scale+header overhead).
+  EXPECT_GE(static_cast<double>(bytes_f32) / static_cast<double>(bytes_q8), 3.5);
+
+  // Per-round quantization error is half a step per parameter; after a short
+  // run the two models must still agree on most test samples.
+  EXPECT_NEAR(q8.history().back().test_acc, f32.history().back().test_acc, 0.25);
+}
+
+TEST(Simulation, F32CodecIsDefaultAndDeterministic) {
+  // The explicit f32 codec is the default; spelling it out must not change a
+  // single byte of the run.
+  auto cfg = testutil::tiny_sim_config(32);
+  Simulation implicit(cfg);
+  implicit.run(false);
+  cfg.train.update_codec = comm::UpdateCodec::kF32;
+  Simulation explicit_f32(cfg);
+  explicit_f32.run(false);
+  EXPECT_EQ(implicit.server().params(), explicit_f32.server().params());
+}
+
+TEST(Simulation, WireBytesRecordedPerRound) {
+  Simulation sim(testutil::tiny_sim_config(33));
+  sim.run(true);
+  const std::size_t param_bytes = sim.server().model().net.num_params() * 4;
+  for (const auto& rec : sim.history()) {
+    // Each round uplinks one ≈4B/param update per participating client.
+    EXPECT_GE(rec.wire_bytes, param_bytes);
+  }
 }
