@@ -18,10 +18,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "defense/pipeline.h"
 #include "fl/simulation.h"
+#include "obs/exporter.h"
+#include "obs/journal.h"
+#include "obs/trace.h"
+#include "tensor/quant.h"
 
 namespace deploy {
 
@@ -40,6 +45,11 @@ struct Options {
   std::string scheduler_host = "127.0.0.1";
   int scheduler_port = 0;
   std::string journal_path;
+  // Observability plane (DESIGN.md §17). All default-off; none of them may
+  // perturb model bytes or stdout when enabled.
+  int metrics_port = -1;       // -1 = no /metricsz listener; 0 = ephemeral port
+  std::string trace_path;      // Chrome trace written at process exit
+  std::string metrics_port_file;  // scheduler writes its chosen port here
   fedcleanse::comm::TransportConfig transport;
   // Quantization knobs. Must match on every node: the server accepts both
   // update codecs on the wire, but the in-process reference replica only
@@ -55,6 +65,7 @@ inline const char* deploy_flag_help() {
   return "  --seed N --clients N --rounds N --ft-rounds N\n"
          "  --samples-train N --samples-test N\n"
          "  --scheduler-host H --scheduler-port P --journal-out PATH\n"
+         "  --metrics-port P (0=ephemeral) --metrics-port-file PATH --trace-out PATH\n"
          "  --recv-timeout-ms N --max-backoff-shift N\n"
          "  --connect-timeout-ms N --accept-timeout-ms N --max-connect-retries N\n"
          "  --backoff-base-ms N --backoff-cap-ms N\n"
@@ -86,6 +97,12 @@ inline bool parse_deploy_flag(int argc, char** argv, int& i, Options& opt) {
     opt.scheduler_port = std::atoi(argv[++i]);
   } else if (has_value("--journal-out")) {
     opt.journal_path = argv[++i];
+  } else if (has_value("--metrics-port")) {
+    opt.metrics_port = std::atoi(argv[++i]);
+  } else if (has_value("--metrics-port-file")) {
+    opt.metrics_port_file = argv[++i];
+  } else if (has_value("--trace-out")) {
+    opt.trace_path = argv[++i];
   } else if (has_value("--recv-timeout-ms")) {
     opt.recv_timeout_ms = std::atoi(argv[++i]);
   } else if (has_value("--max-backoff-shift")) {
@@ -122,6 +139,43 @@ inline bool parse_deploy_flag(int argc, char** argv, int& i, Options& opt) {
     return false;
   }
   return true;
+}
+
+// Observability bring-up shared by the three deployment binaries: run
+// identity (the journal's {"kind":"open"} line), the trace file and its
+// process-name track label, and the runtime metrics switch — any requested
+// sink turns metrics on. Call before constructing the Journal.
+inline void init_observability(const Options& opt, const std::string& role, int argc,
+                               char** argv) {
+  namespace obs = fedcleanse::obs;
+  obs::set_run_identity(role, obs::hash_argv(argc, argv),
+                        fedcleanse::tensor::int8_dispatch_name());
+  obs::set_trace_process_name(role);
+  if (!opt.trace_path.empty()) {
+    obs::set_trace_path(opt.trace_path);
+    // Flush after main returns so every exit path (early errors included)
+    // still writes the trace file.
+    std::atexit(+[] { fedcleanse::obs::flush_trace(); });
+  }
+  if (!opt.journal_path.empty() || !opt.trace_path.empty() || opt.metrics_port >= 0) {
+    obs::set_metrics_enabled(true);
+  }
+}
+
+// /metricsz + /statusz listener when --metrics-port was given; nullptr
+// otherwise. Writes the chosen port to --metrics-port-file so launch scripts
+// can scrape an ephemeral port.
+inline std::unique_ptr<fedcleanse::obs::MetricsExporter> make_exporter(const Options& opt) {
+  if (opt.metrics_port < 0) return nullptr;
+  auto exporter = std::make_unique<fedcleanse::obs::MetricsExporter>(
+      static_cast<std::uint16_t>(opt.metrics_port));
+  if (exporter->ok() && !opt.metrics_port_file.empty()) {
+    if (std::FILE* f = std::fopen(opt.metrics_port_file.c_str(), "w")) {
+      std::fprintf(f, "%u\n", static_cast<unsigned>(exporter->port()));
+      std::fclose(f);
+    }
+  }
+  return exporter;
 }
 
 inline fedcleanse::fl::SimulationConfig make_simulation_config(const Options& opt) {

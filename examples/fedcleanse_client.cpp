@@ -27,11 +27,14 @@
 #include <memory>
 #include <string>
 
+#include "comm/scheduler.h"
 #include "comm/socket_network.h"
 #include "common/logging.h"
+#include "common/sysinfo.h"
 #include "deploy_common.h"
 #include "fl/simulation.h"
 #include "obs/journal.h"
+#include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -66,6 +69,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  deploy::init_observability(opt, "client-" + std::to_string(id), argc, argv);
   std::unique_ptr<obs::Journal> journal;
   if (!opt.journal_path.empty()) {
     journal = std::make_unique<obs::Journal>(opt.journal_path, false);
@@ -84,11 +88,41 @@ int main(int argc, char** argv) {
     // the replica population while the server builds its own.
     comm::SocketClientNetwork net(cfg.n_clients, id, opt.transport, opt.scheduler_host,
                                   static_cast<std::uint16_t>(opt.scheduler_port));
+    auto exporter = deploy::make_exporter(opt);
+    if (exporter && exporter->ok()) {
+      exporter->set_status_provider([&net, id] {
+        obs::JsonObject s;
+        s.add("role", "client")
+            .add("id", id)
+            .add("round", obs::metrics::current_round().value())
+            .add("connected", net.connected())
+            .add("wire_bytes", obs::metrics::transport_bytes_sent().value())
+            .add("peak_rss", static_cast<std::uint64_t>(common::peak_rss_bytes()));
+        return s.str();
+      });
+    }
     fl::Simulation sim(cfg);
     if (!net.wait_connected(wait_timeout_ms)) {
       std::fprintf(stderr, "client %d: no server registration within %d ms\n", id,
                    wait_timeout_ms);
       return 1;
+    }
+    // With telemetry on, open a persistent scheduler link that beacons this
+    // client's progress snapshots — the rows in the scheduler's fleet table.
+    // Telemetry off keeps the pre-§17 topology: clients touch the scheduler
+    // only during discovery.
+    std::unique_ptr<comm::SchedulerSession> fleet_link;
+    if (obs::metrics_enabled()) {
+      comm::RegisterInfo beacon_info;
+      beacon_info.role = comm::NodeRole::kClient;
+      beacon_info.node_id = id;
+      try {
+        fleet_link = std::make_unique<comm::SchedulerSession>(
+            opt.scheduler_host, static_cast<std::uint16_t>(opt.scheduler_port),
+            beacon_info, opt.transport);
+      } catch (const comm::TransportError& e) {
+        FC_LOG(Warn) << "client " << id << ": fleet beacon link failed — " << e.what();
+      }
     }
     std::printf("client %d: registered%s\n", id,
                 sim.client(id).malicious() ? " (malicious)" : "");

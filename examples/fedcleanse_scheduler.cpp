@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  deploy::init_observability(opt, "scheduler", argc, argv);
   std::unique_ptr<obs::Journal> journal;
   if (!opt.journal_path.empty()) {
     journal = std::make_unique<obs::Journal>(opt.journal_path, false);
@@ -76,6 +77,13 @@ int main(int argc, char** argv) {
   try {
     comm::Scheduler scheduler(opt.transport, "127.0.0.1",
                               static_cast<std::uint16_t>(port));
+    auto exporter = deploy::make_exporter(opt);
+    if (exporter && exporter->ok()) {
+      // The fleet table: per-node round progress and heartbeat ages,
+      // aggregated from the status snapshots nodes attach to their beacons.
+      exporter->set_status_provider(
+          [&scheduler] { return scheduler.fleet_status_json(); });
+    }
     if (!port_file.empty() && !write_port_file(port_file, scheduler.port())) {
       std::fprintf(stderr, "cannot write port file %s\n", port_file.c_str());
       return 2;

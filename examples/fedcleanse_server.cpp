@@ -30,11 +30,14 @@
 #include "comm/scheduler.h"
 #include "comm/socket_network.h"
 #include "common/logging.h"
+#include "common/sysinfo.h"
 #include "defense/pipeline.h"
 #include "deploy_common.h"
+#include "fl/protocol.h"
 #include "fl/simulation.h"
 #include "nn/checkpoint.h"
 #include "obs/journal.h"
+#include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -88,6 +91,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  deploy::init_observability(opt, "server", argc, argv);
   std::unique_ptr<obs::Journal> journal;
   if (!opt.journal_path.empty()) {
     journal = std::make_unique<obs::Journal>(opt.journal_path, false);
@@ -121,6 +125,26 @@ int main(int argc, char** argv) {
     }
 
     comm::SocketServerNetwork net(cfg.n_clients, opt.transport);
+    auto exporter = deploy::make_exporter(opt);
+    if (exporter && exporter->ok()) {
+      const std::size_t quorum_need =
+          fl::quorum_count(static_cast<std::size_t>(cfg.n_clients),
+                           cfg.fault.min_collect_fraction);
+      exporter->set_status_provider([&net, &cfg, quorum_need] {
+        obs::JsonObject s;
+        s.add("role", "server")
+            .add("round", obs::metrics::current_round().value())
+            .add("cohort", cfg.n_clients)
+            .add("n_alive", net.n_alive())
+            .add("quorum_need", static_cast<std::uint64_t>(quorum_need))
+            .add("quorum_met",
+                 static_cast<std::size_t>(net.n_alive()) >= quorum_need)
+            .add("wire_bytes", obs::metrics::transport_bytes_sent().value())
+            .add("peak_rss", static_cast<std::uint64_t>(common::peak_rss_bytes()))
+            .add_raw("clients", net.peers_status_json());
+        return s.str();
+      });
+    }
     comm::RegisterInfo info;
     info.role = comm::NodeRole::kServer;
     info.port = net.port();

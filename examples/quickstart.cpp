@@ -51,6 +51,7 @@
 #include "obs/journal.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "tensor/quant.h"
 
 using namespace fedcleanse;
 
@@ -107,6 +108,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
     return 2;
   }
+
+  // Identity for the journal's {"kind":"open"} line and the trace's process
+  // track. A resumed run appends a second open line — the new pid marks the
+  // restart boundary alongside the snapshot's {"kind":"resume"}.
+  obs::set_run_identity("quickstart", obs::hash_argv(argc, argv),
+                        tensor::int8_dispatch_name());
+  obs::set_trace_process_name("quickstart");
 
   // A resumed run appends to its journal (the snapshot marks the boundary
   // with a {"kind":"resume"} line) instead of clobbering the rounds the

@@ -10,7 +10,12 @@ Checks enforced here:
   * every line parses as a JSON object with a known "kind"
     (train_round | finetune_round | defense | resume, plus the socket
     transport's control-plane events: client_register | reconnect |
-    client_dead | server_register)
+    client_dead | server_register, plus the observability plane's
+    open | fleet_status — DESIGN.md §17)
+  * an "open" line carries the writing process's identity: pid, role,
+    argv_hash, cpu dispatch tier, and the trace wall-clock anchor
+  * a "fleet_status" line (scheduler only) carries the closed round, node
+    counts, round-latency percentiles, and straggler/stale counts
   * round-bearing kinds carry round / ta / asr / n_participants / n_valid,
     with ta and asr in [0, 1]
   * rounds are monotonically increasing within each kind (journals append
@@ -46,7 +51,14 @@ ROUND_KINDS = ("train_round", "finetune_round")
 # reconnect-and-reregister, and liveness deaths, written by whichever node
 # observed them ("node": server | scheduler | client).
 TRANSPORT_KINDS = ("client_register", "reconnect", "client_dead", "server_register")
-KNOWN_KINDS = ROUND_KINDS + ("defense", "resume") + TRANSPORT_KINDS
+# Observability-plane events (DESIGN.md §17): the process-identity header every
+# telemetry-enabled journal opens with, and the scheduler's per-round fleet
+# roll-up.
+OBS_KINDS = ("open", "fleet_status")
+KNOWN_KINDS = ROUND_KINDS + ("defense", "resume") + TRANSPORT_KINDS + OBS_KINDS
+OPEN_KEYS = ("pid", "role", "argv_hash", "cpu", "trace_anchor_unix_ns")
+FLEET_KEYS = ("round", "n_nodes", "n_reported", "latency_p50_ms",
+              "latency_max_ms", "n_stragglers", "n_stale")
 ROUND_KEYS = ("round", "ta", "asr", "n_participants", "n_valid")
 DEFENSE_KEYS = ("method", "ta", "asr", "ta_before", "asr_before",
                 "neurons_pruned", "weights_zeroed", "phase_seconds")
@@ -116,6 +128,58 @@ def check(path: str) -> tuple[list[dict], list[str]]:
                 else:
                     last_round["finetune_round"] = rnd - 1
                 last_peak = 0  # the resumed process has its own VmHWM
+                continue
+            if kind == "open":
+                missing = [k for k in OPEN_KEYS if k not in entry]
+                if missing:
+                    errors.append((lineno, f"{where}: open missing keys {missing}"))
+                else:
+                    for k in ("pid", "argv_hash", "trace_anchor_unix_ns"):
+                        v = entry[k]
+                        if not isinstance(v, int) or isinstance(v, bool) or v <= 0:
+                            errors.append(
+                                (lineno, f"{where}: open {k}={v!r} not a positive int"))
+                    for k in ("role", "cpu"):
+                        if not isinstance(entry[k], str) or not entry[k]:
+                            errors.append(
+                                (lineno, f"{where}: open {k}={entry[k]!r} not a "
+                                         "non-empty string"))
+                # An open line past the first means a new process appended
+                # (crash-resume), which carries its own VmHWM floor.
+                last_peak = 0
+                entries.append(entry)
+                continue
+            if kind == "fleet_status":
+                if entry.get("node") != "scheduler":
+                    errors.append(
+                        (lineno, f"{where}: fleet_status node={entry.get('node')!r} "
+                                 "(only the scheduler aggregates the fleet)"))
+                missing = [k for k in FLEET_KEYS if k not in entry]
+                if missing:
+                    errors.append(
+                        (lineno, f"{where}: fleet_status missing keys {missing}"))
+                    continue
+                for k in ("round", "n_nodes", "n_reported", "n_stragglers", "n_stale"):
+                    v = entry[k]
+                    if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                        errors.append(
+                            (lineno, f"{where}: fleet_status {k}={v!r} not a "
+                                     "non-negative int"))
+                for k in ("latency_p50_ms", "latency_max_ms"):
+                    v = entry[k]
+                    if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+                        errors.append(
+                            (lineno, f"{where}: fleet_status {k}={v!r} negative "
+                                     "or non-numeric"))
+                r = entry["round"]
+                if isinstance(r, int) and not isinstance(r, bool):
+                    if kind in last_round and r <= last_round[kind]:
+                        errors.append(
+                            (lineno, f"{where}: fleet_status round {r} not after "
+                                     f"{last_round[kind]}"))
+                    else:
+                        last_round[kind] = r
+                entries.append(entry)
                 continue
             if kind in TRANSPORT_KINDS:
                 node = entry.get("node")
@@ -223,8 +287,12 @@ def main() -> int:
         print(f"error: {err}", file=sys.stderr)
     if errors:
         return 1
-    label = "journal" if args.stable else args.journal
-    print(f"{label}: OK ({len(entries)} entries)")
+    if args.stable:
+        # No entry count: a resumed run legitimately carries one extra "open"
+        # line per restarted process, and --stable output must diff clean.
+        print("journal: OK")
+    else:
+        print(f"{args.journal}: OK ({len(entries)} entries)")
     return 0
 
 

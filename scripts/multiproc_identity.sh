@@ -9,8 +9,21 @@
 # invisible to the protocol: any divergence (a retransmit that retrained a
 # client, a reordered message, a corrupted frame) changes the model bytes.
 #
-# Usage: scripts/multiproc_identity.sh [BUILD_DIR]   (default: build)
+# With --telemetry the socket deployment runs a third time with the full
+# observability plane on every node (--metrics-port 0, --trace-out,
+# --journal-out) and the saved model is compared against the telemetry-off
+# reference: DESIGN.md §17's zero-perturbation invariant, enforced with cmp.
+# The per-process traces are then stitched by scripts/trace_merge.py --verify,
+# which asserts server sends causally precede same-correlation client spans.
+#
+# Usage: scripts/multiproc_identity.sh [--telemetry] [BUILD_DIR]   (default: build)
 set -euo pipefail
+
+TELEMETRY=0
+if [ "${1:-}" = "--telemetry" ]; then
+  TELEMETRY=1
+  shift
+fi
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$REPO_ROOT/build}"
@@ -26,11 +39,12 @@ trap cleanup EXIT
 
 FLAGS=(--clients 5 --rounds 3 --samples-train 60 --ft-rounds 3)
 
-echo "[1/3] in-process reference run"
+TOTAL=$((3 + TELEMETRY))
+echo "[1/$TOTAL] in-process reference run"
 "$BUILD/examples/fedcleanse_server" --local "${FLAGS[@]}" \
   --save "$WORK/reference.fckp" >"$WORK/local.log" 2>&1
 
-echo "[2/3] socket deployment: scheduler + server + 5 client processes"
+echo "[2/$TOTAL] socket deployment: scheduler + server + 5 client processes"
 "$BUILD/examples/fedcleanse_scheduler" --port-file "$WORK/sched.port" \
   --journal-out "$WORK/sched.jsonl" >"$WORK/sched.log" 2>&1 &
 for _ in $(seq 100); do [ -s "$WORK/sched.port" ] && break; sleep 0.1; done
@@ -45,7 +59,7 @@ done
   --save "$WORK/socket.fckp" --journal-out "$WORK/server.jsonl" >"$WORK/server.log" 2>&1
 wait
 
-echo "[3/3] comparing models and validating journals"
+echo "[3/$TOTAL] comparing models and validating journals"
 if ! cmp "$WORK/reference.fckp" "$WORK/socket.fckp"; then
   echo "FAIL: socket-run model diverges from the in-process reference" >&2
   sed -e 's/^/  server: /' "$WORK/server.log" >&2
@@ -54,3 +68,39 @@ fi
 python3 "$REPO_ROOT/scripts/journal_check.py" --quiet "$WORK/server.jsonl"
 python3 "$REPO_ROOT/scripts/journal_check.py" --quiet "$WORK/sched.jsonl"
 echo "multiproc identity: OK (socket model byte-identical to the in-process reference)"
+
+[ "$TELEMETRY" = 1 ] || exit 0
+
+echo "[4/4] telemetry-on socket deployment (metrics + traces + journals everywhere)"
+"$BUILD/examples/fedcleanse_scheduler" --port-file "$WORK/sched2.port" \
+  --metrics-port 0 --journal-out "$WORK/sched-telem.jsonl" \
+  --trace-out "$WORK/sched-telem.trace.json" >"$WORK/sched2.log" 2>&1 &
+for _ in $(seq 100); do [ -s "$WORK/sched2.port" ] && break; sleep 0.1; done
+[ -s "$WORK/sched2.port" ] || { echo "telemetry scheduler never published its port" >&2; exit 1; }
+PORT2="$(cat "$WORK/sched2.port")"
+
+for id in 0 1 2 3 4; do
+  "$BUILD/examples/fedcleanse_client" --id "$id" "${FLAGS[@]}" \
+    --scheduler-port "$PORT2" --metrics-port 0 \
+    --journal-out "$WORK/client$id-telem.jsonl" \
+    --trace-out "$WORK/client$id-telem.trace.json" >"$WORK/client$id-telem.log" 2>&1 &
+done
+"$BUILD/examples/fedcleanse_server" "${FLAGS[@]}" --scheduler-port "$PORT2" \
+  --metrics-port 0 --save "$WORK/telemetry.fckp" \
+  --journal-out "$WORK/server-telem.jsonl" \
+  --trace-out "$WORK/server-telem.trace.json" >"$WORK/server-telem.log" 2>&1
+wait
+
+if ! cmp "$WORK/reference.fckp" "$WORK/telemetry.fckp"; then
+  echo "FAIL: telemetry-on model diverges from the telemetry-off reference" >&2
+  echo "      (the observability plane perturbed the run — DESIGN.md §17)" >&2
+  sed -e 's/^/  server: /' "$WORK/server-telem.log" >&2
+  exit 1
+fi
+for j in "$WORK/server-telem.jsonl" "$WORK/sched-telem.jsonl" \
+         "$WORK"/client*-telem.jsonl; do
+  python3 "$REPO_ROOT/scripts/journal_check.py" --quiet "$j"
+done
+python3 "$REPO_ROOT/scripts/trace_merge.py" "$WORK"/*-telem.trace.json \
+  -o "$WORK/merged.trace.json" --verify
+echo "multiproc identity: OK (telemetry-on model byte-identical; merged trace causally ordered)"

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Stitch per-process fedcleanse Chrome traces into one aligned timeline.
+
+Usage: trace_merge.py TRACE.json [TRACE.json ...] -o merged.json [--verify]
+
+Each fedcleanse process writes its own trace_event file (--trace-out /
+FEDCLEANSE_TRACE) with timestamps measured from its private steady-clock
+epoch. The file's top-level metadata records that epoch's wall-clock anchor
+("trace_wall_anchor_unix_ns", captured back to back with the steady read —
+DESIGN.md §17), plus the writer's pid and process name. This tool:
+
+  * loads every input trace, skipping unreadable or truncated files with a
+    warning — a SIGKILLed client never flushes its trace, and a faulted
+    deployment should still merge from the survivors;
+  * shifts every event onto the shared wall clock: the earliest anchor across
+    the inputs becomes t=0 and each file's events move forward by
+    (anchor - min_anchor) microseconds;
+  * keeps each process on its own track (events already carry the writer's
+    real pid; process_name metadata events label the tracks), adding a
+    process_sort_index so scheduler / server / clients stack in a stable
+    order in the Perfetto UI (https://ui.perfetto.dev).
+
+--verify additionally checks causality across the merge: every span in a
+client process that carries a correlation id (args.corr, stamped by the
+round-trip exchange — wire_recv, client.handle, and the reply's wire_send)
+must start no earlier than the server's first wire_send span with the same
+id. Anchors on one host agree to well under a scheduling quantum, so
+--slack-us (default 100) absorbs the capture jitter without masking real
+ordering bugs, which are off by whole spans, not microseconds. Any violation
+(or a corr'd client span with no matching server send in the inputs) exits 1,
+so CI can gate on it.
+
+Exit code: 0 on success, 1 on verification failure or no loadable inputs.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_trace(path: str) -> dict | None:
+    """Parse one per-process trace; None (with a warning) if unusable."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"warning: skipping {path}: {e}", file=sys.stderr)
+        return None
+    meta = doc.get("metadata") if isinstance(doc, dict) else None
+    anchor = meta.get("trace_wall_anchor_unix_ns") if isinstance(meta, dict) else None
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(anchor, int) or not isinstance(events, list):
+        print(f"warning: skipping {path}: missing wall anchor or traceEvents "
+              "(pre-§17 trace?)", file=sys.stderr)
+        return None
+    return {
+        "path": path,
+        "anchor_ns": anchor,
+        "pid": meta.get("pid"),
+        "name": meta.get("process_name") or f"pid{meta.get('pid')}",
+        "events": [e for e in events if isinstance(e, dict)],
+    }
+
+
+def sort_key(name: str) -> tuple[int, str]:
+    """Stable track order: scheduler, then server, then clients, then rest."""
+    for rank, prefix in enumerate(("scheduler", "server", "client")):
+        if name.startswith(prefix):
+            return (rank, name)
+    return (3, name)
+
+
+def merge(traces: list[dict]) -> list[dict]:
+    min_anchor = min(t["anchor_ns"] for t in traces)
+    merged: list[dict] = []
+    for idx, t in enumerate(sorted(traces, key=lambda t: sort_key(t["name"]))):
+        offset_us = (t["anchor_ns"] - min_anchor) / 1000.0
+        pid = t["pid"]
+        merged.append({"name": "process_sort_index", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"sort_index": idx}})
+        have_name_meta = False
+        for ev in t["events"]:
+            ev = dict(ev)
+            ev["pid"] = pid  # one track per source file, even on pid reuse
+            if ev.get("ph") == "M":
+                if ev.get("name") == "process_name":
+                    have_name_meta = True
+            elif "ts" in ev:
+                ev["ts"] = ev["ts"] + offset_us
+            merged.append(ev)
+        if not have_name_meta:
+            merged.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "tid": 0, "args": {"name": t["name"]}})
+    return merged
+
+
+def verify(traces: list[dict], slack_us: float) -> tuple[int, list[str]]:
+    """Causality over the merge: server wire_send precedes same-corr client spans."""
+    min_anchor = min(t["anchor_ns"] for t in traces)
+    send_start: dict[int, float] = {}   # corr -> earliest aligned server send ts
+    client_spans: list[tuple[str, dict, float]] = []
+    for t in traces:
+        offset_us = (t["anchor_ns"] - min_anchor) / 1000.0
+        is_server = t["name"].startswith("server")
+        is_client = t["name"].startswith("client")
+        for ev in t["events"]:
+            if ev.get("ph") != "X":
+                continue
+            corr = (ev.get("args") or {}).get("corr")
+            if not isinstance(corr, int) or corr == 0:  # 0 = unstamped control
+                continue
+            ts = ev.get("ts", 0.0) + offset_us
+            if is_server and ev.get("name") == "wire_send":
+                send_start[corr] = min(ts, send_start.get(corr, ts))
+            elif is_client:
+                client_spans.append((t["name"], ev, ts))
+    errors = []
+    for proc, ev, ts in client_spans:
+        corr = ev["args"]["corr"]
+        sent = send_start.get(corr)
+        if sent is None:
+            errors.append(f"{proc}: span {ev.get('name')!r} corr={corr} has no "
+                          "server wire_send with that correlation id")
+        elif ts + slack_us < sent:
+            errors.append(f"{proc}: span {ev.get('name')!r} corr={corr} starts at "
+                          f"{ts:.3f}us, before the server's first wire_send at "
+                          f"{sent:.3f}us")
+    return len(client_spans), errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("traces", nargs="+", help="per-process trace_event files")
+    ap.add_argument("-o", "--output", required=True, help="merged trace path")
+    ap.add_argument("--verify", action="store_true",
+                    help="check server sends precede same-corr client spans")
+    ap.add_argument("--slack-us", type=float, default=100.0,
+                    help="anchor-capture jitter tolerated by --verify (µs)")
+    args = ap.parse_args()
+
+    traces = [t for t in (load_trace(p) for p in args.traces) if t is not None]
+    if not traces:
+        print("error: no loadable traces", file=sys.stderr)
+        return 1
+
+    merged = merge(traces)
+    with open(args.output, "w") as f:
+        json.dump({"displayTimeUnit": "ms",
+                   "metadata": {
+                       "merged_from": [t["path"] for t in traces],
+                       "wall_anchor_unix_ns": min(t["anchor_ns"] for t in traces),
+                   },
+                   "traceEvents": merged}, f)
+        f.write("\n")
+    n_events = sum(1 for e in merged if e.get("ph") == "X")
+    print(f"{args.output}: {len(traces)} processes, {n_events} spans merged")
+
+    if args.verify:
+        n_spans, errors = verify(traces, args.slack_us)
+        for err in errors:
+            print(f"error: {err}", file=sys.stderr)
+        if errors:
+            return 1
+        if n_spans == 0:
+            print("error: --verify found no correlated client spans "
+                  "(traces from a telemetry-off run?)", file=sys.stderr)
+            return 1
+        print(f"verify: {n_spans} correlated client spans causally "
+              "ordered after their server sends")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

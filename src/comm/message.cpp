@@ -1,10 +1,36 @@
 #include "comm/message.h"
 
+#include <atomic>
 #include <cmath>
 
 #include "tensor/quant.h"
 
 namespace fedcleanse::comm {
+
+namespace {
+// The allocator is process-global: exchanges run sequentially on the round
+// protocol's driving thread, so ids are dense and ordered within one run.
+std::atomic<std::uint32_t> g_next_correlation{1};
+// Current-exchange id. Only the exchange driver writes it; message factories
+// on the same thread read it, and client replies echo the request's id
+// instead of reading this, so cross-thread visibility is not load-bearing.
+std::atomic<std::uint32_t> g_current_correlation{0};
+}  // namespace
+
+std::uint32_t next_correlation_id() {
+  return g_next_correlation.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint32_t current_correlation_id() {
+  return g_current_correlation.load(std::memory_order_relaxed);
+}
+
+ScopedCorrelation::ScopedCorrelation(std::uint32_t id)
+    : previous_(g_current_correlation.exchange(id, std::memory_order_relaxed)) {}
+
+ScopedCorrelation::~ScopedCorrelation() {
+  g_current_correlation.store(previous_, std::memory_order_relaxed);
+}
 
 const char* message_type_name(MessageType t) {
   switch (t) {
@@ -84,6 +110,7 @@ std::vector<std::uint8_t> encode_message(const Message& m) {
   w.write_u8(static_cast<std::uint8_t>(m.type));
   w.write_u32(m.round);
   w.write_i32(m.sender);
+  w.write_u32(m.correlation);
   // Always write the true checksum: encoded bytes are by construction
   // self-consistent, whatever m.checksum held.
   w.write_u64(payload_checksum(m.payload));
@@ -102,6 +129,7 @@ Message decode_message(const std::vector<std::uint8_t>& bytes) {
     m.type = *type;
     m.round = r.read_u32();
     m.sender = r.read_i32();
+    m.correlation = r.read_u32();
     m.checksum = r.read_u64();
     m.payload = r.read_u8_vector();
     if (!m.checksum_ok()) {
@@ -115,6 +143,7 @@ void write_message_verbatim(common::ByteWriter& w, const Message& m) {
   w.write_u8(static_cast<std::uint8_t>(m.type));
   w.write_u32(m.round);
   w.write_i32(m.sender);
+  w.write_u32(m.correlation);
   w.write_u64(m.checksum);  // as stored, not recomputed
   w.write_u8_vector(m.payload);
 }
@@ -133,6 +162,7 @@ Message read_message_verbatim(common::ByteReader& r) {
   m.type = *type;
   m.round = r.read_u32();
   m.sender = r.read_i32();
+  m.correlation = r.read_u32();
   m.checksum = r.read_u64();
   m.payload = r.read_u8_vector();
   return m;
@@ -297,6 +327,24 @@ RegisterAck decode_register_ack(const std::vector<std::uint8_t>& payload) {
     ack.server_port = static_cast<std::uint16_t>(port);
     ack.n_clients_registered = r.read_i32();
     return ack;
+  });
+}
+
+std::vector<std::uint8_t> encode_heartbeat_status(const HeartbeatStatus& s) {
+  common::ByteWriter w;
+  w.write_u32(s.round);
+  w.write_u64(s.wire_bytes);
+  w.write_u64(s.peak_rss);
+  return w.take();
+}
+
+HeartbeatStatus decode_heartbeat_status(const std::vector<std::uint8_t>& payload) {
+  return decode_checked("heartbeat_status", payload, [](common::ByteReader& r) {
+    HeartbeatStatus s;
+    s.round = r.read_u32();
+    s.wire_bytes = r.read_u64();
+    s.peak_rss = r.read_u64();
+    return s;
   });
 }
 

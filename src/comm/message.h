@@ -55,16 +55,40 @@ class DecodeError : public SerializationError {
 // fail verification at the receiver instead of decoding into silent garbage.
 std::uint64_t payload_checksum(const std::vector<std::uint8_t>& payload);
 
-// Wire header: type (u8) + round (u32) + sender (i32) + checksum (u64) +
-// payload length (u32). Single source of truth shared by
+// Wire header: type (u8) + round (u32) + sender (i32) + correlation (u32) +
+// checksum (u64) + payload length (u32). Single source of truth shared by
 // Message::wire_size() and the encode_message()/decode_message() pair, so a
 // header change cannot silently skew Network::total_bytes() accounting.
-inline constexpr std::size_t kMessageHeaderBytes = 1 + 4 + 4 + 8 + 4;
+inline constexpr std::size_t kMessageHeaderBytes = 1 + 4 + 4 + 4 + 8 + 4;
+
+// Process-wide correlation-id allocator for distributed tracing (DESIGN.md
+// §17). The round-protocol driver (fl::exchange_streaming) draws one id per
+// exchange and stamps it into every request of that exchange; clients echo the
+// id back in their replies, so the merged multi-process trace can pair a
+// server dispatch span with the client work it caused. Ids are observability
+// metadata only — no protocol decision reads them — and 0 means "unstamped"
+// (control-plane beacons, pre-correlation traffic).
+std::uint32_t next_correlation_id();
+// The id the current exchange stamped (0 outside any exchange). Set/restored
+// RAII-style by ScopedCorrelation; read by the server's message factory.
+std::uint32_t current_correlation_id();
+
+class ScopedCorrelation {
+ public:
+  explicit ScopedCorrelation(std::uint32_t id);
+  ~ScopedCorrelation();
+  ScopedCorrelation(const ScopedCorrelation&) = delete;
+  ScopedCorrelation& operator=(const ScopedCorrelation&) = delete;
+
+ private:
+  std::uint32_t previous_;
+};
 
 struct Message {
   MessageType type{};
   std::uint32_t round = 0;
   std::int32_t sender = -1;  // client id, or -1 for the server
+  std::uint32_t correlation = 0;  // exchange id (0 = unstamped control traffic)
   std::uint64_t checksum = 0;  // payload_checksum(payload), set by stamp()
   std::vector<std::uint8_t> payload;
 
@@ -164,5 +188,17 @@ struct RegisterAck {
 
 std::vector<std::uint8_t> encode_register_ack(const RegisterAck& ack);
 RegisterAck decode_register_ack(const std::vector<std::uint8_t>& payload);
+
+// Optional kHeartbeat payload (DESIGN.md §17): a compact progress/metric
+// snapshot the fleet view aggregates. An empty heartbeat payload remains
+// valid (PR 7's bare beacon); a non-empty one must decode exactly.
+struct HeartbeatStatus {
+  std::uint32_t round = 0;       // last FL round this node touched
+  std::uint64_t wire_bytes = 0;  // transport bytes sent by this node so far
+  std::uint64_t peak_rss = 0;    // VmHWM of the beaconing process, bytes
+};
+
+std::vector<std::uint8_t> encode_heartbeat_status(const HeartbeatStatus& s);
+HeartbeatStatus decode_heartbeat_status(const std::vector<std::uint8_t>& payload);
 
 }  // namespace fedcleanse::comm

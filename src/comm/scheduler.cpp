@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "comm/socket_network.h"
 #include "common/logging.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
@@ -29,6 +30,11 @@ void journal_event(const char* kind, const char* node, std::int32_t client,
   entry.add("kind", kind).add("node", node).add("client", client);
   if (extra_key != nullptr) entry.add(extra_key, extra);
   journal->write(entry);
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
 }  // namespace
@@ -138,18 +144,23 @@ void Scheduler::conn_loop(Conn* conn) {
   auto last_seen = std::chrono::steady_clock::now();
   bool heartbeating = false;  // liveness is judged only for beaconing links
   std::int32_t peer_id = -2;  // last registered sender on this connection
+  NodeRole peer_role = NodeRole::kClient;
   try {
     while (!stop_.load()) {
       std::size_t n = 0;
       const auto status =
           conn->sock.recv_some(buf, sizeof(buf), config_.accept_timeout_ms, &n);
-      if (status == Socket::RecvStatus::kEof) return;
+      if (status == Socket::RecvStatus::kEof) {
+        if (heartbeating) mark_node_dead(peer_id);
+        return;
+      }
       const auto now = std::chrono::steady_clock::now();
       if (status == Socket::RecvStatus::kTimeout) {
         if (heartbeating &&
             now - last_seen > std::chrono::milliseconds(config_.heartbeat_timeout_ms)) {
           FC_METRIC(transport_dead_clients().inc());
           journal_event("client_dead", "scheduler", peer_id, "reason", "heartbeat");
+          mark_node_dead(peer_id);
           return;
         }
         continue;
@@ -160,15 +171,27 @@ void Scheduler::conn_loop(Conn* conn) {
         switch (m->type) {
           case MessageType::kRegister:
             peer_id = m->sender;
+            try {
+              peer_role = decode_register(m->payload).role;
+            } catch (const DecodeError&) {
+              // handle_register rethrows on the same payload below.
+            }
             handle_register(conn, *m);
             break;
           case MessageType::kHeartbeat:
             heartbeating = true;
             FC_METRIC(transport_heartbeats().inc());
+            note_heartbeat(peer_id, peer_role, *m);
             send_frame(conn->sock, control_message(MessageType::kHeartbeatAck, -1));
             break;
           case MessageType::kShutdown: {
             std::lock_guard<std::mutex> lock(mu_);
+            // Close out the in-flight round's fleet line before the run ends;
+            // without this the last round would never be journaled.
+            if (fleet_round_seen_) {
+              journal_fleet_status_locked(fleet_round_, std::chrono::steady_clock::now());
+              fleet_round_seen_ = false;
+            }
             shutdown_ = true;
           }
             cv_.notify_all();
@@ -181,11 +204,117 @@ void Scheduler::conn_loop(Conn* conn) {
       }
     }
   } catch (const Error& e) {
+    if (heartbeating) mark_node_dead(peer_id);
     if (!stop_.load()) {
       FC_LOG(Warn) << "scheduler: connection to node " << peer_id << " failed — "
                    << e.what();
     }
   }
+}
+
+void Scheduler::note_heartbeat(std::int32_t peer_id, NodeRole role, const Message& m) {
+  std::optional<HeartbeatStatus> status;
+  if (!m.payload.empty()) {
+    try {
+      status = decode_heartbeat_status(m.payload);
+    } catch (const DecodeError&) {
+      // A malformed snapshot only costs the fleet view one sample.
+    }
+  }
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  FleetNode& node = fleet_[peer_id];
+  node.role = role;
+  node.dead = false;
+  node.last_seen = now;
+  if (!status) return;
+  const bool advanced_here =
+      !node.has_status || status->round > node.status.round;
+  if (!fleet_round_seen_ || status->round > fleet_round_) {
+    // A node reached a round nobody had reported yet: the previous round is
+    // over from the fleet's point of view — journal it — and this node opens
+    // the new one with lag 0.
+    if (fleet_round_seen_) journal_fleet_status_locked(fleet_round_, now);
+    fleet_round_seen_ = true;
+    fleet_round_ = status->round;
+    fleet_round_first_ = now;
+    fleet_round_latencies_ms_.assign(1, 0.0);
+  } else if (status->round == fleet_round_ && advanced_here) {
+    // A follower arrived at the current round: its lag behind the round
+    // opener is one sample of the round-latency distribution.
+    fleet_round_latencies_ms_.push_back(elapsed_ms(fleet_round_first_, now));
+  }
+  node.status = *status;
+  node.has_status = true;
+}
+
+void Scheduler::mark_node_dead(std::int32_t peer_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fleet_.find(peer_id);
+  if (it != fleet_.end()) it->second.dead = true;
+}
+
+void Scheduler::journal_fleet_status_locked(
+    std::uint32_t round, std::chrono::steady_clock::time_point now) const {
+  obs::Journal* journal = obs::ambient_journal();
+  if (journal == nullptr) return;
+  std::vector<double> lat = fleet_round_latencies_ms_;
+  std::sort(lat.begin(), lat.end());
+  int stragglers = 0;
+  int stale = 0;
+  for (const auto& [id, node] : fleet_) {
+    if (node.has_status && node.status.round + 2 <= round) ++stragglers;
+    if (node.dead ||
+        now - node.last_seen > std::chrono::milliseconds(config_.heartbeat_timeout_ms)) {
+      ++stale;
+    }
+  }
+  obs::JsonObject entry;
+  entry.add("kind", "fleet_status")
+      .add("node", "scheduler")
+      .add("round", static_cast<std::uint64_t>(round))
+      .add("n_nodes", static_cast<std::int64_t>(fleet_.size()))
+      .add("n_reported", static_cast<std::int64_t>(lat.size()))
+      .add("latency_p50_ms", lat.empty() ? 0.0 : lat[lat.size() / 2])
+      .add("latency_max_ms", lat.empty() ? 0.0 : lat.back())
+      .add("n_stragglers", stragglers)
+      .add("n_stale", stale);
+  journal->write(entry);
+}
+
+std::string Scheduler::fleet_status_json() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string nodes = "[";
+  bool first = true;
+  for (const auto& [id, node] : fleet_) {
+    obs::JsonObject row;
+    row.add("id", id)
+        .add("role", node.role == NodeRole::kServer ? "server" : "client")
+        .add("alive", !node.dead)
+        .add("heartbeat_age_ms", elapsed_ms(node.last_seen, now))
+        .add("stale", node.dead || now - node.last_seen > std::chrono::milliseconds(
+                                                              config_.heartbeat_timeout_ms));
+    if (node.has_status) {
+      row.add("round", static_cast<std::uint64_t>(node.status.round))
+          .add("wire_bytes", node.status.wire_bytes)
+          .add("peak_rss", node.status.peak_rss)
+          .add("straggler",
+               fleet_round_seen_ && node.status.round + 2 <= fleet_round_);
+    }
+    if (!first) nodes += ",";
+    first = false;
+    nodes += row.str();
+  }
+  nodes += "]";
+  obs::JsonObject out;
+  out.add("role", "scheduler")
+      .add("server_known", server_port_ != 0)
+      .add("n_clients_seen", static_cast<std::int64_t>(clients_seen_.size()))
+      .add("shutdown", shutdown_);
+  if (fleet_round_seen_) out.add("round", static_cast<std::uint64_t>(fleet_round_));
+  out.add_raw("nodes", nodes);
+  return out.str();
 }
 
 RegisterAck scheduler_register_once(const std::string& host, std::uint16_t port,
@@ -244,10 +373,17 @@ void SchedulerSession::heartbeat_loop() {
   FrameDecoder decoder(config_.max_frame_bytes);
   std::uint8_t buf[1024];
   while (!stop_.load()) {
+    Message beat = control_message(MessageType::kHeartbeat, info_.node_id);
+    if (auto status = current_heartbeat_status()) {
+      // Attach this node's progress snapshot so the scheduler's fleet view
+      // has per-node rounds; telemetry off keeps the bare beacon.
+      beat.payload = encode_heartbeat_status(*status);
+      beat.stamp();
+    }
     {
       std::lock_guard<std::mutex> lock(send_mu_);
       try {
-        send_frame(sock_, control_message(MessageType::kHeartbeat, info_.node_id));
+        send_frame(sock_, beat);
       } catch (const TransportError&) {
         return;  // scheduler gone; nothing to beacon at
       }

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -40,15 +42,41 @@ class Scheduler {
   void run_until_shutdown();
   void stop();
 
+  // Live fleet table (DESIGN.md §17), aggregated from the status snapshots
+  // heartbeating nodes attach to their beacons: one JSON object with the max
+  // observed round plus a per-node row (role, round, heartbeat age, wire
+  // bytes, peak RSS, straggler/stale flags). Served by the scheduler
+  // binary's /statusz; valid JSON with or without telemetry (bare beacons
+  // just produce rows with no progress fields).
+  std::string fleet_status_json() const;
+
  private:
   struct Conn {
     Socket sock;
     std::thread th;
   };
 
+  // One heartbeating node as the scheduler sees it. `status` is the node's
+  // own claim (its round, its sent bytes); `last_seen`/`dead` are the
+  // scheduler's liveness judgement.
+  struct FleetNode {
+    NodeRole role = NodeRole::kClient;
+    bool dead = false;
+    std::chrono::steady_clock::time_point last_seen{};
+    bool has_status = false;
+    HeartbeatStatus status;
+  };
+
   void accept_loop();
   void conn_loop(Conn* conn);
   void handle_register(Conn* conn, const Message& m);
+  // Fold one beacon into the fleet table; journals a fleet_status line when
+  // the beacon advances the fleet-wide max round.
+  void note_heartbeat(std::int32_t peer_id, NodeRole role, const Message& m);
+  void mark_node_dead(std::int32_t peer_id);
+  // Emit the {"kind":"fleet_status"} journal line for `round`. Caller holds mu_.
+  void journal_fleet_status_locked(std::uint32_t round,
+                                   std::chrono::steady_clock::time_point now) const;
 
   TransportConfig config_;
   Listener listener_;
@@ -62,6 +90,13 @@ class Scheduler {
   std::uint16_t server_port_ = 0;
   std::vector<int> clients_seen_;  // distinct registered client ids
   std::vector<std::unique_ptr<Conn>> conns_;
+
+  // Fleet view (guarded by mu_). Keyed by node id; the server is -1.
+  std::map<std::int32_t, FleetNode> fleet_;
+  bool fleet_round_seen_ = false;
+  std::uint32_t fleet_round_ = 0;  // max round any node has reported
+  std::chrono::steady_clock::time_point fleet_round_first_{};
+  std::vector<double> fleet_round_latencies_ms_;  // arrival lag per node, this round
 };
 
 // One registration round-trip with the scheduler (connect → kRegister →

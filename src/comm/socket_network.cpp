@@ -4,8 +4,10 @@
 
 #include "comm/scheduler.h"
 #include "common/logging.h"
+#include "common/sysinfo.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace fedcleanse::comm {
 
@@ -34,7 +36,27 @@ void journal_event(const char* kind, const char* node, std::int32_t client,
   journal->write(entry);
 }
 
+// A heartbeat that carries a status snapshot — build, attach, restamp. The
+// bare beacon stays as-is when telemetry is off.
+Message heartbeat_message(std::int32_t sender) {
+  Message m = control_message(MessageType::kHeartbeat, sender);
+  if (auto status = current_heartbeat_status()) {
+    m.payload = encode_heartbeat_status(*status);
+    m.stamp();
+  }
+  return m;
+}
+
 }  // namespace
+
+std::optional<HeartbeatStatus> current_heartbeat_status() {
+  if (!obs::metrics_enabled()) return std::nullopt;
+  HeartbeatStatus s;
+  s.round = static_cast<std::uint32_t>(obs::metrics::current_round().value());
+  s.wire_bytes = obs::metrics::transport_bytes_sent().value();
+  s.peak_rss = static_cast<std::uint64_t>(common::peak_rss_bytes());
+  return s;
+}
 
 // --- SocketServerNetwork -----------------------------------------------------
 
@@ -250,6 +272,18 @@ void SocketServerNetwork::reader_loop(int client, std::uint32_t generation) {
         FC_METRIC(transport_frames_recv().inc());
         if (m->type == MessageType::kHeartbeat) {
           FC_METRIC(transport_heartbeats().inc());
+          if (!m->payload.empty()) {
+            try {
+              const HeartbeatStatus status = decode_heartbeat_status(m->payload);
+              std::lock_guard<std::mutex> lock(peers_mu_);
+              if (peer->generation == generation) {
+                peer->status = status;
+                peer->has_status = true;
+              }
+            } catch (const DecodeError&) {
+              // A malformed snapshot only costs the fleet view one sample.
+            }
+          }
           std::lock_guard<std::mutex> send_lock(peer->send_mu);
           try {
             send_frame(peer->sock, control_message(MessageType::kHeartbeatAck, -1));
@@ -286,6 +320,10 @@ void SocketServerNetwork::send_to_client(int client, Message message) {
     generation = p->generation;
   }
   const std::size_t size = message.wire_size();
+  // The span the merged timeline pairs with the client's handle span: same
+  // "corr" arg, and (after wall-anchor alignment) this one starts first.
+  obs::Span span("wire_send", "wire");
+  span.set_arg("corr", static_cast<std::int64_t>(message.correlation));
   try {
     std::lock_guard<std::mutex> send_lock(peer->send_mu);
     send_frame(peer->sock, message);
@@ -296,6 +334,33 @@ void SocketServerNetwork::send_to_client(int client, Message message) {
   }
   FC_METRIC(transport_frames_sent().inc());
   FC_METRIC(transport_bytes_sent().add(size + kFrameLengthBytes));
+}
+
+std::string SocketServerNetwork::peers_status_json() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::string out = "[";
+  std::lock_guard<std::mutex> lock(peers_mu_);
+  bool first = true;
+  for (const auto& [id, peer] : peers_) {
+    obs::JsonObject row;
+    row.add("client", id)
+        .add("alive", peer->alive)
+        .add("generation", static_cast<std::uint64_t>(peer->generation))
+        .add("heartbeat_age_ms",
+             static_cast<std::int64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                           now - peer->last_seen)
+                                           .count()));
+    if (peer->has_status) {
+      row.add("round", static_cast<std::uint64_t>(peer->status.round))
+          .add("wire_bytes", peer->status.wire_bytes)
+          .add("peak_rss", peer->status.peak_rss);
+    }
+    if (!first) out += ",";
+    first = false;
+    out += row.str();
+  }
+  out += "]";
+  return out;
 }
 
 std::optional<Message> SocketServerNetwork::recv_from_client_for(
@@ -443,9 +508,14 @@ void SocketClientNetwork::io_loop() {
               break;
             case MessageType::kHeartbeatAck:
               break;
-            default:
+            default: {
+              // Receive-side marker for the merged timeline: carries the
+              // server's correlation id at this client's local clock.
+              obs::Span span("wire_recv", "wire");
+              span.set_arg("corr", static_cast<std::int64_t>(m->correlation));
               Network::send_to_client(client_id_, std::move(*m));
               break;
+            }
           }
         }
       } catch (const Error& e) {
@@ -474,7 +544,7 @@ void SocketClientNetwork::heartbeat_loop() {
     std::lock_guard<std::mutex> lock(link_mu_);
     if (!registered_) continue;
     try {
-      send_frame(sock_, control_message(MessageType::kHeartbeat, client_id_));
+      send_frame(sock_, heartbeat_message(client_id_));
       FC_METRIC(transport_frames_sent().inc());
     } catch (const TransportError&) {
       // The io thread sees the same broken pipe as EOF and reconnects.

@@ -31,6 +31,13 @@
 
 namespace fedcleanse::comm {
 
+// This process's progress snapshot for heartbeat beacons (DESIGN.md §17):
+// round from the fl.round gauge, sent bytes from the transport counter, peak
+// RSS from /proc. Returns nullopt when the metrics runtime switch is off —
+// telemetry-off heartbeats must stay empty-payload so the wire byte stream
+// matches a run with no telemetry built at all.
+std::optional<HeartbeatStatus> current_heartbeat_status();
+
 // Server-side data plane: one Listener, one accept thread, one reader thread
 // per registered client, and a monitor thread enforcing heartbeat staleness.
 class SocketServerNetwork : public Network {
@@ -55,6 +62,11 @@ class SocketServerNetwork : public Network {
   // Send kShutdown to every live client (end of run).
   void broadcast_shutdown();
 
+  // Per-peer status table as a JSON array string: id, alive, generation,
+  // heartbeat age, and each peer's last self-reported HeartbeatStatus (when
+  // it beaconed one). Feeds the server binary's /statusz.
+  std::string peers_status_json() const;
+
   // Network overrides: sends frame onto the client's socket (silently dropped
   // when the client is dead — the retry/quorum layer owns recovery); receives
   // drain the base channels that the reader threads fill, with a dead-client
@@ -71,6 +83,8 @@ class SocketServerNetwork : public Network {
     std::uint32_t generation = 0;
     bool alive = false;
     std::chrono::steady_clock::time_point last_seen{};
+    bool has_status = false;
+    HeartbeatStatus status;  // last decoded heartbeat snapshot (guarded by peers_mu_)
   };
 
   void accept_loop();

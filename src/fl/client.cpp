@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "fl/metrics.h"
 #include "nn/checkpoint.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "nn/activation_stats.h"
 #include "nn/conv2d.h"
@@ -264,9 +265,19 @@ void Client::handle_message(comm::Network& net, const comm::Message& msg) {
   if (!msg.checksum_ok()) {
     throw comm::DecodeError("payload fails checksum");
   }
+  // Outer span carries the correlation id; the per-type spans below keep the
+  // client id. In a merged trace, the server's exchange span and this one
+  // share the "corr" arg — that pairing is what trace_merge.py --verify
+  // checks (server send must precede matching client handle).
+  obs::Span handle_span("client.handle", "client");
+  handle_span.set_arg("corr", static_cast<std::int64_t>(msg.correlation));
   comm::Message reply;
   reply.round = msg.round;
   reply.sender = id_;
+  // Echo the exchange's correlation id so the merged trace can pair this
+  // client's work with the server dispatch that caused it (DESIGN.md §17).
+  reply.correlation = msg.correlation;
+  FC_METRIC(current_round().set(msg.round));
   switch (msg.type) {
     case comm::MessageType::kModelBroadcast: {
       obs::Span span("client.train", "client");

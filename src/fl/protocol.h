@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "comm/message.h"
 #include "common/logging.h"
 #include "fl/simulation.h"
 #include "obs/metrics.h"
@@ -55,8 +56,15 @@ Exchange<T> exchange_streaming(Simulation& sim, const std::vector<int>& clients,
                                RequestFn request, CollectFn collect, SinkFn sink,
                                const char* what) {
   const comm::FaultConfig& fc = sim.config().fault;
+  // One correlation id covers the whole exchange, retries included: a late
+  // reply from an earlier attempt still belongs to this exchange, and stamping
+  // per attempt would make it look foreign in the merged trace. Requests read
+  // the ambient id via server_message(); replies echo it back.
+  const std::uint32_t correlation = comm::next_correlation_id();
+  comm::ScopedCorrelation scoped_correlation(correlation);
   // `what` is a string literal at every call site, so it can name the span.
   obs::Span exchange_span(what, "protocol");
+  exchange_span.set_arg("corr", correlation);
   FC_METRIC(exchange_rounds().inc());
   Exchange<T> result;
   result.stats.n_participants = static_cast<int>(clients.size());

@@ -19,7 +19,7 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr std::uint32_t kMagic = 0x46435253;  // "FCRS"
-constexpr std::uint32_t kVersion = 3;  // v3: wire_bytes in round records
+constexpr std::uint32_t kVersion = 4;  // v4: correlation id in in-flight messages
 // magic + version + checksum + payload length prefix.
 constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4;
 

@@ -16,6 +16,7 @@ comm::Message server_message(comm::MessageType type, std::uint32_t round,
   m.type = type;
   m.round = round;
   m.sender = -1;
+  m.correlation = comm::current_correlation_id();
   m.payload = std::move(payload);
   m.stamp();
   return m;

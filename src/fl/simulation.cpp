@@ -419,6 +419,7 @@ std::vector<int> Simulation::run_round(std::uint32_t round,
 void Simulation::run(bool record_history) {
   common::Timer timer;
   for (int r = next_round_; r < config_.rounds; ++r) {
+    FC_METRIC(current_round().set(static_cast<double>(r)));
     const std::size_t uplink_before = network().uplink_bytes();
     run_round(static_cast<std::uint32_t>(r));
     const std::uint64_t round_wire_bytes =

@@ -1,0 +1,208 @@
+#include "obs/exporter.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/journal.h"
+
+namespace fedcleanse::obs {
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; the registry uses dotted
+// names ("comm.transport.frames_sent"), so map everything else to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string prom_double(double v) {
+  if (!(v == v)) return "NaN";
+  if (v > 1.7e308) return "+Inf";
+  if (v < -1.7e308) return "-Inf";
+  // Shortest representation that round-trips: bucket labels must read
+  // le="0.1", not le="0.10000000000000001" (labels are identity — a scraper
+  // joins series on them), while lossy truncation would corrupt sums.
+  char buf[32];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+// Read until the blank line ending the request headers (all we parse is the
+// request line), a small cap, or EOF. SO_RCVTIMEO bounds a stalled sender.
+std::string read_request_head(int fd) {
+  std::string head;
+  char buf[1024];
+  while (head.size() < 8192 && head.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  return head;
+}
+
+void write_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text(const Snapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + prom_double(value) + "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string p = prom_name(h.name);
+    out += "# TYPE " + p + " histogram\n";
+    // Buckets are cumulative in the exposition format; the registry stores
+    // per-bucket counts, so accumulate while emitting.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out += p + "_bucket{le=\"" + prom_double(h.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h.total_count) + "\n";
+    out += p + "_sum " + prom_double(h.sum) + "\n";
+    out += p + "_count " + std::to_string(h.total_count) + "\n";
+  }
+  return out;
+}
+
+MetricsExporter::MetricsExporter(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    FC_LOG(Warn) << "metrics exporter: socket() failed, endpoint disabled";
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // scrape plane is local-only
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0) {
+    FC_LOG(Warn) << "metrics exporter: cannot listen on 127.0.0.1:" << port
+                 << ", endpoint disabled";
+    ::close(fd);
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  fd_ = fd;
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+MetricsExporter::~MetricsExporter() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void MetricsExporter::set_status_provider(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  status_provider_ = std::move(provider);
+}
+
+void MetricsExporter::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);  // wake every 100ms to check stop_
+    if (ready <= 0) continue;
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    timeval tv{2, 0};  // a stalled scraper must not wedge the serve thread
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void MetricsExporter::handle_connection(int client_fd) {
+  const std::string head = read_request_head(client_fd);
+  // Request line: METHOD SP PATH SP VERSION. Anything unparseable is a 400.
+  const std::size_t sp1 = head.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? sp1 : head.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) {
+    write_all(client_fd, http_response("400 Bad Request", "text/plain", "bad request\n"));
+    return;
+  }
+  const std::string method = head.substr(0, sp1);
+  std::string path = head.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const std::size_t q = path.find('?'); q != std::string::npos) path.resize(q);
+  if (method != "GET") {
+    write_all(client_fd,
+              http_response("405 Method Not Allowed", "text/plain", "GET only\n"));
+    return;
+  }
+  if (path == "/metricsz") {
+    const std::string body = prometheus_text(Registry::global().scrape());
+    write_all(client_fd,
+              http_response("200 OK", "text/plain; version=0.0.4", body));
+    return;
+  }
+  if (path == "/statusz") {
+    std::function<std::string()> provider;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      provider = status_provider_;
+    }
+    std::string body;
+    if (provider) {
+      body = provider();
+    } else {
+      JsonObject stub;
+      stub.add("pid", static_cast<std::int64_t>(::getpid()));
+      body = stub.str();
+    }
+    body += "\n";
+    write_all(client_fd, http_response("200 OK", "application/json", body));
+    return;
+  }
+  write_all(client_fd, http_response("404 Not Found", "text/plain", "not found\n"));
+}
+
+}  // namespace fedcleanse::obs

@@ -1,0 +1,67 @@
+// Embedded scrape endpoint (DESIGN.md §17): a minimal HTTP/1.1 listener the
+// deployment binaries start when --metrics-port is given, serving
+//
+//   GET /metricsz — every registry counter/gauge/histogram in Prometheus text
+//                   exposition format (scrape-safe: counters are monotone, a
+//                   scrape concurrent with writers reads a valid snapshot)
+//   GET /statusz  — one JSON object describing this process (role, round,
+//                   fleet table, ... — whatever the installed provider says)
+//
+// The exporter is observability-plane only: it reads the registry and the
+// status provider, never the model or the wire, so serving a scrape cannot
+// perturb a run. It deliberately does not use comm::* (obs must not depend on
+// the transport layer) — a hand-rolled request-line parser over a blocking
+// socket is all two fixed GET routes need. One connection is served at a
+// time; Prometheus scrapes and curl pokes are rare and tiny.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/registry.h"
+
+namespace fedcleanse::obs {
+
+// Registry snapshot → Prometheus text exposition format. Metric names are
+// sanitized (dots → underscores); histograms emit cumulative _bucket{le=...}
+// series plus _sum/_count per the convention. Exposed for tests, which parse
+// the text back rather than curl a live port.
+std::string prometheus_text(const Snapshot& snap);
+
+class MetricsExporter {
+ public:
+  // Binds 127.0.0.1:`port` (0 = ephemeral, read the chosen one via port())
+  // and starts the serve thread. Bind failure leaves ok() false and the
+  // exporter inert — telemetry must never kill a run.
+  explicit MetricsExporter(std::uint16_t port);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  // /statusz body builder. The provider runs on the serve thread — it must be
+  // thread-safe and return a complete JSON value. Without one, /statusz
+  // serves a stub ({"pid":...}).
+  void set_status_provider(std::function<std::string()> provider);
+
+ private:
+  void serve_loop();
+  void handle_connection(int client_fd);
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex mu_;
+  std::function<std::string()> status_provider_;
+};
+
+}  // namespace fedcleanse::obs

@@ -1,14 +1,33 @@
 #include "obs/journal.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
+#include "common/serialize.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace fedcleanse::obs {
 
 namespace {
 std::atomic<Journal*> g_journal{nullptr};
+
+// Leaked, mutex-guarded for the same reason as the trace path state: set
+// before threads exist in practice, but nothing enforces that.
+struct IdentityState {
+  std::mutex mu;
+  bool set = false;
+  std::string role;
+  std::uint64_t argv_hash = 0;
+  std::string cpu_dispatch;
+};
+IdentityState& identity_state() {
+  static IdentityState* s = new IdentityState();
+  return *s;
+}
 
 std::string format_double(double v) {
   // Shortest round-trip-safe form; JSON has no inf/nan, clamp to null.
@@ -89,10 +108,52 @@ JsonObject& JsonObject::add_raw(const std::string& k, const std::string& json) {
 
 std::string JsonObject::str() const { return "{" + body_ + "}"; }
 
+void set_run_identity(std::string role, std::uint64_t argv_hash, std::string cpu_dispatch) {
+  IdentityState& st = identity_state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.set = true;
+  st.role = std::move(role);
+  st.argv_hash = argv_hash;
+  st.cpu_dispatch = std::move(cpu_dispatch);
+}
+
+bool run_identity_set() {
+  IdentityState& st = identity_state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.set;
+}
+
+std::uint64_t hash_argv(int argc, const char* const* argv) {
+  std::vector<std::uint8_t> bytes;
+  for (int i = 0; i < argc; ++i) {
+    for (const char* p = argv[i]; *p != '\0'; ++p) {
+      bytes.push_back(static_cast<std::uint8_t>(*p));
+    }
+    bytes.push_back(0);  // separator so {"-a","b"} and {"-ab"} hash apart
+  }
+  return common::fnv1a(bytes);
+}
+
 Journal::Journal(const std::string& path, bool append)
     : path_(path),
       out_(path, append ? std::ios::out | std::ios::app : std::ios::out) {
   ok_ = static_cast<bool>(out_);
+  if (!ok_) return;
+  IdentityState& st = identity_state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (!st.set) return;
+  JsonObject open;
+  open.add("kind", "open")
+      .add("pid", static_cast<std::int64_t>(::getpid()))
+      .add("role", st.role)
+      .add("argv_hash", st.argv_hash)
+      .add("cpu", st.cpu_dispatch)
+      .add("trace_anchor_unix_ns", trace_wall_anchor_unix_ns());
+  // Bypass write(): the open line is identity metadata, not a round — it must
+  // not consume the counter-delta baseline the first real line establishes.
+  out_ << open.str() << "\n";
+  out_.flush();
+  ++lines_;
 }
 
 std::size_t Journal::lines_written() const {

@@ -126,5 +126,9 @@ Gauge& peak_rss_bytes() {
   static Gauge& g = Registry::global().gauge("process.peak_rss_bytes");
   return g;
 }
+Gauge& current_round() {
+  static Gauge& g = Registry::global().gauge("fl.round");
+  return g;
+}
 
 }  // namespace fedcleanse::obs::metrics

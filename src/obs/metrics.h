@@ -66,5 +66,6 @@ Counter& transport_dead_clients();  // peers declared dead (EOF or heartbeat)
 
 // --- process -----------------------------------------------------------------
 Gauge& peak_rss_bytes();  // VmHWM high-water mark (common::peak_rss_bytes)
+Gauge& current_round();   // last FL round this process started or handled
 
 }  // namespace fedcleanse::obs::metrics

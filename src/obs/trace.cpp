@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -8,6 +10,7 @@
 #include <mutex>
 
 #include "common/thread_id.h"
+#include "obs/journal.h"
 #include "obs/registry.h"
 
 namespace fedcleanse::obs {
@@ -58,15 +61,57 @@ TraceBuffer& local_buffer() {
   return *buf;
 }
 
+// The steady-clock trace epoch and its wall-clock anchor, captured as one
+// pair: the two reads are back to back, so wall_anchor + start_ns places any
+// span on the absolute timeline with sub-scheduling-quantum error.
+struct TraceEpoch {
+  std::chrono::steady_clock::time_point steady;
+  std::int64_t wall_unix_ns;
+};
+
+const TraceEpoch& trace_epoch() {
+  static const TraceEpoch epoch = [] {
+    TraceEpoch e;
+    e.steady = std::chrono::steady_clock::now();
+    e.wall_unix_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+    return e;
+  }();
+  return epoch;
+}
+
 std::int64_t now_ns() {
   // A fixed process epoch keeps ts values small and all threads comparable.
-  static const auto epoch = std::chrono::steady_clock::now();
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now() - epoch)
+             std::chrono::steady_clock::now() - trace_epoch().steady)
       .count();
 }
 
+struct ProcessNameState {
+  std::mutex mu;
+  std::string name;
+};
+ProcessNameState& process_name_state() {
+  static ProcessNameState* s = new ProcessNameState();
+  return *s;
+}
+
 }  // namespace
+
+std::int64_t trace_wall_anchor_unix_ns() { return trace_epoch().wall_unix_ns; }
+
+void set_trace_process_name(std::string name) {
+  ProcessNameState& st = process_name_state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.name = std::move(name);
+}
+
+std::string trace_process_name() {
+  ProcessNameState& st = process_name_state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.name;
+}
 
 bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
 
@@ -150,18 +195,32 @@ bool write_chrome_trace(const std::string& path) {
   std::ofstream out(path);
   if (!out) return false;
   const auto events = trace_events_snapshot();
+  const long pid = static_cast<long>(::getpid());
+  const std::string name = trace_process_name();
   // Fixed 3-decimal µs keeps full ns resolution at any run length (default
   // stream precision would truncate ts on runs past a few seconds).
   out.setf(std::ios::fixed);
   out.precision(3);
-  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // The top-level "metadata" object carries the wall-clock anchor even when
+  // no merge tool ever reads this file: a per-process trace must be
+  // alignable on its own (ISSUE 9 satellite).
+  out << "{\"displayTimeUnit\":\"ms\",\"metadata\":{"
+      << "\"trace_wall_anchor_unix_ns\":" << trace_wall_anchor_unix_ns()
+      << ",\"pid\":" << pid << ",\"process_name\":\"" << json_escape(name)
+      << "\"},\"traceEvents\":[";
   bool first = true;
+  if (!name.empty()) {
+    // Chrome metadata event so the single-file view is labeled too.
+    out << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+    first = false;
+  }
   for (const auto& ev : events) {
     if (!first) out << ",";
     first = false;
     // Chrome's ts/dur are microseconds; fractional µs keeps ns resolution.
     out << "\n{\"name\":\"" << ev.name << "\",\"cat\":\"" << ev.cat
-        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid
+        << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << ev.tid
         << ",\"ts\":" << static_cast<double>(ev.start_ns) / 1000.0
         << ",\"dur\":" << static_cast<double>(ev.dur_ns) / 1000.0;
     if (ev.arg_key != nullptr) {

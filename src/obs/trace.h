@@ -36,6 +36,20 @@ std::string trace_path();
 // the metrics registry. Examples and the bench harness call this at startup.
 void init_from_env();
 
+// Cross-process alignment (DESIGN.md §17). Span timestamps are steady-clock
+// offsets from a per-process trace epoch, which makes traces from different
+// processes unalignable on their own. The anchor pins that epoch to the wall
+// clock: both clocks are read back to back the first time either is needed,
+// and write_chrome_trace embeds the pair (plus pid and process name) in the
+// trace file's metadata so scripts/trace_merge.py — or a human with a
+// calculator — can place every process on one absolute timeline.
+std::int64_t trace_wall_anchor_unix_ns();
+
+// Process name shown as the track title in merged traces ("server",
+// "client-3", ...). Also emitted as a Chrome process_name metadata event.
+void set_trace_process_name(std::string name);
+std::string trace_process_name();
+
 struct TraceEvent {
   const char* name = "";  // string literals only — never freed, never copied
   const char* cat = "";

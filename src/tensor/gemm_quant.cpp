@@ -190,6 +190,16 @@ MicroS8Fn select_micro_s8() {
   return micro_s8_portable;
 }
 
+}  // namespace
+
+const char* int8_dispatch_name() {
+  if (cpu_has_avxvnni()) return "avx-vnni";
+  if (cpu_has_avx2()) return "avx2";
+  return "scalar";
+}
+
+namespace {
+
 // Fused quantize+pack of one B sliver: reads kc float rows of n_sub columns,
 // writes packed int16 depth-pairs zero-padded to NR columns and a whole
 // trailing pair.

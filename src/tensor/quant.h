@@ -33,6 +33,11 @@ enum class ComputeKernel : std::uint8_t { kF32 = 0, kF16 = 1, kInt8 = 2 };
 const char* compute_kernel_name(ComputeKernel kernel);
 std::optional<ComputeKernel> parse_compute_kernel(const std::string& name);
 
+// Which int8 microkernel runtime CPU detection selected: "avx-vnni", "avx2",
+// or "scalar". Diagnostic only (journal "open" lines record it so a result
+// can be traced back to the machine tier that produced it).
+const char* int8_dispatch_name();
+
 // max |x[i]| over n entries (0 for n == 0). Written so GCC vectorizes the
 // reduction without -ffast-math.
 float max_abs(const float* x, std::size_t n);

@@ -4,14 +4,20 @@
 // simulation's results.
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/threadpool.h"
 #include "fl/simulation.h"
+#include "obs/exporter.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
@@ -275,4 +281,143 @@ TEST_F(ObsTest, TelemetryDoesNotPerturbSimulation) {
   EXPECT_EQ(traced.test_accuracy(), plain.test_accuracy());
   EXPECT_EQ(journal.lines_written(), static_cast<std::size_t>(cfg.rounds));
   std::remove(jpath.c_str());
+}
+
+// --- fleet observability plane (DESIGN.md §17) -------------------------------
+
+TEST_F(ObsTest, PrometheusTextExposesEveryMetricKind) {
+  obs::Snapshot snap;
+  snap.counters["fl.wire.bytes_sent"] = 12345;
+  snap.gauges["fl.round"] = 7.0;
+  obs::HistogramSample h;
+  h.name = "round.seconds";
+  h.bounds = {0.1, 1.0};
+  h.counts = {2, 3, 1};  // <=0.1, (0.1,1], overflow
+  h.total_count = 6;
+  h.sum = 4.5;
+  snap.histograms.push_back(h);
+  const std::string text = obs::prometheus_text(snap);
+  // Names are sanitized for the exposition format (dots -> underscores).
+  EXPECT_NE(text.find("# TYPE fl_wire_bytes_sent counter"), std::string::npos);
+  EXPECT_NE(text.find("fl_wire_bytes_sent 12345"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fl_round gauge"), std::string::npos);
+  EXPECT_NE(text.find("fl_round 7"), std::string::npos);
+  // Histogram buckets are cumulative and capped by an +Inf bucket equal to
+  // the total count, per the Prometheus convention.
+  EXPECT_NE(text.find("round_seconds_bucket{le=\"0.1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("round_seconds_bucket{le=\"1\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("round_seconds_bucket{le=\"+Inf\"} 6"), std::string::npos);
+  EXPECT_NE(text.find("round_seconds_count 6"), std::string::npos);
+  EXPECT_NE(text.find("round_seconds_sum 4.5"), std::string::npos);
+}
+
+namespace {
+
+// Minimal HTTP GET over a blocking loopback socket: the test plays the role
+// curl / a Prometheus scraper plays in production.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n";
+  (void)!::write(fd, req.data(), req.size());
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) out.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return out;
+}
+
+}  // namespace
+
+TEST_F(ObsTest, ExporterServesScrapesDuringConcurrentWrites) {
+  obs::set_metrics_enabled(true);
+  obs::MetricsExporter exporter(0);  // ephemeral port
+  ASSERT_TRUE(exporter.ok());
+  ASSERT_NE(exporter.port(), 0);
+  exporter.set_status_provider([] { return std::string("{\"role\":\"test\"}"); });
+
+  // Writers hammer a counter while scrapes race them: every response must be
+  // a complete, parseable exposition (the scrape-during-write contract).
+  auto& c = obs::Registry::global().counter("test.scrape_race");
+  const std::uint64_t before = c.value();
+  constexpr std::size_t kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20000;
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) c.inc();
+    });
+  }
+  for (int i = 0; i < 10; ++i) {
+    const std::string resp = http_get(exporter.port(), "/metricsz");
+    ASSERT_NE(resp.find("HTTP/1.1 200"), std::string::npos);
+    EXPECT_NE(resp.find("test_scrape_race"), std::string::npos);
+  }
+  for (auto& t : writers) t.join();
+
+  const std::string final_scrape = http_get(exporter.port(), "/metricsz");
+  std::ostringstream want;
+  want << "test_scrape_race " << (before + kWriters * kPerWriter);
+  EXPECT_NE(final_scrape.find(want.str()), std::string::npos);
+
+  const std::string status = http_get(exporter.port(), "/statusz");
+  EXPECT_NE(status.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(status.find("application/json"), std::string::npos);
+  EXPECT_NE(status.find("{\"role\":\"test\"}"), std::string::npos);
+
+  EXPECT_NE(http_get(exporter.port(), "/nope").find("HTTP/1.1 404"), std::string::npos);
+}
+
+TEST_F(ObsTest, ExporterToleratesBindFailure) {
+  obs::MetricsExporter first(0);
+  ASSERT_TRUE(first.ok());
+  // Binding the same port again must fail inert, not throw or abort: a
+  // telemetry misconfiguration never kills a run.
+  obs::MetricsExporter second(first.port());
+  EXPECT_FALSE(second.ok());
+}
+
+// Keep this LAST in the file: run identity is process-global and sticky, and
+// every Journal constructed after it is set opens with an identity line —
+// the earlier journal tests count exact lines.
+TEST_F(ObsTest, JournalOpensWithIdentityLineOnceIdentitySet) {
+  ASSERT_FALSE(obs::run_identity_set());
+  obs::set_metrics_enabled(false);  // the open line is identity-, not metrics-gated
+  const char* argv0[] = {"prog", "--flag", "v"};
+  const char* argv1[] = {"prog", "--flagv"};
+  // '\0' separators: joining must not conflate {"--flag","v"} with {"--flagv"}.
+  EXPECT_NE(obs::hash_argv(3, argv0), obs::hash_argv(2, argv1));
+  obs::set_run_identity("test-role", obs::hash_argv(3, argv0), "scalar");
+  ASSERT_TRUE(obs::run_identity_set());
+
+  const std::string path = ::testing::TempDir() + "obs_journal_open.jsonl";
+  {
+    obs::Journal journal(path);
+    ASSERT_TRUE(journal.ok());
+    obs::JsonObject row;
+    row.add("kind", "train_round").add("round", 0);
+    journal.write(row);
+    EXPECT_EQ(journal.lines_written(), 2u);  // open + the row
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"kind\":\"open\""), std::string::npos);
+  EXPECT_NE(line.find("\"role\":\"test-role\""), std::string::npos);
+  EXPECT_NE(line.find("\"cpu\":\"scalar\""), std::string::npos);
+  EXPECT_NE(line.find("\"pid\":"), std::string::npos);
+  EXPECT_NE(line.find("\"argv_hash\":"), std::string::npos);
+  EXPECT_NE(line.find("\"trace_anchor_unix_ns\":"), std::string::npos);
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"kind\":\"train_round\""), std::string::npos);
+  std::remove(path.c_str());
 }

@@ -44,7 +44,11 @@ void check_train_resume_identical(fedcleanse::fl::SimulationConfig cfg,
   straight.run();
 
   // The "crashed" run: same config, snapshots every `snapshot_every` rounds.
-  const std::string dir = fresh_dir("train_e" + std::to_string(snapshot_every) + "_t" +
+  // The seed keeps the directory unique per caller: tests run as parallel
+  // ctest processes, and two sharing a directory race remove_all against
+  // load_snapshot_file.
+  const std::string dir = fresh_dir("train_s" + std::to_string(cfg.seed) + "_e" +
+                                    std::to_string(snapshot_every) + "_t" +
                                     std::to_string(resume_threads));
   Simulation crashed(cfg);
   CheckpointManager manager(dir, snapshot_every, /*keep=*/16);

@@ -335,3 +335,76 @@ TEST(FrameFuzz, RandomGarbageNeverCrashesOrLoops) {
     }
   }
 }
+
+// --- fleet-observability wire codecs (DESIGN.md §17) -------------------------
+
+TEST(HeartbeatStatusCodec, RoundTrip) {
+  using namespace fedcleanse::comm;
+  HeartbeatStatus s;
+  s.round = 41;
+  s.wire_bytes = 0x1234567890ULL;
+  s.peak_rss = 7ULL << 30;  // 7 GiB: must survive past 32 bits
+  const auto bytes = encode_heartbeat_status(s);
+  const auto back = decode_heartbeat_status(bytes);
+  EXPECT_EQ(back.round, s.round);
+  EXPECT_EQ(back.wire_bytes, s.wire_bytes);
+  EXPECT_EQ(back.peak_rss, s.peak_rss);
+}
+
+TEST(HeartbeatStatusCodec, EveryTruncationAndTrailingByteThrows) {
+  using namespace fedcleanse::comm;
+  using fedcleanse::comm::DecodeError;
+  HeartbeatStatus s;
+  s.round = 3;
+  s.wire_bytes = 999;
+  s.peak_rss = 1 << 20;
+  const auto bytes = encode_heartbeat_status(s);
+  ASSERT_FALSE(bytes.empty());
+  // A scheduler must never crash (or mis-aggregate) on a torn beacon: every
+  // strict prefix is rejected as malformed, never zero-filled.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> trunc(bytes.begin(), bytes.begin() + cut);
+    EXPECT_THROW(decode_heartbeat_status(trunc), DecodeError) << "cut at " << cut;
+  }
+  auto padded = bytes;
+  padded.push_back(0x00);
+  EXPECT_THROW(decode_heartbeat_status(padded), DecodeError);
+}
+
+TEST(MessageCodec, CorrelationIdSurvivesTheWire) {
+  using namespace fedcleanse::comm;
+  Message m;
+  m.type = MessageType::kRankRequest;
+  m.round = 5;
+  m.sender = -1;
+  m.correlation = 0xCAFEF00Du;
+  m.payload = {1, 2, 3};
+  m.stamp();
+  const auto bytes = encode_message(m);
+  EXPECT_EQ(bytes.size(), m.wire_size());
+  const auto back = decode_message(bytes);
+  EXPECT_EQ(back.correlation, m.correlation);
+  EXPECT_TRUE(back.checksum_ok());
+}
+
+TEST(MessageCodec, ScopedCorrelationNestsAndRestores) {
+  using namespace fedcleanse::comm;
+  // Ids are ambient state read by the server's message factory; the RAII
+  // guard must restore the enclosing exchange's id (or 0) on every exit.
+  EXPECT_EQ(current_correlation_id(), 0u);
+  const std::uint32_t a = next_correlation_id();
+  const std::uint32_t b = next_correlation_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  {
+    ScopedCorrelation outer(a);
+    EXPECT_EQ(current_correlation_id(), a);
+    {
+      ScopedCorrelation inner(b);
+      EXPECT_EQ(current_correlation_id(), b);
+    }
+    EXPECT_EQ(current_correlation_id(), a);
+  }
+  EXPECT_EQ(current_correlation_id(), 0u);
+}
