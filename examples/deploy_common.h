@@ -51,6 +51,12 @@ struct Options {
   std::string trace_path;      // Chrome trace written at process exit
   std::string metrics_port_file;  // scheduler writes its chosen port here
   fedcleanse::comm::TransportConfig transport;
+  // Failover (DESIGN.md §18). The server keeps server-scope snapshots under
+  // <checkpoint_dir>/server, each client under <checkpoint_dir>/client-<id>;
+  // --resume restores the latest snapshot instead of starting fresh.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  bool resume = false;
   // Quantization knobs. Must match on every node: the server accepts both
   // update codecs on the wire, but the in-process reference replica only
   // stays byte-identical when the clients it mirrors use the same codec.
@@ -70,7 +76,8 @@ inline const char* deploy_flag_help() {
          "  --connect-timeout-ms N --accept-timeout-ms N --max-connect-retries N\n"
          "  --backoff-base-ms N --backoff-cap-ms N\n"
          "  --heartbeat-interval-ms N --heartbeat-timeout-ms N\n"
-         "  --scan-quant f32|f16|int8 --update-codec f32|int8\n";
+         "  --scan-quant f32|f16|int8 --update-codec f32|int8\n"
+         "  --checkpoint-dir PATH --checkpoint-every N --resume\n";
 }
 
 // Try to consume argv[i] (and its value) as a shared deployment flag.
@@ -135,10 +142,25 @@ inline bool parse_deploy_flag(int argc, char** argv, int& i, Options& opt) {
       std::exit(2);
     }
     opt.update_codec = *codec;
+  } else if (has_value("--checkpoint-dir")) {
+    opt.checkpoint_dir = argv[++i];
+  } else if (has_value("--checkpoint-every")) {
+    opt.checkpoint_every = std::atoi(argv[++i]);
+  } else if (std::strcmp(argv[i], "--resume") == 0) {
+    opt.resume = true;
   } else {
     return false;
   }
   return true;
+}
+
+// Transport config for the node's own sockets. The run seed doubles as the
+// jitter seed so reconnect backoff is deterministic per (run, node) without
+// touching the protocol RNG streams.
+inline fedcleanse::comm::TransportConfig make_transport(const Options& opt) {
+  fedcleanse::comm::TransportConfig transport = opt.transport;
+  transport.jitter_seed = opt.seed;
+  return transport;
 }
 
 // Observability bring-up shared by the three deployment binaries: run
@@ -200,7 +222,7 @@ inline fedcleanse::fl::SimulationConfig make_simulation_config(const Options& op
   // stays byte-identical.
   cfg.fault.recv_timeout_ms = opt.recv_timeout_ms;
   cfg.protocol.max_backoff_shift = opt.max_backoff_shift;
-  cfg.protocol.transport = opt.transport;
+  cfg.protocol.transport = make_transport(opt);
   cfg.train.scan_kernel = opt.scan_kernel;
   cfg.train.update_codec = opt.update_codec;
   return cfg;

@@ -24,14 +24,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "comm/scheduler.h"
 #include "comm/socket_network.h"
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "common/sysinfo.h"
 #include "deploy_common.h"
+#include "fl/run_state.h"
 #include "fl/simulation.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
@@ -68,11 +74,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--scheduler-port is required\n");
     return 2;
   }
+  if (opt.resume && opt.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return 2;
+  }
 
   deploy::init_observability(opt, "client-" + std::to_string(id), argc, argv);
   std::unique_ptr<obs::Journal> journal;
   if (!opt.journal_path.empty()) {
-    journal = std::make_unique<obs::Journal>(opt.journal_path, false);
+    journal = std::make_unique<obs::Journal>(opt.journal_path, opt.resume);
     if (!journal->ok()) {
       std::fprintf(stderr, "cannot open journal %s\n", opt.journal_path.c_str());
       return 2;
@@ -86,7 +96,8 @@ int main(int argc, char** argv) {
   try {
     // Register first (the server's barrier counts registrations), then build
     // the replica population while the server builds its own.
-    comm::SocketClientNetwork net(cfg.n_clients, id, opt.transport, opt.scheduler_host,
+    comm::SocketClientNetwork net(cfg.n_clients, id, deploy::make_transport(opt),
+                                  opt.scheduler_host,
                                   static_cast<std::uint16_t>(opt.scheduler_port));
     auto exporter = deploy::make_exporter(opt);
     if (exporter && exporter->ok()) {
@@ -119,26 +130,137 @@ int main(int argc, char** argv) {
       try {
         fleet_link = std::make_unique<comm::SchedulerSession>(
             opt.scheduler_host, static_cast<std::uint16_t>(opt.scheduler_port),
-            beacon_info, opt.transport);
+            beacon_info, deploy::make_transport(opt));
       } catch (const comm::TransportError& e) {
         FC_LOG(Warn) << "client " << id << ": fleet beacon link failed — " << e.what();
       }
     }
-    std::printf("client %d: registered%s\n", id,
-                sim.client(id).malicious() ? " (malicious)" : "");
+    fl::Client& self = sim.client(id);
+
+    // Failover state (DESIGN.md §18). `ring` maps a committed-round index R
+    // to this client's state *before* training round R, so a resumed server's
+    // kRoundSync can roll us back to exactly the round it replays from. The
+    // manager persists the same states across our own crashes, keyed by
+    // (run_seed, id) so a snapshot can never resume as a different replica.
+    std::uint32_t epoch = 0;
+    int position = 0;  // training rounds this replica has locally completed
+    std::map<int, std::vector<std::uint8_t>> ring;
+    std::unique_ptr<fl::CheckpointManager> manager;
+    if (!opt.checkpoint_dir.empty()) {
+      manager = std::make_unique<fl::CheckpointManager>(
+          opt.checkpoint_dir + "/client-" + std::to_string(id), opt.checkpoint_every);
+      if (opt.resume) {
+        if (std::optional<fl::RunSnapshot> snap = manager->load_latest()) {
+          fl::restore_client_snapshot(self, *snap, cfg.seed, id);
+          epoch = snap->epoch;
+          position = snap->next_round;
+          net.set_epoch(epoch);
+          std::printf("client %d: resumed at epoch %u (next round %d)\n", id,
+                      static_cast<unsigned>(epoch), snap->next_round);
+          if (obs::Journal* j = obs::ambient_journal()) {
+            obs::JsonObject entry;
+            entry.add("kind", "client_resume")
+                .add("client", id)
+                .add("round", snap->next_round)
+                .add("epoch", static_cast<std::int64_t>(epoch));
+            j->write(entry);
+          }
+        } else {
+          std::printf("client %d: no snapshot to resume; starting fresh\n", id);
+        }
+      }
+    }
+    {
+      // Seed the ring with the current position (round 0 fresh, or the
+      // restored round after --resume) so a kRoundSync that arrives before
+      // any broadcast still finds its target.
+      common::ByteWriter w;
+      self.save_state(w);
+      ring[position] = w.take();
+    }
+
+    std::printf("client %d: registered%s\n", id, self.malicious() ? " (malicious)" : "");
     std::fflush(stdout);
 
     while (!net.shutdown_received()) {
       if (!net.client_wait_for_message(id, std::chrono::milliseconds(200))) continue;
-      try {
-        sim.client(id).handle_pending(net);
-      } catch (const comm::TransportError& e) {
-        // The link died mid-reply; the io thread is already reconnecting and
-        // the server's retry layer will re-drive the request.
-        FC_LOG(Warn) << "client " << id << ": reply lost to a link failure: " << e.what();
+      while (std::optional<comm::Message> msg = net.client_try_recv(id)) {
+        if (msg->type == comm::MessageType::kRoundSync) {
+          // A restarted server is re-synchronizing the fleet: roll back to
+          // its committed round and adopt its epoch so pre-crash traffic is
+          // rejected from here on.
+          try {
+            const comm::RoundSync sync = comm::decode_round_sync(msg->payload);
+            if (sync.epoch < epoch) {
+              throw comm::EpochError("round_sync: stale epoch " +
+                                     std::to_string(sync.epoch) + " < " +
+                                     std::to_string(epoch));
+            }
+            const auto it = ring.find(sync.next_round);
+            if (it == ring.end()) {
+              std::fprintf(stderr,
+                           "client %d: no round-%d state to sync to (have %zu entries)\n",
+                           id, sync.next_round, ring.size());
+              rc = 1;
+              goto done;
+            }
+            common::ByteReader r(it->second);
+            self.restore_state(r);
+            epoch = sync.epoch;
+            net.set_epoch(epoch);
+            // Rounds past the sync point were never committed server-side;
+            // the replay will regenerate them.
+            ring.erase(ring.upper_bound(sync.next_round), ring.end());
+            comm::Message ack;
+            ack.type = comm::MessageType::kRoundSyncAck;
+            ack.round = msg->round;
+            ack.sender = id;
+            ack.correlation = msg->correlation;
+            ack.payload = comm::encode_round_sync(sync);
+            ack.stamp();
+            net.send_to_server(id, std::move(ack));
+            FC_METRIC(round_syncs().inc());
+            if (obs::Journal* j = obs::ambient_journal()) {
+              obs::JsonObject entry;
+              entry.add("kind", "round_sync")
+                  .add("node", "client")
+                  .add("client", id)
+                  .add("round", sync.next_round)
+                  .add("epoch", static_cast<std::int64_t>(epoch));
+              j->write(entry);
+            }
+            std::printf("client %d: synced to round %d at epoch %u\n", id,
+                        sync.next_round, static_cast<unsigned>(epoch));
+            std::fflush(stdout);
+          } catch (const comm::TransportError& e) {
+            FC_LOG(Warn) << "client " << id << ": round-sync ack lost: " << e.what();
+          } catch (const Error& e) {
+            FC_LOG(Warn) << "client " << id << ": dropping round sync — " << e.what();
+          }
+          continue;
+        }
+        // Ring entries are captured for *training* broadcasts only: fine-tune
+        // rounds arrive tagged >= 1000 (defense/finetune.cpp) and must not
+        // clobber the training-round states a kRoundSync targets.
+        const bool training_broadcast =
+            msg->type == comm::MessageType::kModelBroadcast &&
+            msg->round < static_cast<std::uint32_t>(cfg.rounds);
+        self.handle_one(net, *msg);
+        if (training_broadcast) {
+          const int next_round = static_cast<int>(msg->round) + 1;
+          common::ByteWriter w;
+          self.save_state(w);
+          ring[next_round] = w.take();
+          if (manager && manager->due(next_round, cfg.rounds)) {
+            manager->save(
+                fl::make_client_snapshot(self, cfg.seed, id, next_round, epoch));
+          }
+        }
       }
     }
-    std::printf("client %d: shutdown received, exiting\n", id);
+  done:
+    std::printf("client %d: %s, exiting\n", id,
+                rc == 0 ? "shutdown received" : "round sync failed");
   } catch (const comm::TransportError& e) {
     std::fprintf(stderr, "client %d: transport failure: %s\n", id, e.what());
     rc = 1;

@@ -7,13 +7,18 @@
 // observability (registrations, reconnects, and heartbeat-detected deaths
 // land in its journal).
 //
-// Usage: fedcleanse_scheduler [--port P] [--port-file PATH]
+// Usage: fedcleanse_scheduler [--port P] [--port-file PATH] [--registry PATH]
 //                             [--journal-out run.jsonl] [transport flags]
 //
 // With --port 0 (the default) the OS picks the port; --port-file publishes
 // whatever was bound (written atomically, so launch scripts can poll for the
 // file and read a complete value). The process exits when the server sends
 // kShutdown at the end of its run.
+//
+// --registry journals every accepted registration to a plain-text file; a
+// restarted scheduler run with --registry PATH --resume rebuilds its
+// distinct-client roster from it (DESIGN.md §18) while the live nodes'
+// scheduler sessions reconnect and re-register on their own.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,24 +53,32 @@ int main(int argc, char** argv) {
   deploy::Options opt;
   int port = 0;
   std::string port_file;
+  std::string registry_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
       port_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--registry") == 0 && i + 1 < argc) {
+      registry_path = argv[++i];
     } else if (deploy::parse_deploy_flag(argc, argv, i, opt)) {
       continue;
     } else {
-      std::fprintf(stderr, "unknown flag %s\nflags:\n  --port P --port-file PATH\n%s",
+      std::fprintf(stderr,
+                   "unknown flag %s\nflags:\n  --port P --port-file PATH --registry PATH\n%s",
                    argv[i], deploy::deploy_flag_help());
       return 2;
     }
+  }
+  if (opt.resume && registry_path.empty()) {
+    std::fprintf(stderr, "--resume requires --registry\n");
+    return 2;
   }
 
   deploy::init_observability(opt, "scheduler", argc, argv);
   std::unique_ptr<obs::Journal> journal;
   if (!opt.journal_path.empty()) {
-    journal = std::make_unique<obs::Journal>(opt.journal_path, false);
+    journal = std::make_unique<obs::Journal>(opt.journal_path, opt.resume);
     if (!journal->ok()) {
       std::fprintf(stderr, "cannot open journal %s\n", opt.journal_path.c_str());
       return 2;
@@ -75,8 +88,16 @@ int main(int argc, char** argv) {
   }
 
   try {
-    comm::Scheduler scheduler(opt.transport, "127.0.0.1",
+    comm::Scheduler scheduler(deploy::make_transport(opt), "127.0.0.1",
                               static_cast<std::uint16_t>(port));
+    if (!registry_path.empty()) {
+      if (opt.resume) {
+        const int restored = scheduler.load_registry(registry_path);
+        std::printf("scheduler: restored %d client(s) from %s\n", restored,
+                    registry_path.c_str());
+      }
+      scheduler.enable_registry(registry_path);
+    }
     auto exporter = deploy::make_exporter(opt);
     if (exporter && exporter->ok()) {
       // The fleet table: per-node round progress and heartbeat ages,

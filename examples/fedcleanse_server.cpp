@@ -25,6 +25,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "comm/scheduler.h"
@@ -34,6 +35,7 @@
 #include "defense/pipeline.h"
 #include "deploy_common.h"
 #include "fl/protocol.h"
+#include "fl/run_state.h"
 #include "fl/simulation.h"
 #include "nn/checkpoint.h"
 #include "obs/journal.h"
@@ -90,11 +92,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--scheduler-port is required (or pass --local)\n");
     return 2;
   }
+  if (opt.resume && opt.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return 2;
+  }
 
   deploy::init_observability(opt, "server", argc, argv);
   std::unique_ptr<obs::Journal> journal;
   if (!opt.journal_path.empty()) {
-    journal = std::make_unique<obs::Journal>(opt.journal_path, false);
+    // A resumed run appends (the {"kind":"server_resume"} line marks the
+    // restart boundary) instead of clobbering the pre-crash rounds.
+    journal = std::make_unique<obs::Journal>(opt.journal_path, opt.resume);
     if (!journal->ok()) {
       std::fprintf(stderr, "cannot open journal %s\n", opt.journal_path.c_str());
       return 2;
@@ -113,10 +121,33 @@ int main(int argc, char** argv) {
       std::printf("server: local reference run (%d clients, %d rounds)\n",
                   cfg.n_clients, cfg.rounds);
       fl::Simulation sim(cfg);
+      // Full-run checkpointing, exactly quickstart's flow: the whole
+      // simulation (clients included) lives in this process.
+      std::unique_ptr<fl::CheckpointManager> manager;
+      std::optional<fl::RunSnapshot> resumed;
+      if (!opt.checkpoint_dir.empty()) {
+        manager = std::make_unique<fl::CheckpointManager>(opt.checkpoint_dir,
+                                                          opt.checkpoint_every);
+        if (opt.resume) {
+          resumed = manager->load_latest();
+          if (resumed) {
+            fl::resume_simulation(sim, *resumed);
+            std::printf("  resumed from %s snapshot (next round %d)\n",
+                        resumed->stage.c_str(), resumed->next_round);
+          } else {
+            std::printf("  no snapshot in %s; starting fresh\n",
+                        opt.checkpoint_dir.c_str());
+          }
+        }
+        sim.set_checkpoint_manager(manager.get());
+      }
       sim.run();
       std::printf("  after training: TA=%.3f  AA=%.3f\n", sim.test_accuracy(),
                   sim.attack_success());
-      if (with_defense) print_report(defense::run_defense(sim, dcfg));
+      if (with_defense) {
+        print_report(defense::run_defense(sim, dcfg, manager.get(),
+                                          resumed ? &*resumed : nullptr));
+      }
       if (!save_path.empty()) {
         nn::save_model_file(sim.server().model(), save_path);
         std::printf("saved model to %s\n", save_path.c_str());
@@ -124,7 +155,7 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    comm::SocketServerNetwork net(cfg.n_clients, opt.transport);
+    comm::SocketServerNetwork net(cfg.n_clients, deploy::make_transport(opt));
     auto exporter = deploy::make_exporter(opt);
     if (exporter && exporter->ok()) {
       const std::size_t quorum_need =
@@ -150,7 +181,7 @@ int main(int argc, char** argv) {
     info.port = net.port();
     comm::SchedulerSession session(opt.scheduler_host,
                                    static_cast<std::uint16_t>(opt.scheduler_port), info,
-                                   opt.transport);
+                                   deploy::make_transport(opt));
     std::printf("server: data port %u registered, waiting for %d clients...\n",
                 static_cast<unsigned>(net.port()), cfg.n_clients);
     std::fflush(stdout);
@@ -166,10 +197,37 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
 
     fl::Simulation sim(cfg, &net);
+    // Server-scope failover (DESIGN.md §18): snapshot only this node's state
+    // at round boundaries; on --resume, restore it at a bumped epoch and
+    // roll the live clients to the committed round before replaying.
+    std::unique_ptr<fl::CheckpointManager> manager;
+    if (!opt.checkpoint_dir.empty()) {
+      manager = std::make_unique<fl::CheckpointManager>(opt.checkpoint_dir + "/server",
+                                                        opt.checkpoint_every);
+      if (opt.resume) {
+        if (std::optional<fl::RunSnapshot> snap = manager->load_latest()) {
+          const std::uint32_t epoch = snap->epoch + 1;
+          fl::resume_server_simulation(sim, *snap, epoch);
+          net.set_epoch(epoch);
+          const int acked = fl::synchronize_round(sim, sim.all_client_ids());
+          std::printf("  resumed at epoch %u (next round %d, %d of %d clients synced)\n",
+                      static_cast<unsigned>(epoch), snap->next_round, acked,
+                      cfg.n_clients);
+        } else {
+          std::printf("  no snapshot in %s/server; starting fresh\n",
+                      opt.checkpoint_dir.c_str());
+        }
+      }
+      sim.set_checkpoint_manager(manager.get());
+    }
     try {
       sim.run();
       std::printf("  after training: TA=%.3f  AA=%.3f  (%d clients alive)\n",
                   sim.test_accuracy(), sim.attack_success(), net.n_alive());
+      // No checkpoint manager here: defense-stage snapshots are full-run
+      // scope (they capture every client), which a remote server cannot
+      // take — a crash during defense restarts from the last training
+      // snapshot (DESIGN.md §18 recovery matrix).
       if (with_defense) print_report(defense::run_defense(sim, dcfg));
       if (!save_path.empty()) {
         nn::save_model_file(sim.server().model(), save_path);

@@ -11,7 +11,8 @@ Checks enforced here:
     (train_round | finetune_round | defense | resume, plus the socket
     transport's control-plane events: client_register | reconnect |
     client_dead | server_register, plus the observability plane's
-    open | fleet_status — DESIGN.md §17)
+    open | fleet_status — DESIGN.md §17, plus the failover plane's
+    server_resume | client_resume | round_sync — DESIGN.md §18)
   * an "open" line carries the writing process's identity: pid, role,
     argv_hash, cpu dispatch tier, and the trace wall-clock anchor
   * a "fleet_status" line (scheduler only) carries the closed round, node
@@ -33,7 +34,10 @@ run's journal after a {"kind": "resume", "stage": ..., "round": R} marker.
 Rounds at or after R were re-run, so the crashed run's entries for them are
 superseded and dropped here; a torn (half-written) line is forgiven when a
 resume marker follows it, since the crash that tore it is exactly what the
-resume repaired. With --stable the output omits everything that legitimately
+resume repaired. A {"kind": "server_resume"} marker (the remote server's
+server-scope restore, DESIGN.md §18) supersedes the same way; client_resume
+marks a restarted client process (new VmHWM floor, torn-line forgiveness,
+nothing to supersede — clients journal no rounds). With --stable the output omits everything that legitimately
 differs between a resumed run and an uninterrupted reference run (wall-clock
 phase timings, the journal path), so the two outputs can be diffed byte-for-
 byte to prove the resume replayed the same rounds.
@@ -55,7 +59,12 @@ TRANSPORT_KINDS = ("client_register", "reconnect", "client_dead", "server_regist
 # telemetry-enabled journal opens with, and the scheduler's per-round fleet
 # roll-up.
 OBS_KINDS = ("open", "fleet_status")
-KNOWN_KINDS = ROUND_KINDS + ("defense", "resume") + TRANSPORT_KINDS + OBS_KINDS
+# Failover events (DESIGN.md §18): the remote server's server-scope resume
+# marker, a restarted client's own restore, and the round-sync handshake that
+# rolls the fleet back to the committed round (journaled by both roles).
+FAILOVER_KINDS = ("server_resume", "client_resume", "round_sync")
+KNOWN_KINDS = (ROUND_KINDS + ("defense", "resume") + TRANSPORT_KINDS + OBS_KINDS
+               + FAILOVER_KINDS)
 OPEN_KEYS = ("pid", "role", "argv_hash", "cpu", "trace_anchor_unix_ns")
 FLEET_KEYS = ("round", "n_nodes", "n_reported", "latency_p50_ms",
               "latency_max_ms", "n_stragglers", "n_stale")
@@ -113,11 +122,20 @@ def check(path: str) -> tuple[list[dict], list[str]]:
             if kind not in KNOWN_KINDS:
                 errors.append((lineno, f"{where}: unknown kind {kind!r}"))
                 continue
-            if kind == "resume":
+            if kind in ("resume", "server_resume"):
                 stage, rnd = entry.get("stage"), entry.get("round")
-                if stage not in ("train", "finetune") or not isinstance(rnd, int):
-                    errors.append((lineno, f"{where}: malformed resume marker"))
+                # A server-scope resume (§18) only ever restores the training
+                # stage — defense-stage snapshots are full-run scope.
+                ok_stages = ("train", "finetune") if kind == "resume" else ("train",)
+                if stage not in ok_stages or not isinstance(rnd, int):
+                    errors.append((lineno, f"{where}: malformed {kind} marker"))
                     continue
+                if kind == "server_resume":
+                    epoch = entry.get("epoch")
+                    if not isinstance(epoch, int) or isinstance(epoch, bool) or epoch < 1:
+                        errors.append(
+                            (lineno, f"{where}: server_resume epoch={epoch!r} "
+                                     "not a positive int (resumes start at epoch 1)"))
                 resumes.append(lineno)
                 apply_resume(entries, stage, rnd)
                 # Monotonicity restarts at the resume point for the replayed
@@ -128,6 +146,35 @@ def check(path: str) -> tuple[list[dict], list[str]]:
                 else:
                     last_round["finetune_round"] = rnd - 1
                 last_peak = 0  # the resumed process has its own VmHWM
+                continue
+            if kind == "client_resume":
+                if not isinstance(entry.get("client"), int):
+                    errors.append((lineno, f"{where}: client_resume missing client id"))
+                for k in ("round", "epoch"):
+                    v = entry.get(k)
+                    if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                        errors.append(
+                            (lineno, f"{where}: client_resume {k}={v!r} not a "
+                                     "non-negative int"))
+                resumes.append(lineno)  # forgive lines torn by the client's crash
+                last_peak = 0           # the restarted process has its own VmHWM
+                entries.append(entry)
+                continue
+            if kind == "round_sync":
+                node = entry.get("node")
+                if node not in ("server", "client"):
+                    errors.append((lineno, f"{where}: round_sync node={node!r} unknown"))
+                for k in ("round", "epoch"):
+                    v = entry.get(k)
+                    if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                        errors.append(
+                            (lineno, f"{where}: round_sync {k}={v!r} not a "
+                                     "non-negative int"))
+                if node == "client" and not isinstance(entry.get("client"), int):
+                    errors.append((lineno, f"{where}: round_sync missing client id"))
+                if node == "server" and not isinstance(entry.get("n_acked"), int):
+                    errors.append((lineno, f"{where}: round_sync missing n_acked"))
+                entries.append(entry)
                 continue
             if kind == "open":
                 missing = [k for k in OPEN_KEYS if k not in entry]

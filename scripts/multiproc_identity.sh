@@ -19,6 +19,13 @@
 # Usage: scripts/multiproc_identity.sh [--telemetry] [BUILD_DIR]   (default: build)
 set -euo pipefail
 
+# Re-exec as a process-group leader so cleanup can kill the *whole* group:
+# `jobs -p` misses grandchildren, and a failed assertion mid-run used to
+# leave orphaned clients spinning in their reconnect loops.
+if [ "${FC_PGL:-}" != 1 ]; then
+  FC_PGL=1 exec setsid "$0" "$@"
+fi
+
 TELEMETRY=0
 if [ "${1:-}" = "--telemetry" ]; then
   TELEMETRY=1
@@ -29,9 +36,8 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$REPO_ROOT/build}"
 WORK="$(mktemp -d)"
 cleanup() {
-  local pids
-  pids=$(jobs -p)
-  [ -n "$pids" ] && kill $pids 2>/dev/null
+  trap '' TERM  # don't let our own group-kill re-enter this handler
+  kill -s TERM -- "-$$" 2>/dev/null
   wait 2>/dev/null
   rm -rf "$WORK"
 }

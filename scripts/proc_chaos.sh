@@ -23,13 +23,19 @@
 # Usage: scripts/proc_chaos.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
 
+# Re-exec as a process-group leader so cleanup can kill the *whole* group:
+# `jobs -p` misses grandchildren, and a failed assertion mid-run used to
+# leave orphaned clients spinning in their reconnect loops.
+if [ "${FC_PGL:-}" != 1 ]; then
+  FC_PGL=1 exec setsid "$0" "$@"
+fi
+
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$REPO_ROOT/build}"
 WORK="$(mktemp -d)"
 cleanup() {
-  local pids
-  pids=$(jobs -p)
-  [ -n "$pids" ] && kill $pids 2>/dev/null
+  trap '' TERM  # don't let our own group-kill re-enter this handler
+  kill -s TERM -- "-$$" 2>/dev/null
   wait 2>/dev/null
   rm -rf "$WORK"
 }

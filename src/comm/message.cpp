@@ -50,13 +50,15 @@ const char* message_type_name(MessageType t) {
     case MessageType::kHeartbeat: return "Heartbeat";
     case MessageType::kHeartbeatAck: return "HeartbeatAck";
     case MessageType::kModelUpdateQuantized: return "ModelUpdateQuantized";
+    case MessageType::kRoundSync: return "RoundSync";
+    case MessageType::kRoundSyncAck: return "RoundSyncAck";
   }
   return "?";
 }
 
 std::optional<MessageType> parse_message_type(std::uint8_t raw) {
   if (raw < static_cast<std::uint8_t>(MessageType::kModelBroadcast) ||
-      raw > static_cast<std::uint8_t>(MessageType::kModelUpdateQuantized)) {
+      raw > static_cast<std::uint8_t>(MessageType::kRoundSyncAck)) {
     return std::nullopt;
   }
   return static_cast<MessageType>(raw);
@@ -286,6 +288,7 @@ std::vector<std::uint8_t> encode_register(const RegisterInfo& info) {
   w.write_i32(info.node_id);
   w.write_u32(info.port);
   w.write_u32(info.generation);
+  w.write_u32(info.epoch);
   return w.take();
 }
 
@@ -302,6 +305,7 @@ RegisterInfo decode_register(const std::vector<std::uint8_t>& payload) {
     if (port > 65535) throw DecodeError("register: port " + std::to_string(port));
     info.port = static_cast<std::uint16_t>(port);
     info.generation = r.read_u32();
+    info.epoch = r.read_u32();
     return info;
   });
 }
@@ -313,6 +317,7 @@ std::vector<std::uint8_t> encode_register_ack(const RegisterAck& ack) {
   w.write_string(ack.server_host);
   w.write_u32(ack.server_port);
   w.write_i32(ack.n_clients_registered);
+  w.write_u32(ack.epoch);
   return w.take();
 }
 
@@ -326,6 +331,7 @@ RegisterAck decode_register_ack(const std::vector<std::uint8_t>& payload) {
     if (port > 65535) throw DecodeError("register_ack: port " + std::to_string(port));
     ack.server_port = static_cast<std::uint16_t>(port);
     ack.n_clients_registered = r.read_i32();
+    ack.epoch = r.read_u32();
     return ack;
   });
 }
@@ -345,6 +351,25 @@ HeartbeatStatus decode_heartbeat_status(const std::vector<std::uint8_t>& payload
     s.wire_bytes = r.read_u64();
     s.peak_rss = r.read_u64();
     return s;
+  });
+}
+
+std::vector<std::uint8_t> encode_round_sync(const RoundSync& sync) {
+  common::ByteWriter w;
+  w.write_u32(sync.epoch);
+  w.write_i32(sync.next_round);
+  return w.take();
+}
+
+RoundSync decode_round_sync(const std::vector<std::uint8_t>& payload) {
+  return decode_checked("round_sync", payload, [](common::ByteReader& r) {
+    RoundSync sync;
+    sync.epoch = r.read_u32();
+    sync.next_round = r.read_i32();
+    if (sync.next_round < 0) {
+      throw DecodeError("round_sync: negative round " + std::to_string(sync.next_round));
+    }
+    return sync;
   });
 }
 

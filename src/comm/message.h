@@ -36,6 +36,9 @@ enum class MessageType : std::uint8_t {
   kHeartbeatAck = 15,   // peer → node: beacon echo
   // Quantized-wire training protocol (DESIGN.md §16).
   kModelUpdateQuantized = 16,  // client → server: int8 parameter delta
+  // Failover protocol (DESIGN.md §18).
+  kRoundSync = 17,     // server → client: roll back to the committed round
+  kRoundSyncAck = 18,  // client → server: rolled back, ready to replay
 };
 
 const char* message_type_name(MessageType t);
@@ -48,6 +51,16 @@ std::optional<MessageType> parse_message_type(std::uint8_t raw);
 class DecodeError : public SerializationError {
  public:
   explicit DecodeError(const std::string& what) : SerializationError(what) {}
+};
+
+// Snapshot-epoch mismatch: a message from a different resume generation of
+// the run (a pre-crash server's stale kRoundSync, or a client that resumed
+// past the server's restored state). Subtype of DecodeError so the generic
+// collect loops treat it as a malformed-but-logged reply rather than a fatal
+// transport fault.
+class EpochError : public DecodeError {
+ public:
+  explicit EpochError(const std::string& what) : DecodeError(what) {}
 };
 
 // FNV-1a 64 over the payload bytes — the wire integrity check. Flipped,
@@ -171,6 +184,7 @@ struct RegisterInfo {
   std::int32_t node_id = -1;      // client id, or -1 for the server
   std::uint16_t port = 0;         // listening port (server only; 0 for clients)
   std::uint32_t generation = 0;   // bumped on each reconnect-and-reregister
+  std::uint32_t epoch = 0;        // snapshot epoch (0 = fresh run; DESIGN.md §18)
 };
 
 std::vector<std::uint8_t> encode_register(const RegisterInfo& info);
@@ -184,6 +198,7 @@ struct RegisterAck {
   std::string server_host;
   std::uint16_t server_port = 0;
   std::int32_t n_clients_registered = 0;
+  std::uint32_t epoch = 0;  // the acceptor's snapshot epoch
 };
 
 std::vector<std::uint8_t> encode_register_ack(const RegisterAck& ack);
@@ -200,5 +215,17 @@ struct HeartbeatStatus {
 
 std::vector<std::uint8_t> encode_heartbeat_status(const HeartbeatStatus& s);
 HeartbeatStatus decode_heartbeat_status(const std::vector<std::uint8_t>& payload);
+
+// kRoundSync / kRoundSyncAck payload (DESIGN.md §18): the resumed server's
+// snapshot epoch and the round both sides must be positioned at before the
+// run replays. The client echoes the payload back verbatim as its ack, so
+// the server can verify the client landed on the intended (epoch, round).
+struct RoundSync {
+  std::uint32_t epoch = 0;
+  std::int32_t next_round = 0;  // rounds committed; the next round to run
+};
+
+std::vector<std::uint8_t> encode_round_sync(const RoundSync& sync);
+RoundSync decode_round_sync(const std::vector<std::uint8_t>& payload);
 
 }  // namespace fedcleanse::comm

@@ -109,33 +109,91 @@ void Scheduler::accept_loop() {
 void Scheduler::handle_register(Conn* conn, const Message& m) {
   const RegisterInfo info = decode_register(m.payload);  // DecodeError → caller
   RegisterAck ack;
-  ack.accepted = true;
+  bool rejected_shutdown = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (info.role == NodeRole::kServer) {
-      // The server's reachable address is the connection's source IP plus the
-      // data port it registered.
-      server_host_ = conn->sock.peer_ip();
-      if (server_host_ == "?") server_host_ = "127.0.0.1";
-      server_port_ = info.port;
-    } else if (std::find(clients_seen_.begin(), clients_seen_.end(), info.node_id) ==
-               clients_seen_.end()) {
-      clients_seen_.push_back(info.node_id);
+    if (shutdown_) {
+      // The run already ended; admitting a late joiner would strand it
+      // waiting for a server that is about to exit. Nack so the node fails
+      // fast instead of backing off forever.
+      rejected_shutdown = true;
+    } else {
+      ack.accepted = true;
+      if (info.role == NodeRole::kServer) {
+        // The server's reachable address is the connection's source IP plus
+        // the data port it registered.
+        server_host_ = conn->sock.peer_ip();
+        if (server_host_ == "?") server_host_ = "127.0.0.1";
+        server_port_ = info.port;
+      } else if (std::find(clients_seen_.begin(), clients_seen_.end(), info.node_id) ==
+                 clients_seen_.end()) {
+        clients_seen_.push_back(info.node_id);
+      }
+      if (registry_.is_open()) {
+        if (info.role == NodeRole::kServer) {
+          registry_ << "server " << info.port << "\n";
+        } else {
+          registry_ << "client " << info.node_id << " " << info.generation << "\n";
+        }
+        registry_.flush();
+      }
     }
     ack.server_known = server_port_ != 0;
     ack.server_host = server_host_;
     ack.server_port = server_port_;
     ack.n_clients_registered = static_cast<std::int32_t>(clients_seen_.size());
   }
-  if (info.role == NodeRole::kServer) {
+  if (rejected_shutdown) {
+    FC_LOG(Warn) << "scheduler: rejecting registration of node " << info.node_id
+                 << " — run already shut down";
+  } else if (info.role == NodeRole::kServer) {
     journal_event("server_register", "scheduler", info.node_id, "port",
                   std::to_string(info.port));
+  } else if (info.generation > 0) {
+    journal_event("reconnect", "scheduler", info.node_id, "generation",
+                  std::to_string(info.generation));
   } else {
-    journal_event(info.generation > 0 ? "reconnect" : "client_register", "scheduler",
-                  info.node_id);
+    journal_event("client_register", "scheduler", info.node_id);
   }
   send_frame(conn->sock, control_message(MessageType::kRegisterAck, -1,
                                          encode_register_ack(ack)));
+}
+
+void Scheduler::enable_registry(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_.open(path, std::ios::app);
+  if (!registry_.is_open()) {
+    throw TransportError("scheduler cannot open registry file " + path);
+  }
+}
+
+int Scheduler::load_registry(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return 0;  // first boot: nothing to restore
+  std::vector<int> restored;
+  std::string role;
+  while (in >> role) {
+    if (role == "client") {
+      int id = -1, generation = 0;
+      if (!(in >> id >> generation)) break;
+      if (id >= 0 && std::find(restored.begin(), restored.end(), id) == restored.end()) {
+        restored.push_back(id);
+      }
+    } else if (role == "server") {
+      int port = 0;
+      if (!(in >> port)) break;
+      // Address intentionally dropped — see the header comment.
+    } else {
+      break;  // torn tail from a crash mid-write; keep what parsed
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int id : restored) {
+    if (std::find(clients_seen_.begin(), clients_seen_.end(), id) == clients_seen_.end()) {
+      clients_seen_.push_back(id);
+    }
+  }
+  return static_cast<int>(restored.size());
 }
 
 void Scheduler::conn_loop(Conn* conn) {
@@ -338,7 +396,7 @@ RegisterAck scheduler_register_once(const std::string& host, std::uint16_t port,
 
 SchedulerSession::SchedulerSession(const std::string& host, std::uint16_t port,
                                    const RegisterInfo& info, const TransportConfig& config)
-    : config_(config), info_(info) {
+    : config_(config), host_(host), port_(port), info_(info) {
   sock_ = connect_to(host, port, config_.connect_timeout_ms);
   send_frame(sock_, control_message(MessageType::kRegister, info_.node_id,
                                     encode_register(info_)));
@@ -359,49 +417,113 @@ SchedulerSession::~SchedulerSession() {
 }
 
 void SchedulerSession::notify_shutdown() {
-  std::lock_guard<std::mutex> lock(send_mu_);
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    try {
+      send_frame(sock_, control_message(MessageType::kShutdown, info_.node_id));
+      return;
+    } catch (const TransportError& e) {
+      FC_LOG(Warn) << "scheduler shutdown notice failed — " << e.what()
+                   << "; retrying over a fresh connection";
+    }
+  }
+  // One fresh-connection retry so a scheduler restarted mid-run still learns
+  // the run ended (its restarted process holds a new socket we never saw).
   try {
-    send_frame(sock_, control_message(MessageType::kShutdown, info_.node_id));
+    Socket fresh = connect_to(host_, port_, config_.connect_timeout_ms);
+    send_frame(fresh, control_message(MessageType::kShutdown, info_.node_id));
   } catch (const TransportError& e) {
-    FC_LOG(Warn) << "scheduler shutdown notice failed — " << e.what();
+    FC_LOG(Warn) << "scheduler shutdown notice failed twice — " << e.what();
   }
 }
 
 void SchedulerSession::heartbeat_loop() {
   // The ack stream is drained lazily right here — the session never carries
   // anything but beacons, so the reader and sender can share one thread.
-  FrameDecoder decoder(config_.max_frame_bytes);
   std::uint8_t buf[1024];
+  bool link_up = true;  // the constructor registered the first connection
   while (!stop_.load()) {
-    Message beat = control_message(MessageType::kHeartbeat, info_.node_id);
-    if (auto status = current_heartbeat_status()) {
-      // Attach this node's progress snapshot so the scheduler's fleet view
-      // has per-node rounds; telemetry off keeps the bare beacon.
-      beat.payload = encode_heartbeat_status(*status);
-      beat.stamp();
-    }
-    {
-      std::lock_guard<std::mutex> lock(send_mu_);
-      try {
-        send_frame(sock_, beat);
-      } catch (const TransportError&) {
-        return;  // scheduler gone; nothing to beacon at
-      }
-    }
-    const auto next_beat = std::chrono::steady_clock::now() +
-                           std::chrono::milliseconds(config_.heartbeat_interval_ms);
-    while (!stop_.load() && std::chrono::steady_clock::now() < next_beat) {
-      std::size_t n = 0;
-      try {
-        const auto status = sock_.recv_some(buf, sizeof(buf), 20, &n);
-        if (status == Socket::RecvStatus::kEof) return;
-        if (status == Socket::RecvStatus::kData) {
-          decoder.feed(buf, n);
-          while (decoder.next()) {
-          }
+    if (!link_up) {
+      // Scheduler gone — most likely a restart in progress (DESIGN.md §18).
+      // Reconnect with jittered capped backoff and re-register at a bumped
+      // generation so the restarted scheduler re-learns this node. Sleep in
+      // short slices so destruction never waits out a full backoff.
+      int attempt = 0;
+      while (!stop_.load() && !link_up) {
+        const int delay = backoff_delay_jittered_ms(config_, info_.node_id, attempt);
+        for (int waited = 0; waited < delay && !stop_.load(); waited += 50) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(std::min(50, delay - waited)));
         }
-      } catch (const Error&) {
-        return;
+        if (stop_.load()) return;
+        attempt = std::min(attempt + 1, config_.max_connect_retries);
+        try {
+          Socket fresh = connect_to(host_, port_, config_.connect_timeout_ms);
+          RegisterInfo info;
+          {
+            std::lock_guard<std::mutex> lock(send_mu_);
+            info_.generation += 1;
+            info = info_;
+          }
+          send_frame(fresh, control_message(MessageType::kRegister, info.node_id,
+                                            encode_register(info)));
+          FrameDecoder handshake(config_.max_frame_bytes);
+          auto reply = recv_frame(fresh, handshake, config_.connect_timeout_ms);
+          if (!reply || reply->type != MessageType::kRegisterAck ||
+              !decode_register_ack(reply->payload).accepted) {
+            continue;
+          }
+          {
+            std::lock_guard<std::mutex> lock(send_mu_);
+            sock_ = std::move(fresh);
+          }
+          link_up = true;
+          FC_METRIC(transport_reconnects().inc());
+          FC_LOG(Info) << "scheduler session: node " << info.node_id
+                       << " re-registered (generation " << info.generation << ")";
+        } catch (const Error&) {
+          // Next backoff slot.
+        }
+      }
+      continue;
+    }
+    FrameDecoder decoder(config_.max_frame_bytes);
+    while (link_up && !stop_.load()) {
+      Message beat = control_message(MessageType::kHeartbeat, info_.node_id);
+      if (auto status = current_heartbeat_status()) {
+        // Attach this node's progress snapshot so the scheduler's fleet view
+        // has per-node rounds; telemetry off keeps the bare beacon.
+        beat.payload = encode_heartbeat_status(*status);
+        beat.stamp();
+      }
+      {
+        std::lock_guard<std::mutex> lock(send_mu_);
+        try {
+          send_frame(sock_, beat);
+        } catch (const TransportError&) {
+          link_up = false;
+          break;
+        }
+      }
+      const auto next_beat = std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(config_.heartbeat_interval_ms);
+      while (link_up && !stop_.load() && std::chrono::steady_clock::now() < next_beat) {
+        std::size_t n = 0;
+        try {
+          const auto status = sock_.recv_some(buf, sizeof(buf), 20, &n);
+          if (status == Socket::RecvStatus::kEof) {
+            link_up = false;
+            break;
+          }
+          if (status == Socket::RecvStatus::kData) {
+            decoder.feed(buf, n);
+            while (decoder.next()) {
+            }
+          }
+        } catch (const Error&) {
+          link_up = false;
+          break;
+        }
       }
     }
   }

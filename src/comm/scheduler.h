@@ -12,6 +12,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -41,6 +42,17 @@ class Scheduler {
   // stop() is called from another thread.
   void run_until_shutdown();
   void stop();
+
+  // --- restart tolerance (DESIGN.md §18) ------------------------------------
+  // Journal every accepted registration to a plain-text file ("client <id>
+  // <generation>" / "server <port>"), appending across restarts.
+  void enable_registry(const std::string& path);
+  // Rebuild the distinct-client roster from a registry file written by a
+  // previous incarnation; returns the number of clients restored. The server
+  // address is deliberately NOT restored — a pre-crash data port may be
+  // stale, and the server's session re-registers it within one heartbeat
+  // interval anyway.
+  int load_registry(const std::string& path);
 
   // Live fleet table (DESIGN.md §17), aggregated from the status snapshots
   // heartbeating nodes attach to their beacons: one JSON object with the max
@@ -90,6 +102,7 @@ class Scheduler {
   std::uint16_t server_port_ = 0;
   std::vector<int> clients_seen_;  // distinct registered client ids
   std::vector<std::unique_ptr<Conn>> conns_;
+  std::ofstream registry_;  // restart journal (guarded by mu_); closed = off
 
   // Fleet view (guarded by mu_). Keyed by node id; the server is -1.
   std::map<std::int32_t, FleetNode> fleet_;
@@ -110,6 +123,12 @@ RegisterAck scheduler_register_once(const std::string& host, std::uint16_t port,
 // beacons kHeartbeat in a background thread so the scheduler's journal can
 // tell a finished run from a dead server. notify_shutdown() tells the
 // scheduler the run is over (it exits run_until_shutdown).
+//
+// The session survives a scheduler restart (DESIGN.md §18): when the link
+// drops, the background thread reconnects with jittered capped backoff and
+// re-registers at a bumped generation — a restarted scheduler re-learns this
+// node (and, for the server role, its current data port) without the run
+// stopping. Only the *initial* registration throws on failure.
 class SchedulerSession {
  public:
   SchedulerSession(const std::string& host, std::uint16_t port, const RegisterInfo& info,
@@ -122,7 +141,9 @@ class SchedulerSession {
   void heartbeat_loop();
 
   TransportConfig config_;
-  RegisterInfo info_;
+  std::string host_;
+  std::uint16_t port_;
+  RegisterInfo info_;  // generation bumped per reconnect (guarded by send_mu_)
   std::atomic<bool> stop_{false};
   std::mutex send_mu_;
   Socket sock_;

@@ -140,6 +140,24 @@ void SocketServerNetwork::handle_registration(Socket sock) {
   if (info.role != NodeRole::kClient || info.node_id < 0 || info.node_id >= n_clients()) {
     FC_LOG(Warn) << "server transport: rejecting registration of node " << info.node_id;
     RegisterAck nack;
+    nack.epoch = epoch_.load();
+    try {
+      send_frame(sock, control_message(MessageType::kRegisterAck, -1,
+                                       encode_register_ack(nack)));
+    } catch (const TransportError&) {
+    }
+    return;
+  }
+  if (info.epoch > epoch_.load()) {
+    // The client resumed from a snapshot newer than the state this server
+    // restored — admitting it would mix snapshot generations. Nack with our
+    // epoch; the operator must restart the server from a newer snapshot (or
+    // the client from scratch).
+    FC_LOG(Warn) << "server transport: rejecting client " << info.node_id
+                 << " from future epoch " << info.epoch << " (ours is " << epoch_.load()
+                 << ")";
+    RegisterAck nack;
+    nack.epoch = epoch_.load();
     try {
       send_frame(sock, control_message(MessageType::kRegisterAck, -1,
                                        encode_register_ack(nack)));
@@ -184,6 +202,7 @@ void SocketServerNetwork::handle_registration(Socket sock) {
   ack.server_known = true;
   ack.server_port = listener_.port();
   ack.n_clients_registered = n_alive();
+  ack.epoch = epoch_.load();
   {
     std::lock_guard<std::mutex> send_lock(peer->send_mu);
     try {
@@ -435,6 +454,7 @@ std::optional<Socket> SocketClientNetwork::establish(std::uint32_t generation) {
   info.role = NodeRole::kClient;
   info.node_id = client_id_;
   info.generation = generation;
+  info.epoch = epoch_.load();
   try {
     const RegisterAck from_scheduler =
         scheduler_register_once(scheduler_host_, scheduler_port_, info, config_);
@@ -468,8 +488,11 @@ void SocketClientNetwork::io_loop() {
   while (!stop_.load() && !shutdown_.load()) {
     auto sock = establish(generation);
     if (!sock) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(backoff_delay_ms(config_, attempt)));
+      // Jittered so a restarted server doesn't take the whole cohort's
+      // reregistration in one synchronized stampede (every survivor saw the
+      // EOF within the same poll slice). Deterministic per (seed, id).
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          backoff_delay_jittered_ms(config_, client_id_, attempt)));
       attempt = std::min(attempt + 1, config_.max_connect_retries);
       continue;
     }

@@ -67,6 +67,13 @@ class SocketServerNetwork : public Network {
   // it beaconed one). Feeds the server binary's /statusz.
   std::string peers_status_json() const;
 
+  // Snapshot epoch this server runs at (DESIGN.md §18). A resumed server sets
+  // it before accepting traffic; a client registering from a *newer* epoch
+  // than ours is nacked — it resumed past the state we restored, and letting
+  // it in would silently mix generations.
+  void set_epoch(std::uint32_t epoch) { epoch_.store(epoch); }
+  std::uint32_t epoch() const { return epoch_.load(); }
+
   // Network overrides: sends frame onto the client's socket (silently dropped
   // when the client is dead — the retry/quorum layer owns recovery); receives
   // drain the base channels that the reader threads fill, with a dead-client
@@ -99,6 +106,7 @@ class SocketServerNetwork : public Network {
   TransportConfig config_;
   Listener listener_;
   std::atomic<bool> stop_{false};
+  std::atomic<std::uint32_t> epoch_{0};
   mutable std::mutex peers_mu_;
   std::condition_variable peers_cv_;
   std::map<int, std::unique_ptr<Peer>> peers_;
@@ -124,6 +132,12 @@ class SocketClientNetwork : public Network {
   // True once the server sent kShutdown — the main loop's exit condition.
   bool shutdown_received() const { return shutdown_.load(); }
 
+  // Snapshot epoch stamped into this client's kRegister (DESIGN.md §18). A
+  // resumed client sets it from its restored snapshot; the round-sync
+  // handler raises it when the server resumes past it.
+  void set_epoch(std::uint32_t epoch) { epoch_.store(epoch); }
+  std::uint32_t epoch() const { return epoch_.load(); }
+
   // Network overrides. send_to_server throws TransportError while the link is
   // down (the caller's reply is lost; the server's retry re-drives it after
   // the reconnect). Receive paths are the base implementations over the
@@ -143,6 +157,7 @@ class SocketClientNetwork : public Network {
   std::uint16_t scheduler_port_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint32_t> epoch_{0};
   mutable std::mutex link_mu_;
   std::condition_variable link_cv_;
   Socket sock_;            // valid only while registered_ (guarded by link_mu_)

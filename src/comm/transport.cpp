@@ -12,6 +12,8 @@
 #include <cstring>
 #include <thread>
 
+#include "common/rng.h"
+
 namespace fedcleanse::comm {
 
 namespace {
@@ -72,6 +74,23 @@ int backoff_delay_ms(const TransportConfig& config, int attempt) {
   const int shift = attempt > 20 ? 20 : attempt;
   const long long delay = static_cast<long long>(config.backoff_base_ms) << shift;
   return static_cast<int>(delay > config.backoff_cap_ms ? config.backoff_cap_ms : delay);
+}
+
+int backoff_delay_jittered_ms(const TransportConfig& config, int node_id, int attempt) {
+  const int delay = backoff_delay_ms(config, attempt);
+  const int floor = (delay + 1) / 2;
+  if (delay <= floor) return delay;
+  // One splitmix64 draw per (seed, node, attempt) triple. The mixing
+  // constants are arbitrary odd values keeping node 0 / attempt 0 away from
+  // the zero state.
+  std::uint64_t state = config.jitter_seed ^
+                        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(node_id)) *
+                         0x9e3779b97f4a7c15ull) ^
+                        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(attempt)) *
+                         0xbf58476d1ce4e5b9ull);
+  const std::uint64_t draw = common::splitmix64(state);
+  const std::uint64_t span = static_cast<std::uint64_t>(delay - floor) + 1;
+  return floor + static_cast<int>(draw % span);
 }
 
 Socket& Socket::operator=(Socket&& o) noexcept {

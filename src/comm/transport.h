@@ -52,6 +52,10 @@ struct TransportConfig {
   // Upper bound a frame length prefix may claim (a Byzantine peer must not
   // be able to force a giant allocation).
   std::size_t max_frame_bytes = 64ull << 20;
+  // Seed for the deterministic reconnect jitter (DESIGN.md §18). The deploy
+  // binaries set it to the run seed, so the jitter schedule of every node is
+  // reproducible from (run_seed, node_id) alone. 0 is a valid seed.
+  std::uint64_t jitter_seed = 0;
 
   void validate() const;  // throws ConfigError on nonsensical knobs
 };
@@ -59,6 +63,15 @@ struct TransportConfig {
 // Delay before retry `attempt` (0-based): min(base << attempt, cap), clamped
 // against shift overflow. Pure, so the backoff curve is unit-testable.
 int backoff_delay_ms(const TransportConfig& config, int attempt);
+
+// Jittered variant for reconnect/reregister storms: a restarted server would
+// otherwise see every surviving client's retry timer fire in lockstep (they
+// all observed the EOF within one poll slice). Returns a delay in
+// [ceil(d/2), d] where d = backoff_delay_ms(config, attempt), derived purely
+// from (config.jitter_seed, node_id, attempt) via splitmix64 — deterministic
+// across runs, divergent across nodes. Wall-clock only; never touches the
+// protocol RNG, so byte-identity is unaffected.
+int backoff_delay_jittered_ms(const TransportConfig& config, int node_id, int attempt);
 
 // Move-only RAII wrapper over a connected TCP socket.
 class Socket {

@@ -248,16 +248,20 @@ void Client::self_adjust_weights() {
 
 void Client::handle_pending(comm::Network& net) {
   while (auto msg = net.client_try_recv(id_)) {
-    try {
-      handle_message(net, *msg);
-    } catch (const Error& e) {
-      // A corrupted wire must not kill the client: log what arrived (with
-      // this client's id, the message type, and the round) and wait for the
-      // server's retransmission.
-      FC_LOG(Warn) << "client " << id_ << ": dropping "
-                   << comm::message_type_name(msg->type) << " for round " << msg->round
-                   << " — " << e.what();
-    }
+    handle_one(net, *msg);
+  }
+}
+
+void Client::handle_one(comm::Network& net, const comm::Message& msg) {
+  try {
+    handle_message(net, msg);
+  } catch (const Error& e) {
+    // A corrupted wire must not kill the client: log what arrived (with
+    // this client's id, the message type, and the round) and wait for the
+    // server's retransmission.
+    FC_LOG(Warn) << "client " << id_ << ": dropping "
+                 << comm::message_type_name(msg.type) << " for round " << msg.round
+                 << " — " << e.what();
   }
 }
 

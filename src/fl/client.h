@@ -103,6 +103,11 @@ class Client {
   // Drain and answer all pending messages from the server. Malformed or
   // mistyped messages (a faulty wire) are logged and skipped, never fatal.
   void handle_pending(comm::Network& net);
+  // Answer a single already-received message with the same log-and-skip
+  // error handling. The client binary drains the queue itself (it intercepts
+  // kRoundSync and snapshots after broadcasts — DESIGN.md §18) and hands
+  // everything else here.
+  void handle_one(comm::Network& net, const comm::Message& msg);
 
   // Checkpoint support. Everything else a client holds (local data, attack
   // spec, training config) is rebuilt deterministically from the simulation

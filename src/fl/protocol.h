@@ -16,6 +16,7 @@
 #include "comm/message.h"
 #include "common/logging.h"
 #include "fl/simulation.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -26,6 +27,36 @@ inline std::size_t quorum_count(std::size_t n_clients, double min_fraction) {
   const double need = std::ceil(min_fraction * static_cast<double>(n_clients));
   return std::max<std::size_t>(
       1, std::min(n_clients, static_cast<std::size_t>(std::max(0.0, need))));
+}
+
+// Round-sync handshake after a server resume (DESIGN.md §18): broadcast the
+// resumed (epoch, committed-round) position, collect acks, journal the
+// outcome. Runs BEFORE Simulation::run() replays — its traffic predates the
+// first round's uplink-byte sample, so journaled wire_bytes stay identical
+// to an uninterrupted run. Clients that died with the old server simply
+// never ack (their channel short-circuits); they rejoin mid-replay via the
+// normal reconnect path only if restarted. Returns the number of clients
+// that acked the resumed position.
+inline int synchronize_round(Simulation& sim, const std::vector<int>& clients) {
+  const std::uint32_t epoch = sim.run_epoch();
+  const std::int32_t next_round = sim.completed_rounds();
+  sim.server().broadcast_round_sync(clients, epoch, next_round);
+  CollectStats stats;
+  sim.server().collect_round_sync_acks(clients, epoch, next_round, &stats);
+  FC_METRIC(round_syncs().inc());
+  if (obs::Journal* journal = obs::ambient_journal()) {
+    obs::JsonObject entry;
+    entry.add("kind", "round_sync")
+        .add("node", "server")
+        .add("round", next_round)
+        .add("epoch", static_cast<std::int64_t>(epoch))
+        .add("n_acked", stats.n_valid);
+    journal->write(entry);
+  }
+  FC_LOG(Info) << "round sync: epoch=" << epoch << " round=" << next_round << " acked="
+               << stats.n_valid << "/" << clients.size() << " (timed out "
+               << stats.n_timed_out << ", malformed " << stats.n_malformed << ")";
+  return stats.n_valid;
 }
 
 // ExchangeStats itself lives in fl/simulation.h (RoundRecord embeds its

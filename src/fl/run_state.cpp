@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "obs/journal.h"
+#include "obs/metrics.h"
 
 namespace fedcleanse::fl {
 
@@ -19,7 +20,7 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr std::uint32_t kMagic = 0x46435253;  // "FCRS"
-constexpr std::uint32_t kVersion = 4;  // v4: correlation id in in-flight messages
+constexpr std::uint32_t kVersion = 5;  // v5: snapshot epoch for distributed failover
 // magic + version + checksum + payload length prefix.
 constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4;
 
@@ -111,6 +112,7 @@ std::vector<std::uint8_t> encode_run_snapshot(const RunSnapshot& snap) {
   common::ByteWriter payload;
   payload.write_string(snap.stage);
   payload.write_i32(snap.next_round);
+  payload.write_u32(snap.epoch);
   payload.write_u8_vector(snap.sim_state);
   payload.write_u8_vector(snap.stage_state);
 
@@ -151,6 +153,7 @@ RunSnapshot decode_run_snapshot(const std::vector<std::uint8_t>& bytes) {
     RunSnapshot snap;
     snap.stage = r.read_string();
     snap.next_round = r.read_i32();
+    snap.epoch = r.read_u32();
     snap.sim_state = r.read_u8_vector();
     snap.stage_state = r.read_u8_vector();
     if (!r.exhausted()) throw CheckpointError("run snapshot payload has trailing bytes");
@@ -195,6 +198,108 @@ void resume_simulation(Simulation& sim, const RunSnapshot& snap) {
   }
   FC_LOG(Info) << "resumed run from snapshot: stage=" << snap.stage << " round="
                << snap.next_round;
+}
+
+RunSnapshot make_server_snapshot(const Simulation& sim, int next_round,
+                                 std::uint32_t epoch) {
+  RunSnapshot snap;
+  snap.stage = run_stage::kServerTrain;
+  snap.next_round = next_round;
+  snap.epoch = epoch;
+  common::ByteWriter state;
+  sim.save_server_state(state);
+  snap.sim_state = state.take();
+  common::ByteWriter key;
+  key.write_u64(sim.config().seed);
+  snap.stage_state = key.take();
+  return snap;
+}
+
+void resume_server_simulation(Simulation& sim, const RunSnapshot& snap,
+                              std::uint32_t new_epoch) {
+  if (snap.stage != run_stage::kServerTrain) {
+    throw CheckpointError("snapshot stage '" + snap.stage +
+                          "' is not a server-scope snapshot");
+  }
+  common::ByteReader key(snap.stage_state);
+  const std::uint64_t snap_seed = key.read_u64();
+  if (!key.exhausted()) {
+    throw CheckpointError("server snapshot key has trailing bytes");
+  }
+  if (snap_seed != sim.config().seed) {
+    throw CheckpointError("server snapshot keyed to seed " + std::to_string(snap_seed) +
+                          ", this run uses seed " + std::to_string(sim.config().seed));
+  }
+  common::ByteReader r(snap.sim_state);
+  try {
+    sim.restore_server_state(r);
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const Error& e) {
+    throw CheckpointError(std::string("server snapshot state undecodable: ") + e.what());
+  }
+  if (!r.exhausted()) {
+    throw CheckpointError("server snapshot state has trailing bytes");
+  }
+  sim.set_run_epoch(new_epoch);
+  FC_METRIC(server_resumes().inc());
+  if (obs::Journal* journal = obs::ambient_journal()) {
+    obs::JsonObject entry;
+    entry.add("kind", "server_resume")
+        .add("stage", run_stage::kTrain)
+        .add("round", snap.next_round)
+        .add("epoch", static_cast<std::int64_t>(new_epoch));
+    journal->write(entry);
+  }
+  FC_LOG(Info) << "server resumed from snapshot: round=" << snap.next_round
+               << " epoch=" << new_epoch;
+}
+
+RunSnapshot make_client_snapshot(const Client& client, std::uint64_t run_seed,
+                                 int client_id, int next_round, std::uint32_t epoch) {
+  RunSnapshot snap;
+  snap.stage = run_stage::kClientTrain;
+  snap.next_round = next_round;
+  snap.epoch = epoch;
+  common::ByteWriter state;
+  client.save_state(state);
+  snap.sim_state = state.take();
+  common::ByteWriter key;
+  key.write_u64(run_seed);
+  key.write_i32(client_id);
+  snap.stage_state = key.take();
+  return snap;
+}
+
+void restore_client_snapshot(Client& client, const RunSnapshot& snap,
+                             std::uint64_t run_seed, int client_id) {
+  if (snap.stage != run_stage::kClientTrain) {
+    throw CheckpointError("snapshot stage '" + snap.stage +
+                          "' is not a client-scope snapshot");
+  }
+  common::ByteReader key(snap.stage_state);
+  const std::uint64_t snap_seed = key.read_u64();
+  const std::int32_t snap_id = key.read_i32();
+  if (!key.exhausted()) {
+    throw CheckpointError("client snapshot key has trailing bytes");
+  }
+  if (snap_seed != run_seed || snap_id != client_id) {
+    throw CheckpointError("client snapshot keyed to (seed " + std::to_string(snap_seed) +
+                          ", client " + std::to_string(snap_id) + "), this process is (seed " +
+                          std::to_string(run_seed) + ", client " + std::to_string(client_id) +
+                          ")");
+  }
+  common::ByteReader r(snap.sim_state);
+  try {
+    client.restore_state(r);
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const Error& e) {
+    throw CheckpointError(std::string("client snapshot state undecodable: ") + e.what());
+  }
+  if (!r.exhausted()) {
+    throw CheckpointError("client snapshot state has trailing bytes");
+  }
 }
 
 CheckpointManager::CheckpointManager(std::string dir, int every, int keep)

@@ -25,6 +25,12 @@ namespace fedcleanse::fl {
 namespace run_stage {
 inline constexpr const char* kTrain = "train";
 inline constexpr const char* kFinetune = "finetune";
+// Distributed-failover scopes (DESIGN.md §18): a server-only snapshot taken
+// by the remote-mode server at round boundaries, and one client's own state.
+// Distinct tags so a full-run snapshot can never cross-resume into a
+// node-scope one (or vice versa) — the stage check throws CheckpointError.
+inline constexpr const char* kServerTrain = "server_train";
+inline constexpr const char* kClientTrain = "client_train";
 }  // namespace run_stage
 
 struct RunSnapshot {
@@ -36,8 +42,14 @@ struct RunSnapshot {
   std::vector<std::uint8_t> sim_state;
   // Stage-specific progress, opaque to this layer. Empty for kTrain; the
   // defense layer stores its fine-tune keep-best loop and pipeline progress
-  // here (defense/pipeline.h) so fl/ never depends on defense/.
+  // here (defense/pipeline.h) so fl/ never depends on defense/. The
+  // node-scope failover stages store their (run_seed[, client_id]) key here.
   std::vector<std::uint8_t> stage_state;
+  // Snapshot epoch (DESIGN.md §18): 0 for a run never resumed; each resume
+  // restores epoch E and continues at E+1, stamping the new epoch into the
+  // round-sync handshake so stale pre-crash traffic is rejected with typed
+  // errors instead of silently mixing generations.
+  std::uint32_t epoch = 0;
 };
 
 // RunSnapshot ↔ bytes. The on-disk format is magic "FCRS" + version +
@@ -61,6 +73,33 @@ RunSnapshot make_run_snapshot(const Simulation& sim, std::string stage,
 // replayed rounds from live ones. The simulation must have been built from
 // the same SimulationConfig that produced the snapshot.
 void resume_simulation(Simulation& sim, const RunSnapshot& snap);
+
+// --- distributed failover snapshots (DESIGN.md §18) -------------------------
+
+// Server-scope snapshot for the remote deployment: captures only the state
+// that evolves on the server node (round cursor, protocol RNG, server model +
+// reputation, per-round history/exchange stats) — the frozen client replicas
+// are rebuilt from the config at restart and the live clients re-synchronized
+// via kRoundSync. stage_state carries the run seed so a snapshot can never
+// resume under a different seed.
+RunSnapshot make_server_snapshot(const Simulation& sim, int next_round,
+                                 std::uint32_t epoch);
+
+// Restore a remote-mode server from a server-scope snapshot and continue at
+// `new_epoch` (the caller passes snap.epoch + 1). Journals
+// {"kind":"server_resume"}. Throws CheckpointError on a stage or run-seed
+// mismatch.
+void resume_server_simulation(Simulation& sim, const RunSnapshot& snap,
+                              std::uint32_t new_epoch);
+
+// One client process's own evolving state (model, RNG stream, learning rate,
+// anticipated masks), keyed by (run_seed, client_id): restoring under a
+// different seed or id throws CheckpointError instead of silently producing
+// a divergent replica.
+RunSnapshot make_client_snapshot(const Client& client, std::uint64_t run_seed,
+                                 int client_id, int next_round, std::uint32_t epoch);
+void restore_client_snapshot(Client& client, const RunSnapshot& snap,
+                             std::uint64_t run_seed, int client_id);
 
 // Writes rotated snapshot generations into a directory and loads the newest
 // decodable one back.

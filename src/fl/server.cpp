@@ -234,6 +234,37 @@ std::vector<std::optional<double>> Server::collect_accuracies(
       config_.recv_timeout_ms, stats);
 }
 
+void Server::broadcast_round_sync(const std::vector<int>& clients, std::uint32_t epoch,
+                                  std::int32_t next_round) {
+  comm::RoundSync sync;
+  sync.epoch = epoch;
+  sync.next_round = next_round;
+  const auto payload = comm::encode_round_sync(sync);
+  const auto round = static_cast<std::uint32_t>(next_round);
+  for (int c : clients) {
+    net_.send_to_client(c, server_message(comm::MessageType::kRoundSync, round, payload));
+  }
+}
+
+std::vector<std::optional<comm::RoundSync>> Server::collect_round_sync_acks(
+    const std::vector<int>& clients, std::uint32_t epoch, std::int32_t next_round,
+    CollectStats* stats) {
+  return collect_typed<comm::RoundSync>(
+      net_, clients, static_cast<std::uint32_t>(next_round),
+      comm::MessageType::kRoundSyncAck,
+      [epoch, next_round](const comm::Message& msg) {
+        const comm::RoundSync ack = comm::decode_round_sync(msg.payload);
+        if (ack.epoch != epoch || ack.next_round != next_round) {
+          throw comm::EpochError("round_sync ack for epoch " + std::to_string(ack.epoch) +
+                                 " round " + std::to_string(ack.next_round) +
+                                 ", expected epoch " + std::to_string(epoch) + " round " +
+                                 std::to_string(next_round));
+        }
+        return ack;
+      },
+      config_.recv_timeout_ms, stats);
+}
+
 double Server::validation_accuracy() {
   return evaluate_accuracy(model_.net, validation_);
 }

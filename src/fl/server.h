@@ -105,6 +105,19 @@ class Server {
                                                         std::uint32_t round,
                                                         CollectStats* stats = nullptr);
 
+  // --- failover protocol (DESIGN.md §18) ------------------------------------
+  // Tell every client to roll back to its snapshot for `next_round` and adopt
+  // the resumed server's epoch; clients reply kRoundSyncAck echoing the
+  // payload. Sent before the resumed run replays, so FIFO per-connection
+  // ordering guarantees the rollback precedes any rebroadcast.
+  void broadcast_round_sync(const std::vector<int>& clients, std::uint32_t epoch,
+                            std::int32_t next_round);
+  // Acks whose (epoch, next_round) match; a mismatched ack (stale generation)
+  // is rejected as malformed via comm::EpochError and counted in `stats`.
+  std::vector<std::optional<comm::RoundSync>> collect_round_sync_acks(
+      const std::vector<int>& clients, std::uint32_t epoch, std::int32_t next_round,
+      CollectStats* stats = nullptr);
+
   // Accuracy of the current global model on the server's validation set.
   double validation_accuracy();
 

@@ -461,10 +461,14 @@ void Simulation::run(bool record_history) {
                     << " valid=" << rec.n_valid << "/" << rec.n_participants;
     }
     // Snapshot after the journal line so a resumed journal never misses a
-    // round the snapshot already contains.
+    // round the snapshot already contains. Remote mode writes server-scope
+    // snapshots (the clients persist their own state in their processes);
+    // in-process runs keep the full-run format.
     if (checkpoint_ != nullptr && checkpoint_->enabled() &&
         checkpoint_->due(next_round_, config_.rounds)) {
-      checkpoint_->save(make_run_snapshot(*this, run_stage::kTrain, next_round_));
+      checkpoint_->save(remote_net_ != nullptr
+                            ? make_server_snapshot(*this, next_round_, run_epoch_)
+                            : make_run_snapshot(*this, run_stage::kTrain, next_round_));
     }
   }
   training_seconds_ += timer.elapsed_seconds();
@@ -516,6 +520,28 @@ ExchangeStats read_exchange_stats(common::ByteReader& r) {
   stats.n_retried = r.read_i32();
   stats.quorum_met = r.read_bool();
   return stats;
+}
+
+void Simulation::save_server_state(common::ByteWriter& w) const {
+  w.write_i32(next_round_);
+  w.write_f64(training_seconds_);
+  common::write_rng_state(w, rng_.state());
+  write_exchange_stats(w, last_round_stats_);
+  w.write_u32(static_cast<std::uint32_t>(history_.size()));
+  for (const auto& rec : history_) write_round_record(w, rec);
+  server_->save_state(w);
+}
+
+void Simulation::restore_server_state(common::ByteReader& r) {
+  next_round_ = r.read_i32();
+  training_seconds_ = r.read_f64();
+  rng_.restore(common::read_rng_state(r));
+  last_round_stats_ = read_exchange_stats(r);
+  const std::uint32_t n_history = r.read_u32();
+  history_.clear();
+  history_.reserve(n_history);
+  for (std::uint32_t i = 0; i < n_history; ++i) history_.push_back(read_round_record(r));
+  server_->restore_state(r);
 }
 
 void Simulation::save_state(common::ByteWriter& w) const {

@@ -158,8 +158,9 @@ class Simulation {
   // population so the RNG draw sequence (data → server model → validation →
   // per-client models/seeds) matches the in-process reference draw for draw;
   // the replicas are simply never dispatched. Remote mode requires the
-  // materialized engine, a fault-free config (real processes provide the
-  // faults), and excludes checkpointing.
+  // materialized engine and a fault-free config (real processes provide the
+  // faults); checkpointing uses server-scope snapshots (DESIGN.md §18)
+  // instead of the full-run format.
   explicit Simulation(SimulationConfig config, comm::Network* remote_net = nullptr);
   ~Simulation();
 
@@ -257,6 +258,22 @@ class Simulation {
   void save_state(common::ByteWriter& w) const;
   void restore_state(common::ByteReader& r);
 
+  // --- distributed failover (DESIGN.md §18) --------------------------------
+  // Server-node scope only: round cursor, protocol RNG stream, exchange
+  // stats, round history, and the server (model + reputation). Excludes the
+  // client replicas (rebuilt from config at restart; never dispatched in
+  // remote mode) and the transport (live sockets cannot be snapshotted —
+  // clients reconnect and are rolled back via kRoundSync). Unlike
+  // save_state/restore_state, valid in remote mode; also usable in-process
+  // (the unit tests do).
+  void save_server_state(common::ByteWriter& w) const;
+  void restore_server_state(common::ByteReader& r);
+
+  // Snapshot epoch this run executes at: 0 until a resume installs a higher
+  // one. Stamped into server-scope snapshots and the round-sync handshake.
+  std::uint32_t run_epoch() const { return run_epoch_; }
+  void set_run_epoch(std::uint32_t epoch) { run_epoch_ = epoch; }
+
  private:
   // Evicted-client state that must survive re-materialization. Everything
   // else a virtual client holds is a pure function of (run_seed, id) or is
@@ -297,6 +314,7 @@ class Simulation {
   ExchangeStats last_round_stats_;
   double training_seconds_ = 0.0;
   int next_round_ = 0;
+  std::uint32_t run_epoch_ = 0;
   CheckpointManager* checkpoint_ = nullptr;
 };
 

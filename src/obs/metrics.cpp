@@ -122,6 +122,15 @@ Counter& transport_dead_clients() {
   return c;
 }
 
+Counter& server_resumes() {
+  static Counter& c = counter("fl.failover.server_resumes");
+  return c;
+}
+Counter& round_syncs() {
+  static Counter& c = counter("fl.failover.round_syncs");
+  return c;
+}
+
 Gauge& peak_rss_bytes() {
   static Gauge& g = Registry::global().gauge("process.peak_rss_bytes");
   return g;

@@ -64,6 +64,10 @@ Counter& transport_heartbeats();    // beacons observed (server + scheduler)
 Counter& transport_reconnects();    // successful reregistrations
 Counter& transport_dead_clients();  // peers declared dead (EOF or heartbeat)
 
+// --- failover (DESIGN.md §18) ------------------------------------------------
+Counter& server_resumes();  // server-scope snapshot restores
+Counter& round_syncs();     // kRoundSync handshakes completed (both roles)
+
 // --- process -----------------------------------------------------------------
 Gauge& peak_rss_bytes();  // VmHWM high-water mark (common::peak_rss_bytes)
 Gauge& current_round();   // last FL round this process started or handled

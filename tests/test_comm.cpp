@@ -211,11 +211,13 @@ TEST(Wire, ChecksumDetectsPayloadTampering) {
 }
 
 TEST(Wire, ParseMessageTypeValidatesRange) {
-  for (std::uint8_t raw = 1; raw <= 16; ++raw) {
+  for (std::uint8_t raw = 1; raw <= 18; ++raw) {
     ASSERT_TRUE(parse_message_type(raw).has_value()) << int(raw);
   }
+  EXPECT_EQ(parse_message_type(17), MessageType::kRoundSync);
+  EXPECT_EQ(parse_message_type(18), MessageType::kRoundSyncAck);
   EXPECT_FALSE(parse_message_type(0).has_value());
-  EXPECT_FALSE(parse_message_type(17).has_value());
+  EXPECT_FALSE(parse_message_type(19).has_value());
   EXPECT_FALSE(parse_message_type(255).has_value());
 }
 
@@ -227,7 +229,54 @@ TEST(MessageNames, AllNamed) {
                  MessageType::kAccuracyReport, MessageType::kLrScale,
                  MessageType::kShutdown, MessageType::kRegister,
                  MessageType::kRegisterAck, MessageType::kHeartbeat,
-                 MessageType::kHeartbeatAck, MessageType::kModelUpdateQuantized}) {
+                 MessageType::kHeartbeatAck, MessageType::kModelUpdateQuantized,
+                 MessageType::kRoundSync, MessageType::kRoundSyncAck}) {
     EXPECT_STRNE(message_type_name(t), "?");
+  }
+}
+
+// --- failover codecs (DESIGN.md §18) ----------------------------------------
+
+TEST(Codecs, RoundSyncRoundTrip) {
+  RoundSync sync;
+  sync.epoch = 3;
+  sync.next_round = 7;
+  const RoundSync back = decode_round_sync(encode_round_sync(sync));
+  EXPECT_EQ(back.epoch, 3u);
+  EXPECT_EQ(back.next_round, 7);
+}
+
+TEST(Codecs, RoundSyncRejectsNegativeRound) {
+  RoundSync sync;
+  sync.next_round = -1;
+  EXPECT_THROW(decode_round_sync(encode_round_sync(sync)), DecodeError);
+}
+
+TEST(Codecs, RegisterCarriesSnapshotEpoch) {
+  RegisterInfo info;
+  info.role = NodeRole::kClient;
+  info.node_id = 4;
+  info.generation = 2;
+  info.epoch = 9;
+  const RegisterInfo back = decode_register(encode_register(info));
+  EXPECT_EQ(back.node_id, 4);
+  EXPECT_EQ(back.generation, 2u);
+  EXPECT_EQ(back.epoch, 9u);
+
+  RegisterAck ack;
+  ack.accepted = true;
+  ack.epoch = 9;
+  EXPECT_EQ(decode_register_ack(encode_register_ack(ack)).epoch, 9u);
+}
+
+TEST(Codecs, EpochErrorIsASerializationError) {
+  // collect_typed treats an epoch mismatch exactly like a malformed reply:
+  // logged, counted, never fatal. That hinges on the inheritance chain.
+  try {
+    throw EpochError("stale epoch");
+  } catch (const SerializationError&) {
+    SUCCEED();
+  } catch (...) {
+    FAIL() << "EpochError must derive from SerializationError";
   }
 }

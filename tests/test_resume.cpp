@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/serialize.h"
 #include "defense/pipeline.h"
 #include "fl/run_state.h"
 #include "fl/simulation.h"
@@ -235,4 +236,82 @@ TEST(Resume, RepeatedResumesFromSameSnapshotAgree) {
     return model_bytes(sim);
   };
   EXPECT_EQ(finish(), finish());
+}
+
+// --- distributed-failover snapshots (DESIGN.md §18) -------------------------
+
+TEST(Resume, ServerScopeSnapshotRestoresServerSideState) {
+  auto cfg = tiny_sim_config(33);
+  cfg.rounds = 3;
+  Simulation ran(cfg);
+  ran.run();
+
+  RunSnapshot snap =
+      fedcleanse::fl::make_server_snapshot(ran, ran.completed_rounds(), /*epoch=*/0);
+  EXPECT_EQ(snap.stage, fedcleanse::fl::run_stage::kServerTrain);
+  EXPECT_EQ(snap.epoch, 0u);
+
+  // Through the on-disk codec, as a real failover would go.
+  snap = fedcleanse::fl::decode_run_snapshot(fedcleanse::fl::encode_run_snapshot(snap));
+
+  Simulation fresh(cfg);
+  fedcleanse::fl::resume_server_simulation(fresh, snap, /*new_epoch=*/1);
+  EXPECT_EQ(fresh.completed_rounds(), 3);
+  EXPECT_EQ(fresh.run_epoch(), 1u);
+  EXPECT_EQ(fresh.history(), ran.history());
+  EXPECT_EQ(model_bytes(fresh), model_bytes(ran));
+}
+
+TEST(Resume, ServerScopeSnapshotRejectsWrongSeedOrScope) {
+  auto cfg = tiny_sim_config(34);
+  cfg.rounds = 2;
+  Simulation ran(cfg);
+  ran.run();
+  const RunSnapshot snap =
+      fedcleanse::fl::make_server_snapshot(ran, ran.completed_rounds(), /*epoch=*/0);
+
+  // Same architecture, different run seed: the stage_state key must refuse.
+  auto other_cfg = cfg;
+  other_cfg.seed += 1;
+  Simulation other(other_cfg);
+  EXPECT_THROW(fedcleanse::fl::resume_server_simulation(other, snap, 1),
+               fedcleanse::CheckpointError);
+
+  // A full-run snapshot must never cross-resume through the server-scope
+  // path (and vice versa): the scopes capture different state.
+  const RunSnapshot full =
+      fedcleanse::fl::make_run_snapshot(ran, fedcleanse::fl::run_stage::kTrain, 2);
+  Simulation same(cfg);
+  EXPECT_THROW(fedcleanse::fl::resume_server_simulation(same, full, 1),
+               fedcleanse::CheckpointError);
+}
+
+TEST(Resume, ClientSnapshotRoundTripIsKeyedBySeedAndId) {
+  auto cfg = tiny_sim_config(44);
+  cfg.rounds = 2;
+  Simulation ran(cfg);
+  ran.run();
+
+  RunSnapshot snap = fedcleanse::fl::make_client_snapshot(
+      ran.client(1), cfg.seed, /*client_id=*/1, /*next_round=*/2, /*epoch=*/5);
+  EXPECT_EQ(snap.stage, fedcleanse::fl::run_stage::kClientTrain);
+  EXPECT_EQ(snap.epoch, 5u);
+  snap = fedcleanse::fl::decode_run_snapshot(fedcleanse::fl::encode_run_snapshot(snap));
+
+  Simulation fresh(cfg);
+  fedcleanse::fl::restore_client_snapshot(fresh.client(1), snap, cfg.seed, 1);
+  fedcleanse::common::ByteWriter a;
+  fedcleanse::common::ByteWriter b;
+  ran.client(1).save_state(a);
+  fresh.client(1).save_state(b);
+  EXPECT_EQ(a.bytes(), b.bytes());  // the restored replica is byte-exact
+
+  // Restoring under the wrong id or the wrong run seed silently producing a
+  // divergent replica is the §18 nightmare scenario — it must throw instead.
+  EXPECT_THROW(
+      fedcleanse::fl::restore_client_snapshot(fresh.client(0), snap, cfg.seed, 0),
+      fedcleanse::CheckpointError);
+  EXPECT_THROW(
+      fedcleanse::fl::restore_client_snapshot(fresh.client(1), snap, cfg.seed + 1, 1),
+      fedcleanse::CheckpointError);
 }

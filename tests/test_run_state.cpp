@@ -26,6 +26,7 @@ RunSnapshot sample_snapshot() {
   RunSnapshot snap;
   snap.stage = fedcleanse::fl::run_stage::kFinetune;
   snap.next_round = 7;
+  snap.epoch = 3;
   for (int i = 0; i < 200; ++i) snap.sim_state.push_back(static_cast<std::uint8_t>(i * 7));
   for (int i = 0; i < 40; ++i) snap.stage_state.push_back(static_cast<std::uint8_t>(255 - i));
   return snap;
@@ -53,6 +54,7 @@ TEST(RunSnapshotCodec, RoundTrip) {
   const RunSnapshot back = fedcleanse::fl::decode_run_snapshot(bytes);
   EXPECT_EQ(back.stage, snap.stage);
   EXPECT_EQ(back.next_round, snap.next_round);
+  EXPECT_EQ(back.epoch, snap.epoch);  // v5: the failover epoch survives disk
   EXPECT_EQ(back.sim_state, snap.sim_state);
   EXPECT_EQ(back.stage_state, snap.stage_state);
 }

@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "comm/frame.h"
@@ -89,6 +91,40 @@ TEST(TransportConfigTest, BackoffCurveIsCappedExponential) {
   EXPECT_EQ(backoff_delay_ms(c, 6), 2000);   // capped
   EXPECT_EQ(backoff_delay_ms(c, 63), 2000);  // shift never overflows
   EXPECT_EQ(backoff_delay_ms(c, -4), 50);    // negative attempt clamps to 0
+}
+
+TEST(TransportConfigTest, JitteredBackoffIsDeterministicAndBounded) {
+  TransportConfig c;
+  c.backoff_base_ms = 50;
+  c.backoff_cap_ms = 2000;
+  c.jitter_seed = 42;
+  // Pinned draws: the jitter is a pure function of (seed, node, attempt), so
+  // a reconnect schedule is reproducible across runs and in postmortems.
+  EXPECT_EQ(backoff_delay_jittered_ms(c, 0, 0), 34);
+  EXPECT_EQ(backoff_delay_jittered_ms(c, 0, 1), 81);
+  EXPECT_EQ(backoff_delay_jittered_ms(c, 0, 2), 142);
+  EXPECT_EQ(backoff_delay_jittered_ms(c, 1, 0), 26);
+  EXPECT_EQ(backoff_delay_jittered_ms(c, 1, 1), 90);
+  EXPECT_EQ(backoff_delay_jittered_ms(c, 7, 3), 328);
+  EXPECT_EQ(backoff_delay_jittered_ms(c, 0, 6), 1838);
+  // Every draw stays within [ceil(d/2), d] of the deterministic curve — the
+  // cap still bounds worst-case reconnect latency.
+  for (int node = 0; node < 16; ++node) {
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      const int d = backoff_delay_ms(c, attempt);
+      const int j = backoff_delay_jittered_ms(c, node, attempt);
+      EXPECT_GE(j, (d + 1) / 2) << "node " << node << " attempt " << attempt;
+      EXPECT_LE(j, d) << "node " << node << " attempt " << attempt;
+    }
+  }
+  // Distinct node ids desynchronize — the point of the jitter is that a
+  // server restart does not make the whole fleet reconnect in lockstep.
+  bool diverged = false;
+  for (int attempt = 0; attempt < 10 && !diverged; ++attempt) {
+    diverged = backoff_delay_jittered_ms(c, 2, attempt) !=
+               backoff_delay_jittered_ms(c, 3, attempt);
+  }
+  EXPECT_TRUE(diverged);
 }
 
 // --- raw sockets ------------------------------------------------------------
@@ -209,6 +245,129 @@ TEST(SchedulerTest, ClientsDiscoverTheServerThroughRegistration) {
   EXPECT_EQ(scheduler.n_clients_seen(), 1);  // the same client id polled twice
 
   scheduler.stop();
+}
+
+TEST(SchedulerTest, DuplicateAndStaleGenerationRegistrationsKeepRosterClean) {
+  const TransportConfig c = fast_config();
+  Scheduler scheduler(c);
+
+  RegisterInfo info;
+  info.role = NodeRole::kClient;
+  info.node_id = 3;
+  info.generation = 5;
+  EXPECT_TRUE(scheduler_register_once("127.0.0.1", scheduler.port(), info, c).accepted);
+  // Same node again at the same generation (a duplicate retry) and then at a
+  // *stale* generation (a delayed frame from before its reconnect): discovery
+  // is idempotent, so both are accepted and neither inflates the roster.
+  EXPECT_TRUE(scheduler_register_once("127.0.0.1", scheduler.port(), info, c).accepted);
+  info.generation = 2;
+  EXPECT_TRUE(scheduler_register_once("127.0.0.1", scheduler.port(), info, c).accepted);
+  EXPECT_EQ(scheduler.n_clients_seen(), 1);
+
+  scheduler.stop();
+}
+
+TEST(SchedulerTest, ServerReregistrationSupersedesTheOldAddress) {
+  const TransportConfig c = fast_config();
+  Scheduler scheduler(c);
+
+  RegisterInfo server_info;
+  server_info.role = NodeRole::kServer;
+  server_info.port = 1111;
+  EXPECT_TRUE(
+      scheduler_register_once("127.0.0.1", scheduler.port(), server_info, c).accepted);
+  // A restarted server comes back on a fresh ephemeral data port and
+  // re-registers at a bumped generation; clients discovering afterwards must
+  // get the new address, never the stale one.
+  server_info.port = 2222;
+  server_info.generation = 1;
+  EXPECT_TRUE(
+      scheduler_register_once("127.0.0.1", scheduler.port(), server_info, c).accepted);
+
+  RegisterInfo client_info;
+  client_info.role = NodeRole::kClient;
+  client_info.node_id = 0;
+  const auto ack = scheduler_register_once("127.0.0.1", scheduler.port(), client_info, c);
+  EXPECT_TRUE(ack.server_known);
+  EXPECT_EQ(ack.server_port, 2222);
+
+  scheduler.stop();
+}
+
+TEST(SchedulerTest, RegistrationAfterShutdownIsRejected) {
+  const TransportConfig c = fast_config();
+  Scheduler scheduler(c);
+
+  // The server announces end-of-run...
+  Socket raw = connect_to("127.0.0.1", scheduler.port(), 2000);
+  send_frame(raw, tagged(MessageType::kShutdown, 0));
+  // ...after which a late registration must be nacked, not recorded:
+  // accepting it would strand a node waiting on a run that is already over.
+  RegisterInfo info;
+  info.role = NodeRole::kClient;
+  info.node_id = 0;
+  ASSERT_TRUE(eventually([&] {
+    return !scheduler_register_once("127.0.0.1", scheduler.port(), info, c).accepted;
+  }));
+  EXPECT_EQ(scheduler.n_clients_seen(), 0);
+
+  scheduler.stop();
+}
+
+TEST(SchedulerTest, RegistryRoundTripRestoresTheRoster) {
+  const std::string path = ::testing::TempDir() + "fc_registry_test.txt";
+  std::remove(path.c_str());
+  const TransportConfig c = fast_config();
+  {
+    Scheduler scheduler(c);
+    scheduler.enable_registry(path);
+    RegisterInfo info;
+    info.role = NodeRole::kClient;
+    for (int id : {0, 1, 2, 1}) {  // one duplicate
+      info.node_id = id;
+      EXPECT_TRUE(
+          scheduler_register_once("127.0.0.1", scheduler.port(), info, c).accepted);
+    }
+    RegisterInfo server_info;
+    server_info.role = NodeRole::kServer;
+    server_info.port = 1234;
+    EXPECT_TRUE(
+        scheduler_register_once("127.0.0.1", scheduler.port(), server_info, c).accepted);
+    scheduler.stop();
+  }
+
+  // A restarted scheduler rebuilds the distinct-client roster from the file;
+  // the pre-crash server address is deliberately dropped as stale (the live
+  // server's session re-registers it within one heartbeat interval).
+  Scheduler restarted(c);
+  EXPECT_EQ(restarted.load_registry(path), 3);
+  EXPECT_EQ(restarted.n_clients_seen(), 3);
+  EXPECT_FALSE(restarted.server_known());
+  restarted.stop();
+  std::remove(path.c_str());
+}
+
+TEST(SchedulerSessionTest, SurvivesASchedulerRestart) {
+  TransportConfig c = fast_config();
+  c.jitter_seed = 7;
+  auto scheduler = std::make_unique<Scheduler>(c);
+  const std::uint16_t port = scheduler->port();
+
+  RegisterInfo info;
+  info.role = NodeRole::kServer;
+  info.port = 4242;
+  SchedulerSession session("127.0.0.1", port, info, c);
+  EXPECT_TRUE(scheduler->server_known());
+
+  // Kill the scheduler and bring a fresh one up on the same port: the
+  // session's heartbeat loop must reconnect and re-register on its own, so
+  // the new incarnation re-learns the server without the run stopping.
+  scheduler.reset();
+  Scheduler restarted(c, "127.0.0.1", port);
+  EXPECT_TRUE(eventually([&] { return restarted.server_known(); }, 10s));
+
+  session.notify_shutdown();
+  restarted.stop();
 }
 
 // --- the full network pair --------------------------------------------------
@@ -341,6 +500,44 @@ TEST(SocketNetworkPair, SilentClientDiesByHeartbeatTimeout) {
 
   // Sends to the heartbeat-dead client are dropped, not fatal.
   server.send_to_client(0, tagged(MessageType::kModelBroadcast, 1));
+}
+
+TEST(SocketNetworkPair, RegistrationFromAFutureEpochIsRejected) {
+  const TransportConfig c = fast_config();
+  SocketServerNetwork server(1, c);
+
+  // A client claiming a snapshot epoch the server never reached belongs to a
+  // different failover generation — admitting it would mix timelines. The
+  // nack carries the server's own epoch so the client can see how far off it
+  // is (DESIGN.md §18).
+  RegisterInfo info;
+  info.role = NodeRole::kClient;
+  info.node_id = 0;
+  info.epoch = 5;
+  {
+    Socket raw = connect_to("127.0.0.1", server.port(), 2000);
+    send_frame(raw, tagged(MessageType::kRegister, 0, encode_register(info)));
+    FrameDecoder dec;
+    auto ack_msg = recv_frame(raw, dec, 2000);
+    ASSERT_TRUE(ack_msg.has_value());
+    const auto ack = decode_register_ack(ack_msg->payload);
+    EXPECT_FALSE(ack.accepted);
+    EXPECT_EQ(ack.epoch, 0u);
+  }
+  EXPECT_EQ(server.n_alive(), 0);
+
+  // Once the server has advanced past that epoch, the same registration
+  // lands, and the ack advertises the server's current epoch.
+  server.set_epoch(6);
+  Socket raw = connect_to("127.0.0.1", server.port(), 2000);
+  send_frame(raw, tagged(MessageType::kRegister, 0, encode_register(info)));
+  FrameDecoder dec;
+  auto ack_msg = recv_frame(raw, dec, 2000);
+  ASSERT_TRUE(ack_msg.has_value());
+  const auto ack = decode_register_ack(ack_msg->payload);
+  EXPECT_TRUE(ack.accepted);
+  EXPECT_EQ(ack.epoch, 6u);
+  EXPECT_TRUE(server.wait_for_clients(1, 2000));
 }
 
 TEST(SocketNetworkPair, SendToServerThrowsWhileLinkIsDown) {
